@@ -1,0 +1,52 @@
+"""Shared benchmark fixtures: cached workloads and table output helpers.
+
+Every benchmark writes the table/figure series it regenerates to
+``benchmarks/results/<experiment>.txt`` (and the pytest-benchmark report
+carries the timing columns). EXPERIMENTS.md summarises a reference run.
+"""
+
+from __future__ import annotations
+
+import functools
+from pathlib import Path
+
+import pytest
+
+from repro.datagen.workload import Workload, WorkloadConfig, generate_workload
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_table(name: str, text: str) -> None:
+    """Persist one experiment's regenerated table."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+
+
+@functools.lru_cache(maxsize=16)
+def workload_with(**overrides) -> Workload:
+    """Cached workload generation so sweeps share their fixed-size inputs."""
+    base = dict(
+        num_users=300,
+        num_ads=2000,
+        num_posts=300,
+        num_topics=20,
+        vocab_size=5000,
+        follows_per_user=8,
+        seed=21,
+    )
+    base.update(overrides)
+    return generate_workload(WorkloadConfig(**base))
+
+
+@pytest.fixture(scope="session")
+def default_workload() -> Workload:
+    """The default evaluation workload (Table T1 describes it)."""
+    return workload_with()
+
+
+@pytest.fixture(scope="session")
+def small_workload() -> Workload:
+    """Smaller workload for the effectiveness studies (LDA baseline cost)."""
+    return workload_with(num_users=150, num_ads=600, num_posts=200, vocab_size=3000)

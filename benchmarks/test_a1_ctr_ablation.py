@@ -1,0 +1,86 @@
+"""A1 (ablation) — click feedback on/off: does the quality term pay?
+
+Clicks are simulated from latent relevance *times a per-ad creative appeal
+factor* the ranker cannot observe (two equally-relevant ads can differ 4x
+in how clickable their creative is — that is exactly the signal quality
+scores exist to learn). Expected shape: with feedback on, realised CTR
+improves over the day as the estimator identifies appealing creatives,
+beating the no-feedback configuration overall.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import save_table, workload_with
+from repro.core.config import EngineConfig
+from repro.core.recommender import ContextAwareRecommender
+from repro.eval.report import ascii_table
+from repro.stream.clicks import ClickSimulator
+
+LIMIT = 250
+
+_series: dict[str, tuple[float, float, float]] = {}
+
+
+def _run(workload, feedback: bool):
+    recommender = ContextAwareRecommender.from_workload(
+        workload,
+        EngineConfig(
+            ctr_feedback=feedback,
+            charge_impressions=False,
+            exact_fallback=False,
+        ),
+    )
+    engine = recommender.engine
+    simulator = ClickSimulator(random.Random(31), click_given_relevant=0.9)
+    truth = workload.ground_truth
+    # Latent creative appeal: fixed per ad, invisible to the ranker.
+    appeal_rng = random.Random(77)
+    appeal = {ad.ad_id: appeal_rng.uniform(0.1, 1.0) for ad in workload.ads}
+    halves = [[0, 0], [0, 0]]  # [impressions, clicks] per half
+    posts = workload.posts[:LIMIT]
+    for position, post in enumerate(posts):
+        result = engine.post(post.author_id, post.text, post.timestamp)
+        half = 0 if position < len(posts) // 2 else 1
+        for delivery in result.deliveries:
+            slate_ids = [scored.ad_id for scored in delivery.slate]
+            clicks = simulator.clicks_for_slate(
+                slate_ids,
+                lambda ad_id: appeal[ad_id]
+                * truth.grade(ad_id, post.msg_id, delivery.user_id, post.timestamp),
+            )
+            halves[half][0] += len(slate_ids)
+            halves[half][1] += sum(clicks)
+            for ad_id, clicked in zip(slate_ids, clicks):
+                if clicked:
+                    engine.record_click(ad_id)
+    first = halves[0][1] / max(1, halves[0][0])
+    second = halves[1][1] / max(1, halves[1][0])
+    overall = (halves[0][1] + halves[1][1]) / max(1, halves[0][0] + halves[1][0])
+    return first, second, overall
+
+
+@pytest.mark.parametrize("feedback", [False, True], ids=["ctr-off", "ctr-on"])
+def test_a1_ctr_ablation(benchmark, feedback):
+    workload = workload_with(num_ads=1000)
+    first, second, overall = benchmark.pedantic(
+        lambda: _run(workload, feedback), rounds=1, iterations=1
+    )
+    label = "ctr-on" if feedback else "ctr-off"
+    _series[label] = (first, second, overall)
+    benchmark.extra_info["realised_ctr"] = overall
+
+    if len(_series) == 2:
+        table = ascii_table(
+            ["setting", "CTR 1st half", "CTR 2nd half", "CTR overall"],
+            [
+                [label, round(a, 4), round(b, 4), round(c, 4)]
+                for label, (a, b, c) in _series.items()
+            ],
+            title="A1: click-feedback ablation (realised CTR of served slates)",
+        )
+        save_table("a1_ctr_ablation", table)
+        assert _series["ctr-on"][2] >= _series["ctr-off"][2] * 0.95

@@ -1,0 +1,96 @@
+"""B1 (micro) — index searcher shoot-out: WAND vs MaxScore vs TA vs scan.
+
+Same index, same query workload, exact same results (asserted) — only the
+pruning strategy differs. Expected shape: the document-at-a-time pruners
+(WAND, MaxScore) evaluate far fewer documents than the corpus size; TA
+sits between; the scan evaluates everything.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from conftest import save_table, workload_with
+from repro.index.brute import exact_topk
+from repro.index.inverted import AdInvertedIndex
+from repro.index.maxscore import MaxScoreSearcher
+from repro.index.threshold import ThresholdSearcher
+from repro.index.wand import WandSearcher
+from repro.eval.report import ascii_table
+
+K = 10
+NUM_QUERIES = 80
+
+_series: dict[str, tuple[float, float]] = {}
+
+
+def _queries(workload):
+    rng = random.Random(5)
+    queries = []
+    for post in workload.posts[:NUM_QUERIES]:
+        vec = workload.vectorizer.transform(
+            workload.tokenizer.tokenize(post.text)
+        )
+        if vec:
+            queries.append(vec)
+    assert queries
+    return queries
+
+
+def _setup(num_ads=4000):
+    workload = workload_with(num_ads=num_ads, num_posts=NUM_QUERIES)
+    corpus = workload.build_corpus()
+    index = AdInvertedIndex.from_corpus(corpus, subscribe=False)
+    return workload, corpus, index
+
+
+@pytest.mark.parametrize("strategy", ["wand", "maxscore", "ta", "scan"])
+def test_b1_searchers(benchmark, strategy):
+    workload, corpus, index = _setup()
+    queries = _queries(workload)
+    ads = list(corpus.active_ads())
+
+    if strategy == "scan":
+        def run():
+            return [exact_topk(ads, query, K) for query in queries]
+        evaluations = float(len(ads))
+    else:
+        searcher = {
+            "wand": WandSearcher(index),
+            "maxscore": MaxScoreSearcher(index),
+            "ta": ThresholdSearcher(index),
+        }[strategy]
+
+        def run():
+            results = [searcher.search(query, K) for query in queries]
+            return results
+
+        run()  # warm once to read instrumentation
+        evaluations = searcher.last_evaluations
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    queries_per_s = len(queries) / benchmark.stats.stats.mean
+    benchmark.extra_info["queries_per_s"] = queries_per_s
+    _series[strategy] = (queries_per_s, float(evaluations))
+
+    # Exactness cross-check on the first query.
+    reference = exact_topk(ads, queries[0], K)
+    first = results[0]
+    assert [round(entry.score, 9) for entry in first] == [
+        round(entry.score, 9) for entry in reference
+    ]
+
+    if len(_series) == 4:
+        table = ascii_table(
+            ["strategy", "queries/s", "evals (last query)"],
+            [
+                [name, round(qps, 1), int(evals)]
+                for name, (qps, evals) in _series.items()
+            ],
+            title="B1: top-k searcher comparison (4000 ads, k=10)",
+        )
+        save_table("b1_searchers", table)
+        assert _series["wand"][0] > _series["scan"][0]
+        assert _series["maxscore"][0] > _series["scan"][0]

@@ -1,0 +1,58 @@
+"""F10 — effectiveness vs. profile decay half-life.
+
+Short half-lives forget interests before they can help; infinite
+half-lives freeze stale interests. Expected shape: quality varies across
+half-lives with no catastrophic setting (the synthetic day is short
+relative to interest drift, so the curve is gentle).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_table
+from repro.baselines.base import BaselineState
+from repro.baselines.engine_adapter import SystemRecommender
+from repro.core.config import EngineConfig
+from repro.eval.harness import EffectivenessHarness
+from repro.eval.report import ascii_table
+
+HALF_LIVES: list[float | None] = [600.0, 3600.0, 6 * 3600.0, None]
+
+_series: dict[object, float] = {}
+
+
+@pytest.mark.parametrize("half_life", HALF_LIVES)
+def test_f10_decay(benchmark, half_life, small_workload):
+    def evaluate():
+        state = BaselineState(
+            small_workload.build_corpus(),
+            {user.user_id: user.home for user in small_workload.users},
+            profile_half_life_s=half_life,
+        )
+        system = SystemRecommender(
+            state, EngineConfig(profile_half_life_s=half_life)
+        )
+        harness = EffectivenessHarness(
+            small_workload, k=10, max_posts=100, fanout_cap=3, seed=23
+        )
+        (result,) = harness.evaluate({"system": system})
+        return result
+
+    result = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    benchmark.extra_info["f1"] = result.f1
+    _series[half_life] = result.f1
+
+    if len(_series) == len(HALF_LIVES):
+        table = ascii_table(
+            ["profile half-life (s)", "F1@10"],
+            [
+                ["none" if hl is None else int(hl), round(_series[hl], 4)]
+                for hl in HALF_LIVES
+            ],
+            title="F10: effectiveness vs profile decay half-life",
+        )
+        save_table("f10_decay", table)
+        values = list(_series.values())
+        assert max(values) > 0.0
+        assert max(values) - min(values) < 0.5  # no catastrophic setting

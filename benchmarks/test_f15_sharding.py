@@ -1,0 +1,60 @@
+"""F15 — scale-out projection: sharding amplification and balance.
+
+Sharding users across engines buys parallel capacity but taxes the
+shared-candidate optimisation: every shard owning a follower repeats the
+per-message probe. Expected shape: probe amplification grows with shard
+count (bounded by min(shards, fan-out)); delivery load stays balanced
+(max/mean below ~2); projected speedup = shards / (amplification-adjusted
+imbalance) still grows.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_table, workload_with
+from repro.cluster.sharded import ShardedEngine
+from repro.core.config import EngineConfig
+from repro.eval.report import ascii_table
+
+SHARD_COUNTS = [1, 2, 4, 8]
+LIMIT = 60
+
+_series: dict[int, tuple[float, float]] = {}
+
+
+@pytest.mark.parametrize("shards", SHARD_COUNTS)
+def test_f15_sharding(benchmark, shards):
+    workload = workload_with(num_ads=1000)
+
+    def run():
+        sharded = ShardedEngine(
+            workload,
+            shards,
+            config=EngineConfig(
+                charge_impressions=False, collect_deliveries=False
+            ),
+        )
+        for post in workload.posts[:LIMIT]:
+            sharded.post(post.author_id, post.text, post.timestamp)
+        return sharded
+
+    sharded = benchmark.pedantic(run, rounds=1, iterations=1)
+    _series[shards] = (sharded.amplification(), sharded.load_imbalance())
+    benchmark.extra_info["amplification"] = sharded.amplification()
+    benchmark.extra_info["load_imbalance"] = sharded.load_imbalance()
+
+    if len(_series) == len(SHARD_COUNTS):
+        table = ascii_table(
+            ["shards", "probe amplification", "load imbalance (max/mean)"],
+            [
+                [shards, round(_series[shards][0], 2), round(_series[shards][1], 2)]
+                for shards in SHARD_COUNTS
+            ],
+            title="F15: user-sharded scale-out",
+        )
+        save_table("f15_sharding", table)
+        amps = [_series[shards][0] for shards in SHARD_COUNTS]
+        assert amps == sorted(amps)  # amplification grows with shards
+        assert _series[1][0] == pytest.approx(1.0)
+        assert all(imbalance < 3.0 for _, imbalance in _series.values())

@@ -1,0 +1,78 @@
+"""F3 — delivery throughput vs. corpus size, all methods.
+
+The headline efficiency figure: how fast each method turns feed deliveries
+into ad slates as the ad corpus grows. Expected shape: the shared-candidate
+engine dominates the per-delivery probe, which dominates the full scan; the
+gaps widen with corpus size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_table, workload_with
+from helpers import engine_config_for, run_engine_config, run_fullscan_baseline
+from repro.eval.report import ascii_table
+
+# Spans the crossover: below ~2k ads a single cheap probe per delivery
+# wins; above it the shared-candidate path pulls away.
+AD_COUNTS = [500, 2000, 4000, 8000]
+METHODS = ["car-shared", "car-approx", "per-delivery-probe", "full-scan"]
+LIMIT = 80
+
+_series: dict[tuple[str, int], float] = {}
+
+
+@pytest.mark.parametrize("num_ads", AD_COUNTS)
+@pytest.mark.parametrize("method", METHODS)
+def test_f3_throughput(benchmark, method, num_ads):
+    workload = workload_with(num_ads=num_ads)
+
+    if method == "full-scan":
+        # Scanning 4000 ads per delivery is slow; cap the replay length so
+        # the baseline finishes, and normalise to deliveries/second.
+        limit = 20 if num_ads >= 2000 else 40
+        result = benchmark.pedantic(
+            lambda: run_fullscan_baseline(workload, limit), rounds=1, iterations=1
+        )
+        deliveries = result
+    else:
+        config = engine_config_for(method)
+        result = benchmark.pedantic(
+            lambda: run_engine_config(workload, config, LIMIT),
+            rounds=1,
+            iterations=1,
+        )
+        deliveries = result[0].deliveries
+
+    mean_seconds = benchmark.stats.stats.mean
+    dps = deliveries / mean_seconds if mean_seconds > 0 else 0.0
+    benchmark.extra_info["deliveries_per_s"] = dps
+    _series[(method, num_ads)] = dps
+    assert deliveries > 0
+
+    if len(_series) == len(AD_COUNTS) * len(METHODS):
+        _write_table()
+
+
+def _write_table():
+    rows = []
+    for num_ads in AD_COUNTS:
+        rows.append(
+            [num_ads] + [round(_series[(method, num_ads)], 1) for method in METHODS]
+        )
+    table = ascii_table(
+        ["ads"] + METHODS,
+        rows,
+        title="F3: delivery throughput (deliveries/s) vs corpus size",
+    )
+    save_table("f3_throughput_vs_ads", table)
+    # Shape assertions: indexed methods beat the scan at every size, and
+    # the approximate shared path beats the per-delivery exact probe at the
+    # largest corpus.
+    for num_ads in AD_COUNTS:
+        assert _series[("car-approx", num_ads)] > _series[("full-scan", num_ads)]
+    largest = AD_COUNTS[-1]
+    assert (
+        _series[("car-approx", largest)] > _series[("per-delivery-probe", largest)]
+    )

@@ -1,0 +1,53 @@
+"""F9 — effectiveness vs. the content/profile weight ratio.
+
+Sweeps beta (the interest-profile weight) with alpha fixed: beta = 0 is
+pure context matching, large beta approaches interest-only targeting.
+Expected shape: an interior beta maximises F1 — both the message being
+read and the long-term interests carry signal.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import save_table
+from repro.baselines.base import BaselineState
+from repro.baselines.engine_adapter import SystemRecommender
+from repro.core.config import EngineConfig, ScoringWeights
+from repro.eval.harness import EffectivenessHarness
+from repro.eval.report import ascii_table
+
+BETAS = [0.0, 0.25, 0.5, 1.0, 2.0]
+
+_series: dict[float, float] = {}
+
+
+@pytest.mark.parametrize("beta", BETAS)
+def test_f9_beta_sweep(benchmark, beta, small_workload):
+    def evaluate():
+        state = BaselineState(
+            small_workload.build_corpus(),
+            {user.user_id: user.home for user in small_workload.users},
+            weights=ScoringWeights(alpha=1.0, beta=beta),
+        )
+        system = SystemRecommender(
+            state, EngineConfig(weights=state.weights)
+        )
+        harness = EffectivenessHarness(
+            small_workload, k=10, max_posts=100, fanout_cap=3, seed=19
+        )
+        (result,) = harness.evaluate({"system": system})
+        return result
+
+    result = benchmark.pedantic(evaluate, rounds=1, iterations=1)
+    benchmark.extra_info["f1"] = result.f1
+    _series[beta] = result.f1
+
+    if len(_series) == len(BETAS):
+        table = ascii_table(
+            ["beta (profile weight)", "F1@10"],
+            [[beta, round(_series[beta], 4)] for beta in BETAS],
+            title="F9: effectiveness vs content/profile weight ratio",
+        )
+        save_table("f9_beta_sweep", table)
+        assert max(_series.values()) > 0.0

@@ -1,0 +1,33 @@
+"""T1 — dataset statistics table (and workload generation cost).
+
+Regenerates the "dataset description" table every systems-paper evaluation
+opens with: users, edges, fan-out, ads, targeting mix, posts, deliveries.
+"""
+
+from __future__ import annotations
+
+from conftest import save_table
+from repro.datagen.workload import WorkloadConfig, generate_workload
+from repro.eval.report import ascii_table
+
+
+def test_t1_dataset_stats(benchmark, default_workload):
+    def generate():
+        return generate_workload(
+            WorkloadConfig(num_users=150, num_ads=800, num_posts=150, seed=5)
+        )
+
+    generated = benchmark.pedantic(generate, rounds=2, iterations=1)
+    assert len(generated.posts) == 150
+
+    stats = default_workload.stats()
+    table = ascii_table(
+        ["statistic", "value"],
+        [[key, value] for key, value in stats.items()],
+        title="T1: dataset statistics (default evaluation workload)",
+    )
+    save_table("t1_dataset_stats", table)
+
+    # Shape checks: Twitter-like skew must be present.
+    assert stats["max_fanout"] > 3 * stats["avg_fanout"]
+    assert stats["deliveries"] > stats["posts"]

@@ -1,0 +1,25 @@
+"""T2 — default parameter table (and engine construction cost)."""
+
+from __future__ import annotations
+
+from conftest import save_table
+from helpers import build_recommender
+from repro.core.config import EngineConfig
+from repro.eval.report import ascii_table
+
+
+def test_t2_parameters(benchmark, default_workload):
+    config = EngineConfig()
+
+    def construct():
+        return build_recommender(default_workload, config)
+
+    recommender = benchmark.pedantic(construct, rounds=3, iterations=1)
+    assert recommender.engine.index.num_ads == default_workload.config.num_ads
+
+    table = ascii_table(
+        ["parameter", "default"],
+        [[key, value] for key, value in config.describe().items()],
+        title="T2: engine parameter defaults",
+    )
+    save_table("t2_parameters", table)

@@ -1,0 +1,75 @@
+"""Campaign simulation: a full synthetic day with budgets and pacing.
+
+Generates a Twitter-like workload, replays it through the engine with
+impression charging on, and reports the advertiser-side view: spend,
+pacing, exhaustion, revenue and slate diversity.
+
+Run:  python examples/campaign_simulation.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+from repro import ContextAwareRecommender, EngineConfig, WorkloadConfig, generate_workload
+from repro.eval.report import ascii_table
+
+
+def main() -> None:
+    workload = generate_workload(
+        WorkloadConfig(
+            num_users=300,
+            num_ads=800,
+            num_posts=400,
+            seed=4,
+            budgeted_fraction=0.8,
+            budget_range=(20.0, 120.0),
+        )
+    )
+    print("Workload:", {k: round(v, 1) for k, v in workload.stats().items()})
+
+    recommender = ContextAwareRecommender.from_workload(
+        workload, EngineConfig(pacing_enabled=True)
+    )
+    engine = recommender.engine
+
+    served: Counter[int] = Counter()
+    for post in workload.posts:
+        result = engine.post(post.author_id, post.text, post.timestamp)
+        for delivery in result.deliveries:
+            served.update(scored.ad_id for scored in delivery.slate)
+
+    stats = engine.stats
+    print(f"\nReplayed {stats.posts} posts → {stats.deliveries} deliveries, "
+          f"{stats.impressions} impressions, revenue {stats.revenue:.1f}")
+    print(f"Exhausted campaigns: {stats.retired_ads}")
+
+    rows = []
+    for ad_id, impressions in served.most_common(10):
+        ad = engine.corpus.get(ad_id)
+        state = engine.budget.state(ad_id)
+        rows.append(
+            [
+                ad.advertiser,
+                impressions,
+                round(ad.bid, 2),
+                round(state.spent, 1) if state else "uncapped",
+                "retired" if not engine.corpus.is_active(ad_id) else "active",
+            ]
+        )
+    print()
+    print(
+        ascii_table(
+            ["advertiser", "impressions", "bid", "spend", "status"],
+            rows,
+            title="Top 10 advertisers by impressions",
+        )
+    )
+
+    coverage = len(served) / len(workload.ads)
+    print(f"\nSlate diversity: {len(served)} of {len(workload.ads)} ads "
+          f"served at least once ({coverage:.0%}).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,70 @@
+"""Effectiveness study: the system against every baseline, judged on
+generative ground truth (the T8 experiment, runnable standalone).
+
+Run:  python examples/effectiveness_study.py
+"""
+
+from __future__ import annotations
+
+from repro import WorkloadConfig, generate_workload
+from repro.baselines.base import BaselineState
+from repro.baselines.content_only import ContentOnlyRecommender
+from repro.baselines.engine_adapter import SystemRecommender
+from repro.baselines.lda_rec import LdaRecommender
+from repro.baselines.popularity import PopularityRecommender
+from repro.baselines.profile_only import ProfileOnlyRecommender
+from repro.baselines.random_rec import RandomRecommender
+from repro.eval.harness import EffectivenessHarness
+from repro.eval.report import ascii_table
+
+
+def main() -> None:
+    workload = generate_workload(
+        WorkloadConfig(
+            num_users=150, num_ads=600, num_posts=200, vocab_size=3000, seed=6
+        )
+    )
+
+    def state() -> BaselineState:
+        return BaselineState(
+            workload.build_corpus(),
+            {user.user_id: user.home for user in workload.users},
+        )
+
+    print("Fitting the LDA baseline (the slow part)...")
+    recommenders = {
+        "system": SystemRecommender(state()),
+        "content-only": ContentOnlyRecommender(state()),
+        "profile-only": ProfileOnlyRecommender(state()),
+        "lda": LdaRecommender.fit_on_posts(
+            state(),
+            [post.text for post in workload.posts],
+            num_topics=workload.config.num_topics,
+            iterations=30,
+            seed=2,
+        ),
+        "popularity": PopularityRecommender(state()),
+        "random": RandomRecommender(state(), seed=0),
+    }
+
+    harness = EffectivenessHarness(workload, k=10, max_posts=150, fanout_cap=3)
+    results = harness.evaluate(recommenders)
+
+    print()
+    print(
+        ascii_table(
+            ["method", "P@10", "R@10", "F1", "NDCG", "MAP", "samples"],
+            [result.row() for result in results],
+            title="Effectiveness against generative ground truth",
+        )
+    )
+    print(
+        "\nReading: the context-aware system should lead; content-only\n"
+        "misses interest-driven relevance, profile-only misses the moment,\n"
+        "LDA trades quality for much higher per-event cost, and\n"
+        "popularity/random set the floor."
+    )
+
+
+if __name__ == "__main__":
+    main()

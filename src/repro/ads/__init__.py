@@ -1,0 +1,18 @@
+"""Advertisement substrate: ad model, corpus, targeting, budgets, auction."""
+
+from repro.ads.ad import Ad
+from repro.ads.auction import AuctionOutcome, run_gsp_auction
+from repro.ads.budget import BudgetManager, BudgetState
+from repro.ads.corpus import AdCorpus
+from repro.ads.targeting import TargetingSpec, TimeWindow
+
+__all__ = [
+    "Ad",
+    "AdCorpus",
+    "AuctionOutcome",
+    "BudgetManager",
+    "BudgetState",
+    "TargetingSpec",
+    "TimeWindow",
+    "run_gsp_auction",
+]

@@ -1,0 +1,49 @@
+"""The advertisement model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.ads.targeting import TargetingSpec
+from repro.util.sparse import l2_normalize
+
+
+@dataclass
+class Ad:
+    """One advertisement: creative text, term vector, bid and targeting.
+
+    ``terms`` is the unit-L2 term-weight vector the matching engine scores
+    against; it is normalised at construction so that content scores are
+    cosines. ``budget`` is the total spend cap in the same currency as
+    ``bid`` (None means uncapped).
+    """
+
+    ad_id: int
+    advertiser: str
+    text: str
+    terms: dict[str, float]
+    bid: float
+    budget: float | None = None
+    targeting: TargetingSpec = field(default_factory=TargetingSpec)
+
+    def __post_init__(self) -> None:
+        if self.ad_id < 0:
+            raise ConfigError(f"ad_id must be non-negative, got {self.ad_id}")
+        if self.bid <= 0.0:
+            raise ConfigError(f"bid must be positive, got {self.bid}")
+        if self.budget is not None and self.budget <= 0.0:
+            raise ConfigError(f"budget must be positive or None, got {self.budget}")
+        if not self.terms:
+            raise ConfigError(f"ad {self.ad_id} has an empty term vector")
+        if any(weight <= 0.0 for weight in self.terms.values()):
+            raise ConfigError(f"ad {self.ad_id} has non-positive term weights")
+        self.terms = l2_normalize(self.terms)
+
+    @property
+    def keywords(self) -> list[str]:
+        """The ad's terms, heaviest first (deterministic order)."""
+        return [
+            term
+            for term, _ in sorted(self.terms.items(), key=lambda kv: (-kv[1], kv[0]))
+        ]

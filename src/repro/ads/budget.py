@@ -1,0 +1,142 @@
+"""Budget accounting and spend pacing.
+
+Each ad with a finite budget gets a :class:`BudgetState` tracking spend over
+its campaign window. Pacing throttles ads that are spending faster than a
+uniform schedule would: the multiplier scales the ad's bid term in the
+ranking score, so over-delivering ads sink in the slate rather than being
+cut off abruptly (the classic "budget smoothing" behaviour).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.ads.corpus import AdCorpus
+from repro.errors import BudgetError, ConfigError
+
+
+@dataclass
+class BudgetState:
+    """Spend bookkeeping for one ad's campaign."""
+
+    budget: float
+    campaign_start: float
+    campaign_end: float
+    spent: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.budget <= 0.0:
+            raise ConfigError(f"budget must be positive, got {self.budget}")
+        if self.campaign_end <= self.campaign_start:
+            raise ConfigError("campaign_end must be after campaign_start")
+        if self.spent < 0.0:
+            raise ConfigError(f"spent cannot be negative, got {self.spent}")
+
+    @property
+    def remaining(self) -> float:
+        return max(0.0, self.budget - self.spent)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining <= 0.0
+
+    def time_fraction(self, timestamp: float) -> float:
+        """Fraction of the campaign window elapsed at ``timestamp``, clamped."""
+        span = self.campaign_end - self.campaign_start
+        fraction = (timestamp - self.campaign_start) / span
+        return min(1.0, max(0.0, fraction))
+
+    def spend_fraction(self) -> float:
+        return min(1.0, self.spent / self.budget)
+
+    def pacing_multiplier(self, timestamp: float) -> float:
+        """Throttle factor in (0, 1].
+
+        1.0 while on/behind the uniform spend schedule; otherwise the ratio
+        of scheduled spend to actual spend, floored so an early burst cannot
+        zero an ad out forever.
+        """
+        if self.exhausted:
+            return 0.0
+        expected = self.budget * self.time_fraction(timestamp)
+        if self.spent <= expected or self.spent == 0.0:
+            return 1.0
+        return max(0.1, expected / self.spent)
+
+
+class BudgetManager:
+    """Tracks budgets for all capped ads and retires exhausted ones."""
+
+    def __init__(
+        self,
+        corpus: AdCorpus,
+        *,
+        campaign_start: float = 0.0,
+        campaign_end: float = 86_400.0,
+        pacing_enabled: bool = True,
+    ) -> None:
+        if campaign_end <= campaign_start:
+            raise ConfigError("campaign_end must be after campaign_start")
+        self._corpus = corpus
+        self._pacing_enabled = pacing_enabled
+        self._states: dict[int, BudgetState] = {}
+        for ad in corpus.all_ads():
+            if ad.budget is not None:
+                self._states[ad.ad_id] = BudgetState(
+                    budget=ad.budget,
+                    campaign_start=campaign_start,
+                    campaign_end=campaign_end,
+                )
+        corpus.subscribe(
+            on_add=lambda ad: self._register(ad, campaign_start, campaign_end)
+        )
+
+    def _register(self, ad, campaign_start: float, campaign_end: float) -> None:
+        if ad.budget is not None and ad.ad_id not in self._states:
+            self._states[ad.ad_id] = BudgetState(
+                budget=ad.budget,
+                campaign_start=campaign_start,
+                campaign_end=campaign_end,
+            )
+
+    def state(self, ad_id: int) -> BudgetState | None:
+        """Budget state, or None for uncapped ads."""
+        return self._states.get(ad_id)
+
+    def pacing_multiplier(self, ad_id: int, timestamp: float) -> float:
+        """Bid-term multiplier; 1.0 for uncapped ads or with pacing off."""
+        state = self._states.get(ad_id)
+        if state is None:
+            return 1.0
+        if not self._pacing_enabled:
+            return 0.0 if state.exhausted else 1.0
+        return state.pacing_multiplier(timestamp)
+
+    def charge(self, ad_id: int, price: float) -> bool:
+        """Debit one impression; returns True if the ad just exhausted.
+
+        The final impression may be charged at less than ``price`` (the
+        remaining balance) — advertisers are never billed past their cap.
+        Exhausted ads are retired from the corpus, which cascades to every
+        subscribed index.
+        """
+        if price < 0.0:
+            raise BudgetError(f"price cannot be negative: {price}")
+        state = self._states.get(ad_id)
+        if state is None:
+            return False
+        if state.exhausted:
+            raise BudgetError(f"ad {ad_id} is already exhausted")
+        state.spent += min(price, state.remaining)
+        if state.exhausted:
+            self._corpus.retire(ad_id)
+            return True
+        return False
+
+    def total_spend(self) -> float:
+        return sum(state.spent for state in self._states.values())
+
+    def exhausted_ids(self) -> list[int]:
+        return sorted(
+            ad_id for ad_id, state in self._states.items() if state.exhausted
+        )

@@ -1,0 +1,192 @@
+"""Advertiser-facing campaign management.
+
+An advertiser thinks in *campaigns* — a flight window, a total budget and
+several creatives — not in the engine's per-ad terms. The
+:class:`CampaignManager` maps between the two worlds:
+
+* ``register`` validates a :class:`CampaignSpec` and allocates ad ids for
+  its creatives (budget split evenly across them);
+* ``process_until(t)`` is called as simulated time advances: campaigns
+  whose flight has opened are launched into the engine, campaigns whose
+  flight has closed are ended (creatives retired);
+* ``status`` aggregates per-creative spend and delivery state back to the
+  campaign level for reporting.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+
+from repro.ads.ad import Ad
+from repro.ads.targeting import TargetingSpec
+from repro.core.engine import AdEngine
+from repro.errors import ConfigError
+from repro.text.tokenizer import Tokenizer
+
+
+@dataclass(frozen=True)
+class CampaignSpec:
+    """What an advertiser submits."""
+
+    campaign_id: str
+    advertiser: str
+    creatives: tuple[str, ...]  # creative texts
+    bid: float
+    total_budget: float | None
+    flight_start: float
+    flight_end: float
+    targeting: TargetingSpec = field(default_factory=TargetingSpec)
+
+    def __post_init__(self) -> None:
+        if not self.campaign_id:
+            raise ConfigError("campaign_id cannot be empty")
+        if not self.creatives:
+            raise ConfigError("a campaign needs at least one creative")
+        if self.bid <= 0.0:
+            raise ConfigError(f"bid must be positive, got {self.bid}")
+        if self.total_budget is not None and self.total_budget <= 0.0:
+            raise ConfigError(
+                f"total_budget must be positive or None, got {self.total_budget}"
+            )
+        if self.flight_end <= self.flight_start:
+            raise ConfigError("flight_end must be after flight_start")
+
+
+class CampaignPhase(enum.Enum):
+    SCHEDULED = "scheduled"
+    LIVE = "live"
+    ENDED = "ended"
+
+
+@dataclass(frozen=True, slots=True)
+class CampaignStatus:
+    """Aggregated campaign state for advertiser reporting."""
+
+    campaign_id: str
+    phase: CampaignPhase
+    creative_ad_ids: tuple[int, ...]
+    active_creatives: int
+    spent: float
+    remaining: float | None
+
+
+@dataclass
+class _Tracked:
+    spec: CampaignSpec
+    ads: list[Ad]
+    phase: CampaignPhase = CampaignPhase.SCHEDULED
+
+
+class CampaignManager:
+    """Flight scheduling and reporting over one engine."""
+
+    def __init__(self, engine: AdEngine, *, tokenizer: Tokenizer | None = None) -> None:
+        self._engine = engine
+        self._tokenizer = tokenizer or engine.tokenizer
+        self._campaigns: dict[str, _Tracked] = {}
+        existing = [ad.ad_id for ad in engine.corpus.all_ads()]
+        self._next_ad_id = max(existing, default=-1) + 1
+
+    def __len__(self) -> int:
+        return len(self._campaigns)
+
+    # -- registration --------------------------------------------------------
+
+    def register(self, spec: CampaignSpec) -> list[int]:
+        """Validate, build per-creative ads, return the allocated ad ids.
+
+        Nothing enters the engine until the flight opens (``process_until``).
+        """
+        if spec.campaign_id in self._campaigns:
+            raise ConfigError(f"duplicate campaign id: {spec.campaign_id!r}")
+        per_creative_budget = (
+            spec.total_budget / len(spec.creatives)
+            if spec.total_budget is not None
+            else None
+        )
+        ads: list[Ad] = []
+        for text in spec.creatives:
+            terms = self._engine.vectorize(text)
+            if not terms:
+                raise ConfigError(f"creative tokenises to nothing: {text!r}")
+            ads.append(
+                Ad(
+                    ad_id=self._next_ad_id,
+                    advertiser=spec.advertiser,
+                    text=text,
+                    terms=terms,
+                    bid=spec.bid,
+                    budget=per_creative_budget,
+                    targeting=spec.targeting,
+                )
+            )
+            self._next_ad_id += 1
+        self._campaigns[spec.campaign_id] = _Tracked(spec=spec, ads=ads)
+        return [ad.ad_id for ad in ads]
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def process_until(self, timestamp: float) -> list[str]:
+        """Open/close flights up to ``timestamp``; returns affected ids.
+
+        Call this before each batch of posts (the stream drivers do); it is
+        idempotent for a given time.
+        """
+        affected: list[str] = []
+        for campaign_id, tracked in self._campaigns.items():
+            spec = tracked.spec
+            if (
+                tracked.phase is CampaignPhase.SCHEDULED
+                and timestamp >= spec.flight_start
+            ):
+                launch_time = max(spec.flight_start, 0.0)
+                for ad in tracked.ads:
+                    self._engine.launch_campaign(ad, launch_time)
+                tracked.phase = CampaignPhase.LIVE
+                affected.append(campaign_id)
+            if tracked.phase is CampaignPhase.LIVE and timestamp >= spec.flight_end:
+                for ad in tracked.ads:
+                    self._engine.end_campaign(ad.ad_id, spec.flight_end)
+                tracked.phase = CampaignPhase.ENDED
+                affected.append(campaign_id)
+        return affected
+
+    # -- reporting ----------------------------------------------------------------
+
+    def status(self, campaign_id: str) -> CampaignStatus:
+        tracked = self._campaigns.get(campaign_id)
+        if tracked is None:
+            raise ConfigError(f"unknown campaign: {campaign_id!r}")
+        spent = 0.0
+        active = 0
+        for ad in tracked.ads:
+            state = self._engine.budget.state(ad.ad_id)
+            if state is not None:
+                spent += state.spent
+            if (
+                tracked.phase is CampaignPhase.LIVE
+                and ad.ad_id in self._engine.corpus
+                and self._engine.corpus.is_active(ad.ad_id)
+            ):
+                active += 1
+        remaining = (
+            None
+            if tracked.spec.total_budget is None
+            else max(0.0, tracked.spec.total_budget - spent)
+        )
+        return CampaignStatus(
+            campaign_id=campaign_id,
+            phase=tracked.phase,
+            creative_ad_ids=tuple(ad.ad_id for ad in tracked.ads),
+            active_creatives=active,
+            spent=spent,
+            remaining=remaining,
+        )
+
+    def live_campaigns(self) -> list[str]:
+        return sorted(
+            campaign_id
+            for campaign_id, tracked in self._campaigns.items()
+            if tracked.phase is CampaignPhase.LIVE
+        )

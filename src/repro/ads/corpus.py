@@ -1,0 +1,129 @@
+"""The ad corpus: ownership of all ads and their active/retired state.
+
+Downstream structures (inverted index, spatial filter, budget manager)
+subscribe to corpus mutations through listener callbacks so they never go
+stale — retiring an exhausted ad atomically removes it everywhere.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Iterator
+
+from repro.ads.ad import Ad
+from repro.errors import CorpusError, UnknownAdError
+
+AdListener = Callable[[Ad], None]
+
+
+class AdCorpus:
+    """Mutable collection of ads keyed by ad id."""
+
+    def __init__(self, ads: Iterable[Ad] = ()) -> None:
+        self._ads: dict[int, Ad] = {}
+        self._retired: set[int] = set()
+        self._max_bid = 0.0
+        self._add_epoch = 0
+        self._on_add: list[AdListener] = []
+        self._on_retire: list[AdListener] = []
+        for ad in ads:
+            self.add(ad)
+
+    @property
+    def add_epoch(self) -> int:
+        """Bumped whenever an ad is *added*. Caches of "top ads by X" stay
+        valid across retirements (scores only leave) but not across adds."""
+        return self._add_epoch
+
+    # -- listeners -------------------------------------------------------
+
+    def subscribe(
+        self,
+        *,
+        on_add: AdListener | None = None,
+        on_retire: AdListener | None = None,
+    ) -> None:
+        """Register callbacks fired after an ad is added / retired."""
+        if on_add is not None:
+            self._on_add.append(on_add)
+        if on_retire is not None:
+            self._on_retire.append(on_retire)
+
+    # -- membership --------------------------------------------------------
+
+    def add(self, ad: Ad) -> None:
+        """Insert a new active ad; duplicate ids are an error."""
+        if ad.ad_id in self._ads:
+            raise CorpusError(f"duplicate ad id: {ad.ad_id}")
+        self._ads[ad.ad_id] = ad
+        self._max_bid = max(self._max_bid, ad.bid)
+        self._add_epoch += 1
+        for listener in self._on_add:
+            listener(ad)
+
+    def get(self, ad_id: int) -> Ad:
+        ad = self._ads.get(ad_id)
+        if ad is None:
+            raise UnknownAdError(ad_id)
+        return ad
+
+    def __contains__(self, ad_id: int) -> bool:
+        return ad_id in self._ads
+
+    def __len__(self) -> int:
+        """Total number of ads ever added (active + retired)."""
+        return len(self._ads)
+
+    @property
+    def num_active(self) -> int:
+        return len(self._ads) - len(self._retired)
+
+    def is_active(self, ad_id: int) -> bool:
+        if ad_id not in self._ads:
+            raise UnknownAdError(ad_id)
+        return ad_id not in self._retired
+
+    def retire(self, ad_id: int) -> None:
+        """Deactivate an ad (budget exhausted or campaign ended).
+
+        Retiring is idempotent-unsafe on purpose: retiring twice indicates a
+        bookkeeping bug upstream, so it raises.
+        """
+        ad = self.get(ad_id)
+        if ad_id in self._retired:
+            raise CorpusError(f"ad {ad_id} already retired")
+        self._retired.add(ad_id)
+        for listener in self._on_retire:
+            listener(ad)
+
+    # -- iteration -----------------------------------------------------------
+
+    def active_ads(self) -> Iterator[Ad]:
+        """All active ads, ascending id (deterministic)."""
+        for ad_id in sorted(self._ads):
+            if ad_id not in self._retired:
+                yield self._ads[ad_id]
+
+    def all_ads(self) -> Iterator[Ad]:
+        for ad_id in sorted(self._ads):
+            yield self._ads[ad_id]
+
+    def active_ids(self) -> list[int]:
+        return [ad.ad_id for ad in self.active_ads()]
+
+    # -- aggregates ----------------------------------------------------------
+
+    @property
+    def max_bid(self) -> float:
+        """Largest bid ever added; used to normalise the bid score term.
+
+        Kept monotone on purpose: normalising by a high-water mark keeps
+        scores stable when the top bidder's budget runs out mid-stream.
+        """
+        return self._max_bid
+
+    def normalized_bid(self, ad_id: int) -> float:
+        """bid / max_bid in (0, 1]; 0.0 when the corpus is empty."""
+        ad = self.get(ad_id)
+        if self._max_bid <= 0.0:
+            return 0.0
+        return ad.bid / self._max_bid

@@ -1,0 +1,105 @@
+"""Ad targeting predicates: where and when an ad may be shown.
+
+A :class:`TargetingSpec` is a conjunction of an optional geographic
+constraint (a set of circles; the user must be inside at least one) and an
+optional time-of-day constraint (a set of windows; the delivery time must
+fall inside at least one). An empty spec matches everything — untargeted
+ads are the common case.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.geo.point import GeoPoint
+
+SECONDS_PER_DAY = 86_400.0
+
+
+@dataclass(frozen=True, slots=True)
+class TimeWindow:
+    """A daily [start_hour, end_hour) window; may wrap past midnight."""
+
+    start_hour: float
+    end_hour: float
+
+    def __post_init__(self) -> None:
+        for value, name in ((self.start_hour, "start_hour"), (self.end_hour, "end_hour")):
+            if not 0.0 <= value < 24.0:
+                raise ConfigError(f"{name} must be in [0, 24), got {value}")
+        if self.start_hour == self.end_hour:
+            raise ConfigError("empty time window (start == end)")
+
+    def contains(self, timestamp: float) -> bool:
+        """Whether the timestamp's hour-of-day falls inside the window."""
+        hour = (timestamp % SECONDS_PER_DAY) / 3600.0
+        if self.start_hour < self.end_hour:
+            return self.start_hour <= hour < self.end_hour
+        # Wrapping window, e.g. 22:00 – 06:00.
+        return hour >= self.start_hour or hour < self.end_hour
+
+
+@dataclass(frozen=True)
+class TargetingSpec:
+    """Conjunction of geo circles (disjunction inside) and time windows."""
+
+    circles: tuple[tuple[GeoPoint, float], ...] = ()
+    time_windows: tuple[TimeWindow, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        for _, radius_km in self.circles:
+            if radius_km <= 0.0:
+                raise ConfigError(f"targeting radius must be positive, got {radius_km}")
+
+    @property
+    def is_geo_targeted(self) -> bool:
+        return bool(self.circles)
+
+    @property
+    def is_time_targeted(self) -> bool:
+        return bool(self.time_windows)
+
+    @property
+    def is_untargeted(self) -> bool:
+        return not self.circles and not self.time_windows
+
+    def max_radius_km(self) -> float:
+        """Largest circle radius; 0.0 when not geo targeted."""
+        return max((radius for _, radius in self.circles), default=0.0)
+
+    def matches_location(self, location: GeoPoint | None) -> bool:
+        """Geo predicate. A user with unknown location only matches
+        untargeted ads — the conservative choice for paid delivery."""
+        if not self.circles:
+            return True
+        if location is None:
+            return False
+        return any(
+            center.distance_km(location) <= radius
+            for center, radius in self.circles
+        )
+
+    def matches_time(self, timestamp: float) -> bool:
+        if not self.time_windows:
+            return True
+        return any(window.contains(timestamp) for window in self.time_windows)
+
+    def matches(self, location: GeoPoint | None, timestamp: float) -> bool:
+        """Full predicate: both constraints must pass."""
+        return self.matches_location(location) and self.matches_time(timestamp)
+
+    def proximity(self, location: GeoPoint | None) -> float:
+        """Soft geo score in [0, 1]: 1 at a circle centre, linear to 0 at its
+        edge, best circle wins. Untargeted ads score a neutral 1.0 so they
+        are not penalised against targeted ones."""
+        if not self.circles:
+            return 1.0
+        if location is None:
+            return 0.0
+        best = 0.0
+        for center, radius in self.circles:
+            distance = center.distance_km(location)
+            if distance <= radius:
+                best = max(best, 1.0 - distance / radius)
+        return best

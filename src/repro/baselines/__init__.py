@@ -1,0 +1,27 @@
+"""Comparison recommenders for the effectiveness and efficiency studies.
+
+Every baseline implements the same :class:`~repro.baselines.base.SlateRecommender`
+interface the evaluation harness drives, so all methods see identical event
+sequences and are judged against identical ground truth.
+"""
+
+from repro.baselines.base import BaselineState, SlateRecommender
+from repro.baselines.content_only import ContentOnlyRecommender
+from repro.baselines.engine_adapter import SystemRecommender
+from repro.baselines.fullscan import FullScanRecommender
+from repro.baselines.lda_rec import LdaRecommender
+from repro.baselines.popularity import PopularityRecommender
+from repro.baselines.profile_only import ProfileOnlyRecommender
+from repro.baselines.random_rec import RandomRecommender
+
+__all__ = [
+    "BaselineState",
+    "ContentOnlyRecommender",
+    "FullScanRecommender",
+    "LdaRecommender",
+    "PopularityRecommender",
+    "ProfileOnlyRecommender",
+    "RandomRecommender",
+    "SlateRecommender",
+    "SystemRecommender",
+]

@@ -1,0 +1,40 @@
+"""Content-only baseline: rank by message affinity alone.
+
+What a non-personalised contextual matcher does — no profile, no geo
+preference, no bid. Targeting predicates still apply (serving an ad
+outside its targeted region is a policy violation, not a ranking choice).
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineState, SlateRecommender
+from repro.util.heap import BoundedTopK
+from repro.util.sparse import SparseVector, dot
+
+
+class ContentOnlyRecommender(SlateRecommender):
+    """alpha-only ranking."""
+
+    name = "content-only"
+
+    def __init__(self, state: BaselineState) -> None:
+        self._state = state
+
+    def slate(
+        self,
+        user_id: int,
+        msg_id: int,
+        message_vec: SparseVector,
+        timestamp: float,
+        k: int,
+    ) -> list[int]:
+        state = self._state
+        heap = BoundedTopK(k)
+        for ad in state.corpus.active_ads():
+            content = dot(message_vec, ad.terms)
+            if content <= 0.0:
+                continue
+            if not state.eligible(ad.ad_id, user_id, timestamp):
+                continue
+            heap.push(content, ad.ad_id)
+        return [entry.item for entry in heap.results()]

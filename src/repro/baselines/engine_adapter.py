@@ -1,0 +1,67 @@
+"""Adapter exposing the engine's shared-candidate pipeline through the
+baseline interface, so the *system* sits in the same effectiveness tables
+as its baselines and is driven by the same harness."""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineState, SlateRecommender
+from repro.core.candidates import CandidateSet, SharedCandidateGenerator
+from repro.core.config import EngineConfig
+from repro.core.rerank import Personalizer
+from repro.core.scoring import ScoringModel
+from repro.index.inverted import AdInvertedIndex
+from repro.util.sparse import SparseVector
+
+
+class SystemRecommender(SlateRecommender):
+    """The context-aware system (shared candidates + personalisation)."""
+
+    name = "system"
+
+    def __init__(self, state: BaselineState, config: EngineConfig | None = None) -> None:
+        self._state = state
+        self._config = config or EngineConfig(weights=state.weights)
+        self._index = AdInvertedIndex.from_corpus(state.corpus, subscribe=True)
+        self._scoring = ScoringModel(state.corpus, self._config.weights)
+        self._candidate_gen = SharedCandidateGenerator(
+            self._index, self._config.overfetch
+        )
+        self._personalizer = Personalizer(
+            self._scoring, self._index, config=self._config
+        )
+        self._cached_msg: int | None = None
+        self._cached_candidates: CandidateSet | None = None
+
+    def _candidates_for(self, msg_id: int, message_vec: SparseVector) -> CandidateSet:
+        """One shared probe per message, reused across its deliveries."""
+        if self._cached_msg != msg_id or self._cached_candidates is None:
+            self._cached_candidates = self._candidate_gen.generate(message_vec)
+            self._cached_msg = msg_id
+        return self._cached_candidates
+
+    def slate(
+        self,
+        user_id: int,
+        msg_id: int,
+        message_vec: SparseVector,
+        timestamp: float,
+        k: int,
+    ) -> list[int]:
+        state = self._state
+        profile = state.profiles.get_or_create(user_id)
+        result = self._personalizer.slate_for(
+            self._candidates_for(msg_id, message_vec),
+            message_vec,
+            user_id,
+            profile.vector(),
+            profile.epoch,
+            state.location_of(user_id),
+            timestamp,
+            k,
+        )
+        return [scored.ad_id for scored in result.slate]
+
+    def observe_post(
+        self, author_id: int, message_vec: SparseVector, timestamp: float
+    ) -> None:
+        self._state.profiles.get_or_create(author_id).update(message_vec, timestamp)

@@ -1,0 +1,40 @@
+"""Popularity baseline: highest-bid eligible ads, no relevance at all.
+
+The "what the auction alone would do" floor: the platform serves whoever
+pays the most, subject only to targeting predicates.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.base import BaselineState, SlateRecommender
+from repro.util.sparse import SparseVector
+
+
+class PopularityRecommender(SlateRecommender):
+    """Bid-descending ranking."""
+
+    name = "popularity"
+
+    def __init__(self, state: BaselineState) -> None:
+        self._state = state
+        self._ranked = sorted(
+            (ad.ad_id for ad in state.corpus.all_ads()),
+            key=lambda ad_id: (-state.corpus.get(ad_id).bid, ad_id),
+        )
+
+    def slate(
+        self,
+        user_id: int,
+        msg_id: int,
+        message_vec: SparseVector,
+        timestamp: float,
+        k: int,
+    ) -> list[int]:
+        state = self._state
+        slate: list[int] = []
+        for ad_id in self._ranked:
+            if state.eligible(ad_id, user_id, timestamp):
+                slate.append(ad_id)
+                if len(slate) == k:
+                    break
+        return slate

@@ -1,0 +1,37 @@
+"""Random baseline: uniform eligible ads — the chance floor for every
+effectiveness metric."""
+
+from __future__ import annotations
+
+import random
+
+from repro.baselines.base import BaselineState, SlateRecommender
+from repro.util.sparse import SparseVector
+
+
+class RandomRecommender(SlateRecommender):
+    """Seeded uniform sampling over eligible ads."""
+
+    name = "random"
+
+    def __init__(self, state: BaselineState, *, seed: int = 0) -> None:
+        self._state = state
+        self._rng = random.Random(seed)
+
+    def slate(
+        self,
+        user_id: int,
+        msg_id: int,
+        message_vec: SparseVector,
+        timestamp: float,
+        k: int,
+    ) -> list[int]:
+        state = self._state
+        eligible = [
+            ad.ad_id
+            for ad in state.corpus.active_ads()
+            if state.eligible(ad.ad_id, user_id, timestamp)
+        ]
+        if len(eligible) <= k:
+            return eligible
+        return self._rng.sample(eligible, k)

@@ -1,0 +1,209 @@
+"""Command-line interface.
+
+Four subcommands cover the library's workflows end-to-end::
+
+    python -m repro generate --users 300 --ads 2000 --posts 300 --out wl/
+    python -m repro stats --workload wl/
+    python -m repro replay --workload wl/ --mode shared --limit 200
+    python -m repro effectiveness --workload wl/ --max-posts 100
+
+``replay`` and ``effectiveness`` also accept generation flags directly
+(omit ``--workload``) for one-shot runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.core.config import EngineConfig, EngineMode
+from repro.datagen.workload import Workload, WorkloadConfig, generate_workload
+from repro.errors import ReproError
+from repro.eval.perf import run_perf
+from repro.eval.report import ascii_table
+from repro.io.serialize import load_workload, save_workload
+
+
+def _add_generation_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--users", type=int, default=300)
+    parser.add_argument("--ads", type=int, default=2000)
+    parser.add_argument("--posts", type=int, default=300)
+    parser.add_argument("--topics", type=int, default=20)
+    parser.add_argument("--vocab", type=int, default=5000)
+    parser.add_argument("--seed", type=int, default=7)
+
+
+def _workload_from_args(args: argparse.Namespace) -> Workload:
+    if getattr(args, "workload", None):
+        return load_workload(args.workload)
+    return generate_workload(
+        WorkloadConfig(
+            num_users=args.users,
+            num_ads=args.ads,
+            num_posts=args.posts,
+            num_topics=args.topics,
+            vocab_size=args.vocab,
+            seed=args.seed,
+        )
+    )
+
+
+def _cmd_generate(args: argparse.Namespace) -> int:
+    workload = _workload_from_args(args)
+    save_workload(args.out, workload)
+    print(f"saved workload to {args.out}")
+    print(ascii_table(
+        ["statistic", "value"],
+        [[key, value] for key, value in workload.stats().items()],
+    ))
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    workload = load_workload(args.workload)
+    print(ascii_table(
+        ["statistic", "value"],
+        [[key, value] for key, value in workload.stats().items()],
+        title=f"Workload statistics: {args.workload}",
+    ))
+    return 0
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    workload = _workload_from_args(args)
+    config = EngineConfig(
+        mode=EngineMode(args.mode),
+        k=args.k,
+        exact_fallback=not args.approximate,
+        collect_deliveries=False,
+        charge_impressions=not args.no_charging,
+    )
+    result = run_perf(
+        workload, config, label=args.mode, limit_posts=args.limit
+    )
+    print(ascii_table(
+        ["metric", "value"],
+        [
+            ["mode", args.mode],
+            ["posts", result.posts],
+            ["deliveries", result.deliveries],
+            ["deliveries/s", round(result.deliveries_per_s, 1)],
+            ["post p50 (ms)", round(result.post_latency_p50_ms, 3)],
+            ["post p99 (ms)", round(result.post_latency_p99_ms, 3)],
+            ["fallback rate", round(result.fallback_rate, 4)],
+            ["impressions", result.impressions],
+        ],
+        title="Replay summary",
+    ))
+    return 0
+
+
+def _cmd_effectiveness(args: argparse.Namespace) -> int:
+    from repro.baselines.base import BaselineState
+    from repro.baselines.content_only import ContentOnlyRecommender
+    from repro.baselines.engine_adapter import SystemRecommender
+    from repro.baselines.popularity import PopularityRecommender
+    from repro.baselines.profile_only import ProfileOnlyRecommender
+    from repro.baselines.random_rec import RandomRecommender
+    from repro.eval.harness import EffectivenessHarness
+
+    workload = _workload_from_args(args)
+
+    def state() -> BaselineState:
+        return BaselineState(
+            workload.build_corpus(),
+            {user.user_id: user.home for user in workload.users},
+        )
+
+    recommenders = {
+        "system": SystemRecommender(state()),
+        "content-only": ContentOnlyRecommender(state()),
+        "profile-only": ProfileOnlyRecommender(state()),
+        "popularity": PopularityRecommender(state()),
+        "random": RandomRecommender(state()),
+    }
+    if args.with_lda:
+        from repro.baselines.lda_rec import LdaRecommender
+
+        recommenders["lda"] = LdaRecommender.fit_on_posts(
+            state(),
+            [post.text for post in workload.posts],
+            num_topics=workload.config.num_topics,
+            iterations=args.lda_iterations,
+        )
+    harness = EffectivenessHarness(
+        workload, k=args.k, max_posts=args.max_posts, fanout_cap=args.fanout_cap
+    )
+    results = harness.evaluate(recommenders)
+    print(ascii_table(
+        ["method", "P@k", "R@k", "F1", "NDCG", "MAP", "samples"],
+        [result.row() for result in results],
+        title=f"Effectiveness (k={args.k})",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Context-aware advertisement recommendation for "
+        "high-speed social news feeding (ICDE'16 reproduction)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    generate = commands.add_parser("generate", help="generate and save a workload")
+    _add_generation_flags(generate)
+    generate.add_argument("--out", required=True, help="output directory")
+    generate.set_defaults(handler=_cmd_generate)
+
+    stats = commands.add_parser("stats", help="describe a saved workload")
+    stats.add_argument("--workload", required=True)
+    stats.set_defaults(handler=_cmd_stats)
+
+    replay = commands.add_parser("replay", help="replay a post stream, measure")
+    _add_generation_flags(replay)
+    replay.add_argument("--workload", help="saved workload directory")
+    replay.add_argument(
+        "--mode",
+        choices=[mode.value for mode in EngineMode],
+        default="shared",
+    )
+    replay.add_argument("--k", type=int, default=10)
+    replay.add_argument("--limit", type=int, default=None)
+    replay.add_argument(
+        "--approximate",
+        action="store_true",
+        help="disable the exact fallback (production mode)",
+    )
+    replay.add_argument("--no-charging", action="store_true")
+    replay.set_defaults(handler=_cmd_replay)
+
+    effectiveness = commands.add_parser(
+        "effectiveness", help="score the system and baselines vs ground truth"
+    )
+    _add_generation_flags(effectiveness)
+    effectiveness.add_argument("--workload")
+    effectiveness.add_argument("--k", type=int, default=10)
+    effectiveness.add_argument("--max-posts", type=int, default=150)
+    effectiveness.add_argument("--fanout-cap", type=int, default=3)
+    effectiveness.add_argument("--with-lda", action="store_true")
+    effectiveness.add_argument("--lda-iterations", type=int, default=30)
+    effectiveness.set_defaults(handler=_cmd_effectiveness)
+
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    try:
+        return args.handler(args)
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

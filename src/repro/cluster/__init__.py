@@ -1,0 +1,5 @@
+"""Scale-out simulation: user-sharded engines behind a router."""
+
+from repro.cluster.sharded import ShardedEngine, ShardStats, hash_shard
+
+__all__ = ["ShardedEngine", "ShardStats", "hash_shard"]

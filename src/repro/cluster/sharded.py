@@ -1,0 +1,162 @@
+"""Single-process simulation of a user-sharded deployment.
+
+The scale-out architecture for feed ad matching partitions *users* across
+engine shards (each shard holds the full ad corpus — it is small relative
+to user state — plus the profiles/contexts of its own users). A post is
+routed to every shard owning at least one follower; each shard runs its
+own shared candidate probe and personalises only its residents.
+
+Running the shards in one process cannot show wall-clock speedup, but it
+measures exactly what determines real scalability:
+
+* **load balance** — deliveries per shard (skew wastes capacity);
+* **fan-out amplification** — how many shards each post touches (each
+  touched shard repeats the per-message probe, the scale-out tax on
+  computation sharing).
+
+Both are reported by :meth:`ShardedEngine.stats_by_shard` and exercised by
+experiment F15.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import EngineConfig
+from repro.core.engine import AdEngine, PostResult
+from repro.datagen.workload import Workload
+from repro.errors import ConfigError
+from repro.geo.point import GeoPoint
+
+
+def hash_shard(user_id: int, num_shards: int) -> int:
+    """Deterministic user → shard assignment (multiplicative hashing, so
+    consecutive ids spread instead of clustering)."""
+    return (user_id * 2654435761) % (2**32) % num_shards
+
+
+@dataclass(frozen=True, slots=True)
+class ShardStats:
+    """Per-shard load summary."""
+
+    shard: int
+    users: int
+    deliveries: int
+    probes: int
+
+
+class ShardedEngine:
+    """A router over ``num_shards`` independent :class:`AdEngine` replicas."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        num_shards: int,
+        *,
+        config: EngineConfig | None = None,
+    ) -> None:
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        self.num_shards = num_shards
+        self._workload = workload
+        self._shard_of: dict[int, int] = {}
+        config = config or EngineConfig()
+
+        for user in workload.users:
+            self._shard_of[user.user_id] = hash_shard(user.user_id, num_shards)
+
+        # Each shard sees a *filtered* graph: every user exists everywhere
+        # (any author may post through any shard), but a follow edge lives
+        # only on the follower's home shard — so a shard fans out strictly
+        # to its own residents.
+        from repro.graph.social import SocialGraph
+
+        shard_graphs = [SocialGraph() for _ in range(num_shards)]
+        for graph in shard_graphs:
+            for user in workload.users:
+                graph.add_user(user.user_id)
+        for user in workload.users:
+            home_shard = self._shard_of[user.user_id]
+            for followee in workload.graph.followees(user.user_id):
+                shard_graphs[home_shard].follow(user.user_id, followee)
+
+        self._shards: list[AdEngine] = []
+        for shard in range(num_shards):
+            engine = AdEngine(
+                corpus=workload.build_corpus(),
+                graph=shard_graphs[shard],
+                vectorizer=workload.vectorizer,
+                tokenizer=workload.tokenizer,
+                config=config,
+            )
+            # Every shard knows every user's location (cheap broadcast
+            # state); only the owning shard accumulates feed contexts.
+            for user in workload.users:
+                engine.register_user(user.user_id, user.home)
+            self._shards.append(engine)
+        self._posts_routed = 0
+        self._shard_touches = 0
+
+    def shard_of(self, user_id: int) -> int:
+        shard = self._shard_of.get(user_id)
+        if shard is None:
+            shard = hash_shard(user_id, self.num_shards)
+            self._shard_of[user_id] = shard
+        return shard
+
+    # -- the routed operations ---------------------------------------------
+
+    def post(self, author_id: int, text: str, timestamp: float) -> list[PostResult]:
+        """Route one post to every shard owning a follower.
+
+        The author's own profile lives on their shard, which is contacted
+        even with no followers there (profiles must stay current).
+        """
+        followers = self._workload.graph.followers(author_id)
+        touched: set[int] = {self.shard_of(author_id)}
+        touched.update(self.shard_of(follower) for follower in followers)
+        self._posts_routed += 1
+        self._shard_touches += len(touched)
+        results = []
+        for shard in sorted(touched):
+            results.append(
+                self._shards[shard].post(
+                    author_id, text, timestamp, msg_id=None
+                )
+            )
+        return results
+
+    def checkin(self, user_id: int, point: GeoPoint, timestamp: float) -> None:
+        for engine in self._shards:  # broadcast: location is shared state
+            engine.checkin(user_id, point, timestamp)
+
+    # -- reporting --------------------------------------------------------------
+
+    def amplification(self) -> float:
+        """Mean number of shards touched per post (1.0 = free scale-out)."""
+        if self._posts_routed == 0:
+            return 0.0
+        return self._shard_touches / self._posts_routed
+
+    def stats_by_shard(self) -> list[ShardStats]:
+        owners: dict[int, int] = {}
+        for user_id, shard in self._shard_of.items():
+            owners[shard] = owners.get(shard, 0) + 1
+        return [
+            ShardStats(
+                shard=shard,
+                users=owners.get(shard, 0),
+                deliveries=engine.stats.deliveries,
+                probes=engine.candidate_gen.probes,
+            )
+            for shard, engine in enumerate(self._shards)
+        ]
+
+    def load_imbalance(self) -> float:
+        """max/mean delivery load across shards (1.0 = perfectly balanced)."""
+        deliveries = [engine.stats.deliveries for engine in self._shards]
+        total = sum(deliveries)
+        if total == 0:
+            return 1.0
+        mean = total / len(deliveries)
+        return max(deliveries) / mean

@@ -1,0 +1,36 @@
+"""The paper's contribution layer: context-aware ad matching at feed speed.
+
+* :mod:`repro.core.scoring` — the ranking function and its upper bounds;
+* :mod:`repro.core.candidates` — per-message shared candidate generation;
+* :mod:`repro.core.rerank` — per-delivery personalisation with a
+  certify-or-fallback exactness guarantee;
+* :mod:`repro.core.incremental` — standing per-user top-k maintained
+  incrementally as the feed window slides;
+* :mod:`repro.core.engine` — the full pipeline;
+* :mod:`repro.core.recommender` — the public facade.
+"""
+
+from repro.core.candidates import CandidateSet, SharedCandidateGenerator
+from repro.core.config import EngineConfig, EngineMode, ScoringWeights
+from repro.core.engine import AdEngine, DeliveryResult, EngineStats, PostResult
+from repro.core.incremental import IncrementalTopK
+from repro.core.recommender import ContextAwareRecommender
+from repro.core.rerank import Personalizer
+from repro.core.scoring import ScoredAd, ScoringModel
+
+__all__ = [
+    "AdEngine",
+    "CandidateSet",
+    "ContextAwareRecommender",
+    "DeliveryResult",
+    "EngineConfig",
+    "EngineMode",
+    "EngineStats",
+    "IncrementalTopK",
+    "Personalizer",
+    "PostResult",
+    "ScoredAd",
+    "ScoringModel",
+    "SharedCandidateGenerator",
+    "ScoringWeights",
+]

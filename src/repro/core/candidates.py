@@ -1,0 +1,66 @@
+"""Per-message shared candidate generation.
+
+A post that fans out to F followers needs F slates, but the content
+affinity between the message and any ad is identical across all of them.
+The generator therefore runs **one** content-only WAND probe per message,
+over-fetching ``overfetch >= k`` candidates, and every delivery reuses the
+result. The probe's cut-off score (the weakest fetched candidate) is what
+lets each delivery *certify* that its personalised top-k could not contain
+any ad outside the shared set — see :mod:`repro.core.rerank`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.index.factory import make_searcher
+from repro.index.inverted import AdInvertedIndex
+from repro.util.sparse import SparseVector
+
+
+@dataclass(frozen=True, slots=True)
+class CandidateSet:
+    """Result of one shared probe.
+
+    ``entries`` are (ad_id, content score) pairs, best first. ``cutoff`` is
+    an upper bound on the content score of every ad *not* in the set: the
+    score of the weakest fetched candidate when the probe filled up, and
+    0.0 when it did not (then every content-matching ad is present and
+    outsiders have zero content affinity by the relevance floor).
+    """
+
+    entries: tuple[tuple[int, float], ...]
+    cutoff: float
+    complete: bool
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def ad_ids(self) -> list[int]:
+        return [ad_id for ad_id, _ in self.entries]
+
+
+class SharedCandidateGenerator:
+    """Runs the shared content probe for each posted message."""
+
+    def __init__(
+        self, index: AdInvertedIndex, overfetch: int, *, searcher: str = "ta"
+    ) -> None:
+        if overfetch < 1:
+            raise ConfigError(f"overfetch must be >= 1, got {overfetch}")
+        self._searcher = make_searcher(searcher, index)
+        self.overfetch = overfetch
+        self.probes = 0
+
+    def generate(self, message_vec: SparseVector) -> CandidateSet:
+        """Content top-``overfetch`` for one message vector."""
+        self.probes += 1
+        results = self._searcher.search(message_vec, self.overfetch)
+        complete = len(results) < self.overfetch
+        cutoff = 0.0 if complete else results[-1].score
+        return CandidateSet(
+            entries=tuple((entry.item, entry.score) for entry in results),
+            cutoff=cutoff,
+            complete=complete,
+        )

@@ -1,0 +1,423 @@
+"""The context-aware advertising engine: post → fan-out → slates → charging.
+
+``AdEngine`` wires every substrate together and exposes the stream-facing
+operations: :meth:`post` (a user publishes a message; every follower's feed
+receives it and gets an ad slate), :meth:`checkin` (location update) and
+:meth:`slate_for_message` (one-off exact query, used by examples and the
+effectiveness harness).
+
+Three modes (:class:`~repro.core.config.EngineMode`):
+
+* ``SHARED`` — one content probe per message, O(overfetch) personalisation
+  per delivery, certify-or-fallback exactness (the headline method);
+* ``INCREMENTAL`` — standing per-user top-k over the sliding feed window,
+  updated by the certify-or-refresh maintainer;
+* ``EXACT`` — one exact combined-query probe per delivery (the strong
+  baseline the paper-style evaluation compares against).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.ads.auction import run_gsp_auction
+from repro.ads.budget import BudgetManager
+from repro.ads.corpus import AdCorpus
+from repro.ads.ctr import CtrEstimator
+from repro.core.candidates import SharedCandidateGenerator
+from repro.core.config import EngineConfig, EngineMode
+from repro.core.incremental import IncrementalTopK
+from repro.core.rerank import Personalizer
+from repro.core.scoring import ScoredAd, ScoringModel
+from repro.errors import ConfigError, UnknownUserError
+from repro.geo.point import GeoPoint
+from repro.graph.social import SocialGraph
+from repro.index.inverted import AdInvertedIndex
+from repro.profiles.context import FeedContext
+from repro.profiles.profile import ProfileStore
+from repro.stream.clock import SimClock
+from repro.text.tokenizer import Tokenizer
+from repro.text.vectorizer import TfidfVectorizer
+from repro.util.sparse import MutableSparseVector
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryResult:
+    """One follower's slate for one delivered message."""
+
+    user_id: int
+    slate: tuple[ScoredAd, ...]
+    certified: bool
+    fell_back: bool
+
+
+@dataclass(frozen=True, slots=True)
+class PostResult:
+    """Everything that happened when one message was posted."""
+
+    msg_id: int
+    author_id: int
+    timestamp: float
+    num_deliveries: int
+    num_impressions: int
+    revenue: float
+    deliveries: tuple[DeliveryResult, ...]
+
+
+@dataclass
+class EngineStats:
+    """Cumulative engine counters (the F6/F7 instrumentation)."""
+
+    posts: int = 0
+    deliveries: int = 0
+    impressions: int = 0
+    revenue: float = 0.0
+    shared_probes: int = 0
+    certified_deliveries: int = 0
+    fallback_deliveries: int = 0
+    approximate_deliveries: int = 0
+    incremental_refreshes: int = 0
+    retired_ads: int = 0
+
+    def fallback_rate(self) -> float:
+        if self.deliveries == 0:
+            return 0.0
+        return self.fallback_deliveries / self.deliveries
+
+    def refresh_rate(self) -> float:
+        if self.deliveries == 0:
+            return 0.0
+        return self.incremental_refreshes / self.deliveries
+
+
+@dataclass
+class _UserState:
+    location: GeoPoint | None = None
+    context: FeedContext | None = None
+    incremental: IncrementalTopK | None = None
+    profile_vec_epoch: int = -1
+    profile_vec: MutableSparseVector = field(default_factory=dict)
+
+
+class AdEngine:
+    """The full context-aware ad recommendation pipeline."""
+
+    def __init__(
+        self,
+        corpus: AdCorpus,
+        graph: SocialGraph,
+        vectorizer: TfidfVectorizer,
+        *,
+        config: EngineConfig | None = None,
+        tokenizer: Tokenizer | None = None,
+        text_vectorizer=None,
+    ) -> None:
+        """``text_vectorizer`` (optional ``str -> sparse vector``) replaces
+        the default tokenize→TF-IDF pipeline — how the concept-enriched
+        :class:`~repro.text.hybrid.HybridVectorizer` plugs in."""
+        self.config = config or EngineConfig()
+        self.corpus = corpus
+        self.graph = graph
+        self.vectorizer = vectorizer
+        self.tokenizer = tokenizer or Tokenizer()
+        self._text_vectorizer = text_vectorizer
+        self.budget = BudgetManager(
+            corpus,
+            campaign_start=0.0,
+            campaign_end=self.config.campaign_duration_s,
+            pacing_enabled=self.config.pacing_enabled,
+        )
+        self.index = AdInvertedIndex.from_corpus(corpus, subscribe=True)
+        self.ctr = (
+            CtrEstimator(
+                prior_ctr=self.config.ctr_prior,
+                prior_strength=self.config.ctr_prior_strength,
+            )
+            if self.config.ctr_feedback
+            else None
+        )
+        self.scoring = ScoringModel(
+            corpus,
+            self.config.weights,
+            budget_manager=self.budget,
+            ctr_estimator=self.ctr,
+        )
+        self.profiles = ProfileStore(self.config.profile_half_life_s)
+        probe_depth = (
+            self.config.overfetch
+            if self.config.mode is EngineMode.SHARED
+            else self.config.shadow_size
+        )
+        self.candidate_gen = SharedCandidateGenerator(
+            self.index, probe_depth, searcher=self.config.searcher
+        )
+        self.personalizer = Personalizer(
+            self.scoring, self.index, config=self.config
+        )
+        self.stats = EngineStats()
+        self._users: dict[int, _UserState] = {}
+        self._clock = SimClock()
+        self._next_msg_id = 0
+        # Ads launched after construction (checkpoints must replay them,
+        # since a restore target is built from the base catalog only).
+        self._launched_ads: list = []
+        corpus.subscribe(on_retire=self._count_retirement)
+
+    def _count_retirement(self, _ad) -> None:
+        self.stats.retired_ads += 1
+
+    # -- user management ---------------------------------------------------
+
+    def register_user(self, user_id: int, location: GeoPoint | None = None) -> None:
+        """Make a user known to the engine (and the graph, if absent)."""
+        if not self.graph.has_user(user_id):
+            self.graph.add_user(user_id)
+        state = self._users.setdefault(user_id, _UserState())
+        if location is not None:
+            state.location = location
+
+    def _state(self, user_id: int) -> _UserState:
+        state = self._users.get(user_id)
+        if state is None:
+            if not self.graph.has_user(user_id):
+                raise UnknownUserError(user_id)
+            state = _UserState()
+            self._users[user_id] = state
+        return state
+
+    def checkin(self, user_id: int, point: GeoPoint, timestamp: float) -> None:
+        """Record a location update."""
+        self._clock.advance_to(max(self._clock.now, timestamp))
+        self._state(user_id).location = point
+
+    def location_of(self, user_id: int) -> GeoPoint | None:
+        return self._state(user_id).location
+
+    def _context_of(self, state: _UserState) -> FeedContext:
+        if state.context is None:
+            state.context = FeedContext(
+                window_size=self.config.window_size,
+                half_life_s=self.config.context_half_life_s,
+                max_age_s=self.config.context_max_age_s,
+            )
+        return state.context
+
+    def _incremental_of(self, user_id: int, state: _UserState) -> IncrementalTopK:
+        if state.incremental is None:
+            state.incremental = IncrementalTopK(
+                user_id=user_id,
+                context=self._context_of(state),
+                scoring=self.scoring,
+                index=self.index,
+                personalizer=self.personalizer,
+                k=self.config.k,
+                shadow_size=self.config.shadow_size,
+                exact_fallback=self.config.exact_fallback,
+                searcher=self.config.searcher,
+            )
+        return state.incremental
+
+    def _profile_vector(self, user_id: int, state: _UserState) -> MutableSparseVector:
+        """The user's normalised profile vector, cached by profile epoch."""
+        profile = self.profiles.get_or_create(user_id)
+        if state.profile_vec_epoch != profile.epoch:
+            state.profile_vec = profile.vector()
+            state.profile_vec_epoch = profile.epoch
+        return state.profile_vec
+
+    # -- text -----------------------------------------------------------------
+
+    def vectorize(self, text: str) -> MutableSparseVector:
+        """Text → unit sparse vector (custom pipeline when configured)."""
+        if self._text_vectorizer is not None:
+            return self._text_vectorizer(text)
+        return self.vectorizer.transform(self.tokenizer.tokenize(text))
+
+    # -- the stream-facing operations -------------------------------------------
+
+    def post(
+        self,
+        author_id: int,
+        text: str,
+        timestamp: float,
+        *,
+        msg_id: int | None = None,
+    ) -> PostResult:
+        """Publish a message: update the author's profile, fan out to every
+        follower, produce (and charge) an ad slate per delivery."""
+        self._clock.advance_to(max(self._clock.now, timestamp))
+        if msg_id is None:
+            msg_id = self._next_msg_id
+        self._next_msg_id = max(self._next_msg_id, msg_id + 1)
+        author_state = self._state(author_id)
+        message_vec = self.vectorize(text)
+        self.profiles.get_or_create(author_id).update(message_vec, timestamp)
+        author_state.profile_vec_epoch = -1  # invalidate cache
+
+        followers = sorted(self.graph.followers(author_id))
+        self.stats.posts += 1
+
+        mode = self.config.mode
+        if mode is EngineMode.EXACT:
+            candidates = None  # the per-delivery baseline never shares
+        else:
+            candidates = self.candidate_gen.generate(message_vec)
+            self.stats.shared_probes += 1
+
+        deliveries: list[DeliveryResult] = []
+        num_impressions = 0
+        revenue = 0.0
+        for follower in followers:
+            state = self._state(follower)
+            profile_vec = self._profile_vector(follower, state)
+            if mode is EngineMode.SHARED:
+                profile = self.profiles.get_or_create(follower)
+                result = self.personalizer.slate_for(
+                    candidates,
+                    message_vec,
+                    follower,
+                    profile_vec,
+                    profile.epoch,
+                    state.location,
+                    timestamp,
+                    self.config.k,
+                )
+                slate, certified, fell_back = (
+                    result.slate,
+                    result.certified,
+                    result.fell_back,
+                )
+            elif mode is EngineMode.INCREMENTAL:
+                maintainer = self._incremental_of(follower, state)
+                profile = self.profiles.get_or_create(follower)
+                before = maintainer.stats.refreshes
+                slate = maintainer.on_arrival(
+                    msg_id,
+                    timestamp,
+                    message_vec,
+                    candidates,
+                    profile_vec,
+                    profile.epoch,
+                    state.location,
+                )
+                refreshed = maintainer.stats.refreshes > before
+                self.stats.incremental_refreshes += 1 if refreshed else 0
+                certified, fell_back = not refreshed, refreshed
+            else:  # EngineMode.EXACT
+                slate = self.personalizer.exact_slate(
+                    message_vec,
+                    profile_vec,
+                    state.location,
+                    timestamp,
+                    self.config.k,
+                )
+                certified, fell_back = True, True
+
+            self.stats.deliveries += 1
+            if certified and not fell_back:
+                self.stats.certified_deliveries += 1
+            if fell_back:
+                self.stats.fallback_deliveries += 1
+            if not certified and not fell_back:
+                self.stats.approximate_deliveries += 1
+
+            revenue += self._charge(slate, timestamp)
+            num_impressions += len(slate)
+            if self.ctr is not None:
+                for scored in slate:
+                    self.ctr.record_impression(scored.ad_id)
+            if self.config.collect_deliveries:
+                deliveries.append(
+                    DeliveryResult(
+                        user_id=follower,
+                        slate=slate,
+                        certified=certified,
+                        fell_back=fell_back,
+                    )
+                )
+
+        self.stats.impressions += num_impressions
+        self.stats.revenue += revenue
+        return PostResult(
+            msg_id=msg_id,
+            author_id=author_id,
+            timestamp=timestamp,
+            num_deliveries=len(followers),
+            num_impressions=num_impressions,
+            revenue=revenue,
+            deliveries=tuple(deliveries),
+        )
+
+    def _charge(self, slate: tuple[ScoredAd, ...], timestamp: float) -> float:
+        """GSP-price and debit one slate; returns the revenue collected."""
+        if not self.config.charge_impressions or not slate:
+            return 0.0
+        live = [
+            scored.ad_id
+            for scored in slate
+            if self.corpus.is_active(scored.ad_id)
+        ]
+        if not live:
+            return 0.0
+        outcome = run_gsp_auction(
+            self.corpus, live, reserve_price=self.config.reserve_price
+        )
+        for ad_id, price in zip(outcome.ad_ids, outcome.prices):
+            self.budget.charge(ad_id, price)
+        return outcome.revenue
+
+    # -- campaign churn ------------------------------------------------------
+
+    def launch_campaign(self, ad, timestamp: float) -> None:
+        """Add a new ad mid-stream.
+
+        The corpus broadcast keeps every derived structure current (index,
+        budget manager, static list); per-user profile-candidate caches are
+        invalidated by the corpus add-epoch bump, so the new ad is eligible
+        for the very next delivery.
+        """
+        self._clock.advance_to(max(self._clock.now, timestamp))
+        self.corpus.add(ad)
+        self._launched_ads.append(ad)
+
+    def end_campaign(self, ad_id: int, timestamp: float) -> None:
+        """Deactivate a campaign before its budget runs out (idempotent:
+        ending an already-retired campaign is a no-op)."""
+        self._clock.advance_to(max(self._clock.now, timestamp))
+        if self.corpus.is_active(ad_id):
+            self.corpus.retire(ad_id)
+
+    def record_click(self, ad_id: int) -> None:
+        """Report a click on a previously-served impression.
+
+        A no-op unless ``ctr_feedback`` is enabled — callers (the click
+        simulator, a real frontend) do not need to know the configuration.
+        """
+        if self.ctr is not None:
+            self.ctr.record_click(ad_id)
+
+    def slate_for_message(
+        self, user_id: int, text: str, timestamp: float
+    ) -> tuple[ScoredAd, ...]:
+        """One-off exact slate for a (user, message) pair — a read-only query
+        that does not touch profiles, contexts or budgets."""
+        state = self._state(user_id)
+        return self.personalizer.exact_slate(
+            self.vectorize(text),
+            self._profile_vector(user_id, state),
+            state.location,
+            timestamp,
+            self.config.k,
+        )
+
+    def standing_slate(self, user_id: int) -> tuple[ScoredAd, ...]:
+        """Incremental mode: the user's slate as of their last delivery."""
+        if self.config.mode is not EngineMode.INCREMENTAL:
+            raise ConfigError(
+                "standing_slate() requires EngineMode.INCREMENTAL; "
+                "shared/exact modes rank per message via post()"
+            )
+        state = self._state(user_id)
+        if state.incremental is None:
+            return ()
+        return state.incremental.slate

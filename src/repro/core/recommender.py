@@ -1,0 +1,93 @@
+"""Public facade: build a ready-to-run recommender from a workload.
+
+``ContextAwareRecommender`` owns an :class:`~repro.core.engine.AdEngine`
+plus the fitted text pipeline, and adds conveniences the examples and the
+evaluation harness use: construction from a synthetic workload, replaying a
+whole post stream, and introspection helpers.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.config import EngineConfig
+from repro.core.engine import AdEngine, EngineStats, PostResult
+from repro.core.scoring import ScoredAd
+from repro.geo.point import GeoPoint
+from repro.stream.metrics import StreamMetrics
+from repro.stream.simulator import FeedSimulator
+
+if TYPE_CHECKING:  # avoid an import cycle: datagen imports core types
+    from repro.datagen.workload import Workload
+
+
+class ContextAwareRecommender:
+    """High-level entry point for the whole system."""
+
+    def __init__(self, engine: AdEngine) -> None:
+        self.engine = engine
+
+    @classmethod
+    def from_workload(
+        cls,
+        workload: "Workload",
+        config: EngineConfig | None = None,
+    ) -> "ContextAwareRecommender":
+        """Wire an engine over a generated workload's corpus, graph, users
+        and fitted vectorizer."""
+        engine = AdEngine(
+            corpus=workload.corpus,
+            graph=workload.graph,
+            vectorizer=workload.vectorizer,
+            config=config,
+            tokenizer=workload.tokenizer,
+        )
+        for user in workload.users:
+            engine.register_user(user.user_id, user.home)
+        return cls(engine)
+
+    # -- delegation --------------------------------------------------------
+
+    @property
+    def config(self) -> EngineConfig:
+        return self.engine.config
+
+    @property
+    def stats(self) -> EngineStats:
+        return self.engine.stats
+
+    def post(
+        self, author_id: int, text: str, timestamp: float, *, msg_id: int | None = None
+    ) -> PostResult:
+        """Publish one message through the engine."""
+        return self.engine.post(author_id, text, timestamp, msg_id=msg_id)
+
+    def checkin(self, user_id: int, point: GeoPoint, timestamp: float) -> None:
+        self.engine.checkin(user_id, point, timestamp)
+
+    def slate_for_message(
+        self, user_id: int, text: str, timestamp: float
+    ) -> tuple[ScoredAd, ...]:
+        return self.engine.slate_for_message(user_id, text, timestamp)
+
+    def standing_slate(self, user_id: int) -> tuple[ScoredAd, ...]:
+        return self.engine.standing_slate(user_id)
+
+    # -- batch driving -------------------------------------------------------
+
+    def run_stream(self, workload: "Workload", *, limit: int | None = None) -> StreamMetrics:
+        """Replay the workload's post stream (optionally truncated) through
+        the engine and return stream-level metrics."""
+        posts = workload.posts if limit is None else workload.posts[:limit]
+        simulator = FeedSimulator(self.engine)
+        return simulator.run(posts, checkins=workload.checkins)
+
+    def explain(self, scored: ScoredAd) -> str:
+        """Human-readable one-liner for a slate entry."""
+        ad = self.engine.corpus.get(scored.ad_id)
+        keywords = ", ".join(ad.keywords[:4])
+        return (
+            f"ad {scored.ad_id} ({ad.advertiser!r}: {keywords}) "
+            f"score={scored.score:.3f} "
+            f"[content={scored.content:.3f}, static={scored.static:.3f}]"
+        )

@@ -1,0 +1,202 @@
+"""Per-delivery personalisation with a TA-style exactness certificate.
+
+The additive score has three sources of mass, and each gets its own
+candidate list with a proven cutoff on what any *excluded* ad could carry:
+
+1. **content** — the per-message shared probe (computed once per post,
+   reused across the fan-out): excluded ads have content <= ``c1``;
+2. **profile** — a per-user probe over the ad index with the user's
+   interest vector as the query, cached until the user posts again or ads
+   are added: excluded ads have profile affinity <= ``c2``;
+3. **geo+bid** — the global prefix of ads by ``gamma + delta·bid_norm``
+   (user-independent, maintained incrementally): excluded ads carry at most
+   ``c3`` of geo+bid mass.
+
+A delivery exactly scores the union of the three lists (a few dozen ads —
+no index probe beyond the amortised/cached ones) and takes the top-k. Any
+ad outside the union scores at most ``alpha·c1 + beta·c2 + c3``, so when
+the personalised k-th score reaches that bound the slate is provably the
+true top-k. Otherwise the engine either falls back to one exact
+combined-query WAND probe (``exact_fallback=True``) or serves the
+approximate slate, as production systems do; experiment F6 measures the
+trade-off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.candidates import CandidateSet
+from repro.core.config import EngineConfig
+from repro.core.scoring import ScoredAd, ScoringModel
+from repro.core.static_list import GlobalStaticTopList
+from repro.geo.point import GeoPoint
+from repro.index.factory import make_searcher
+from repro.index.inverted import AdInvertedIndex
+from repro.util.sparse import SparseVector, dot
+
+
+@dataclass(frozen=True, slots=True)
+class PersonalizedSlate:
+    """One user's slate plus how it was produced."""
+
+    slate: tuple[ScoredAd, ...]
+    certified: bool
+    fell_back: bool
+
+
+@dataclass(frozen=True, slots=True)
+class _ProfileCandidates:
+    """Cached per-user profile-probe results."""
+
+    profile_epoch: int
+    corpus_add_epoch: int
+    entries: tuple[tuple[int, float], ...]  # (ad_id, profile affinity)
+    cutoff: float  # bound on the affinity of any ad not in entries
+
+
+class Personalizer:
+    """Turns shared candidates into per-user slates."""
+
+    def __init__(
+        self,
+        scoring: ScoringModel,
+        index: AdInvertedIndex,
+        *,
+        config: EngineConfig,
+    ) -> None:
+        self._scoring = scoring
+        self._index = index
+        self._config = config
+        self._exact_fallback = config.exact_fallback
+        self._static_list = GlobalStaticTopList(
+            scoring.corpus, scoring.weights, config.static_candidates
+        )
+        self._profile_searcher = make_searcher(config.searcher, index)
+        self._profile_cache: dict[int, _ProfileCandidates] = {}
+
+    # -- candidate sources --------------------------------------------------
+
+    def static_candidate_ids(self) -> list[int]:
+        """The global geo+bid candidate prefix (third source)."""
+        return self._static_list.candidate_ids()
+
+    def static_cutoff(self) -> float:
+        """Geo+bid mass bound for ads outside that prefix."""
+        return self._static_list.cutoff()
+
+    def profile_candidates(
+        self, user_id: int, profile_vec: SparseVector, profile_epoch: int
+    ) -> _ProfileCandidates:
+        """Per-user profile probe, cached by (profile epoch, corpus adds).
+
+        Retirements do NOT invalidate the cache: affinities never change and
+        retired entries are dropped at evaluation time, so the cutoff stays
+        an upper bound. Additions do invalidate it (a new ad could beat the
+        cutoff).
+        """
+        corpus_epoch = self._scoring.corpus.add_epoch
+        cached = self._profile_cache.get(user_id)
+        if (
+            cached is not None
+            and cached.profile_epoch == profile_epoch
+            and cached.corpus_add_epoch == corpus_epoch
+        ):
+            return cached
+        depth = self._config.profile_candidates
+        results = self._profile_searcher.search(profile_vec, depth)
+        cutoff = 0.0 if len(results) < depth else results[-1].score
+        candidates = _ProfileCandidates(
+            profile_epoch=profile_epoch,
+            corpus_add_epoch=corpus_epoch,
+            entries=tuple((entry.item, entry.score) for entry in results),
+            cutoff=cutoff,
+        )
+        self._profile_cache[user_id] = candidates
+        return candidates
+
+    # -- the delivery path ------------------------------------------------------
+
+    def slate_for(
+        self,
+        candidates: CandidateSet,
+        message_vec: SparseVector,
+        user_id: int,
+        profile_vec: SparseVector,
+        profile_epoch: int,
+        location: GeoPoint | None,
+        timestamp: float,
+        k: int,
+    ) -> PersonalizedSlate:
+        """Union-score, certify, and fall back if needed."""
+        scoring = self._scoring
+        corpus = scoring.corpus
+        profile_cands = self.profile_candidates(user_id, profile_vec, profile_epoch)
+
+        content_of: dict[int, float] = dict(candidates.entries)
+        union: set[int] = set(content_of)
+        union.update(ad_id for ad_id, _ in profile_cands.entries)
+        union.update(self._static_list.candidate_ids())
+
+        scored: list[ScoredAd] = []
+        for ad_id in union:
+            content = content_of.get(ad_id)
+            if content is None:
+                if not corpus.is_active(ad_id):
+                    continue
+                content = dot(message_vec, corpus.get(ad_id).terms)
+            evaluated = scoring.evaluate(
+                ad_id, content, profile_vec, location, timestamp
+            )
+            if evaluated is not None:
+                scored.append(evaluated)
+        scored.sort(key=lambda entry: (-entry.score, entry.ad_id))
+        slate = tuple(scored[:k])
+
+        weights = scoring.weights
+        certificate = (
+            weights.alpha * candidates.cutoff
+            + weights.beta * profile_cands.cutoff
+            + self._static_list.cutoff()
+        )
+        certified = len(slate) == k and slate[-1].score >= certificate
+        if certified or not self._exact_fallback:
+            return PersonalizedSlate(slate=slate, certified=certified, fell_back=False)
+        return PersonalizedSlate(
+            slate=self.exact_slate(message_vec, profile_vec, location, timestamp, k),
+            certified=True,
+            fell_back=True,
+        )
+
+    def exact_slate(
+        self,
+        message_vec: SparseVector,
+        profile_vec: SparseVector,
+        location: GeoPoint | None,
+        timestamp: float,
+        k: int,
+    ) -> tuple[ScoredAd, ...]:
+        """One guaranteed-exact combined-query probe (also the per-delivery
+        baseline: EngineMode.EXACT routes every delivery here)."""
+        scoring = self._scoring
+        query = scoring.combined_query(message_vec, profile_vec)
+        searcher = make_searcher(
+            self._config.searcher,
+            self._index,
+            static_score=scoring.probe_static_fn(location, timestamp),
+            max_static=scoring.max_probe_static,
+            filter_fn=scoring.targeting_filter(location, timestamp),
+        )
+        slate: list[ScoredAd] = []
+        for entry in searcher.search(query, k):
+            ad_terms = self._index.ad_terms(entry.item)
+            content = dot(message_vec, ad_terms)
+            slate.append(
+                ScoredAd(
+                    ad_id=entry.item,
+                    score=entry.score,
+                    content=content,
+                    static=entry.score - scoring.weights.alpha * content,
+                )
+            )
+        return tuple(slate)

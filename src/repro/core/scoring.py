@@ -1,0 +1,197 @@
+"""The ranking function and its pruning-safe upper bounds.
+
+One :class:`ScoringModel` instance is shared by every pipeline variant and
+every baseline so comparisons are apples-to-apples. The model exposes three
+views of the same additive score:
+
+* component scores (content / profile / geo / bid) for a known candidate;
+* a *static score function* over ad ids — the query-independent part an
+  index probe adds on top of the content dot product;
+* a *combined query vector* ``alpha·message + beta·profile`` that folds the
+  profile term into the dot product, which is what makes an exact one-probe
+  evaluation possible.
+
+Matching semantics (the "relevance floor"): an ad is a candidate for a
+delivery only if it shares at least one term with the combined query, i.e.
+has non-zero content or profile affinity. Ads with zero affinity are never
+served, no matter their bid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.ads.budget import BudgetManager
+from repro.ads.corpus import AdCorpus
+from repro.ads.ctr import QUALITY_CAP, CtrEstimator
+from repro.core.config import ScoringWeights
+from repro.geo.point import GeoPoint
+from repro.util.sparse import MutableSparseVector, SparseVector, dot
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredAd:
+    """One slate entry: ad id, total score, and its two halves."""
+
+    ad_id: int
+    score: float
+    content: float
+    static: float
+
+
+class ScoringModel:
+    """Evaluates ``alpha·content + beta·profile + gamma·geo + delta·bid``."""
+
+    def __init__(
+        self,
+        corpus: AdCorpus,
+        weights: ScoringWeights,
+        *,
+        budget_manager: BudgetManager | None = None,
+        ctr_estimator: CtrEstimator | None = None,
+    ) -> None:
+        self._corpus = corpus
+        self.weights = weights
+        self._budget_manager = budget_manager
+        self._ctr_estimator = ctr_estimator
+
+    @property
+    def ctr_estimator(self) -> CtrEstimator | None:
+        return self._ctr_estimator
+
+    @property
+    def corpus(self) -> AdCorpus:
+        return self._corpus
+
+    @property
+    def max_static(self) -> float:
+        return self.weights.max_static
+
+    @property
+    def max_probe_static(self) -> float:
+        return self.weights.max_probe_static
+
+    # -- component scores ----------------------------------------------------
+
+    def bid_score(self, ad_id: int, timestamp: float) -> float:
+        """Pacing- and quality-adjusted normalised bid in [0, 1].
+
+        With a CTR estimator attached the quality multiplier (in
+        [0, QUALITY_CAP]) is folded in and renormalised by the cap, so the
+        term never exceeds ``normalized_bid`` — every pruning bound built
+        from raw bids stays admissible.
+        """
+        normalized = self._corpus.normalized_bid(ad_id)
+        if self._budget_manager is not None:
+            normalized *= self._budget_manager.pacing_multiplier(ad_id, timestamp)
+        if self._ctr_estimator is not None:
+            normalized *= (
+                self._ctr_estimator.quality_multiplier(ad_id) / QUALITY_CAP
+            )
+        return normalized
+
+    def static_score(
+        self,
+        ad_id: int,
+        profile_vec: SparseVector,
+        location: GeoPoint | None,
+        timestamp: float,
+    ) -> float | None:
+        """The user-dependent, message-independent part of the score.
+
+        Returns None when the ad's targeting predicate rejects this user
+        and time — the ad must not be served at all.
+        """
+        ad = self._corpus.get(ad_id)
+        if not ad.targeting.matches(location, timestamp):
+            return None
+        profile_affinity = dot(profile_vec, ad.terms) if profile_vec else 0.0
+        return (
+            self.weights.beta * profile_affinity
+            + self.weights.gamma * ad.targeting.proximity(location)
+            + self.weights.delta * self.bid_score(ad_id, timestamp)
+        )
+
+    def probe_static_fn(
+        self, location: GeoPoint | None, timestamp: float
+    ) -> Callable[[int], float]:
+        """Static function for exact index probes (profile folded into the
+        query): ``gamma·geo + delta·bid`` for one user and time."""
+
+        def static(ad_id: int) -> float:
+            ad = self._corpus.get(ad_id)
+            return (
+                self.weights.gamma * ad.targeting.proximity(location)
+                + self.weights.delta * self.bid_score(ad_id, timestamp)
+            )
+
+        return static
+
+    def targeting_filter(
+        self, location: GeoPoint | None, timestamp: float
+    ) -> Callable[[int], bool]:
+        """Hard targeting predicate for one user and time."""
+
+        def accepts(ad_id: int) -> bool:
+            return self._corpus.get(ad_id).targeting.matches(location, timestamp)
+
+        return accepts
+
+    def evaluate(
+        self,
+        ad_id: int,
+        content: float,
+        profile_vec: SparseVector,
+        location: GeoPoint | None,
+        timestamp: float,
+    ) -> ScoredAd | None:
+        """Full evaluation of one candidate given its content affinity.
+
+        Returns None when the ad is retired, fails its targeting predicate,
+        or falls below the relevance floor (zero content *and* zero profile
+        affinity).
+        """
+        if not self._corpus.is_active(ad_id):
+            return None
+        ad = self._corpus.get(ad_id)
+        profile_affinity = dot(profile_vec, ad.terms) if profile_vec else 0.0
+        if content <= 0.0 and profile_affinity <= 0.0:
+            return None
+        if not ad.targeting.matches(location, timestamp):
+            return None
+        static = (
+            self.weights.beta * profile_affinity
+            + self.weights.gamma * ad.targeting.proximity(location)
+            + self.weights.delta * self.bid_score(ad_id, timestamp)
+        )
+        return self.scored_ad(ad_id, content, static)
+
+    # -- query construction --------------------------------------------------
+
+    def combined_query(
+        self, message_vec: SparseVector, profile_vec: SparseVector
+    ) -> MutableSparseVector:
+        """``alpha·message + beta·profile`` as one sparse query vector."""
+        query: MutableSparseVector = {
+            term: self.weights.alpha * weight for term, weight in message_vec.items()
+        }
+        beta = self.weights.beta
+        if beta > 0.0:
+            for term, weight in profile_vec.items():
+                query[term] = query.get(term, 0.0) + beta * weight
+        return query
+
+    # -- totals ---------------------------------------------------------------
+
+    def total(self, content: float, static: float) -> float:
+        """Combine a content cosine/dot with a static part."""
+        return self.weights.alpha * content + static
+
+    def scored_ad(self, ad_id: int, content: float, static: float) -> ScoredAd:
+        return ScoredAd(
+            ad_id=ad_id,
+            score=self.total(content, static),
+            content=content,
+            static=static,
+        )

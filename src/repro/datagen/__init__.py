@@ -1,0 +1,27 @@
+"""Synthetic Twitter-like workloads with generative ground truth.
+
+Replaces the proprietary Twitter traces the original evaluation used (see
+DESIGN.md substitutions): a latent topic space drives both message text and
+ad keywords, so ad↔delivery relevance is known exactly by construction.
+"""
+
+from repro.datagen.adgen import ad_from_text, generate_ads
+from repro.datagen.groundtruth import GroundTruth
+from repro.datagen.topicspace import TopicSpace
+from repro.datagen.tweetgen import generate_checkins, generate_posts
+from repro.datagen.users import UserRecord, generate_users
+from repro.datagen.workload import Workload, WorkloadConfig, generate_workload
+
+__all__ = [
+    "GroundTruth",
+    "TopicSpace",
+    "UserRecord",
+    "Workload",
+    "WorkloadConfig",
+    "ad_from_text",
+    "generate_ads",
+    "generate_checkins",
+    "generate_posts",
+    "generate_users",
+    "generate_workload",
+]

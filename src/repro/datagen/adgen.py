@@ -1,0 +1,150 @@
+"""Synthetic advertisement generation (plus a real-text helper).
+
+Each generated ad advertises one latent topic: its keywords are drawn from
+that topic's focus words with Zipf-decaying weights, so content affinity in
+term space tracks the latent topical relevance exactly.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.ads.ad import Ad
+from repro.ads.targeting import TargetingSpec, TimeWindow
+from repro.datagen.topicspace import TopicSpace
+from repro.errors import ConfigError
+from repro.geo.regions import CITIES
+from repro.text.tokenizer import Tokenizer
+from repro.text.vectorizer import TfidfVectorizer
+
+_TARGET_RADII_KM = (25.0, 50.0, 100.0, 200.0)
+
+
+def generate_ads(
+    count: int,
+    topic_space: TopicSpace,
+    rng: random.Random,
+    *,
+    keywords_per_ad: int = 10,
+    geo_targeted_fraction: float = 0.3,
+    time_targeted_fraction: float = 0.2,
+    budgeted_fraction: float = 0.5,
+    budget_range: tuple[float, float] = (50.0, 500.0),
+) -> tuple[list[Ad], dict[int, int]]:
+    """Generate ads round-robin over topics.
+
+    Returns the ads and the ``ad_id → latent topic`` map the ground truth
+    is built from.
+    """
+    if count < 1:
+        raise ConfigError(f"count must be >= 1, got {count}")
+    if keywords_per_ad < 1:
+        raise ConfigError(f"keywords_per_ad must be >= 1, got {keywords_per_ad}")
+    for name, fraction in (
+        ("geo_targeted_fraction", geo_targeted_fraction),
+        ("time_targeted_fraction", time_targeted_fraction),
+        ("budgeted_fraction", budgeted_fraction),
+    ):
+        if not 0.0 <= fraction <= 1.0:
+            raise ConfigError(f"{name} must be in [0, 1], got {fraction}")
+    low, high = budget_range
+    if not 0.0 < low <= high:
+        raise ConfigError(f"invalid budget_range: {budget_range}")
+
+    ads: list[Ad] = []
+    ad_topics: dict[int, int] = {}
+    for ad_id in range(count):
+        topic = ad_id % topic_space.num_topics
+        ad_topics[ad_id] = topic
+        keywords = _distinct_topic_words(topic_space, topic, keywords_per_ad, rng)
+        terms = {
+            word: 1.0 / (rank + 1) ** 0.5 for rank, word in enumerate(keywords)
+        }
+        ads.append(
+            Ad(
+                ad_id=ad_id,
+                advertiser=f"brand_{ad_id:04d}",
+                text=" ".join(keywords),
+                terms=terms,
+                bid=max(0.05, rng.lognormvariate(0.0, 0.5)),
+                budget=(
+                    rng.uniform(low, high)
+                    if rng.random() < budgeted_fraction
+                    else None
+                ),
+                targeting=_sample_targeting(
+                    rng, geo_targeted_fraction, time_targeted_fraction
+                ),
+            )
+        )
+    return ads, ad_topics
+
+
+def _distinct_topic_words(
+    topic_space: TopicSpace, topic: int, count: int, rng: random.Random
+) -> list[str]:
+    """Zipf-weighted distinct focus words; falls back to the block head."""
+    focus = topic_space.focus_words(topic)
+    chosen: list[str] = []
+    seen: set[str] = set()
+    attempts = 0
+    while len(chosen) < min(count, len(focus)) and attempts < 50 * count:
+        attempts += 1
+        word = topic_space.sample_word(topic, rng)
+        if word not in seen and word in set(focus):
+            seen.add(word)
+            chosen.append(word)
+    for word in focus:
+        if len(chosen) >= min(count, len(focus)):
+            break
+        if word not in seen:
+            seen.add(word)
+            chosen.append(word)
+    return chosen
+
+
+def _sample_targeting(
+    rng: random.Random,
+    geo_fraction: float,
+    time_fraction: float,
+) -> TargetingSpec:
+    circles: tuple = ()
+    windows: tuple = ()
+    if rng.random() < geo_fraction:
+        city = rng.choice(CITIES)
+        circles = ((city.center, rng.choice(_TARGET_RADII_KM)),)
+    if rng.random() < time_fraction:
+        start = rng.uniform(0.0, 23.0)
+        span = rng.uniform(6.0, 12.0)
+        end = (start + span) % 24.0
+        if abs(end - start) > 1e-9:
+            windows = (TimeWindow(start, end),)
+    return TargetingSpec(circles=circles, time_windows=windows)
+
+
+def ad_from_text(
+    ad_id: int,
+    advertiser: str,
+    text: str,
+    vectorizer: TfidfVectorizer,
+    *,
+    tokenizer: Tokenizer | None = None,
+    bid: float = 1.0,
+    budget: float | None = None,
+    targeting: TargetingSpec | None = None,
+) -> Ad:
+    """Build an ad from real creative text through the same text pipeline
+    messages go through, so terms live in the same space."""
+    tokenizer = tokenizer or Tokenizer()
+    terms = vectorizer.transform(tokenizer.tokenize(text))
+    if not terms:
+        raise ConfigError(f"ad text tokenises to nothing: {text!r}")
+    return Ad(
+        ad_id=ad_id,
+        advertiser=advertiser,
+        text=text,
+        terms=terms,
+        bid=bid,
+        budget=budget,
+        targeting=targeting or TargetingSpec(),
+    )

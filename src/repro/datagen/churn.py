@@ -1,0 +1,116 @@
+"""Dynamic campaign churn: ads arriving and ending during the day.
+
+Real ad corpora are not static — campaigns launch and wind down
+continuously, and the matching index must absorb that without rebuilds.
+This module generates a churn schedule against an existing workload:
+*arrivals* are fresh ads (ids continuing past the workload's) drawn from
+the same topic space, and *endings* deactivate previously-existing ads at
+a chosen time. The A2 benchmark replays posts and churn interleaved.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.ads.ad import Ad
+from repro.datagen.adgen import generate_ads
+from repro.datagen.topicspace import TopicSpace
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class AdArrival:
+    """A campaign launching at ``timestamp``."""
+
+    timestamp: float
+    ad: Ad
+
+
+@dataclass(frozen=True, slots=True)
+class AdEnding:
+    """A campaign ending (its ad retires) at ``timestamp``."""
+
+    timestamp: float
+    ad_id: int
+
+
+@dataclass(frozen=True)
+class ChurnSchedule:
+    """Time-ordered campaign arrivals and endings."""
+
+    arrivals: tuple[AdArrival, ...]
+    endings: tuple[AdEnding, ...]
+
+    def events(self) -> list[tuple[float, object]]:
+        """All churn events merged in timestamp order."""
+        merged: list[tuple[float, object]] = [
+            (arrival.timestamp, arrival) for arrival in self.arrivals
+        ]
+        merged.extend((ending.timestamp, ending) for ending in self.endings)
+        merged.sort(key=lambda pair: pair[0])
+        return merged
+
+
+def generate_churn(
+    topic_space: TopicSpace,
+    existing_ad_ids: list[int],
+    rng: random.Random,
+    *,
+    arrivals: int,
+    endings: int,
+    duration_s: float,
+    first_new_id: int | None = None,
+    keywords_per_ad: int = 10,
+) -> ChurnSchedule:
+    """Build a churn schedule: ``arrivals`` new ads, ``endings`` of old ones.
+
+    Ending targets are sampled without replacement from ``existing_ad_ids``,
+    so an ad ends at most once; arrivals get fresh ids starting after the
+    maximum existing id (or ``first_new_id``).
+    """
+    if arrivals < 0 or endings < 0:
+        raise ConfigError("arrivals and endings must be >= 0")
+    if endings > len(existing_ad_ids):
+        raise ConfigError(
+            f"cannot end {endings} ads out of {len(existing_ad_ids)} existing"
+        )
+    if duration_s <= 0.0:
+        raise ConfigError(f"duration_s must be positive, got {duration_s}")
+
+    start_id = (
+        first_new_id
+        if first_new_id is not None
+        else (max(existing_ad_ids, default=-1) + 1)
+    )
+    arrival_events: list[AdArrival] = []
+    if arrivals:
+        new_ads, _ = generate_ads(
+            arrivals, topic_space, rng, keywords_per_ad=keywords_per_ad
+        )
+        for offset, ad in enumerate(new_ads):
+            renumbered = Ad(
+                ad_id=start_id + offset,
+                advertiser=f"brand_{start_id + offset:04d}",
+                text=ad.text,
+                terms=dict(ad.terms),
+                bid=ad.bid,
+                budget=ad.budget,
+                targeting=ad.targeting,
+            )
+            arrival_events.append(
+                AdArrival(timestamp=rng.uniform(0.0, duration_s), ad=renumbered)
+            )
+    arrival_events.sort(key=lambda event: event.timestamp)
+
+    ending_ids = rng.sample(existing_ad_ids, endings)
+    ending_events = sorted(
+        (
+            AdEnding(timestamp=rng.uniform(0.0, duration_s), ad_id=ad_id)
+            for ad_id in ending_ids
+        ),
+        key=lambda event: event.timestamp,
+    )
+    return ChurnSchedule(
+        arrivals=tuple(arrival_events), endings=tuple(ending_events)
+    )

@@ -1,0 +1,100 @@
+"""The latent topic space behind the synthetic workload.
+
+Each topic owns a disjoint block of *focus words* drawn with a Zipf head;
+with probability ``1 - focus_probability`` a word comes from the shared
+background vocabulary instead. Because ads and messages are generated from
+the same topics, topical overlap in *text* space mirrors the latent
+relevance the ground truth is defined on.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigError
+from repro.util.zipf import ZipfSampler
+
+
+class TopicSpace:
+    """K topics over a synthetic vocabulary ``w00000 ... wNNNNN``."""
+
+    def __init__(
+        self,
+        num_topics: int,
+        vocab_size: int,
+        *,
+        focus_size: int = 60,
+        focus_probability: float = 0.75,
+        zipf_exponent: float = 1.0,
+    ) -> None:
+        if num_topics < 1:
+            raise ConfigError(f"num_topics must be >= 1, got {num_topics}")
+        if focus_size < 1:
+            raise ConfigError(f"focus_size must be >= 1, got {focus_size}")
+        if not 0.0 <= focus_probability <= 1.0:
+            raise ConfigError(
+                f"focus_probability must be in [0, 1], got {focus_probability}"
+            )
+        if vocab_size < num_topics * focus_size + focus_size:
+            raise ConfigError(
+                f"vocab_size {vocab_size} too small for {num_topics} topics "
+                f"of {focus_size} focus words plus background"
+            )
+        self.num_topics = num_topics
+        self.vocab_size = vocab_size
+        self.focus_size = focus_size
+        self.focus_probability = focus_probability
+        self.vocab = [f"w{index:05d}" for index in range(vocab_size)]
+        self._focus_sampler = ZipfSampler(focus_size, zipf_exponent)
+        self._background_sampler = ZipfSampler(
+            vocab_size - num_topics * focus_size, zipf_exponent
+        )
+        self._background_offset = num_topics * focus_size
+
+    def focus_words(self, topic: int) -> list[str]:
+        """The topic's own word block, Zipf-head first."""
+        self._check_topic(topic)
+        start = topic * self.focus_size
+        return self.vocab[start : start + self.focus_size]
+
+    def _check_topic(self, topic: int) -> None:
+        if not 0 <= topic < self.num_topics:
+            raise ConfigError(f"topic {topic} outside [0, {self.num_topics})")
+
+    def sample_word(self, topic: int, rng: random.Random) -> str:
+        """One word from the topic's mixture of focus and background mass."""
+        self._check_topic(topic)
+        if rng.random() < self.focus_probability:
+            rank = self._focus_sampler.sample(rng)
+            return self.vocab[topic * self.focus_size + rank]
+        rank = self._background_sampler.sample(rng)
+        return self.vocab[self._background_offset + rank]
+
+    def sample_words(self, topic: int, count: int, rng: random.Random) -> list[str]:
+        return [self.sample_word(topic, rng) for _ in range(count)]
+
+    def sample_mixture(
+        self, rng: random.Random, concentration: float = 0.3
+    ) -> tuple[float, ...]:
+        """A Dirichlet(concentration) draw over topics (user interests)."""
+        if concentration <= 0.0:
+            raise ConfigError(
+                f"concentration must be positive, got {concentration}"
+            )
+        draws = [rng.gammavariate(concentration, 1.0) for _ in range(self.num_topics)]
+        total = sum(draws)
+        if total <= 0.0:  # pathological but possible with tiny concentration
+            uniform = 1.0 / self.num_topics
+            return tuple(uniform for _ in range(self.num_topics))
+        return tuple(draw / total for draw in draws)
+
+    @staticmethod
+    def sample_topic(mixture: tuple[float, ...], rng: random.Random) -> int:
+        """Draw a topic index from a mixture."""
+        roll = rng.random()
+        cumulative = 0.0
+        for topic, probability in enumerate(mixture):
+            cumulative += probability
+            if roll < cumulative:
+                return topic
+        return len(mixture) - 1

@@ -1,0 +1,113 @@
+"""Synthetic post and check-in streams."""
+
+from __future__ import annotations
+
+import random
+
+from repro.datagen.topicspace import TopicSpace
+from repro.datagen.users import UserRecord
+from repro.errors import ConfigError
+from repro.geo.point import GeoPoint
+from repro.stream.clock import diurnal_timestamps
+from repro.stream.events import Checkin, Post
+
+
+def generate_posts(
+    users: list[UserRecord],
+    topic_space: TopicSpace,
+    rng: random.Random,
+    *,
+    count: int,
+    duration_s: float = 86_400.0,
+    mean_words: float = 10.0,
+    diurnal_amplitude: float = 0.5,
+) -> tuple[list[Post], dict[int, int]]:
+    """Generate ``count`` posts over ``duration_s`` simulated seconds.
+
+    Authors are drawn proportionally to activity; each post's words come
+    from one topic drawn from the author's interest mixture. Returns the
+    posts (timestamp-ordered) and the ``msg_id → latent topic`` map.
+    """
+    if count < 1:
+        raise ConfigError(f"count must be >= 1, got {count}")
+    if not users:
+        raise ConfigError("cannot generate posts without users")
+    mean_rate = count / duration_s
+    timestamps = diurnal_timestamps(
+        rng, mean_rate, duration_s, amplitude=diurnal_amplitude
+    )
+    # Thinning is stochastic; trim or extend uniformly to hit the count.
+    while len(timestamps) < count:
+        timestamps.append(rng.uniform(0.0, duration_s))
+    timestamps.sort()
+    timestamps = timestamps[:count]
+
+    total_activity = sum(user.activity for user in users)
+    posts: list[Post] = []
+    post_topics: dict[int, int] = {}
+    for msg_id, timestamp in enumerate(timestamps):
+        author = _weighted_user(users, total_activity, rng)
+        topic = TopicSpace.sample_topic(author.mixture, rng)
+        length = max(4, round(rng.gauss(mean_words, mean_words / 3.0)))
+        words = topic_space.sample_words(topic, length, rng)
+        posts.append(
+            Post(
+                msg_id=msg_id,
+                author_id=author.user_id,
+                text=" ".join(words),
+                timestamp=timestamp,
+            )
+        )
+        post_topics[msg_id] = topic
+    return posts, post_topics
+
+
+def _weighted_user(
+    users: list[UserRecord], total_activity: float, rng: random.Random
+) -> UserRecord:
+    roll = rng.random() * total_activity
+    cumulative = 0.0
+    for user in users:
+        cumulative += user.activity
+        if roll < cumulative:
+            return user
+    return users[-1]
+
+
+def generate_checkins(
+    users: list[UserRecord],
+    rng: random.Random,
+    *,
+    duration_s: float = 86_400.0,
+    mean_per_user: float = 2.0,
+) -> list[Checkin]:
+    """Occasional location pings near each user's home."""
+    if mean_per_user < 0.0:
+        raise ConfigError(f"mean_per_user must be >= 0, got {mean_per_user}")
+    checkins: list[Checkin] = []
+    for user in users:
+        for _ in range(_poisson(mean_per_user, rng)):
+            lat = min(90.0, max(-90.0, user.home.lat + rng.gauss(0.0, 0.01)))
+            lon = min(180.0, max(-180.0, user.home.lon + rng.gauss(0.0, 0.01)))
+            checkins.append(
+                Checkin(
+                    user_id=user.user_id,
+                    point=GeoPoint(lat, lon),
+                    timestamp=rng.uniform(0.0, duration_s),
+                )
+            )
+    checkins.sort(key=lambda checkin: checkin.timestamp)
+    return checkins
+
+
+def _poisson(mean: float, rng: random.Random) -> int:
+    """Knuth's multiplication method (means here are tiny)."""
+    if mean <= 0.0:
+        return 0
+    limit = pow(2.718281828459045, -mean)
+    count = 0
+    product = rng.random()
+    while product > limit:
+        count += 1
+        product *= rng.random()
+    return count

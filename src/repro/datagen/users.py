@@ -1,0 +1,67 @@
+"""Synthetic user population: interests, homes, activity levels."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.datagen.topicspace import TopicSpace
+from repro.errors import ConfigError
+from repro.geo.point import GeoPoint
+from repro.geo.regions import CITIES, City
+
+
+@dataclass(frozen=True, slots=True)
+class UserRecord:
+    """One synthetic user's latent attributes."""
+
+    user_id: int
+    mixture: tuple[float, ...]  # Dirichlet topic interests
+    home: GeoPoint
+    city: City
+    activity: float  # relative posting propensity
+
+
+def _scattered_home(city: City, rng: random.Random) -> GeoPoint:
+    """A point near the city centre (Gaussian scatter, ~5 km sigma)."""
+    lat = min(90.0, max(-90.0, city.center.lat + rng.gauss(0.0, 0.05)))
+    lon = min(180.0, max(-180.0, city.center.lon + rng.gauss(0.0, 0.05)))
+    return GeoPoint(lat, lon)
+
+
+def generate_users(
+    count: int,
+    topic_space: TopicSpace,
+    rng: random.Random,
+    *,
+    mixture_concentration: float = 0.3,
+    activity_exponent: float = 0.8,
+) -> list[UserRecord]:
+    """Draw ``count`` users with skewed activity and clustered homes."""
+    if count < 1:
+        raise ConfigError(f"count must be >= 1, got {count}")
+    total_weight = sum(city.population_weight for city in CITIES)
+    users: list[UserRecord] = []
+    # Zipf activity by a random rank permutation so user id and activity
+    # are uncorrelated (user 0 is not automatically the loudest).
+    ranks = list(range(count))
+    rng.shuffle(ranks)
+    for user_id in range(count):
+        roll = rng.random() * total_weight
+        cumulative = 0.0
+        chosen = CITIES[-1]
+        for city in CITIES:
+            cumulative += city.population_weight
+            if roll < cumulative:
+                chosen = city
+                break
+        users.append(
+            UserRecord(
+                user_id=user_id,
+                mixture=topic_space.sample_mixture(rng, mixture_concentration),
+                home=_scattered_home(chosen, rng),
+                city=chosen,
+                activity=1.0 / (ranks[user_id] + 1) ** activity_exponent,
+            )
+        )
+    return users

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the repro package.
+
+Every error raised deliberately by this library derives from
+:class:`ReproError`, so callers can catch one base type at API boundaries.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro package."""
+
+
+class ConfigError(ReproError, ValueError):
+    """An invalid configuration value was supplied."""
+
+
+class CorpusError(ReproError):
+    """A corpus-level operation failed (duplicate ids, empty corpus, ...)."""
+
+
+class UnknownAdError(CorpusError, KeyError):
+    """An operation referenced an ad id that is not in the corpus."""
+
+    def __init__(self, ad_id: int) -> None:
+        super().__init__(f"unknown ad id: {ad_id!r}")
+        self.ad_id = ad_id
+
+
+class UnknownUserError(ReproError, KeyError):
+    """An operation referenced a user id that is not registered."""
+
+    def __init__(self, user_id: int) -> None:
+        super().__init__(f"unknown user id: {user_id!r}")
+        self.user_id = user_id
+
+
+class BudgetError(ReproError):
+    """A budget operation was invalid (e.g. charging an exhausted ad)."""
+
+
+class IndexError_(ReproError):
+    """An index-level invariant was violated."""
+
+
+class StreamError(ReproError):
+    """The stream simulator was driven with inconsistent events."""
+
+
+class EvaluationError(ReproError):
+    """The evaluation harness received inconsistent inputs."""

@@ -1,0 +1,70 @@
+"""Slate diversity metrics.
+
+Relevance metrics reward serving ten near-identical ads; platforms also
+care that slates are not monocultures (user fatigue, advertiser fairness).
+Three standard measures over a served-slate log:
+
+* **intra-slate similarity** — mean pairwise cosine between the ads of one
+  slate (lower = more diverse);
+* **advertiser entropy** — Shannon entropy of the advertiser distribution
+  across all impressions, normalised to [0, 1] by the maximum possible;
+* **catalog coverage** — fraction of the active corpus served at least
+  once.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from collections.abc import Iterable, Sequence
+
+from repro.ads.corpus import AdCorpus
+from repro.util.sparse import dot
+
+
+def intra_slate_similarity(corpus: AdCorpus, slate: Sequence[int]) -> float:
+    """Mean pairwise cosine of a slate's ads (unit vectors ⇒ dot); 0.0 for
+    slates with fewer than two ads."""
+    if len(slate) < 2:
+        return 0.0
+    total = 0.0
+    pairs = 0
+    for i in range(len(slate)):
+        terms_i = corpus.get(slate[i]).terms
+        for j in range(i + 1, len(slate)):
+            total += dot(terms_i, corpus.get(slate[j]).terms)
+            pairs += 1
+    return total / pairs
+
+
+def mean_intra_slate_similarity(
+    corpus: AdCorpus, slates: Iterable[Sequence[int]]
+) -> float:
+    """Average of :func:`intra_slate_similarity` over many slates."""
+    values = [intra_slate_similarity(corpus, slate) for slate in slates]
+    if not values:
+        return 0.0
+    return sum(values) / len(values)
+
+
+def advertiser_entropy(corpus: AdCorpus, served_ad_ids: Iterable[int]) -> float:
+    """Normalised Shannon entropy of advertiser share across impressions.
+
+    1.0 = impressions spread evenly over all advertisers that appeared;
+    0.0 = a single advertiser owns every impression (or no impressions).
+    """
+    counts = Counter(corpus.get(ad_id).advertiser for ad_id in served_ad_ids)
+    total = sum(counts.values())
+    if total == 0 or len(counts) <= 1:
+        return 0.0
+    entropy = -sum(
+        (count / total) * math.log2(count / total) for count in counts.values()
+    )
+    return entropy / math.log2(len(counts))
+
+
+def catalog_coverage(corpus: AdCorpus, served_ad_ids: Iterable[int]) -> float:
+    """Fraction of ads (active or retired) served at least once."""
+    if len(corpus) == 0:
+        return 0.0
+    return len(set(served_ad_ids)) / len(corpus)

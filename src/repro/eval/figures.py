@@ -1,0 +1,66 @@
+"""Terminal figure rendering: bar charts and sparklines.
+
+The benches persist their series as tables; for interactive use (examples,
+the CLI) a picture helps. These renderers are dependency-free and produce
+monospace unicode, e.g.::
+
+    500  ▕██████████████████████████▏ 3370.3
+    2000 ▕███████▏ 929.4
+
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import EvaluationError
+
+_SPARK_LEVELS = "▁▂▃▄▅▆▇█"
+
+
+def bar_chart(
+    labels: Sequence[object],
+    values: Sequence[float],
+    *,
+    width: int = 40,
+    title: str | None = None,
+    precision: int = 1,
+) -> str:
+    """Horizontal bar chart, one row per (label, value)."""
+    if len(labels) != len(values):
+        raise EvaluationError("labels and values must align")
+    if width < 1:
+        raise EvaluationError(f"width must be >= 1, got {width}")
+    if not values:
+        return title or ""
+    peak = max(values)
+    if any(value < 0 for value in values):
+        raise EvaluationError("bar_chart values must be non-negative")
+    label_width = max(len(str(label)) for label in labels)
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        filled = 0 if peak == 0 else round(width * value / peak)
+        bar = "█" * filled
+        lines.append(
+            f"{str(label).ljust(label_width)} ▕{bar.ljust(width)}▏ "
+            f"{value:.{precision}f}"
+        )
+    return "\n".join(lines)
+
+
+def sparkline(values: Sequence[float]) -> str:
+    """One-line trend glyph string (empty input → empty string)."""
+    if not values:
+        return ""
+    low = min(values)
+    high = max(values)
+    if high == low:
+        return _SPARK_LEVELS[0] * len(values)
+    span = high - low
+    glyphs = []
+    for value in values:
+        index = int((value - low) / span * (len(_SPARK_LEVELS) - 1))
+        glyphs.append(_SPARK_LEVELS[index])
+    return "".join(glyphs)

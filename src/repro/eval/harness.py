@@ -1,0 +1,141 @@
+"""Effectiveness harness: judge recommenders against generative ground truth.
+
+Every recommender sees the same deliveries in the same order; slates are
+collected *before* ``observe_post`` so no method sees a message before
+being judged on it. Deliveries whose relevant-ad set is empty are skipped
+(recall is undefined there) and counted separately.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.baselines.base import SlateRecommender
+from repro.datagen.workload import Workload
+from repro.errors import EvaluationError
+from repro.eval.metrics import (
+    average_precision,
+    f1_score,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+
+
+@dataclass(frozen=True, slots=True)
+class EffectivenessResult:
+    """Aggregated ranking quality for one method (one row of Table T8)."""
+
+    name: str
+    precision: float
+    recall: float
+    f1: float
+    ndcg: float
+    map: float
+    samples: int
+    skipped_empty: int
+
+    def row(self) -> list[object]:
+        return [
+            self.name,
+            self.precision,
+            self.recall,
+            self.f1,
+            self.ndcg,
+            self.map,
+            self.samples,
+        ]
+
+
+class EffectivenessHarness:
+    """Replays a workload's post stream and scores recommenders."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        *,
+        k: int = 10,
+        max_posts: int | None = 300,
+        fanout_cap: int = 3,
+        seed: int = 13,
+    ) -> None:
+        if k < 1:
+            raise EvaluationError(f"k must be >= 1, got {k}")
+        if fanout_cap < 1:
+            raise EvaluationError(f"fanout_cap must be >= 1, got {fanout_cap}")
+        self.workload = workload
+        self.k = k
+        self.max_posts = max_posts
+        self.fanout_cap = fanout_cap
+        self.seed = seed
+
+    def evaluate(
+        self, recommenders: dict[str, SlateRecommender]
+    ) -> list[EffectivenessResult]:
+        """Run every method over identical deliveries; returns one result per
+        method, in input order."""
+        if not recommenders:
+            raise EvaluationError("no recommenders supplied")
+        workload = self.workload
+        rng = random.Random(self.seed)
+        posts = workload.posts
+        if self.max_posts is not None:
+            posts = posts[: self.max_posts]
+
+        sums: dict[str, dict[str, float]] = {
+            name: {"precision": 0.0, "recall": 0.0, "f1": 0.0, "ndcg": 0.0, "map": 0.0}
+            for name in recommenders
+        }
+        samples = 0
+        skipped_empty = 0
+        for post in posts:
+            message_vec = workload.vectorizer.transform(
+                workload.tokenizer.tokenize(post.text)
+            )
+            followers = sorted(workload.graph.followers(post.author_id))
+            if len(followers) > self.fanout_cap:
+                followers = rng.sample(followers, self.fanout_cap)
+            for user_id in followers:
+                relevant = workload.ground_truth.relevant_ads(
+                    post.msg_id, user_id, post.timestamp
+                )
+                if not relevant:
+                    skipped_empty += 1
+                    continue
+                grades = workload.ground_truth.grades_for(
+                    post.msg_id, user_id, post.timestamp
+                )
+                samples += 1
+                for name, recommender in recommenders.items():
+                    slate = recommender.slate(
+                        user_id, post.msg_id, message_vec, post.timestamp, self.k
+                    )
+                    precision = precision_at_k(slate, relevant, self.k)
+                    recall = recall_at_k(slate, relevant, self.k)
+                    bucket = sums[name]
+                    bucket["precision"] += precision
+                    bucket["recall"] += recall
+                    bucket["f1"] += f1_score(precision, recall)
+                    bucket["ndcg"] += ndcg_at_k(slate, grades, self.k)
+                    bucket["map"] += average_precision(slate, relevant, self.k)
+            for recommender in recommenders.values():
+                recommender.observe_post(post.author_id, message_vec, post.timestamp)
+
+        results: list[EffectivenessResult] = []
+        for name in recommenders:
+            bucket = sums[name]
+            divisor = max(1, samples)
+            results.append(
+                EffectivenessResult(
+                    name=name,
+                    precision=bucket["precision"] / divisor,
+                    recall=bucket["recall"] / divisor,
+                    f1=bucket["f1"] / divisor,
+                    ndcg=bucket["ndcg"] / divisor,
+                    map=bucket["map"] / divisor,
+                    samples=samples,
+                    skipped_empty=skipped_empty,
+                )
+            )
+        return results

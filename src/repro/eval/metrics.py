@@ -1,0 +1,88 @@
+"""Ranking quality metrics: P@k, R@k, F1, MAP, NDCG.
+
+All functions treat the recommendation list as ranked (best first) and are
+defined to return 0.0 on degenerate inputs rather than raising, because the
+harness aggregates over thousands of deliveries where empty slates and
+empty relevant sets legitimately occur.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Mapping, Sequence
+
+from repro.errors import EvaluationError
+
+
+def _check_k(k: int) -> None:
+    if k < 1:
+        raise EvaluationError(f"k must be >= 1, got {k}")
+
+
+def precision_at_k(recommended: Sequence[int], relevant: set[int], k: int) -> float:
+    """|top-k ∩ relevant| / k — note the fixed denominator ``k``, so short
+    slates are penalised for what they failed to fill."""
+    _check_k(k)
+    top = recommended[:k]
+    if not top:
+        return 0.0
+    hits = sum(1 for ad_id in top if ad_id in relevant)
+    return hits / k
+
+
+def recall_at_k(recommended: Sequence[int], relevant: set[int], k: int) -> float:
+    """|top-k ∩ relevant| / |relevant|; 0.0 when nothing is relevant."""
+    _check_k(k)
+    if not relevant:
+        return 0.0
+    hits = sum(1 for ad_id in recommended[:k] if ad_id in relevant)
+    return hits / len(relevant)
+
+
+def f1_score(precision: float, recall: float) -> float:
+    """Harmonic mean; 0.0 when both inputs are 0."""
+    if precision < 0.0 or recall < 0.0:
+        raise EvaluationError("precision and recall must be >= 0")
+    if precision + recall == 0.0:
+        return 0.0
+    return 2.0 * precision * recall / (precision + recall)
+
+
+def average_precision(
+    recommended: Sequence[int], relevant: set[int], k: int
+) -> float:
+    """AP@k: mean of precision at each relevant hit position."""
+    _check_k(k)
+    if not relevant:
+        return 0.0
+    hits = 0
+    precision_sum = 0.0
+    for position, ad_id in enumerate(recommended[:k], start=1):
+        if ad_id in relevant:
+            hits += 1
+            precision_sum += hits / position
+    if hits == 0:
+        return 0.0
+    return precision_sum / min(len(relevant), k)
+
+
+def ndcg_at_k(
+    recommended: Sequence[int], grades: Mapping[int, float], k: int
+) -> float:
+    """Graded NDCG@k with gains ``2^grade - 1``; 0.0 when the ideal is 0."""
+    _check_k(k)
+    dcg = 0.0
+    for position, ad_id in enumerate(recommended[:k]):
+        grade = grades.get(ad_id, 0.0)
+        if grade > 0.0:
+            dcg += (2.0**grade - 1.0) / math.log2(position + 2.0)
+    ideal_grades = sorted(
+        (grade for grade in grades.values() if grade > 0.0), reverse=True
+    )[:k]
+    ideal = sum(
+        (2.0**grade - 1.0) / math.log2(position + 2.0)
+        for position, grade in enumerate(ideal_grades)
+    )
+    if ideal == 0.0:
+        return 0.0
+    return dcg / ideal

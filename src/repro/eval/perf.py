@@ -1,0 +1,71 @@
+"""Performance harness: run an engine configuration over a workload and
+report throughput, latency and engine instrumentation in one flat record."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import EngineConfig
+from repro.core.recommender import ContextAwareRecommender
+from repro.datagen.workload import Workload
+from repro.stream.simulator import FeedSimulator
+
+
+@dataclass(frozen=True, slots=True)
+class PerfResult:
+    """One performance measurement (one row of an efficiency figure)."""
+
+    label: str
+    posts: int
+    deliveries: int
+    wall_seconds: float
+    deliveries_per_s: float
+    post_latency_p50_ms: float
+    post_latency_p99_ms: float
+    fallback_rate: float
+    refresh_rate: float
+    impressions: int
+
+    def row(self) -> list[object]:
+        return [
+            self.label,
+            self.deliveries,
+            self.deliveries_per_s,
+            self.post_latency_p50_ms,
+            self.post_latency_p99_ms,
+            self.fallback_rate,
+        ]
+
+
+def run_perf(
+    workload: Workload,
+    config: EngineConfig,
+    *,
+    label: str,
+    limit_posts: int | None = None,
+    with_checkins: bool = False,
+) -> PerfResult:
+    """Build a fresh engine for ``config``, replay the stream, measure.
+
+    Each call takes a fresh corpus so budget-driven retirements in one run
+    never leak into another.
+    """
+    recommender = ContextAwareRecommender.from_workload(workload, config)
+    posts = workload.posts if limit_posts is None else workload.posts[:limit_posts]
+    simulator = FeedSimulator(recommender.engine)
+    metrics = simulator.run(
+        posts, checkins=workload.checkins if with_checkins else ()
+    )
+    stats = recommender.stats
+    return PerfResult(
+        label=label,
+        posts=metrics.posts,
+        deliveries=metrics.deliveries,
+        wall_seconds=metrics.wall_seconds,
+        deliveries_per_s=metrics.deliveries_per_second(),
+        post_latency_p50_ms=metrics.post_latency.p50() * 1e3,
+        post_latency_p99_ms=metrics.post_latency.p99() * 1e3,
+        fallback_rate=stats.fallback_rate(),
+        refresh_rate=stats.refresh_rate(),
+        impressions=metrics.impressions,
+    )

@@ -1,0 +1,52 @@
+"""Plain-text table rendering for the benchmark reports."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import EvaluationError
+
+
+def format_number(value: object, *, precision: int = 3) -> str:
+    """Compact numeric formatting: ints plain, floats fixed-precision."""
+    if isinstance(value, bool):
+        return str(value)
+    if isinstance(value, int):
+        return str(value)
+    if isinstance(value, float):
+        if value == int(value) and abs(value) < 1e15:
+            return str(int(value))
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def ascii_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    *,
+    title: str | None = None,
+    precision: int = 3,
+) -> str:
+    """Render an aligned monospace table (what the benches print)."""
+    if any(len(row) != len(headers) for row in rows):
+        raise EvaluationError("every row must have one cell per header")
+    cells = [[format_number(cell, precision=precision) for cell in row] for row in rows]
+    widths = [
+        max(len(str(header)), *(len(row[column]) for row in cells), 1)
+        if cells
+        else len(str(header))
+        for column, header in enumerate(headers)
+    ]
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(
+        str(header).ljust(width) for header, width in zip(headers, widths)
+    )
+    lines.append(header_line)
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in cells:
+        lines.append(
+            " | ".join(cell.ljust(width) for cell, width in zip(row, widths))
+        )
+    return "\n".join(lines)

@@ -1,0 +1,5 @@
+"""News-feed assembly: interleaving ad slates into organic timelines."""
+
+from repro.feed.assembler import AdSlotPolicy, FeedAssembler, FeedItem
+
+__all__ = ["AdSlotPolicy", "FeedAssembler", "FeedItem"]

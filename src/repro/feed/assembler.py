@@ -1,0 +1,138 @@
+"""Assembling the user-facing feed: organic messages with ad slots.
+
+The matching engine answers "which ads fit this delivery"; the assembler
+answers "where do ads actually appear in the timeline". Policy knobs are
+the ones platforms tune:
+
+* **slot spacing** — at most one ad every ``organic_between_ads`` organic
+  items (ad load);
+* **lead-in** — no ad before ``first_slot`` organic items (the top of the
+  feed is sacred);
+* **advertiser frequency capping** — the same advertiser appears at most
+  ``advertiser_cap`` times per assembled feed;
+* **ad de-duplication** — an ad already shown to this user within the
+  recent-history window is skipped.
+
+The assembler is deliberately independent of the engine: it consumes any
+ranked slate source, so tests can drive it with fixtures.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+
+from repro.core.scoring import ScoredAd
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class FeedItem:
+    """One rendered feed position: either organic or a sponsored slot."""
+
+    kind: str  # "organic" | "ad"
+    msg_id: int | None = None
+    ad_id: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("organic", "ad"):
+            raise ConfigError(f"unknown feed item kind: {self.kind!r}")
+        if self.kind == "organic" and self.msg_id is None:
+            raise ConfigError("organic items need msg_id")
+        if self.kind == "ad" and self.ad_id is None:
+            raise ConfigError("ad items need ad_id")
+
+
+@dataclass(frozen=True)
+class AdSlotPolicy:
+    """Where ads may be placed and how often they may repeat."""
+
+    organic_between_ads: int = 4
+    first_slot: int = 2
+    advertiser_cap: int = 1
+    history_window: int = 30
+
+    def __post_init__(self) -> None:
+        if self.organic_between_ads < 1:
+            raise ConfigError(
+                f"organic_between_ads must be >= 1, got {self.organic_between_ads}"
+            )
+        if self.first_slot < 0:
+            raise ConfigError(f"first_slot must be >= 0, got {self.first_slot}")
+        if self.advertiser_cap < 1:
+            raise ConfigError(
+                f"advertiser_cap must be >= 1, got {self.advertiser_cap}"
+            )
+        if self.history_window < 0:
+            raise ConfigError(
+                f"history_window must be >= 0, got {self.history_window}"
+            )
+
+
+@dataclass
+class FeedAssembler:
+    """Per-user feed assembly with repeat suppression across renders.
+
+    One assembler instance carries one user's recent-ad history; the
+    engine-side owner keeps one per user.
+    """
+
+    policy: AdSlotPolicy = field(default_factory=AdSlotPolicy)
+    advertiser_of: dict[int, str] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self._recent_ads: deque[int] = deque(maxlen=max(1, self.policy.history_window))
+
+    def seen_recently(self, ad_id: int) -> bool:
+        return self.policy.history_window > 0 and ad_id in self._recent_ads
+
+    def assemble(
+        self,
+        organic_msg_ids: list[int],
+        slate: list[ScoredAd] | tuple[ScoredAd, ...],
+    ) -> list[FeedItem]:
+        """Interleave a ranked slate into an organic timeline.
+
+        Ads are consumed best-first; an ad is skipped (not deferred) when
+        it violates frequency capping or was shown recently. Unplaceable
+        ads are simply dropped — a feed never pads with stale slots.
+        """
+        feed: list[FeedItem] = []
+        per_advertiser: dict[str, int] = {}
+        queue = list(slate)
+        cursor = 0
+        organics_since_ad = 0
+        organics_emitted = 0
+
+        def try_place_ad() -> None:
+            nonlocal cursor, organics_since_ad
+            while cursor < len(queue):
+                scored = queue[cursor]
+                cursor += 1
+                advertiser = self.advertiser_of.get(scored.ad_id, str(scored.ad_id))
+                if self.seen_recently(scored.ad_id):
+                    continue
+                if per_advertiser.get(advertiser, 0) >= self.policy.advertiser_cap:
+                    continue
+                per_advertiser[advertiser] = per_advertiser.get(advertiser, 0) + 1
+                if self.policy.history_window > 0:
+                    self._recent_ads.append(scored.ad_id)
+                feed.append(FeedItem(kind="ad", ad_id=scored.ad_id))
+                organics_since_ad = 0
+                return
+
+        for msg_id in organic_msg_ids:
+            feed.append(FeedItem(kind="organic", msg_id=msg_id))
+            organics_emitted += 1
+            organics_since_ad += 1
+            lead_in_done = organics_emitted >= self.policy.first_slot
+            if lead_in_done and organics_since_ad >= self.policy.organic_between_ads:
+                try_place_ad()
+        return feed
+
+    def ad_load(self, feed: list[FeedItem]) -> float:
+        """Fraction of feed positions that are sponsored."""
+        if not feed:
+            return 0.0
+        ads = sum(1 for item in feed if item.kind == "ad")
+        return ads / len(feed)

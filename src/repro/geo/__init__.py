@@ -1,0 +1,15 @@
+"""Geospatial substrate: points, distances, named regions, grid index."""
+
+from repro.geo.grid import GridIndex
+from repro.geo.point import EARTH_RADIUS_KM, GeoPoint, haversine_km
+from repro.geo.regions import CITIES, City, nearest_city
+
+__all__ = [
+    "CITIES",
+    "City",
+    "EARTH_RADIUS_KM",
+    "GeoPoint",
+    "GridIndex",
+    "haversine_km",
+    "nearest_city",
+]

@@ -1,0 +1,94 @@
+"""A uniform lat/lon grid index for radius queries over point sets.
+
+The ad engine uses this as a spatial pre-filter: given a user location, find
+every geo-targeted ad whose target circle could contain the user without
+scanning the whole corpus. Cells are fixed-size in degrees; a radius query
+scans only the cells overlapping the query circle's bounding box and then
+verifies candidates with the exact haversine distance.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterator
+
+from repro.errors import ConfigError
+from repro.geo.point import GeoPoint, haversine_km
+
+_KM_PER_DEGREE_LAT = 111.32
+
+
+class GridIndex:
+    """Maps integer item ids to points and answers radius queries."""
+
+    def __init__(self, cell_degrees: float = 1.0) -> None:
+        if cell_degrees <= 0.0:
+            raise ConfigError(f"cell_degrees must be positive, got {cell_degrees}")
+        self.cell_degrees = cell_degrees
+        self._cells: dict[tuple[int, int], dict[int, GeoPoint]] = {}
+        self._items: dict[int, GeoPoint] = {}
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __contains__(self, item: int) -> bool:
+        return item in self._items
+
+    def _cell_of(self, point: GeoPoint) -> tuple[int, int]:
+        return (
+            int(math.floor(point.lat / self.cell_degrees)),
+            int(math.floor(point.lon / self.cell_degrees)),
+        )
+
+    def insert(self, item: int, point: GeoPoint) -> None:
+        """Add or move an item; re-inserting replaces its location."""
+        if item in self._items:
+            self.remove(item)
+        self._items[item] = point
+        self._cells.setdefault(self._cell_of(point), {})[item] = point
+
+    def remove(self, item: int) -> None:
+        """Remove an item; unknown items raise ConfigError."""
+        point = self._items.pop(item, None)
+        if point is None:
+            raise ConfigError(f"item {item} not in grid index")
+        cell = self._cell_of(point)
+        bucket = self._cells[cell]
+        del bucket[item]
+        if not bucket:
+            del self._cells[cell]
+
+    def location_of(self, item: int) -> GeoPoint:
+        point = self._items.get(item)
+        if point is None:
+            raise ConfigError(f"item {item} not in grid index")
+        return point
+
+    def within_radius(self, center: GeoPoint, radius_km: float) -> Iterator[int]:
+        """Yield item ids whose point lies within ``radius_km`` of ``center``."""
+        if radius_km < 0.0:
+            raise ConfigError(f"radius_km must be >= 0, got {radius_km}")
+        lat_pad = radius_km / _KM_PER_DEGREE_LAT
+        cos_lat = math.cos(math.radians(center.lat))
+        # Near the poles a longitude degree shrinks to nothing; fall back to
+        # scanning all longitudes rather than dividing by ~0.
+        if cos_lat < 1e-6:
+            lon_pad = 180.0
+        else:
+            lon_pad = radius_km / (_KM_PER_DEGREE_LAT * cos_lat)
+        lat_lo = int(math.floor((center.lat - lat_pad) / self.cell_degrees))
+        lat_hi = int(math.floor((center.lat + lat_pad) / self.cell_degrees))
+        lon_lo = int(math.floor((center.lon - lon_pad) / self.cell_degrees))
+        lon_hi = int(math.floor((center.lon + lon_pad) / self.cell_degrees))
+        for cell_lat in range(lat_lo, lat_hi + 1):
+            for cell_lon in range(lon_lo, lon_hi + 1):
+                bucket = self._cells.get((cell_lat, cell_lon))
+                if not bucket:
+                    continue
+                for item, point in bucket.items():
+                    if haversine_km(center, point) <= radius_km:
+                        yield item
+
+    def items(self) -> Iterator[tuple[int, GeoPoint]]:
+        """All (item, point) pairs in insertion-independent dict order."""
+        return iter(self._items.items())

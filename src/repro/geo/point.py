@@ -1,0 +1,42 @@
+"""Geographic points and great-circle distance."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+EARTH_RADIUS_KM = 6371.0088  # mean Earth radius
+
+
+@dataclass(frozen=True, slots=True)
+class GeoPoint:
+    """A WGS-84 latitude/longitude pair in degrees."""
+
+    lat: float
+    lon: float
+
+    def __post_init__(self) -> None:
+        if not -90.0 <= self.lat <= 90.0:
+            raise ConfigError(f"latitude out of range [-90, 90]: {self.lat}")
+        if not -180.0 <= self.lon <= 180.0:
+            raise ConfigError(f"longitude out of range [-180, 180]: {self.lon}")
+
+    def distance_km(self, other: "GeoPoint") -> float:
+        """Great-circle distance to another point in kilometres."""
+        return haversine_km(self, other)
+
+
+def haversine_km(a: GeoPoint, b: GeoPoint) -> float:
+    """Haversine great-circle distance between two points, in km."""
+    lat1, lon1 = math.radians(a.lat), math.radians(a.lon)
+    lat2, lon2 = math.radians(b.lat), math.radians(b.lon)
+    dlat = lat2 - lat1
+    dlon = lon2 - lon1
+    sin_dlat = math.sin(dlat / 2.0)
+    sin_dlon = math.sin(dlon / 2.0)
+    h = sin_dlat * sin_dlat + math.cos(lat1) * math.cos(lat2) * sin_dlon * sin_dlon
+    # Clamp for floating-point safety before asin.
+    h = min(1.0, max(0.0, h))
+    return 2.0 * EARTH_RADIUS_KM * math.asin(math.sqrt(h))

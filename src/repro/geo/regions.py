@@ -1,0 +1,59 @@
+"""Named regions (cities) used by the synthetic workload generator.
+
+A fixed catalogue of world cities gives the generator realistic geographic
+clustering: users live near a city centre with Gaussian scatter, and geo
+targeted ads target a city with a radius.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.geo.point import GeoPoint
+
+
+@dataclass(frozen=True, slots=True)
+class City:
+    """A named population centre."""
+
+    name: str
+    center: GeoPoint
+    population_weight: float
+
+    def __post_init__(self) -> None:
+        if self.population_weight <= 0.0:
+            raise ConfigError(
+                f"population_weight must be positive, got {self.population_weight}"
+            )
+
+
+CITIES: tuple[City, ...] = (
+    City("new_york", GeoPoint(40.7128, -74.0060), 8.4),
+    City("london", GeoPoint(51.5074, -0.1278), 8.9),
+    City("tokyo", GeoPoint(35.6762, 139.6503), 13.9),
+    City("singapore", GeoPoint(1.3521, 103.8198), 5.7),
+    City("sydney", GeoPoint(-33.8688, 151.2093), 5.3),
+    City("sao_paulo", GeoPoint(-23.5505, -46.6333), 12.3),
+    City("mumbai", GeoPoint(19.0760, 72.8777), 12.4),
+    City("lagos", GeoPoint(6.5244, 3.3792), 14.8),
+    City("paris", GeoPoint(48.8566, 2.3522), 2.1),
+    City("san_francisco", GeoPoint(37.7749, -122.4194), 0.9),
+    City("berlin", GeoPoint(52.5200, 13.4050), 3.6),
+    City("toronto", GeoPoint(43.6532, -79.3832), 2.9),
+)
+
+_CITY_BY_NAME = {city.name: city for city in CITIES}
+
+
+def city_by_name(name: str) -> City:
+    """Look up a catalogue city by name."""
+    city = _CITY_BY_NAME.get(name)
+    if city is None:
+        raise ConfigError(f"unknown city: {name!r}")
+    return city
+
+
+def nearest_city(point: GeoPoint) -> City:
+    """The catalogue city whose centre is closest to ``point``."""
+    return min(CITIES, key=lambda city: city.center.distance_km(point))

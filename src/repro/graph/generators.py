@@ -1,0 +1,120 @@
+"""Synthetic follow-graph generators.
+
+Three models with increasingly realistic degree skew:
+
+* ``random_follow_graph`` — Erdős–Rényi-style, every potential edge with the
+  same probability (a sanity baseline).
+* ``preferential_attachment_graph`` — rich-get-richer follower counts, the
+  standard model for power-law in-degree in social networks.
+* ``zipf_fanout_graph`` — direct control of the fan-out distribution: user
+  ranks map to Zipfian follower counts, which is the knob the F5 benchmark
+  sweeps.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.errors import ConfigError
+from repro.graph.social import SocialGraph
+from repro.util.zipf import ZipfSampler
+
+
+def _empty_graph(num_users: int) -> SocialGraph:
+    if num_users <= 0:
+        raise ConfigError(f"num_users must be positive, got {num_users}")
+    graph = SocialGraph()
+    for user_id in range(num_users):
+        graph.add_user(user_id)
+    return graph
+
+
+def random_follow_graph(
+    num_users: int, edge_probability: float, rng: random.Random
+) -> SocialGraph:
+    """Each ordered (follower, followee) pair exists with fixed probability."""
+    if not 0.0 <= edge_probability <= 1.0:
+        raise ConfigError(
+            f"edge_probability must be in [0, 1], got {edge_probability}"
+        )
+    graph = _empty_graph(num_users)
+    for follower in range(num_users):
+        for followee in range(num_users):
+            if follower != followee and rng.random() < edge_probability:
+                graph.follow(follower, followee)
+    return graph
+
+
+def preferential_attachment_graph(
+    num_users: int, follows_per_user: int, rng: random.Random
+) -> SocialGraph:
+    """Rich-get-richer follower growth.
+
+    Users join in id order; each new user follows ``follows_per_user``
+    distinct earlier users chosen proportionally to (1 + current follower
+    count), which yields a heavy-tailed follower distribution like Twitter's.
+    """
+    if follows_per_user < 1:
+        raise ConfigError(
+            f"follows_per_user must be >= 1, got {follows_per_user}"
+        )
+    graph = _empty_graph(num_users)
+    # Repeated-node urn: each occurrence of an id is one unit of attachment
+    # probability mass (the classic Barabási–Albert trick).
+    urn: list[int] = list(range(min(num_users, follows_per_user + 1)))
+    for joiner in range(1, num_users):
+        candidates = set()
+        attempts = 0
+        wanted = min(follows_per_user, joiner)
+        while len(candidates) < wanted and attempts < 50 * wanted:
+            attempts += 1
+            pick = rng.choice(urn)
+            if pick != joiner and pick < joiner:
+                candidates.add(pick)
+        # Fall back to uniform sampling if the urn kept repeating.
+        while len(candidates) < wanted:
+            pick = rng.randrange(joiner)
+            candidates.add(pick)
+        for followee in candidates:
+            graph.follow(joiner, followee)
+            urn.append(followee)
+        urn.append(joiner)
+    return graph
+
+
+def zipf_fanout_graph(
+    num_users: int,
+    avg_fanout: float,
+    rng: random.Random,
+    *,
+    exponent: float = 1.0,
+) -> SocialGraph:
+    """Assign each user a Zipf-ranked follower count averaging ``avg_fanout``.
+
+    User 0 is the biggest celebrity. Followers are drawn uniformly from the
+    other users, so out-degree stays roughly uniform while in-degree follows
+    the requested skew — matching how feed fan-out cost is distributed in
+    practice.
+    """
+    if avg_fanout < 0.0:
+        raise ConfigError(f"avg_fanout must be >= 0, got {avg_fanout}")
+    if avg_fanout > num_users - 1:
+        raise ConfigError(
+            f"avg_fanout {avg_fanout} impossible with {num_users} users"
+        )
+    graph = _empty_graph(num_users)
+    if avg_fanout == 0.0 or num_users == 1:
+        return graph
+    sampler = ZipfSampler(num_users, exponent)
+    total_edges = round(avg_fanout * num_users)
+    masses = [sampler.probability(rank) for rank in range(num_users)]
+    for followee in range(num_users):
+        target = min(num_users - 1, round(masses[followee] * total_edges))
+        chosen: set[int] = set()
+        while len(chosen) < target:
+            follower = rng.randrange(num_users)
+            if follower != followee:
+                chosen.add(follower)
+        for follower in chosen:
+            graph.follow(follower, followee)
+    return graph

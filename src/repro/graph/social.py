@@ -1,0 +1,111 @@
+"""Directed follow graph.
+
+An edge ``u → v`` means "u follows v": messages posted by ``v`` fan out to
+the news feeds of ``followers(v)``. The graph stores both directions so that
+fan-out (followers) and feed composition (followees) are O(degree) reads.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError, UnknownUserError
+
+
+@dataclass(frozen=True, slots=True)
+class GraphStats:
+    """Summary statistics used in workload reports (Table T1)."""
+
+    num_users: int
+    num_edges: int
+    avg_fanout: float
+    max_fanout: int
+
+
+class SocialGraph:
+    """Mutable directed follow graph over integer user ids."""
+
+    def __init__(self) -> None:
+        self._followers: dict[int, set[int]] = {}
+        self._followees: dict[int, set[int]] = {}
+
+    # -- membership ------------------------------------------------------
+
+    def add_user(self, user_id: int) -> None:
+        """Register a user (idempotent)."""
+        if user_id < 0:
+            raise ConfigError(f"user ids must be non-negative, got {user_id}")
+        self._followers.setdefault(user_id, set())
+        self._followees.setdefault(user_id, set())
+
+    def has_user(self, user_id: int) -> bool:
+        return user_id in self._followers
+
+    def _require_user(self, user_id: int) -> None:
+        if user_id not in self._followers:
+            raise UnknownUserError(user_id)
+
+    @property
+    def num_users(self) -> int:
+        return len(self._followers)
+
+    @property
+    def num_edges(self) -> int:
+        return sum(len(edges) for edges in self._followers.values())
+
+    def users(self) -> list[int]:
+        """All registered user ids, ascending."""
+        return sorted(self._followers)
+
+    # -- edges -------------------------------------------------------------
+
+    def follow(self, follower: int, followee: int) -> None:
+        """Record that ``follower`` follows ``followee`` (idempotent).
+
+        Self-follows are rejected: a user's own posts enter their timeline
+        through a separate path in real feed systems and would double-count
+        deliveries here.
+        """
+        if follower == followee:
+            raise ConfigError(f"self-follow rejected for user {follower}")
+        self._require_user(follower)
+        self._require_user(followee)
+        self._followers[followee].add(follower)
+        self._followees[follower].add(followee)
+
+    def unfollow(self, follower: int, followee: int) -> None:
+        self._require_user(follower)
+        self._require_user(followee)
+        self._followers[followee].discard(follower)
+        self._followees[follower].discard(followee)
+
+    def is_following(self, follower: int, followee: int) -> bool:
+        self._require_user(follower)
+        return followee in self._followees[follower]
+
+    def followers(self, user_id: int) -> frozenset[int]:
+        """Who receives ``user_id``'s posts."""
+        self._require_user(user_id)
+        return frozenset(self._followers[user_id])
+
+    def followees(self, user_id: int) -> frozenset[int]:
+        """Whose posts appear in ``user_id``'s feed."""
+        self._require_user(user_id)
+        return frozenset(self._followees[user_id])
+
+    def fanout(self, user_id: int) -> int:
+        """Number of feeds one post by ``user_id`` is delivered to."""
+        self._require_user(user_id)
+        return len(self._followers[user_id])
+
+    # -- reporting ---------------------------------------------------------
+
+    def stats(self) -> GraphStats:
+        n = self.num_users
+        fanouts = [len(edges) for edges in self._followers.values()]
+        return GraphStats(
+            num_users=n,
+            num_edges=sum(fanouts),
+            avg_fanout=(sum(fanouts) / n) if n else 0.0,
+            max_fanout=max(fanouts, default=0),
+        )

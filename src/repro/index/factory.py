@@ -1,0 +1,48 @@
+"""Searcher factory: one switch selects the pruning strategy engine-wide.
+
+All three searchers are exact and interchangeable (property-tested to
+return identical score multisets); they differ only in constant factors.
+The B1 micro-benchmark shows term-at-a-time TA has the best constants in
+pure Python (document-at-a-time WAND/MaxScore pay per-step cursor
+bookkeeping that compiled engines amortise), so TA is the engine default,
+while ``EngineConfig(searcher=...)`` keeps the others one flag away.
+"""
+
+from __future__ import annotations
+
+from repro.errors import ConfigError
+from repro.index.inverted import AdInvertedIndex
+from repro.index.maxscore import MaxScoreSearcher
+from repro.index.threshold import ThresholdSearcher
+from repro.index.wand import FilterFn, StaticScoreFn, WandSearcher
+
+SEARCHER_KINDS = ("ta", "wand", "maxscore")
+
+TopKSearcher = WandSearcher | ThresholdSearcher | MaxScoreSearcher
+
+
+def make_searcher(
+    kind: str,
+    index: AdInvertedIndex,
+    *,
+    static_score: StaticScoreFn | None = None,
+    max_static: float = 0.0,
+    filter_fn: FilterFn | None = None,
+) -> TopKSearcher:
+    """Build a top-k searcher of the requested kind over ``index``."""
+    if kind == "wand":
+        cls = WandSearcher
+    elif kind == "ta":
+        cls = ThresholdSearcher
+    elif kind == "maxscore":
+        cls = MaxScoreSearcher
+    else:
+        raise ConfigError(
+            f"unknown searcher kind {kind!r}; expected one of {SEARCHER_KINDS}"
+        )
+    return cls(
+        index,
+        static_score=static_score,
+        max_static=max_static,
+        filter_fn=filter_fn,
+    )

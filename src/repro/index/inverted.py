@@ -1,0 +1,107 @@
+"""Term-partitioned inverted index over the ad corpus.
+
+The index stores each active ad's unit term vector across per-term posting
+lists and keeps per-term maximum weights — the metadata WAND-style pruning
+relies on. It can subscribe to an :class:`~repro.ads.corpus.AdCorpus` so
+additions and budget-driven retirements are reflected immediately (the
+"incremental index maintenance" part of the system).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.ads.ad import Ad
+from repro.ads.corpus import AdCorpus
+from repro.errors import IndexError_
+from repro.index.postings import PostingList
+
+
+class AdInvertedIndex:
+    """term → :class:`PostingList` with incremental add/remove."""
+
+    def __init__(self) -> None:
+        self._postings: dict[str, PostingList] = {}
+        self._ad_terms: dict[int, dict[str, float]] = {}
+
+    @classmethod
+    def from_corpus(cls, corpus: AdCorpus, *, subscribe: bool = True) -> "AdInvertedIndex":
+        """Build over all active ads and optionally track future mutations."""
+        index = cls()
+        for ad in corpus.active_ads():
+            index.add_ad(ad)
+        if subscribe:
+            corpus.subscribe(on_add=index.add_ad, on_retire=index.remove_ad)
+        return index
+
+    # -- mutation --------------------------------------------------------
+
+    def add_ad(self, ad: Ad) -> None:
+        if ad.ad_id in self._ad_terms:
+            raise IndexError_(f"ad {ad.ad_id} already indexed")
+        for term, weight in ad.terms.items():
+            postings = self._postings.get(term)
+            if postings is None:
+                postings = PostingList()
+                self._postings[term] = postings
+            postings.add(ad.ad_id, weight)
+        self._ad_terms[ad.ad_id] = dict(ad.terms)
+
+    def remove_ad(self, ad: Ad) -> None:
+        self.remove_ad_id(ad.ad_id)
+
+    def remove_ad_id(self, ad_id: int) -> None:
+        terms = self._ad_terms.pop(ad_id, None)
+        if terms is None:
+            raise IndexError_(f"ad {ad_id} not indexed")
+        for term in terms:
+            postings = self._postings[term]
+            postings.remove(ad_id)
+            if not len(postings):
+                del self._postings[term]
+
+    # -- read side -----------------------------------------------------------
+
+    def __contains__(self, ad_id: int) -> bool:
+        return ad_id in self._ad_terms
+
+    @property
+    def num_ads(self) -> int:
+        return len(self._ad_terms)
+
+    @property
+    def num_terms(self) -> int:
+        return len(self._postings)
+
+    @property
+    def num_postings(self) -> int:
+        return sum(len(postings) for postings in self._postings.values())
+
+    def postings(self, term: str) -> PostingList | None:
+        """Posting list for a term, or None if the term is unindexed."""
+        return self._postings.get(term)
+
+    def max_weight(self, term: str) -> float:
+        """Per-term upper bound on posting weight (0.0 for unknown terms)."""
+        postings = self._postings.get(term)
+        return postings.max_weight if postings is not None else 0.0
+
+    def ad_terms(self, ad_id: int) -> dict[str, float]:
+        """Forward lookup: an indexed ad's term vector (a copy)."""
+        terms = self._ad_terms.get(ad_id)
+        if terms is None:
+            raise IndexError_(f"ad {ad_id} not indexed")
+        return dict(terms)
+
+    def content_upper_bound(self, query: Mapping[str, float]) -> float:
+        """Upper bound on dot(query, ad) over all indexed ads.
+
+        Sum over query terms of query weight × per-term max weight — the
+        quantity the incremental maintainer uses to decide whether an
+        arriving message could possibly disturb a user's current top-k.
+        """
+        return sum(
+            weight * self.max_weight(term)
+            for term, weight in query.items()
+            if weight > 0.0
+        )

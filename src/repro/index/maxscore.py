@@ -1,0 +1,141 @@
+"""MaxScore top-k retrieval (Turtle & Flood, 1995).
+
+The other classic dynamic-pruning strategy, included both as an
+alternative engine probe and as the comparison point for the index
+micro-benchmark (B1): terms are split by the current threshold into
+*essential* lists (a result must contain at least one essential term) and
+*non-essential* lists (probed by random access with early abandoning).
+
+Same contract as :class:`~repro.index.wand.WandSearcher`: exact top-k of
+``dot(query, ·) + static`` over ads sharing at least one query term, with
+identical tie semantics — the property tests assert score-level equality
+against WAND, TA and brute force.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Mapping
+
+from repro.errors import ConfigError
+from repro.index.inverted import AdInvertedIndex
+from repro.index.wand import FilterFn, StaticScoreFn
+from repro.util.heap import BoundedTopK, TopKEntry
+
+_EXHAUSTED = 1 << 62
+
+
+class _List:
+    __slots__ = ("bound", "pos", "postings", "qweight")
+
+    def __init__(self, postings, qweight: float) -> None:
+        self.postings = postings
+        self.qweight = qweight
+        self.pos = 0
+        self.bound = qweight * postings.max_weight
+
+    @property
+    def current(self) -> int:
+        if self.pos >= len(self.postings):
+            return _EXHAUSTED
+        return self.postings.id_at(self.pos)
+
+    def contribution_at_current(self) -> float:
+        return self.qweight * self.postings.weight_at(self.pos)
+
+
+class MaxScoreSearcher:
+    """MaxScore evaluator bound to one inverted index."""
+
+    def __init__(
+        self,
+        index: AdInvertedIndex,
+        *,
+        static_score: StaticScoreFn | None = None,
+        max_static: float = 0.0,
+        filter_fn: FilterFn | None = None,
+    ) -> None:
+        if max_static < 0.0:
+            raise ConfigError(f"max_static must be >= 0, got {max_static}")
+        if static_score is None and max_static > 0.0:
+            raise ConfigError("max_static > 0 requires a static_score function")
+        self._index = index
+        self._static_score = static_score
+        self._max_static = max_static
+        self._filter_fn = filter_fn
+        self.last_evaluations = 0
+
+    def search(self, query: Mapping[str, float], k: int) -> list[TopKEntry]:
+        """Exact top-k of ``dot(query, ·) + static`` over matching ads."""
+        heap = BoundedTopK(k)
+        lists: list[_List] = []
+        for term, qweight in query.items():
+            if qweight < 0.0:
+                raise ConfigError(f"negative query weight for {term!r}")
+            if qweight == 0.0:
+                continue
+            postings = self._index.postings(term)
+            if postings is not None and len(postings):
+                lists.append(_List(postings, qweight))
+        self.last_evaluations = 0
+        if not lists:
+            return []
+
+        # Ascending by upper bound: the weakest lists become non-essential
+        # first as the threshold rises.
+        lists.sort(key=lambda entry: entry.bound)
+        prefix_bounds = [0.0]
+        for entry in lists:
+            prefix_bounds.append(prefix_bounds[-1] + entry.bound)
+
+        while True:
+            threshold = heap.threshold()
+            # First index whose inclusion could reach the threshold: lists
+            # below it cannot, even together (plus the static bound).
+            essential_from = None
+            for index in range(len(lists)):
+                if prefix_bounds[index + 1] + self._max_static >= threshold:
+                    essential_from = index
+                    break
+            if essential_from is None:
+                break  # nothing can reach the top-k any more
+            essential = lists[essential_from:]
+            doc = min(entry.current for entry in essential)
+            if doc == _EXHAUSTED:
+                break
+            self._evaluate(doc, lists, essential_from, heap)
+            for entry in essential:
+                if entry.current == doc:
+                    entry.pos = entry.postings.seek(entry.pos, doc + 1)
+
+    # the loop exits via break; results come from the heap
+        return heap.results()
+
+    def _evaluate(
+        self,
+        doc: int,
+        lists: list[_List],
+        essential_from: int,
+        heap: BoundedTopK,
+    ) -> None:
+        self.last_evaluations += 1
+        threshold = heap.threshold()
+        score = 0.0
+        for entry in lists[essential_from:]:
+            if entry.current == doc:
+                score += entry.contribution_at_current()
+        remaining = 0.0
+        for entry in lists[:essential_from]:
+            remaining += entry.bound
+        for index in range(essential_from - 1, -1, -1):
+            if score + remaining + self._max_static < threshold:
+                return  # early abandon: provably below the top-k
+            entry = lists[index]
+            remaining -= entry.bound
+            entry.pos = entry.postings.seek(entry.pos, doc)
+            if entry.current == doc:
+                score += entry.contribution_at_current()
+        if self._filter_fn is not None and not self._filter_fn(doc):
+            return
+        if self._static_score is not None:
+            score += self._static_score(doc)
+        heap.push(score, doc)

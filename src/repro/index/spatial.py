@@ -1,0 +1,97 @@
+"""Spatial eligibility filter over geo-targeted ads.
+
+Given a user location, answer "which ads' geo targeting admits this user?"
+without scanning the corpus: targeted circles live in a
+:class:`~repro.geo.grid.GridIndex` keyed by circle centre, untargeted ads
+are kept in a side set (they admit everyone). Used by the scan baselines
+and the geo-selectivity benchmark (F11).
+"""
+
+from __future__ import annotations
+
+from repro.ads.ad import Ad
+from repro.ads.corpus import AdCorpus
+from repro.errors import ConfigError
+from repro.geo.grid import GridIndex
+from repro.geo.point import GeoPoint
+
+_MAX_CIRCLES_PER_AD = 16
+
+
+class SpatialAdFilter:
+    """Eligible-ad lookup by user location."""
+
+    def __init__(self, cell_degrees: float = 1.0) -> None:
+        self._grid = GridIndex(cell_degrees)
+        self._circle_radius: dict[int, float] = {}  # synthetic id → radius
+        self._geo_ads: set[int] = set()
+        self._untargeted: set[int] = set()
+        # High-water mark over circle radii. Monotone (removals don't shrink
+        # it): a slightly generous grid query radius is still correct because
+        # every candidate is verified against its own circle.
+        self._max_radius_km = 0.0
+
+    @classmethod
+    def from_corpus(
+        cls, corpus: AdCorpus, *, cell_degrees: float = 1.0, subscribe: bool = True
+    ) -> "SpatialAdFilter":
+        spatial = cls(cell_degrees)
+        for ad in corpus.active_ads():
+            spatial.add_ad(ad)
+        if subscribe:
+            corpus.subscribe(on_add=spatial.add_ad, on_retire=spatial.remove_ad)
+        return spatial
+
+    @staticmethod
+    def _synthetic_id(ad_id: int, circle_index: int) -> int:
+        return ad_id * _MAX_CIRCLES_PER_AD + circle_index
+
+    def add_ad(self, ad: Ad) -> None:
+        circles = ad.targeting.circles
+        if not circles:
+            self._untargeted.add(ad.ad_id)
+            return
+        if len(circles) > _MAX_CIRCLES_PER_AD:
+            raise ConfigError(
+                f"ad {ad.ad_id} has {len(circles)} circles; "
+                f"max is {_MAX_CIRCLES_PER_AD}"
+            )
+        self._geo_ads.add(ad.ad_id)
+        for circle_index, (center, radius_km) in enumerate(circles):
+            synthetic = self._synthetic_id(ad.ad_id, circle_index)
+            self._grid.insert(synthetic, center)
+            self._circle_radius[synthetic] = radius_km
+            self._max_radius_km = max(self._max_radius_km, radius_km)
+
+    def remove_ad(self, ad: Ad) -> None:
+        if not ad.targeting.circles:
+            self._untargeted.discard(ad.ad_id)
+            return
+        self._geo_ads.discard(ad.ad_id)
+        for circle_index in range(len(ad.targeting.circles)):
+            synthetic = self._synthetic_id(ad.ad_id, circle_index)
+            if synthetic in self._grid:
+                self._grid.remove(synthetic)
+            self._circle_radius.pop(synthetic, None)
+
+    @property
+    def num_geo_ads(self) -> int:
+        return len(self._geo_ads)
+
+    @property
+    def num_untargeted(self) -> int:
+        return len(self._untargeted)
+
+    def eligible(self, location: GeoPoint | None) -> set[int]:
+        """Ad ids whose geo targeting admits a user at ``location``.
+
+        A user with unknown location is only eligible for untargeted ads.
+        """
+        result = set(self._untargeted)
+        if location is None or not self._geo_ads:
+            return result
+        for synthetic in self._grid.within_radius(location, self._max_radius_km):
+            center = self._grid.location_of(synthetic)
+            if center.distance_km(location) <= self._circle_radius[synthetic]:
+                result.add(synthetic // _MAX_CIRCLES_PER_AD)
+        return result

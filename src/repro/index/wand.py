@@ -1,0 +1,137 @@
+"""Document-at-a-time WAND top-k retrieval with static score boosts.
+
+This is the engine's workhorse probe. Given a sparse query vector it finds
+the k ads maximising::
+
+    score(a) = dot(query, a.terms) + static_score(a)
+
+using per-term maximum-weight upper bounds to skip documents that provably
+cannot enter the current top-k. ``static_score`` carries the per-ad,
+query-independent part of the ranking function (bid, geo proximity, profile
+affinity folded in by the caller); its global upper bound ``max_static``
+must be supplied so pruning stays admissible.
+
+Matching semantics: only ads sharing at least one term with the query are
+candidates (a relevance floor — context-aware advertising never serves an
+ad with zero content affinity). The brute-force reference in
+:mod:`repro.index.brute` applies the same rule, so both return identical
+score multisets, which the property tests assert.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+
+from repro.errors import ConfigError
+from repro.index.inverted import AdInvertedIndex
+from repro.util.heap import BoundedTopK, TopKEntry
+
+StaticScoreFn = Callable[[int], float]
+FilterFn = Callable[[int], bool]
+
+_EXHAUSTED = 1 << 62  # sentinel ad id larger than any real id
+
+
+class _Cursor:
+    """A pointer into one term's posting list."""
+
+    __slots__ = ("bound", "pos", "postings", "qweight")
+
+    def __init__(self, postings, qweight: float) -> None:
+        self.postings = postings
+        self.qweight = qweight
+        self.pos = 0
+        self.bound = qweight * postings.max_weight
+
+    @property
+    def current(self) -> int:
+        if self.pos >= len(self.postings):
+            return _EXHAUSTED
+        return self.postings.id_at(self.pos)
+
+    def advance_to(self, target_id: int) -> None:
+        self.pos = self.postings.seek(self.pos, target_id)
+
+    @property
+    def exhausted(self) -> bool:
+        return self.pos >= len(self.postings)
+
+
+class WandSearcher:
+    """Reusable WAND evaluator bound to one inverted index."""
+
+    def __init__(
+        self,
+        index: AdInvertedIndex,
+        *,
+        static_score: StaticScoreFn | None = None,
+        max_static: float = 0.0,
+        filter_fn: FilterFn | None = None,
+    ) -> None:
+        if max_static < 0.0:
+            raise ConfigError(f"max_static must be >= 0, got {max_static}")
+        if static_score is None and max_static > 0.0:
+            raise ConfigError("max_static > 0 requires a static_score function")
+        self._index = index
+        self._static_score = static_score
+        self._max_static = max_static
+        self._filter_fn = filter_fn
+        # Instrumentation: how many full document evaluations the last
+        # search performed (the cost WAND exists to minimise).
+        self.last_evaluations = 0
+
+    def search(self, query: Mapping[str, float], k: int) -> list[TopKEntry]:
+        """Exact top-k of ``dot(query, ·) + static`` over matching ads."""
+        heap = BoundedTopK(k)
+        cursors: list[_Cursor] = []
+        for term, qweight in query.items():
+            if qweight < 0.0:
+                raise ConfigError(f"negative query weight for {term!r}")
+            if qweight == 0.0:
+                continue
+            postings = self._index.postings(term)
+            if postings is not None and len(postings):
+                cursors.append(_Cursor(postings, qweight))
+        self.last_evaluations = 0
+
+        while cursors:
+            cursors.sort(key=lambda cursor: cursor.current)
+            threshold = heap.threshold()
+            accumulated = self._max_static
+            pivot_index = -1
+            for position, cursor in enumerate(cursors):
+                accumulated += cursor.bound
+                if accumulated >= threshold:
+                    pivot_index = position
+                    break
+            if pivot_index < 0:
+                break  # even all bounds together cannot reach the top-k
+            pivot_doc = cursors[pivot_index].current
+            if cursors[0].current == pivot_doc:
+                self._evaluate(cursors, pivot_doc, heap)
+                for cursor in cursors:
+                    if cursor.current == pivot_doc:
+                        cursor.advance_to(pivot_doc + 1)
+                    else:
+                        break
+            else:
+                for cursor in cursors[:pivot_index]:
+                    if cursor.current < pivot_doc:
+                        cursor.advance_to(pivot_doc)
+            cursors = [cursor for cursor in cursors if not cursor.exhausted]
+        return heap.results()
+
+    def _evaluate(self, cursors: list[_Cursor], doc: int, heap: BoundedTopK) -> None:
+        """Fully score ``doc`` (all cursors positioned at it form a prefix)."""
+        self.last_evaluations += 1
+        if self._filter_fn is not None and not self._filter_fn(doc):
+            return
+        content = 0.0
+        for cursor in cursors:
+            if cursor.current != doc:
+                break
+            content += cursor.qweight * cursor.postings.weight_at(cursor.pos)
+        total = content
+        if self._static_score is not None:
+            total += self._static_score(doc)
+        heap.push(total, doc)

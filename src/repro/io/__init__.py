@@ -1,0 +1,31 @@
+"""Persistence: JSONL serialisation for ads, graphs, traces and workloads."""
+
+from repro.io.serialize import (
+    ad_from_dict,
+    ad_to_dict,
+    load_ads,
+    load_graph,
+    load_posts,
+    load_workload,
+    post_from_dict,
+    post_to_dict,
+    save_ads,
+    save_graph,
+    save_posts,
+    save_workload,
+)
+
+__all__ = [
+    "ad_from_dict",
+    "ad_to_dict",
+    "load_ads",
+    "load_graph",
+    "load_posts",
+    "load_workload",
+    "post_from_dict",
+    "post_to_dict",
+    "save_ads",
+    "save_graph",
+    "save_posts",
+    "save_workload",
+]

@@ -1,0 +1,190 @@
+"""Engine checkpointing: persist and restore a live engine's mutable state.
+
+A production matcher is a long-running stateful service; restarts must not
+forget budgets (advertisers would be double-charged), profiles, feed
+contexts or CTR evidence. A checkpoint captures every piece of mutable
+state the engine owns:
+
+* the clock and message-id counter;
+* retired-ad set (budget exhaustions and ended campaigns);
+* budget spend per capped ad;
+* per-user locations, interest profiles (raw weights + timestamps) and
+  feed-context windows (raw entries — the decayed aggregate is rebuilt);
+* CTR impression/click counts when feedback is on.
+
+The *immutable* inputs (corpus of ads, graph, vectorizer, config) are the
+caller's to reconstruct — typically from a saved workload — mirroring how
+real deployments separate config/catalog stores from runtime state.
+
+Restore is validated end-to-end by tests: a restored engine produces
+bit-identical slates to the original for the remainder of the stream.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.core.engine import AdEngine
+from repro.errors import ConfigError
+from repro.geo.point import GeoPoint
+from repro.profiles.context import FeedContext
+
+_FORMAT_VERSION = 1
+
+
+def _profile_state(profile) -> dict[str, Any]:
+    return {
+        "weights": profile._weights,
+        "last_t": profile._last_t,
+        "epoch": profile._epoch,
+    }
+
+
+def _context_state(context: FeedContext) -> list[dict[str, Any]]:
+    return [
+        {"msg_id": entry.msg_id, "timestamp": entry.timestamp, "vec": dict(entry.vec)}
+        for entry in context._entries
+    ]
+
+
+def save_checkpoint(path: Path | str, engine: AdEngine) -> None:
+    """Serialise the engine's mutable state to one JSON file."""
+    users: dict[str, Any] = {}
+    for user_id, state in engine._users.items():
+        record: dict[str, Any] = {}
+        if state.location is not None:
+            record["location"] = [state.location.lat, state.location.lon]
+        if state.context is not None and len(state.context):
+            record["context"] = _context_state(state.context)
+            record["context_last_t"] = state.context.last_update
+        users[str(user_id)] = record
+
+    profiles: dict[str, Any] = {}
+    for user_id in engine.profiles.users():
+        profile = engine.profiles.get_or_create(user_id)
+        if not profile.is_empty:
+            profiles[str(user_id)] = _profile_state(profile)
+
+    budgets = {
+        str(ad_id): state.spent
+        for ad_id, state in engine.budget._states.items()
+        if state.spent > 0.0
+    }
+
+    ctr_state: dict[str, Any] | None = None
+    if engine.ctr is not None:
+        ctr_state = {
+            str(ad_id): [
+                engine.ctr.impressions_of(ad_id),
+                engine.ctr.clicks_of(ad_id),
+            ]
+            for ad_id in engine.ctr.observed_ads()
+        }
+
+    from repro.io.serialize import ad_to_dict
+
+    payload = {
+        "version": _FORMAT_VERSION,
+        "clock": engine._clock.now,
+        "next_msg_id": engine._next_msg_id,
+        "launched_ads": [ad_to_dict(ad) for ad in engine._launched_ads],
+        "retired": sorted(
+            ad_id
+            for ad_id in (ad.ad_id for ad in engine.corpus.all_ads())
+            if not engine.corpus.is_active(ad_id)
+        ),
+        "budgets": budgets,
+        "users": users,
+        "profiles": profiles,
+        "ctr": ctr_state,
+        "stats": {
+            "posts": engine.stats.posts,
+            "deliveries": engine.stats.deliveries,
+            "impressions": engine.stats.impressions,
+            "revenue": engine.stats.revenue,
+        },
+    }
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def load_checkpoint(path: Path | str, engine: AdEngine) -> None:
+    """Restore a checkpoint into a *freshly constructed* engine.
+
+    The engine must have been built over the same corpus/graph/vectorizer
+    the checkpointed one used, and must not have processed any events yet.
+    """
+    if engine.stats.posts != 0:
+        raise ConfigError("restore target must be a fresh engine")
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    if payload.get("version") != _FORMAT_VERSION:
+        raise ConfigError(
+            f"unsupported checkpoint version: {payload.get('version')!r}"
+        )
+
+    from repro.io.serialize import ad_from_dict
+
+    engine._clock.advance_to(payload["clock"])
+    engine._next_msg_id = payload["next_msg_id"]
+
+    for raw in payload.get("launched_ads", ()):
+        ad = ad_from_dict(raw)
+        if ad.ad_id not in engine.corpus:
+            engine.corpus.add(ad)
+            engine._launched_ads.append(ad)
+
+    for ad_id in payload["retired"]:
+        if engine.corpus.is_active(ad_id):
+            engine.corpus.retire(ad_id)
+
+    for ad_id_str, spent in payload["budgets"].items():
+        state = engine.budget.state(int(ad_id_str))
+        if state is None:
+            raise ConfigError(
+                f"checkpoint charges ad {ad_id_str} but it has no budget"
+            )
+        state.spent = spent
+
+    for user_id_str, record in payload["users"].items():
+        user_id = int(user_id_str)
+        engine.register_user(user_id)
+        state = engine._state(user_id)
+        if "location" in record:
+            lat, lon = record["location"]
+            state.location = GeoPoint(lat, lon)
+        if "context" in record:
+            context = engine._context_of(state)
+            for entry in record["context"]:
+                context.add(entry["msg_id"], entry["timestamp"], entry["vec"])
+            context.expire(record["context_last_t"])
+            context.rebuild()
+
+    for user_id_str, profile_state in payload["profiles"].items():
+        profile = engine.profiles.get_or_create(int(user_id_str))
+        profile._weights = {
+            term: weight for term, weight in profile_state["weights"].items()
+        }
+        profile._last_t = profile_state["last_t"]
+        profile._epoch = profile_state["epoch"]
+
+    if payload["ctr"] is not None:
+        if engine.ctr is None:
+            raise ConfigError(
+                "checkpoint carries CTR state but ctr_feedback is disabled"
+            )
+        for ad_id_str, (impressions, clicks) in payload["ctr"].items():
+            ad_id = int(ad_id_str)
+            stats = engine.ctr._stats_for(ad_id)
+            stats.impressions = impressions
+            stats.clicks = clicks
+            engine.ctr._total_impressions += impressions
+            engine.ctr._total_clicks += clicks
+
+    saved = payload["stats"]
+    engine.stats.posts = saved["posts"]
+    engine.stats.deliveries = saved["deliveries"]
+    engine.stats.impressions = saved["impressions"]
+    engine.stats.revenue = saved["revenue"]

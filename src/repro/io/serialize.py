@@ -1,0 +1,296 @@
+"""JSONL persistence for the workload's building blocks.
+
+Formats are line-oriented JSON so files diff cleanly, stream through
+standard tools, and survive partial reads. A workload directory contains::
+
+    workload/
+      meta.json       # config + topic assignments
+      ads.jsonl       # one ad per line
+      users.jsonl     # one user per line
+      posts.jsonl     # one post per line
+      checkins.jsonl  # one check-in per line
+      graph.jsonl     # one {"user": u, "follows": [...]} per line
+
+``load_workload`` reconstructs a fully functional
+:class:`~repro.datagen.workload.Workload` — including the fitted
+vectorizer (refit deterministically from the saved text) and the
+generative ground truth (from the saved latent assignments).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any
+
+from repro.ads.ad import Ad
+from repro.ads.targeting import TargetingSpec, TimeWindow
+from repro.datagen.topicspace import TopicSpace
+from repro.datagen.users import UserRecord
+from repro.datagen.workload import Workload, WorkloadConfig
+from repro.errors import ConfigError
+from repro.geo.point import GeoPoint
+from repro.geo.regions import city_by_name
+from repro.graph.social import SocialGraph
+from repro.stream.events import Checkin, Post
+from repro.text.tokenizer import Tokenizer
+from repro.text.vectorizer import TfidfVectorizer
+
+
+# -- primitives -------------------------------------------------------------
+
+
+def _point_to_list(point: GeoPoint | None) -> list[float] | None:
+    if point is None:
+        return None
+    return [point.lat, point.lon]
+
+
+def _point_from_list(raw: list[float] | None) -> GeoPoint | None:
+    if raw is None:
+        return None
+    return GeoPoint(raw[0], raw[1])
+
+
+# -- ads ------------------------------------------------------------------------
+
+
+def ad_to_dict(ad: Ad) -> dict[str, Any]:
+    """One ad as a JSON-safe dictionary."""
+    targeting = ad.targeting
+    return {
+        "ad_id": ad.ad_id,
+        "advertiser": ad.advertiser,
+        "text": ad.text,
+        "terms": ad.terms,
+        "bid": ad.bid,
+        "budget": ad.budget,
+        "circles": [
+            [center.lat, center.lon, radius] for center, radius in targeting.circles
+        ],
+        "time_windows": [
+            [window.start_hour, window.end_hour] for window in targeting.time_windows
+        ],
+    }
+
+
+def ad_from_dict(raw: dict[str, Any]) -> Ad:
+    """Inverse of :func:`ad_to_dict`."""
+    try:
+        targeting = TargetingSpec(
+            circles=tuple(
+                (GeoPoint(lat, lon), radius) for lat, lon, radius in raw["circles"]
+            ),
+            time_windows=tuple(
+                TimeWindow(start, end) for start, end in raw["time_windows"]
+            ),
+        )
+        return Ad(
+            ad_id=raw["ad_id"],
+            advertiser=raw["advertiser"],
+            text=raw["text"],
+            terms=dict(raw["terms"]),
+            bid=raw["bid"],
+            budget=raw["budget"],
+            targeting=targeting,
+        )
+    except KeyError as missing:
+        raise ConfigError(f"ad record missing field: {missing}") from missing
+
+
+def save_ads(path: Path | str, ads: list[Ad]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for ad in ads:
+            handle.write(json.dumps(ad_to_dict(ad)) + "\n")
+
+
+def load_ads(path: Path | str) -> list[Ad]:
+    ads: list[Ad] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                ads.append(ad_from_dict(json.loads(line)))
+    return ads
+
+
+# -- posts / check-ins -----------------------------------------------------------
+
+
+def post_to_dict(post: Post) -> dict[str, Any]:
+    return {
+        "msg_id": post.msg_id,
+        "author_id": post.author_id,
+        "text": post.text,
+        "timestamp": post.timestamp,
+    }
+
+
+def post_from_dict(raw: dict[str, Any]) -> Post:
+    try:
+        return Post(
+            msg_id=raw["msg_id"],
+            author_id=raw["author_id"],
+            text=raw["text"],
+            timestamp=raw["timestamp"],
+        )
+    except KeyError as missing:
+        raise ConfigError(f"post record missing field: {missing}") from missing
+
+
+def save_posts(path: Path | str, posts: list[Post]) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for post in posts:
+            handle.write(json.dumps(post_to_dict(post)) + "\n")
+
+
+def load_posts(path: Path | str) -> list[Post]:
+    posts: list[Post] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                posts.append(post_from_dict(json.loads(line)))
+    return posts
+
+
+# -- graph --------------------------------------------------------------------------
+
+
+def save_graph(path: Path | str, graph: SocialGraph) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        for user in graph.users():
+            record = {"user": user, "follows": sorted(graph.followees(user))}
+            handle.write(json.dumps(record) + "\n")
+
+
+def load_graph(path: Path | str) -> SocialGraph:
+    graph = SocialGraph()
+    records: list[dict[str, Any]] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if line:
+                record = json.loads(line)
+                records.append(record)
+                graph.add_user(record["user"])
+    for record in records:
+        for followee in record["follows"]:
+            graph.follow(record["user"], followee)
+    return graph
+
+
+# -- whole workloads -----------------------------------------------------------------
+
+
+def save_workload(directory: Path | str, workload: Workload) -> None:
+    """Persist a workload to a directory (created if needed)."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    save_ads(directory / "ads.jsonl", workload.ads)
+    save_posts(directory / "posts.jsonl", workload.posts)
+    save_graph(directory / "graph.jsonl", workload.graph)
+    with open(directory / "users.jsonl", "w", encoding="utf-8") as handle:
+        for user in workload.users:
+            handle.write(
+                json.dumps(
+                    {
+                        "user_id": user.user_id,
+                        "mixture": list(user.mixture),
+                        "home": _point_to_list(user.home),
+                        "city": user.city.name,
+                        "activity": user.activity,
+                    }
+                )
+                + "\n"
+            )
+    with open(directory / "checkins.jsonl", "w", encoding="utf-8") as handle:
+        for checkin in workload.checkins:
+            handle.write(
+                json.dumps(
+                    {
+                        "user_id": checkin.user_id,
+                        "point": _point_to_list(checkin.point),
+                        "timestamp": checkin.timestamp,
+                    }
+                )
+                + "\n"
+            )
+    meta = {
+        "config": {
+            field: getattr(workload.config, field)
+            for field in WorkloadConfig.__dataclass_fields__
+        },
+        "ad_topics": workload.ad_topics,
+        "post_topics": workload.post_topics,
+    }
+    with open(directory / "meta.json", "w", encoding="utf-8") as handle:
+        json.dump(meta, handle)
+
+
+def load_workload(directory: Path | str) -> Workload:
+    """Reconstruct a workload saved by :func:`save_workload`."""
+    directory = Path(directory)
+    meta_path = directory / "meta.json"
+    if not meta_path.exists():
+        raise ConfigError(f"not a workload directory (no meta.json): {directory}")
+    with open(meta_path, encoding="utf-8") as handle:
+        meta = json.load(handle)
+    raw_config = dict(meta["config"])
+    if isinstance(raw_config.get("budget_range"), list):
+        raw_config["budget_range"] = tuple(raw_config["budget_range"])
+    config = WorkloadConfig(**raw_config)
+
+    ads = load_ads(directory / "ads.jsonl")
+    posts = load_posts(directory / "posts.jsonl")
+    graph = load_graph(directory / "graph.jsonl")
+
+    users: list[UserRecord] = []
+    with open(directory / "users.jsonl", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            users.append(
+                UserRecord(
+                    user_id=record["user_id"],
+                    mixture=tuple(record["mixture"]),
+                    home=_point_from_list(record["home"]),
+                    city=city_by_name(record["city"]),
+                    activity=record["activity"],
+                )
+            )
+    checkins: list[Checkin] = []
+    with open(directory / "checkins.jsonl", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            record = json.loads(line)
+            checkins.append(
+                Checkin(
+                    user_id=record["user_id"],
+                    point=_point_from_list(record["point"]),
+                    timestamp=record["timestamp"],
+                )
+            )
+
+    tokenizer = Tokenizer()
+    vectorizer = TfidfVectorizer()
+    vectorizer.fit(tokenizer.tokenize(post.text) for post in posts)
+    vectorizer.fit(tokenizer.tokenize(ad.text) for ad in ads)
+
+    return Workload(
+        config=config,
+        topic_space=TopicSpace(config.num_topics, config.vocab_size),
+        users=users,
+        graph=graph,
+        ads=ads,
+        ad_topics={int(key): value for key, value in meta["ad_topics"].items()},
+        posts=posts,
+        post_topics={int(key): value for key, value in meta["post_topics"].items()},
+        checkins=checkins,
+        tokenizer=tokenizer,
+        vectorizer=vectorizer,
+    )

@@ -1,0 +1,240 @@
+"""Sliding-window feed context with exponential time decay.
+
+The *context* of a user at time t is what their news feed currently shows:
+the term vectors of the last ``window_size`` delivered messages, each scaled
+by ``0.5 ** (age / half_life)``. The incremental ad engine reads this
+context thousands of times per second, so the aggregate is maintained with
+a lazy global scale factor:
+
+* the stored aggregate is valid "in scaled units"; a single float carries
+  the decay accumulated since the last fold;
+* an arrival costs O(|message terms|): bump the scale, add the new vector
+  divided by it;
+* an eviction subtracts the entry's original contribution (each entry
+  remembers the scale it was inserted under), also O(|message terms|).
+
+Floating-point drift from repeated add/subtract is washed out by an exact
+rebuild every ``rebuild_every`` mutations (and tests assert the incremental
+aggregate tracks the exact one to tight tolerance).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.util.sparse import (
+    MutableSparseVector,
+    SparseVector,
+    add_scaled,
+    l2_normalize,
+)
+
+_REFOLD_BELOW = 1e-9  # fold the scale into the stored weights past this
+
+
+@dataclass(frozen=True, slots=True)
+class _Entry:
+    msg_id: int
+    timestamp: float
+    vec: SparseVector
+    insert_scale: float
+
+
+class FeedContext:
+    """Decayed aggregate over the last ``window_size`` feed messages."""
+
+    def __init__(
+        self,
+        window_size: int = 20,
+        half_life_s: float | None = 1800.0,
+        *,
+        max_age_s: float | None = None,
+        rebuild_every: int = 512,
+        prune_below: float = 1e-9,
+    ) -> None:
+        if window_size < 1:
+            raise ConfigError(f"window_size must be >= 1, got {window_size}")
+        if half_life_s is not None and half_life_s <= 0.0:
+            raise ConfigError(f"half_life_s must be positive or None, got {half_life_s}")
+        if max_age_s is not None and max_age_s <= 0.0:
+            raise ConfigError(f"max_age_s must be positive or None, got {max_age_s}")
+        if rebuild_every < 1:
+            raise ConfigError(f"rebuild_every must be >= 1, got {rebuild_every}")
+        self.window_size = window_size
+        self.half_life_s = half_life_s
+        self.max_age_s = max_age_s
+        self.rebuild_every = rebuild_every
+        self.prune_below = prune_below
+        self._entries: deque[_Entry] = deque()
+        self._stored: MutableSparseVector = {}  # aggregate in scaled units
+        self._scale = 1.0  # real aggregate = stored * scale
+        self._last_t = 0.0
+        self._ops = 0
+        self._epoch = 0
+
+    # -- inspection ------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._entries
+
+    @property
+    def epoch(self) -> int:
+        """Bumped on every mutation."""
+        return self._epoch
+
+    @property
+    def last_update(self) -> float:
+        return self._last_t
+
+    def message_ids(self) -> list[int]:
+        """Window contents, oldest first."""
+        return [entry.msg_id for entry in self._entries]
+
+    # -- maintenance -------------------------------------------------------
+
+    def _advance(self, timestamp: float) -> None:
+        """Apply decay from the last event time up to ``timestamp``."""
+        dt = max(0.0, timestamp - self._last_t)
+        self._last_t = max(self._last_t, timestamp)
+        if dt > 0.0 and self.half_life_s is not None:
+            self._scale *= math.pow(0.5, dt / self.half_life_s)
+            if self._scale < _REFOLD_BELOW:
+                self._fold_scale()
+
+    def _fold_scale(self) -> None:
+        """Bake the scale into the stored weights and reset it to 1.
+
+        Entries remember the scale they were inserted under so they can be
+        subtracted later; a fold changes the basis, so those remembered
+        scales are remapped too (O(window size), folds are rare).
+        """
+        scale = self._scale
+        self._stored = {
+            term: weight * scale
+            for term, weight in self._stored.items()
+            if abs(weight * scale) > self.prune_below
+        }
+        self._entries = deque(
+            _Entry(
+                msg_id=entry.msg_id,
+                timestamp=entry.timestamp,
+                vec=entry.vec,
+                insert_scale=entry.insert_scale / scale,
+            )
+            for entry in self._entries
+        )
+        self._scale = 1.0
+
+    def add(self, msg_id: int, timestamp: float, vec: SparseVector) -> list[int]:
+        """Deliver a message into the window; returns evicted message ids."""
+        self._advance(timestamp)
+        entry = _Entry(
+            msg_id=msg_id,
+            timestamp=self._last_t,
+            vec=dict(vec),
+            insert_scale=self._scale,
+        )
+        self._entries.append(entry)
+        if self._scale > 0.0:
+            add_scaled(self._stored, vec, 1.0 / self._scale)
+        evicted = self._evict(timestamp)
+        self._ops += 1
+        self._epoch += 1
+        if self._ops % self.rebuild_every == 0:
+            self.rebuild()
+        return evicted
+
+    def _evict(self, timestamp: float) -> list[int]:
+        evicted: list[int] = []
+        while len(self._entries) > self.window_size:
+            evicted.append(self._remove_oldest())
+        if self.max_age_s is not None:
+            while self._entries and (
+                timestamp - self._entries[0].timestamp > self.max_age_s
+            ):
+                evicted.append(self._remove_oldest())
+        return evicted
+
+    def _remove_oldest(self) -> int:
+        entry = self._entries.popleft()
+        if entry.insert_scale > 0.0:
+            add_scaled(
+                self._stored,
+                entry.vec,
+                -1.0 / entry.insert_scale,
+                prune_below=self.prune_below,
+            )
+        return entry.msg_id
+
+    def expire(self, timestamp: float) -> list[int]:
+        """Advance time and drop over-age entries without adding anything."""
+        self._advance(timestamp)
+        evicted = self._evict(timestamp)
+        if evicted:
+            self._epoch += 1
+        return evicted
+
+    def rebuild(self) -> None:
+        """Exact recomputation of the aggregate from the raw entries.
+
+        Called periodically to cancel incremental floating-point drift.
+        """
+        stored: MutableSparseVector = {}
+        remapped: deque[_Entry] = deque()
+        for entry in self._entries:
+            if self.half_life_s is None:
+                decay = 1.0
+            else:
+                age = self._last_t - entry.timestamp
+                decay = math.pow(0.5, age / self.half_life_s)
+            add_scaled(stored, entry.vec, decay)
+            # In the rebuilt basis (scale = 1) this entry's stored
+            # contribution is decay * vec, i.e. insert_scale = 1 / decay.
+            remapped.append(
+                _Entry(
+                    msg_id=entry.msg_id,
+                    timestamp=entry.timestamp,
+                    vec=entry.vec,
+                    insert_scale=(1.0 / decay) if decay > 0.0 else math.inf,
+                )
+            )
+        self._entries = remapped
+        self._stored = {
+            term: weight
+            for term, weight in stored.items()
+            if abs(weight) > self.prune_below
+        }
+        self._scale = 1.0
+
+    # -- reads -----------------------------------------------------------------
+
+    def vector(self) -> MutableSparseVector:
+        """Unit-L2 context vector (scale cancels under normalisation)."""
+        return l2_normalize(self._stored)
+
+    def raw_vector(self) -> MutableSparseVector:
+        """Real-valued (decayed, unnormalised) aggregate — a copy."""
+        return {
+            term: weight * self._scale
+            for term, weight in self._stored.items()
+            if abs(weight * self._scale) > self.prune_below
+        }
+
+    def dot_with(self, terms: SparseVector) -> float:
+        """Real-valued dot(context, terms) without materialising a copy.
+
+        O(len(terms)) — this is the hot read of the incremental maintainer.
+        """
+        total = 0.0
+        for term, weight in terms.items():
+            stored = self._stored.get(term)
+            if stored is not None:
+                total += stored * weight
+        return total * self._scale

@@ -1,0 +1,120 @@
+"""Time-decayed user interest profiles.
+
+A profile accumulates the term vectors of everything a user posts, with
+exponential half-life decay so stale interests fade. Because the engine
+only ever consumes the *normalised* profile vector, decay between updates
+cancels out under normalisation — the profile therefore only needs to apply
+decay when new mass arrives, making updates O(profile size) and reads
+O(profile size) with no background sweeps.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+from repro.util.sparse import MutableSparseVector, SparseVector, l2_normalize
+
+
+class UserProfile:
+    """Exponentially-decayed accumulator of a user's posted content."""
+
+    __slots__ = ("_epoch", "_last_t", "_weights", "half_life_s", "prune_below")
+
+    def __init__(
+        self,
+        half_life_s: float | None = 6 * 3600.0,
+        *,
+        prune_below: float = 1e-6,
+    ) -> None:
+        if half_life_s is not None and half_life_s <= 0.0:
+            raise ConfigError(f"half_life_s must be positive or None, got {half_life_s}")
+        if prune_below < 0.0:
+            raise ConfigError(f"prune_below must be >= 0, got {prune_below}")
+        self.half_life_s = half_life_s
+        self.prune_below = prune_below
+        self._weights: MutableSparseVector = {}
+        self._last_t = 0.0
+        self._epoch = 0
+
+    @property
+    def epoch(self) -> int:
+        """Bumped on every update; caches keyed on it never go stale."""
+        return self._epoch
+
+    @property
+    def last_update(self) -> float:
+        return self._last_t
+
+    def __len__(self) -> int:
+        return len(self._weights)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._weights
+
+    def update(self, vec: SparseVector, timestamp: float, *, scale: float = 1.0) -> None:
+        """Fold a posted message's term vector into the profile.
+
+        Existing mass decays by ``0.5 ** (Δt / half_life)`` before the new
+        vector is added, so more recent posts dominate. Out-of-order events
+        (timestamp slightly before the last update) are treated as
+        simultaneous rather than rejected — feed streams are only loosely
+        ordered.
+        """
+        if scale <= 0.0:
+            raise ConfigError(f"scale must be positive, got {scale}")
+        if not vec:
+            return
+        if self._weights and self.half_life_s is not None:
+            dt = max(0.0, timestamp - self._last_t)
+            if dt > 0.0:
+                decay = math.pow(0.5, dt / self.half_life_s)
+                self._weights = {
+                    term: weight * decay
+                    for term, weight in self._weights.items()
+                    if weight * decay > self.prune_below
+                }
+        self._last_t = max(self._last_t, timestamp)
+        for term, weight in vec.items():
+            self._weights[term] = self._weights.get(term, 0.0) + scale * weight
+        self._epoch += 1
+
+    def vector(self) -> MutableSparseVector:
+        """Unit-L2 interest vector (empty dict while the profile is empty).
+
+        Uniform decay since the last update cancels under normalisation, so
+        this is exact at any read time.
+        """
+        return l2_normalize(self._weights)
+
+    def top_interests(self, limit: int = 10) -> list[tuple[str, float]]:
+        """Heaviest normalised terms, for inspection and examples."""
+        vector = self.vector()
+        return sorted(vector.items(), key=lambda kv: (-kv[1], kv[0]))[:limit]
+
+
+class ProfileStore:
+    """Lazily-created profiles for all registered users."""
+
+    def __init__(self, half_life_s: float | None = 6 * 3600.0) -> None:
+        if half_life_s is not None and half_life_s <= 0.0:
+            raise ConfigError(f"half_life_s must be positive or None, got {half_life_s}")
+        self.half_life_s = half_life_s
+        self._profiles: dict[int, UserProfile] = {}
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._profiles
+
+    def get_or_create(self, user_id: int) -> UserProfile:
+        profile = self._profiles.get(user_id)
+        if profile is None:
+            profile = UserProfile(self.half_life_s)
+            self._profiles[user_id] = profile
+        return profile
+
+    def users(self) -> list[int]:
+        return sorted(self._profiles)

@@ -1,0 +1,98 @@
+"""Simulated time and the diurnal message-arrival process.
+
+Social posting rates are strongly diurnal (the mismatched companion paper's
+observation that afternoon slots carry more tweets holds generally). The
+workload generator draws post timestamps from a non-homogeneous Poisson
+process whose rate follows a sinusoid over the day, sampled by thinning.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+from repro.errors import ConfigError, StreamError
+
+SECONDS_PER_DAY = 86_400.0
+
+
+class SimClock:
+    """A monotone simulated clock."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = start
+
+    @property
+    def now(self) -> float:
+        return self._now
+
+    def advance_to(self, timestamp: float) -> None:
+        """Move forward; moving backward indicates a driver bug and raises."""
+        if timestamp < self._now:
+            raise StreamError(
+                f"clock cannot move backward: {timestamp} < {self._now}"
+            )
+        self._now = timestamp
+
+    def advance_by(self, seconds: float) -> None:
+        if seconds < 0.0:
+            raise StreamError(f"cannot advance by negative seconds: {seconds}")
+        self._now += seconds
+
+
+def diurnal_rate(
+    timestamp: float,
+    mean_rate: float,
+    *,
+    amplitude: float = 0.5,
+    peak_hour: float = 19.0,
+) -> float:
+    """Instantaneous arrival rate at ``timestamp`` (events/second).
+
+    A sinusoid around ``mean_rate`` peaking at ``peak_hour`` local time:
+    ``mean_rate * (1 + amplitude * cos(2π (hour - peak) / 24))``.
+    """
+    if mean_rate < 0.0:
+        raise ConfigError(f"mean_rate must be >= 0, got {mean_rate}")
+    if not 0.0 <= amplitude <= 1.0:
+        raise ConfigError(f"amplitude must be in [0, 1], got {amplitude}")
+    hour = (timestamp % SECONDS_PER_DAY) / 3600.0
+    phase = 2.0 * math.pi * (hour - peak_hour) / 24.0
+    return mean_rate * (1.0 + amplitude * math.cos(phase))
+
+
+def diurnal_timestamps(
+    rng: random.Random,
+    mean_rate: float,
+    duration_s: float,
+    *,
+    start: float = 0.0,
+    amplitude: float = 0.5,
+    peak_hour: float = 19.0,
+) -> list[float]:
+    """Event times of a diurnal Poisson process over ``[start, start+duration)``.
+
+    Standard thinning: candidates are drawn from a homogeneous process at
+    the peak rate, then accepted with probability rate(t) / peak_rate.
+    """
+    if duration_s <= 0.0:
+        raise ConfigError(f"duration_s must be positive, got {duration_s}")
+    peak_rate = mean_rate * (1.0 + amplitude)
+    if peak_rate <= 0.0:
+        return []
+    timestamps: list[float] = []
+    t = start
+    end = start + duration_s
+    while True:
+        t += rng.expovariate(peak_rate)
+        if t >= end:
+            break
+        accept_probability = (
+            diurnal_rate(t, mean_rate, amplitude=amplitude, peak_hour=peak_hour)
+            / peak_rate
+        )
+        if rng.random() < accept_probability:
+            timestamps.append(t)
+    return timestamps

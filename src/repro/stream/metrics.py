@@ -1,0 +1,41 @@
+"""Run-level metrics collected by the feed simulator."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.util.timers import LatencyRecorder
+
+
+@dataclass
+class StreamMetrics:
+    """Counters and latency samples for one simulated run."""
+
+    posts: int = 0
+    deliveries: int = 0
+    impressions: int = 0
+    wall_seconds: float = 0.0
+    post_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+
+    def deliveries_per_second(self) -> float:
+        """Deliveries processed per wall-clock second (the headline number)."""
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.deliveries / self.wall_seconds
+
+    def posts_per_second(self) -> float:
+        if self.wall_seconds <= 0.0:
+            return 0.0
+        return self.posts / self.wall_seconds
+
+    def summary(self) -> dict[str, float]:
+        """Flat dictionary for report tables."""
+        return {
+            "posts": float(self.posts),
+            "deliveries": float(self.deliveries),
+            "impressions": float(self.impressions),
+            "wall_seconds": self.wall_seconds,
+            "deliveries_per_s": self.deliveries_per_second(),
+            "post_latency_p50_ms": self.post_latency.p50() * 1e3,
+            "post_latency_p99_ms": self.post_latency.p99() * 1e3,
+        }

@@ -1,0 +1,82 @@
+"""Feed simulator: drives a stream of posts/check-ins through a handler.
+
+The simulator is deliberately decoupled from the ad engine: anything
+implementing :class:`PostHandler` (the engine, any baseline adapter, or a
+test double) can be driven, which is how the benchmark harness compares
+methods on identical event sequences.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Iterable, Sequence
+from typing import Protocol, runtime_checkable
+
+from repro.errors import StreamError
+from repro.stream.events import Checkin, Post
+from repro.stream.metrics import StreamMetrics
+
+
+@runtime_checkable
+class PostHandler(Protocol):
+    """What the simulator needs from a recommendation engine."""
+
+    def post(self, author_id: int, text: str, timestamp: float, *, msg_id: int):
+        """Handle one published message (fan-out included); returns anything
+        with a ``num_deliveries``/``num_impressions`` shape or None."""
+
+    def checkin(self, user_id: int, point, timestamp: float) -> None:
+        """Handle a location update."""
+
+
+class FeedSimulator:
+    """Replays a timestamped event sequence through a handler, measuring."""
+
+    def __init__(self, handler: PostHandler) -> None:
+        self._handler = handler
+
+    def run(
+        self,
+        posts: Sequence[Post],
+        *,
+        checkins: Iterable[Checkin] = (),
+        measure_latency: bool = True,
+    ) -> StreamMetrics:
+        """Replay events in timestamp order and collect metrics.
+
+        Posts and check-ins are merged into one timeline; equal timestamps
+        keep posts after check-ins so a location update at time t affects
+        deliveries at time t.
+        """
+        timeline: list[tuple[float, int, object]] = [
+            (checkin.timestamp, 0, checkin) for checkin in checkins
+        ]
+        timeline.extend((post.timestamp, 1, post) for post in posts)
+        timeline.sort(key=lambda item: (item[0], item[1]))
+
+        metrics = StreamMetrics()
+        run_started = time.perf_counter()
+        for _, kind, event in timeline:
+            if kind == 0:
+                checkin: Checkin = event  # type: ignore[assignment]
+                self._handler.checkin(checkin.user_id, checkin.point, checkin.timestamp)
+                continue
+            post: Post = event  # type: ignore[assignment]
+            started = time.perf_counter() if measure_latency else 0.0
+            result = self._handler.post(
+                post.author_id, post.text, post.timestamp, msg_id=post.msg_id
+            )
+            if measure_latency:
+                metrics.post_latency.record(time.perf_counter() - started)
+            metrics.posts += 1
+            if result is not None:
+                deliveries = getattr(result, "num_deliveries", None)
+                impressions = getattr(result, "num_impressions", None)
+                if deliveries is None:
+                    raise StreamError(
+                        "post handler returned an object without num_deliveries"
+                    )
+                metrics.deliveries += deliveries
+                metrics.impressions += impressions or 0
+        metrics.wall_seconds = time.perf_counter() - run_started
+        return metrics

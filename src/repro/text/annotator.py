@@ -1,0 +1,103 @@
+"""Dictionary-based concept annotation — the offline DBpedia-Spotlight stand-in.
+
+Production context-aware ad systems link text spans to knowledge-base
+concepts ("running shoes" → Concept:Footwear, confidence 0.9). Without
+network access we reproduce the *interface* with a gazetteer phrase matcher:
+a concept dictionary maps surface phrases (1–3 tokens) to concept names with
+prior confidences, and annotation is greedy longest-match over the token
+stream. The output shape — a list of (concept, score) pairs — is exactly
+what the scoring layer consumes, so swapping a real linker in later is a
+one-class change.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.text.tokenizer import Tokenizer
+
+
+@dataclass(frozen=True, slots=True)
+class Annotation:
+    """One linked concept mention."""
+
+    concept: str
+    score: float
+    surface: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.score <= 1.0:
+            raise ConfigError(f"annotation score must be in [0, 1], got {self.score}")
+
+
+@dataclass
+class ConceptAnnotator:
+    """Greedy longest-match phrase linker over tokenised text."""
+
+    tokenizer: Tokenizer = field(default_factory=Tokenizer)
+    max_phrase_length: int = 3
+
+    def __post_init__(self) -> None:
+        if self.max_phrase_length < 1:
+            raise ConfigError(
+                f"max_phrase_length must be >= 1, got {self.max_phrase_length}"
+            )
+        self._phrases: dict[tuple[str, ...], tuple[str, float]] = {}
+
+    def register(self, phrase: str, concept: str, score: float = 1.0) -> None:
+        """Add a surface phrase → concept mapping to the gazetteer.
+
+        The phrase is normalised through the same tokenizer used at
+        annotation time so that lookups match ("Running Shoes" == "running shoe").
+        """
+        if not 0.0 <= score <= 1.0:
+            raise ConfigError(f"score must be in [0, 1], got {score}")
+        tokens = tuple(self.tokenizer.tokenize(phrase))
+        if not tokens:
+            raise ConfigError(f"phrase tokenises to nothing: {phrase!r}")
+        if len(tokens) > self.max_phrase_length:
+            raise ConfigError(
+                f"phrase longer than max_phrase_length={self.max_phrase_length}: "
+                f"{phrase!r}"
+            )
+        self._phrases[tokens] = (concept, score)
+
+    def register_concepts(self, mapping: dict[str, str]) -> None:
+        """Bulk-register {phrase: concept} with score 1.0."""
+        for phrase, concept in mapping.items():
+            self.register(phrase, concept)
+
+    def __len__(self) -> int:
+        return len(self._phrases)
+
+    def annotate(self, text: str) -> list[Annotation]:
+        """Link concepts in ``text`` by greedy longest-match, left to right."""
+        tokens = self.tokenizer.tokenize(text)
+        annotations: list[Annotation] = []
+        index = 0
+        while index < len(tokens):
+            matched = False
+            longest = min(self.max_phrase_length, len(tokens) - index)
+            for length in range(longest, 0, -1):
+                candidate = tuple(tokens[index : index + length])
+                entry = self._phrases.get(candidate)
+                if entry is not None:
+                    concept, score = entry
+                    annotations.append(
+                        Annotation(concept=concept, score=score, surface=candidate)
+                    )
+                    index += length
+                    matched = True
+                    break
+            if not matched:
+                index += 1
+        return annotations
+
+    def concept_vector(self, text: str) -> dict[str, float]:
+        """Aggregate annotations into a concept → max-score vector."""
+        vector: dict[str, float] = {}
+        for annotation in self.annotate(text):
+            existing = vector.get(annotation.concept, 0.0)
+            vector[annotation.concept] = max(existing, annotation.score)
+        return vector

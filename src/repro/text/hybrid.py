@@ -1,0 +1,65 @@
+"""Concept-enriched text vectorisation.
+
+Pure bag-of-words misses paraphrase ("sneakers" vs "running shoes"); the
+knowledge-base annotation step the original pipeline used (DBpedia
+Spotlight there, the offline :class:`~repro.text.annotator.ConceptAnnotator`
+here) fixes that by mapping surface phrases onto shared concept ids. The
+hybrid vectorizer blends both spaces::
+
+    v(text) = normalize( (1 - w)·tfidf(tokens)  ⊕  w·concepts(text) )
+
+Concept features are prefixed (``c:``) so they can never collide with
+vocabulary terms. Ads built through the same instance land in the same
+joint space, so two texts sharing only a concept still match.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.text.annotator import ConceptAnnotator
+from repro.text.tokenizer import Tokenizer
+from repro.text.vectorizer import TfidfVectorizer
+from repro.util.sparse import MutableSparseVector, l2_normalize
+
+CONCEPT_PREFIX = "c:"
+
+
+@dataclass
+class HybridVectorizer:
+    """TF-IDF terms plus annotator concepts in one unit vector."""
+
+    vectorizer: TfidfVectorizer
+    annotator: ConceptAnnotator
+    tokenizer: Tokenizer = field(default_factory=Tokenizer)
+    concept_weight: float = 0.4
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.concept_weight <= 1.0:
+            raise ConfigError(
+                f"concept_weight must be in [0, 1], got {self.concept_weight}"
+            )
+
+    def transform_text(self, text: str) -> MutableSparseVector:
+        """Raw text → unit vector over the joint term ⊕ concept space."""
+        term_vec = self.vectorizer.transform(self.tokenizer.tokenize(text))
+        concept_vec = self.annotator.concept_vector(text)
+        combined: MutableSparseVector = {}
+        term_scale = 1.0 - self.concept_weight
+        if term_scale > 0.0:
+            for term, weight in term_vec.items():
+                combined[term] = term_scale * weight
+        if self.concept_weight > 0.0 and concept_vec:
+            concept_unit = l2_normalize(concept_vec)
+            for concept, weight in concept_unit.items():
+                key = CONCEPT_PREFIX + concept
+                combined[key] = combined.get(key, 0.0) + self.concept_weight * weight
+        return l2_normalize(combined)
+
+    # Engine compatibility: the engine calls ``transform(tokens)`` on its
+    # vectorizer; a hybrid instance is instead plugged in via
+    # ``AdEngine(text_vectorizer=hybrid.transform_text)``.
+
+    def __call__(self, text: str) -> MutableSparseVector:
+        return self.transform_text(text)

@@ -1,0 +1,74 @@
+"""Tweet-aware tokenizer.
+
+Short social text needs slightly different handling from clean prose:
+URLs and @mentions are noise, #hashtags are strong topical signal (the hash
+is stripped, the word kept), and elongations ("soooo") are squeezed.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.text.stemmer import PorterStemmer
+from repro.text.stopwords import STOPWORDS
+
+_URL_RE = re.compile(r"https?://\S+|www\.\S+")
+_MENTION_RE = re.compile(r"@\w+")
+_TOKEN_RE = re.compile(r"[a-z][a-z0-9']*")
+# Squeeze letter elongations only ("soooo" → "soo"); digit runs are real
+# data (ids, years, the synthetic vocabulary) and must survive intact.
+_ELONGATION_RE = re.compile(r"([a-z])\1{2,}")
+
+
+@dataclass(frozen=True)
+class TokenizerConfig:
+    """Tokenizer behaviour switches.
+
+    ``min_token_length`` filters single-letter noise; ``stem`` toggles Porter
+    stemming; ``keep_stopwords`` is useful for language-model-style consumers.
+    """
+
+    min_token_length: int = 2
+    stem: bool = True
+    keep_stopwords: bool = False
+
+    def __post_init__(self) -> None:
+        if self.min_token_length < 1:
+            raise ConfigError(
+                f"min_token_length must be >= 1, got {self.min_token_length}"
+            )
+
+
+@dataclass
+class Tokenizer:
+    """Turns raw text into a list of normalised tokens."""
+
+    config: TokenizerConfig = field(default_factory=TokenizerConfig)
+
+    def __post_init__(self) -> None:
+        self._stemmer = PorterStemmer()
+
+    def tokenize(self, text: str) -> list[str]:
+        """Normalise, split and filter ``text`` into topic-bearing tokens."""
+        lowered = text.lower()
+        lowered = _URL_RE.sub(" ", lowered)
+        lowered = _MENTION_RE.sub(" ", lowered)
+        lowered = lowered.replace("#", " ")
+        lowered = _ELONGATION_RE.sub(r"\1\1", lowered)
+        tokens: list[str] = []
+        for match in _TOKEN_RE.finditer(lowered):
+            token = match.group(0).strip("'")
+            if len(token) < self.config.min_token_length:
+                continue
+            if not self.config.keep_stopwords and token in STOPWORDS:
+                continue
+            if self.config.stem:
+                token = self._stemmer.stem(token)
+            if len(token) >= self.config.min_token_length:
+                tokens.append(token)
+        return tokens
+
+    def __call__(self, text: str) -> list[str]:
+        return self.tokenize(text)

@@ -1,0 +1,80 @@
+"""Bidirectional term ↔ integer-id mapping.
+
+The topic-model subsystem (and anything that wants dense arrays) works over
+integer ids; the rest of the library works over term strings. ``Vocabulary``
+is the bridge.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable
+
+from repro.errors import ConfigError
+
+
+class Vocabulary:
+    """Append-only mapping between terms and contiguous integer ids."""
+
+    __slots__ = ("_id_to_term", "_term_to_id")
+
+    def __init__(self, terms: Iterable[str] = ()) -> None:
+        self._term_to_id: dict[str, int] = {}
+        self._id_to_term: list[str] = []
+        for term in terms:
+            self.add(term)
+
+    def __len__(self) -> int:
+        return len(self._id_to_term)
+
+    def __contains__(self, term: str) -> bool:
+        return term in self._term_to_id
+
+    def add(self, term: str) -> int:
+        """Register a term (idempotent) and return its id."""
+        existing = self._term_to_id.get(term)
+        if existing is not None:
+            return existing
+        term_id = len(self._id_to_term)
+        self._term_to_id[term] = term_id
+        self._id_to_term.append(term)
+        return term_id
+
+    def add_all(self, terms: Iterable[str]) -> None:
+        for term in terms:
+            self.add(term)
+
+    def id_of(self, term: str) -> int:
+        """Id of a known term; raises ConfigError for unknown terms."""
+        term_id = self._term_to_id.get(term)
+        if term_id is None:
+            raise ConfigError(f"term not in vocabulary: {term!r}")
+        return term_id
+
+    def get(self, term: str) -> int | None:
+        """Id of a term, or None when unknown."""
+        return self._term_to_id.get(term)
+
+    def term_of(self, term_id: int) -> str:
+        if not 0 <= term_id < len(self._id_to_term):
+            raise ConfigError(f"term id {term_id} outside [0, {len(self)})")
+        return self._id_to_term[term_id]
+
+    def terms(self) -> list[str]:
+        """All terms in id order (a copy)."""
+        return list(self._id_to_term)
+
+    def encode(self, tokens: Iterable[str], *, grow: bool = False) -> list[int]:
+        """Map tokens to ids, optionally growing the vocabulary.
+
+        With ``grow=False`` unknown tokens are silently dropped, which is the
+        behaviour wanted when encoding query text against a trained model.
+        """
+        ids: list[int] = []
+        for token in tokens:
+            if grow:
+                ids.append(self.add(token))
+            else:
+                token_id = self._term_to_id.get(token)
+                if token_id is not None:
+                    ids.append(token_id)
+        return ids

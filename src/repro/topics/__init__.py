@@ -1,0 +1,5 @@
+"""Topic models: collapsed-Gibbs LDA (the classic effectiveness baseline)."""
+
+from repro.topics.lda import LdaModel
+
+__all__ = ["LdaModel"]

@@ -1,0 +1,165 @@
+"""Latent Dirichlet Allocation via collapsed Gibbs sampling.
+
+Implemented from scratch (the original's future-work section names LDA-style
+topic models as the comparison family). The sampler is plain
+collapsed Gibbs (Griffiths & Steyvers 2004): token-topic assignments are
+resampled from
+
+    p(z = k | ·) ∝ (n_dk + α) · (n_kw + β) / (n_k + βV)
+
+``fit`` learns the topic-word counts; ``infer`` folds an unseen document in
+with those counts frozen, which is how the LDA baseline scores ads against
+messages at serving time.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.text.vocabulary import Vocabulary
+
+
+class LdaModel:
+    """Collapsed-Gibbs LDA over tokenised documents."""
+
+    def __init__(
+        self,
+        num_topics: int,
+        *,
+        alpha: float = 0.1,
+        beta: float = 0.01,
+        iterations: int = 100,
+        seed: int = 0,
+    ) -> None:
+        if num_topics < 2:
+            raise ConfigError(f"num_topics must be >= 2, got {num_topics}")
+        if alpha <= 0.0 or beta <= 0.0:
+            raise ConfigError("alpha and beta must be positive")
+        if iterations < 1:
+            raise ConfigError(f"iterations must be >= 1, got {iterations}")
+        self.num_topics = num_topics
+        self.alpha = alpha
+        self.beta = beta
+        self.iterations = iterations
+        self._rng = np.random.default_rng(seed)
+        self.vocabulary = Vocabulary()
+        self._topic_word: np.ndarray | None = None  # K x V counts
+        self._topic_totals: np.ndarray | None = None  # K
+        self._doc_topic: np.ndarray | None = None  # D x K counts
+
+    @property
+    def is_fitted(self) -> bool:
+        return self._topic_word is not None
+
+    def fit(self, documents: Sequence[Sequence[str]]) -> "LdaModel":
+        """Run the Gibbs sampler over a corpus of token lists."""
+        if not documents:
+            raise ConfigError("cannot fit LDA on an empty corpus")
+        encoded = [
+            self.vocabulary.encode(tokens, grow=True) for tokens in documents
+        ]
+        vocab_size = len(self.vocabulary)
+        if vocab_size == 0:
+            raise ConfigError("corpus tokenises to an empty vocabulary")
+        num_docs = len(encoded)
+        k = self.num_topics
+
+        topic_word = np.zeros((k, vocab_size), dtype=np.float64)
+        topic_totals = np.zeros(k, dtype=np.float64)
+        doc_topic = np.zeros((num_docs, k), dtype=np.float64)
+        assignments: list[np.ndarray] = []
+        for doc_index, tokens in enumerate(encoded):
+            z = self._rng.integers(0, k, size=len(tokens))
+            assignments.append(z)
+            for word, topic in zip(tokens, z):
+                topic_word[topic, word] += 1.0
+                topic_totals[topic] += 1.0
+                doc_topic[doc_index, topic] += 1.0
+
+        beta_v = self.beta * vocab_size
+        for _ in range(self.iterations):
+            for doc_index, tokens in enumerate(encoded):
+                z = assignments[doc_index]
+                for position, word in enumerate(tokens):
+                    old = z[position]
+                    topic_word[old, word] -= 1.0
+                    topic_totals[old] -= 1.0
+                    doc_topic[doc_index, old] -= 1.0
+                    weights = (
+                        (doc_topic[doc_index] + self.alpha)
+                        * (topic_word[:, word] + self.beta)
+                        / (topic_totals + beta_v)
+                    )
+                    new = self._sample(weights)
+                    z[position] = new
+                    topic_word[new, word] += 1.0
+                    topic_totals[new] += 1.0
+                    doc_topic[doc_index, new] += 1.0
+
+        self._topic_word = topic_word
+        self._topic_totals = topic_totals
+        self._doc_topic = doc_topic
+        return self
+
+    def _sample(self, weights: np.ndarray) -> int:
+        cumulative = np.cumsum(weights)
+        return int(np.searchsorted(cumulative, self._rng.random() * cumulative[-1]))
+
+    def _require_fitted(self) -> None:
+        if not self.is_fitted:
+            raise ConfigError("LdaModel is not fitted")
+
+    def topic_word_distribution(self) -> np.ndarray:
+        """phi: K x V row-stochastic topic-word matrix."""
+        self._require_fitted()
+        smoothed = self._topic_word + self.beta
+        return smoothed / smoothed.sum(axis=1, keepdims=True)
+
+    def document_topics(self) -> np.ndarray:
+        """theta for the training documents: D x K row-stochastic."""
+        self._require_fitted()
+        smoothed = self._doc_topic + self.alpha
+        return smoothed / smoothed.sum(axis=1, keepdims=True)
+
+    def infer(self, tokens: Sequence[str], *, iterations: int = 25) -> np.ndarray:
+        """theta for an unseen document (fold-in Gibbs, phi frozen).
+
+        Unknown tokens are dropped; a document with no known tokens gets the
+        uniform distribution.
+        """
+        self._require_fitted()
+        assert self._topic_word is not None and self._topic_totals is not None
+        encoded = self.vocabulary.encode(tokens, grow=False)
+        k = self.num_topics
+        if not encoded:
+            return np.full(k, 1.0 / k)
+        beta_v = self.beta * len(self.vocabulary)
+        counts = np.zeros(k, dtype=np.float64)
+        z = self._rng.integers(0, k, size=len(encoded))
+        for topic in z:
+            counts[topic] += 1.0
+        word_factor = (self._topic_word + self.beta) / (
+            self._topic_totals[:, None] + beta_v
+        )
+        for _ in range(iterations):
+            for position, word in enumerate(encoded):
+                old = z[position]
+                counts[old] -= 1.0
+                weights = (counts + self.alpha) * word_factor[:, word]
+                new = self._sample(weights)
+                z[position] = new
+                counts[new] += 1.0
+        theta = counts + self.alpha
+        return theta / theta.sum()
+
+    def top_words(self, topic: int, limit: int = 10) -> list[str]:
+        """Most probable words of one topic (for inspection)."""
+        self._require_fitted()
+        assert self._topic_word is not None
+        if not 0 <= topic < self.num_topics:
+            raise ConfigError(f"topic {topic} outside [0, {self.num_topics})")
+        order = np.argsort(-self._topic_word[topic])[:limit]
+        return [self.vocabulary.term_of(int(index)) for index in order]

@@ -1,0 +1,30 @@
+"""Shared low-level utilities: sparse vectors, heaps, timing, sampling."""
+
+from repro.util.heap import BoundedTopK, TopKEntry
+from repro.util.sparse import (
+    add_scaled,
+    cosine,
+    dot,
+    l2_normalize,
+    norm,
+    scale,
+    top_terms,
+)
+from repro.util.timers import LatencyRecorder, ThroughputMeter, Timer
+from repro.util.zipf import ZipfSampler
+
+__all__ = [
+    "BoundedTopK",
+    "LatencyRecorder",
+    "ThroughputMeter",
+    "Timer",
+    "TopKEntry",
+    "ZipfSampler",
+    "add_scaled",
+    "cosine",
+    "dot",
+    "l2_normalize",
+    "norm",
+    "scale",
+    "top_terms",
+]

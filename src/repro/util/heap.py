@@ -1,0 +1,82 @@
+"""A bounded top-k accumulator built on a min-heap.
+
+Used throughout the engine wherever the k best-scoring ads must be collected
+from a larger candidate stream without sorting everything.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True, slots=True)
+class TopKEntry:
+    """One (score, item) result of a top-k computation."""
+
+    score: float
+    item: int
+
+
+class BoundedTopK:
+    """Collects the ``k`` highest-scoring integer items seen so far.
+
+    Ties on score are broken toward the *smaller* item id (deterministic
+    output regardless of push order), matching the engine-wide tie rule.
+    """
+
+    __slots__ = ("_heap", "_k")
+
+    def __init__(self, k: int) -> None:
+        if k <= 0:
+            raise ConfigError(f"k must be positive, got {k}")
+        self._k = k
+        # Min-heap of (score, -item): the worst kept entry is heap[0].
+        # Using -item means that among equal scores the *largest* item id is
+        # evicted first, i.e. smaller ids win ties.
+        self._heap: list[tuple[float, int]] = []
+
+    @property
+    def k(self) -> int:
+        return self._k
+
+    def __len__(self) -> int:
+        return len(self._heap)
+
+    def push(self, score: float, item: int) -> bool:
+        """Offer an item; returns True if it was kept (is currently top-k)."""
+        key = (score, -item)
+        if len(self._heap) < self._k:
+            heapq.heappush(self._heap, key)
+            return True
+        if key > self._heap[0]:
+            heapq.heapreplace(self._heap, key)
+            return True
+        return False
+
+    def threshold(self) -> float:
+        """Score of the k-th kept item, or -inf while fewer than k are held.
+
+        Any future item must beat this score (or tie with a smaller id) to
+        enter the top-k; pruning logic in the index layer relies on it.
+        """
+        if len(self._heap) < self._k:
+            return float("-inf")
+        return self._heap[0][0]
+
+    def would_accept(self, score: float) -> bool:
+        """Whether an item with this score could still enter the top-k."""
+        if len(self._heap) < self._k:
+            return True
+        return score >= self._heap[0][0]
+
+    def results(self) -> list[TopKEntry]:
+        """Kept entries sorted best-first (score desc, then item id asc)."""
+        ordered = sorted(self._heap, key=lambda key: (-key[0], -key[1]))
+        return [TopKEntry(score=score, item=-negated) for score, negated in ordered]
+
+    def items(self) -> set[int]:
+        """The set of kept item ids (unordered)."""
+        return {-negated for _, negated in self._heap}

@@ -1,0 +1,96 @@
+"""Sparse-vector arithmetic over ``dict[str, float]``.
+
+Term-weight vectors are represented as plain dictionaries mapping a term to a
+non-negative weight. All functions treat a missing key as weight zero and
+never mutate their inputs unless the docstring says so.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Iterable, Mapping
+
+SparseVector = Mapping[str, float]
+MutableSparseVector = dict[str, float]
+
+
+def dot(a: SparseVector, b: SparseVector) -> float:
+    """Inner product of two sparse vectors.
+
+    Iterates over the smaller vector so that ``dot(tweet, profile)`` costs
+    O(len(tweet)) even against a large profile.
+    """
+    if len(a) > len(b):
+        a, b = b, a
+    total = 0.0
+    for term, weight in a.items():
+        other = b.get(term)
+        if other is not None:
+            total += weight * other
+    return total
+
+
+def norm(a: SparseVector) -> float:
+    """Euclidean (L2) norm of a sparse vector."""
+    return math.sqrt(sum(w * w for w in a.values()))
+
+
+def cosine(a: SparseVector, b: SparseVector) -> float:
+    """Cosine similarity; 0.0 when either vector is empty or all-zero."""
+    denominator = norm(a) * norm(b)
+    if denominator == 0.0:
+        return 0.0
+    return dot(a, b) / denominator
+
+
+def l2_normalize(a: SparseVector) -> MutableSparseVector:
+    """Return a copy of ``a`` scaled to unit L2 norm (empty stays empty)."""
+    n = norm(a)
+    if n == 0.0:
+        return {}
+    return {term: weight / n for term, weight in a.items()}
+
+
+def scale(a: SparseVector, factor: float) -> MutableSparseVector:
+    """Return ``factor * a`` as a new dictionary."""
+    return {term: weight * factor for term, weight in a.items()}
+
+
+def add_scaled(
+    accumulator: MutableSparseVector,
+    other: SparseVector,
+    factor: float = 1.0,
+    *,
+    prune_below: float = 0.0,
+) -> MutableSparseVector:
+    """In-place ``accumulator += factor * other``; returns the accumulator.
+
+    Entries whose absolute value drops to ``prune_below`` or less are removed,
+    which keeps long-lived accumulators (decayed profiles, feed contexts)
+    from growing without bound.
+    """
+    for term, weight in other.items():
+        updated = accumulator.get(term, 0.0) + factor * weight
+        if abs(updated) <= prune_below:
+            accumulator.pop(term, None)
+        else:
+            accumulator[term] = updated
+    return accumulator
+
+
+def top_terms(a: SparseVector, limit: int) -> list[tuple[str, float]]:
+    """The ``limit`` heaviest (term, weight) pairs, heaviest first.
+
+    Ties are broken by term so the output is deterministic.
+    """
+    if limit <= 0:
+        return []
+    return sorted(a.items(), key=lambda item: (-item[1], item[0]))[:limit]
+
+
+def from_pairs(pairs: Iterable[tuple[str, float]]) -> MutableSparseVector:
+    """Build a vector from (term, weight) pairs, summing duplicate terms."""
+    vector: MutableSparseVector = {}
+    for term, weight in pairs:
+        vector[term] = vector.get(term, 0.0) + weight
+    return vector

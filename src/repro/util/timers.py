@@ -1,0 +1,123 @@
+"""Wall-clock measurement helpers used by the benchmark harness.
+
+These are deliberately simple: a context-manager stopwatch, a latency
+recorder with exact percentiles, and a throughput meter.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+
+
+class Timer:
+    """Context-manager stopwatch measuring elapsed wall-clock seconds.
+
+    >>> with Timer() as t:
+    ...     _ = sum(range(100))
+    >>> t.elapsed >= 0.0
+    True
+    """
+
+    __slots__ = ("_start", "elapsed")
+
+    def __init__(self) -> None:
+        self._start = 0.0
+        self.elapsed = 0.0
+
+    def __enter__(self) -> "Timer":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed = time.perf_counter() - self._start
+
+
+@dataclass
+class LatencyRecorder:
+    """Accumulates individual latency samples and reports exact percentiles.
+
+    Samples are kept in full (the simulations here record at most a few
+    hundred thousand events), so percentiles are exact, not sketched.
+    """
+
+    samples: list[float] = field(default_factory=list)
+
+    def record(self, seconds: float) -> None:
+        if seconds < 0.0:
+            raise ConfigError(f"latency cannot be negative: {seconds}")
+        self.samples.append(seconds)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    @property
+    def count(self) -> int:
+        return len(self.samples)
+
+    def mean(self) -> float:
+        if not self.samples:
+            return 0.0
+        return sum(self.samples) / len(self.samples)
+
+    def percentile(self, q: float) -> float:
+        """Exact q-th percentile (0 < q <= 100) using nearest-rank."""
+        if not 0.0 < q <= 100.0:
+            raise ConfigError(f"percentile must be in (0, 100], got {q}")
+        if not self.samples:
+            return 0.0
+        ordered = sorted(self.samples)
+        rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+        return ordered[rank - 1]
+
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def merge(self, other: "LatencyRecorder") -> None:
+        """Fold another recorder's samples into this one."""
+        self.samples.extend(other.samples)
+
+
+class ThroughputMeter:
+    """Counts events against wall-clock time and reports events/second."""
+
+    __slots__ = ("_count", "_started", "_stopped")
+
+    def __init__(self) -> None:
+        self._count = 0
+        self._started: float | None = None
+        self._stopped: float | None = None
+
+    def start(self) -> None:
+        self._started = time.perf_counter()
+        self._stopped = None
+        self._count = 0
+
+    def tick(self, events: int = 1) -> None:
+        if self._started is None:
+            raise ConfigError("ThroughputMeter.tick() called before start()")
+        self._count += events
+
+    def stop(self) -> None:
+        if self._started is None:
+            raise ConfigError("ThroughputMeter.stop() called before start()")
+        self._stopped = time.perf_counter()
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def events_per_second(self) -> float:
+        if self._started is None:
+            return 0.0
+        end = self._stopped if self._stopped is not None else time.perf_counter()
+        elapsed = end - self._started
+        if elapsed <= 0.0:
+            return 0.0
+        return self._count / elapsed

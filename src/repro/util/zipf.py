@@ -1,0 +1,54 @@
+"""Zipfian sampling over a finite universe.
+
+Social text and check-in workloads are heavily skewed; the workload
+generator uses this sampler for vocabularies, locations and activity levels.
+The implementation precomputes the CDF once and samples by binary search, so
+draws are O(log n) and exactly reproducible from a seeded ``random.Random``.
+"""
+
+from __future__ import annotations
+
+import bisect
+import random
+
+from repro.errors import ConfigError
+
+
+class ZipfSampler:
+    """Draws integers from ``{0, ..., n-1}`` with P(i) ∝ 1 / (i+1)^s."""
+
+    __slots__ = ("_cdf", "exponent", "size")
+
+    def __init__(self, size: int, exponent: float = 1.0) -> None:
+        if size <= 0:
+            raise ConfigError(f"ZipfSampler size must be positive, got {size}")
+        if exponent < 0.0:
+            raise ConfigError(f"Zipf exponent must be >= 0, got {exponent}")
+        self.size = size
+        self.exponent = exponent
+        weights = [1.0 / (rank + 1) ** exponent for rank in range(size)]
+        total = sum(weights)
+        cumulative = 0.0
+        cdf: list[float] = []
+        for weight in weights:
+            cumulative += weight / total
+            cdf.append(cumulative)
+        cdf[-1] = 1.0  # guard against floating-point shortfall
+        self._cdf = cdf
+
+    def sample(self, rng: random.Random) -> int:
+        """Draw one index using the supplied random source."""
+        return bisect.bisect_left(self._cdf, rng.random())
+
+    def sample_many(self, rng: random.Random, count: int) -> list[int]:
+        """Draw ``count`` independent indices."""
+        if count < 0:
+            raise ConfigError(f"count must be >= 0, got {count}")
+        return [self.sample(rng) for _ in range(count)]
+
+    def probability(self, index: int) -> float:
+        """Exact probability mass of ``index``."""
+        if not 0 <= index < self.size:
+            raise ConfigError(f"index {index} outside [0, {self.size})")
+        previous = self._cdf[index - 1] if index > 0 else 0.0
+        return self._cdf[index] - previous

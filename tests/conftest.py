@@ -1,0 +1,60 @@
+"""Shared fixtures: small deterministic workloads and corpora."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ads.ad import Ad
+from repro.ads.corpus import AdCorpus
+from repro.datagen.workload import WorkloadConfig, generate_workload
+
+
+@pytest.fixture()
+def rng() -> random.Random:
+    return random.Random(42)
+
+
+def make_ads(count: int, *, seed: int = 0, terms_per_ad: int = 4) -> list[Ad]:
+    """Small synthetic ad set over a tiny shared vocabulary."""
+    rng = random.Random(seed)
+    vocabulary = [f"t{i}" for i in range(max(8, terms_per_ad * 3))]
+    ads = []
+    for ad_id in range(count):
+        picked = rng.sample(vocabulary, terms_per_ad)
+        terms = {term: rng.uniform(0.1, 1.0) for term in picked}
+        ads.append(
+            Ad(
+                ad_id=ad_id,
+                advertiser=f"brand{ad_id}",
+                text=" ".join(picked),
+                terms=terms,
+                bid=rng.uniform(0.1, 2.0),
+            )
+        )
+    return ads
+
+
+@pytest.fixture()
+def small_corpus() -> AdCorpus:
+    return AdCorpus(make_ads(30))
+
+
+@pytest.fixture(scope="session")
+def tiny_workload():
+    """A session-cached tiny workload for integration-style tests.
+
+    Treat as read-only: take fresh corpora via ``build_corpus()``.
+    """
+    return generate_workload(
+        WorkloadConfig(
+            num_users=40,
+            num_ads=120,
+            num_posts=80,
+            num_topics=8,
+            vocab_size=1200,
+            follows_per_user=5,
+            seed=11,
+        )
+    )

@@ -1,0 +1,66 @@
+"""Tests for the Ad model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ads.ad import Ad
+from repro.errors import ConfigError
+from repro.util.sparse import norm
+
+
+def make_ad(**overrides) -> Ad:
+    defaults = dict(
+        ad_id=1,
+        advertiser="acme",
+        text="running shoes",
+        terms={"run": 2.0, "shoe": 1.0},
+        bid=1.0,
+    )
+    defaults.update(overrides)
+    return Ad(**defaults)
+
+
+class TestValidation:
+    def test_negative_id_rejected(self):
+        with pytest.raises(ConfigError):
+            make_ad(ad_id=-1)
+
+    def test_non_positive_bid_rejected(self):
+        with pytest.raises(ConfigError):
+            make_ad(bid=0.0)
+
+    def test_non_positive_budget_rejected(self):
+        with pytest.raises(ConfigError):
+            make_ad(budget=0.0)
+
+    def test_none_budget_allowed(self):
+        assert make_ad(budget=None).budget is None
+
+    def test_empty_terms_rejected(self):
+        with pytest.raises(ConfigError):
+            make_ad(terms={})
+
+    def test_non_positive_weights_rejected(self):
+        with pytest.raises(ConfigError):
+            make_ad(terms={"run": -1.0})
+        with pytest.raises(ConfigError):
+            make_ad(terms={"run": 0.0})
+
+
+class TestNormalisation:
+    def test_terms_are_unit_norm(self):
+        ad = make_ad(terms={"a": 3.0, "b": 4.0})
+        assert norm(ad.terms) == pytest.approx(1.0)
+
+    def test_relative_weights_preserved(self):
+        ad = make_ad(terms={"a": 3.0, "b": 4.0})
+        assert ad.terms["b"] / ad.terms["a"] == pytest.approx(4.0 / 3.0)
+
+    def test_keywords_heaviest_first(self):
+        ad = make_ad(terms={"zeta": 1.0, "alpha": 3.0, "mid": 2.0})
+        assert ad.keywords == ["alpha", "mid", "zeta"]
+
+    def test_keywords_tiebreak_alphabetical(self):
+        ad = make_ad(terms={"b": 1.0, "a": 1.0})
+        assert ad.keywords == ["a", "b"]

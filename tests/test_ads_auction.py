@@ -1,0 +1,60 @@
+"""Tests for GSP slate pricing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ads.ad import Ad
+from repro.ads.auction import run_gsp_auction
+from repro.ads.corpus import AdCorpus
+from repro.errors import ConfigError
+
+
+@pytest.fixture()
+def corpus() -> AdCorpus:
+    bids = {0: 5.0, 1: 3.0, 2: 2.0, 3: 0.5}
+    return AdCorpus(
+        Ad(ad_id=ad_id, advertiser="x", text="t", terms={"t": 1.0}, bid=bid)
+        for ad_id, bid in bids.items()
+    )
+
+
+class TestGsp:
+    def test_each_slot_pays_next_bid(self, corpus):
+        outcome = run_gsp_auction(corpus, [0, 1, 2])
+        assert outcome.prices == (3.0, 2.0, 0.0)
+
+    def test_last_slot_pays_reserve(self, corpus):
+        outcome = run_gsp_auction(corpus, [0, 1], reserve_price=0.25)
+        assert outcome.prices == (3.0, 0.25)
+
+    def test_price_never_exceeds_own_bid(self, corpus):
+        # Ranking is relevance-weighted, so a low bidder can out-rank a
+        # high bidder; it must not be charged more than it bid.
+        outcome = run_gsp_auction(corpus, [3, 0])  # bid 0.5 ranked first
+        assert outcome.prices[0] == 0.5
+
+    def test_reserve_floor_applies_everywhere(self, corpus):
+        outcome = run_gsp_auction(corpus, [0, 1, 2], reserve_price=2.5)
+        assert outcome.prices == (3.0, 2.5, 2.5)
+
+    def test_empty_slate(self, corpus):
+        outcome = run_gsp_auction(corpus, [])
+        assert outcome.prices == ()
+        assert outcome.revenue == 0.0
+
+    def test_single_ad_pays_reserve(self, corpus):
+        outcome = run_gsp_auction(corpus, [1], reserve_price=0.1)
+        assert outcome.prices == (0.1,)
+
+    def test_revenue_sums_prices(self, corpus):
+        outcome = run_gsp_auction(corpus, [0, 1, 2], reserve_price=0.5)
+        assert outcome.revenue == pytest.approx(sum(outcome.prices))
+
+    def test_negative_reserve_rejected(self, corpus):
+        with pytest.raises(ConfigError):
+            run_gsp_auction(corpus, [0], reserve_price=-0.1)
+
+    def test_positions_align_with_input(self, corpus):
+        outcome = run_gsp_auction(corpus, [2, 0, 1])
+        assert outcome.ad_ids == (2, 0, 1)

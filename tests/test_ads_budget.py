@@ -1,0 +1,137 @@
+"""Tests for budget accounting and pacing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ads.ad import Ad
+from repro.ads.budget import BudgetManager, BudgetState
+from repro.ads.corpus import AdCorpus
+from repro.errors import BudgetError, ConfigError
+
+
+def make_corpus(budget: float | None = 10.0) -> AdCorpus:
+    return AdCorpus(
+        [
+            Ad(
+                ad_id=0,
+                advertiser="a",
+                text="x",
+                terms={"x": 1.0},
+                bid=1.0,
+                budget=budget,
+            ),
+            Ad(ad_id=1, advertiser="b", text="y", terms={"y": 1.0}, bid=2.0),
+        ]
+    )
+
+
+class TestBudgetState:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            BudgetState(budget=0.0, campaign_start=0.0, campaign_end=10.0)
+        with pytest.raises(ConfigError):
+            BudgetState(budget=1.0, campaign_start=10.0, campaign_end=10.0)
+        with pytest.raises(ConfigError):
+            BudgetState(budget=1.0, campaign_start=0.0, campaign_end=1.0, spent=-1.0)
+
+    def test_remaining_and_exhausted(self):
+        state = BudgetState(budget=10.0, campaign_start=0.0, campaign_end=100.0)
+        assert state.remaining == 10.0
+        state.spent = 10.0
+        assert state.exhausted
+
+    def test_time_fraction_clamped(self):
+        state = BudgetState(budget=10.0, campaign_start=0.0, campaign_end=100.0)
+        assert state.time_fraction(-5.0) == 0.0
+        assert state.time_fraction(50.0) == 0.5
+        assert state.time_fraction(500.0) == 1.0
+
+    def test_pacing_on_schedule_is_one(self):
+        state = BudgetState(budget=100.0, campaign_start=0.0, campaign_end=100.0)
+        state.spent = 20.0
+        assert state.pacing_multiplier(50.0) == 1.0  # behind schedule
+
+    def test_pacing_throttles_overspenders(self):
+        state = BudgetState(budget=100.0, campaign_start=0.0, campaign_end=100.0)
+        state.spent = 50.0
+        multiplier = state.pacing_multiplier(10.0)  # 10% elapsed, 50% spent
+        assert multiplier == pytest.approx(0.2)
+
+    def test_pacing_floor(self):
+        state = BudgetState(budget=100.0, campaign_start=0.0, campaign_end=100.0)
+        state.spent = 99.0
+        assert state.pacing_multiplier(0.0) == 0.1
+
+    def test_pacing_zero_when_exhausted(self):
+        state = BudgetState(budget=10.0, campaign_start=0.0, campaign_end=100.0)
+        state.spent = 10.0
+        assert state.pacing_multiplier(50.0) == 0.0
+
+
+class TestBudgetManager:
+    def test_uncapped_ads_have_no_state(self):
+        manager = BudgetManager(make_corpus())
+        assert manager.state(1) is None
+        assert manager.state(0) is not None
+
+    def test_uncapped_pacing_is_one(self):
+        manager = BudgetManager(make_corpus())
+        assert manager.pacing_multiplier(1, 50.0) == 1.0
+
+    def test_charge_accumulates(self):
+        manager = BudgetManager(make_corpus())
+        assert manager.charge(0, 3.0) is False
+        assert manager.state(0).spent == 3.0
+        assert manager.total_spend() == 3.0
+
+    def test_charge_uncapped_is_free_noop(self):
+        manager = BudgetManager(make_corpus())
+        assert manager.charge(1, 100.0) is False
+        assert manager.total_spend() == 0.0
+
+    def test_negative_price_rejected(self):
+        manager = BudgetManager(make_corpus())
+        with pytest.raises(BudgetError):
+            manager.charge(0, -1.0)
+
+    def test_final_charge_capped_at_remaining(self):
+        corpus = make_corpus(budget=5.0)
+        manager = BudgetManager(corpus)
+        exhausted = manager.charge(0, 100.0)
+        assert exhausted is True
+        assert manager.state(0).spent == 5.0
+
+    def test_exhaustion_retires_from_corpus(self):
+        corpus = make_corpus(budget=5.0)
+        manager = BudgetManager(corpus)
+        manager.charge(0, 5.0)
+        assert not corpus.is_active(0)
+        assert manager.exhausted_ids() == [0]
+
+    def test_charging_exhausted_raises(self):
+        corpus = make_corpus(budget=5.0)
+        manager = BudgetManager(corpus)
+        manager.charge(0, 5.0)
+        with pytest.raises(BudgetError):
+            manager.charge(0, 1.0)
+
+    def test_pacing_disabled_is_binary(self):
+        corpus = make_corpus(budget=100.0)
+        manager = BudgetManager(corpus, pacing_enabled=False, campaign_end=100.0)
+        manager.charge(0, 50.0)  # way ahead of schedule at t=0
+        assert manager.pacing_multiplier(0, 0.0) == 1.0
+
+    def test_ads_added_later_are_tracked(self):
+        corpus = make_corpus()
+        manager = BudgetManager(corpus)
+        corpus.add(
+            Ad(ad_id=2, advertiser="c", text="z", terms={"z": 1.0}, bid=1.0, budget=3.0)
+        )
+        assert manager.state(2) is not None
+        manager.charge(2, 3.0)
+        assert not corpus.is_active(2)
+
+    def test_campaign_window_validation(self):
+        with pytest.raises(ConfigError):
+            BudgetManager(make_corpus(), campaign_start=10.0, campaign_end=5.0)

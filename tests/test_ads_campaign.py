@@ -1,0 +1,152 @@
+"""Tests for advertiser-facing campaign management."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ads.campaign import CampaignManager, CampaignPhase, CampaignSpec
+from repro.core.config import EngineConfig
+from repro.core.recommender import ContextAwareRecommender
+from repro.errors import ConfigError
+
+
+@pytest.fixture()
+def engine(tiny_workload):
+    recommender = ContextAwareRecommender.from_workload(
+        tiny_workload, EngineConfig()
+    )
+    return recommender.engine
+
+
+@pytest.fixture()
+def manager(engine) -> CampaignManager:
+    return CampaignManager(engine)
+
+
+def spec(**overrides) -> CampaignSpec:
+    defaults = dict(
+        campaign_id="spring-push",
+        advertiser="acme",
+        creatives=("w00010 w00011 sale", "w00012 w00013 deal"),
+        bid=1.5,
+        total_budget=20.0,
+        flight_start=1000.0,
+        flight_end=50_000.0,
+    )
+    defaults.update(overrides)
+    return CampaignSpec(**defaults)
+
+
+class TestSpecValidation:
+    def test_needs_creatives(self):
+        with pytest.raises(ConfigError):
+            spec(creatives=())
+
+    def test_bid_positive(self):
+        with pytest.raises(ConfigError):
+            spec(bid=0.0)
+
+    def test_budget_positive_or_none(self):
+        with pytest.raises(ConfigError):
+            spec(total_budget=0.0)
+        spec(total_budget=None)  # allowed
+
+    def test_flight_ordering(self):
+        with pytest.raises(ConfigError):
+            spec(flight_start=10.0, flight_end=10.0)
+
+    def test_empty_id(self):
+        with pytest.raises(ConfigError):
+            spec(campaign_id="")
+
+
+class TestRegistration:
+    def test_allocates_fresh_ids(self, manager, engine):
+        ad_ids = manager.register(spec())
+        assert len(ad_ids) == 2
+        assert all(ad_id not in engine.corpus for ad_id in ad_ids)
+
+    def test_duplicate_campaign_rejected(self, manager):
+        manager.register(spec())
+        with pytest.raises(ConfigError):
+            manager.register(spec())
+
+    def test_budget_split_evenly(self, manager, engine):
+        manager.register(spec(total_budget=20.0))
+        manager.process_until(2000.0)
+        status = manager.status("spring-push")
+        for ad_id in status.creative_ad_ids:
+            assert engine.corpus.get(ad_id).budget == pytest.approx(10.0)
+
+    def test_untokenisable_creative_rejected(self, manager):
+        with pytest.raises(ConfigError):
+            manager.register(spec(creatives=("!!!",)))
+
+
+class TestLifecycle:
+    def test_scheduled_until_flight_start(self, manager, engine):
+        ad_ids = manager.register(spec(flight_start=5000.0))
+        manager.process_until(4999.0)
+        assert manager.status("spring-push").phase is CampaignPhase.SCHEDULED
+        assert all(ad_id not in engine.corpus for ad_id in ad_ids)
+
+    def test_launches_at_flight_start(self, manager, engine):
+        ad_ids = manager.register(spec(flight_start=5000.0))
+        affected = manager.process_until(5000.0)
+        assert affected == ["spring-push"]
+        assert manager.status("spring-push").phase is CampaignPhase.LIVE
+        assert all(engine.corpus.is_active(ad_id) for ad_id in ad_ids)
+
+    def test_ends_at_flight_end(self, manager, engine):
+        ad_ids = manager.register(spec(flight_start=0.0, flight_end=9000.0))
+        manager.process_until(100.0)
+        manager.process_until(9000.0)
+        status = manager.status("spring-push")
+        assert status.phase is CampaignPhase.ENDED
+        assert status.active_creatives == 0
+        assert all(not engine.corpus.is_active(ad_id) for ad_id in ad_ids)
+
+    def test_process_until_idempotent(self, manager):
+        manager.register(spec(flight_start=0.0))
+        manager.process_until(100.0)
+        assert manager.process_until(100.0) == []
+
+    def test_live_campaigns_listing(self, manager):
+        manager.register(spec())
+        manager.register(
+            spec(campaign_id="other", flight_start=90_000.0, flight_end=99_000.0)
+        )
+        manager.process_until(2000.0)
+        assert manager.live_campaigns() == ["spring-push"]
+
+    def test_unknown_status_rejected(self, manager):
+        with pytest.raises(ConfigError):
+            manager.status("ghost")
+
+
+class TestServingAndSpend:
+    def test_live_campaign_serves_and_spends(self, manager, engine, tiny_workload):
+        # Build the creative from the stream's most common tokens so the
+        # relevance floor is reachable.
+        from collections import Counter
+
+        counts = Counter(
+            token
+            for post in tiny_workload.posts[:40]
+            for token in tiny_workload.tokenizer.tokenize(post.text)
+        )
+        creative = " ".join(token for token, _ in counts.most_common(5))
+        manager.register(spec(flight_start=0.0, creatives=(creative,), bid=50.0))
+        manager.process_until(0.0)
+        (ad_id,) = manager.status("spring-push").creative_ad_ids
+        served = False
+        for post in tiny_workload.posts[:40]:
+            manager.process_until(post.timestamp)
+            result = engine.post(post.author_id, post.text, post.timestamp)
+            for delivery in result.deliveries:
+                if any(scored.ad_id == ad_id for scored in delivery.slate):
+                    served = True
+        assert served
+        status = manager.status("spring-push")
+        assert status.spent > 0.0
+        assert status.remaining == pytest.approx(20.0 - status.spent)

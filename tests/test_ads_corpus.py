@@ -1,0 +1,107 @@
+"""Tests for the ad corpus: membership, retirement, listeners, aggregates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ads.corpus import AdCorpus
+from repro.errors import CorpusError, UnknownAdError
+from tests.conftest import make_ads
+
+
+@pytest.fixture()
+def corpus() -> AdCorpus:
+    return AdCorpus(make_ads(10))
+
+
+class TestMembership:
+    def test_len_and_contains(self, corpus):
+        assert len(corpus) == 10
+        assert 3 in corpus
+        assert 99 not in corpus
+
+    def test_duplicate_id_rejected(self, corpus):
+        with pytest.raises(CorpusError):
+            corpus.add(make_ads(1)[0])
+
+    def test_get_unknown_raises(self, corpus):
+        with pytest.raises(UnknownAdError):
+            corpus.get(99)
+
+    def test_active_ads_sorted(self, corpus):
+        ids = [ad.ad_id for ad in corpus.active_ads()]
+        assert ids == sorted(ids)
+
+
+class TestRetirement:
+    def test_retire_removes_from_active(self, corpus):
+        corpus.retire(3)
+        assert not corpus.is_active(3)
+        assert corpus.num_active == 9
+        assert 3 not in [ad.ad_id for ad in corpus.active_ads()]
+
+    def test_retired_ad_still_gettable(self, corpus):
+        corpus.retire(3)
+        assert corpus.get(3).ad_id == 3
+        assert len(corpus) == 10
+
+    def test_double_retire_raises(self, corpus):
+        corpus.retire(3)
+        with pytest.raises(CorpusError):
+            corpus.retire(3)
+
+    def test_retire_unknown_raises(self, corpus):
+        with pytest.raises(UnknownAdError):
+            corpus.retire(99)
+
+    def test_is_active_unknown_raises(self, corpus):
+        with pytest.raises(UnknownAdError):
+            corpus.is_active(99)
+
+
+class TestListeners:
+    def test_add_listener_fires(self, corpus):
+        seen = []
+        corpus.subscribe(on_add=lambda ad: seen.append(ad.ad_id))
+        new_ad = make_ads(11)[10]
+        corpus.add(new_ad)
+        assert seen == [10]
+
+    def test_retire_listener_fires(self, corpus):
+        seen = []
+        corpus.subscribe(on_retire=lambda ad: seen.append(ad.ad_id))
+        corpus.retire(5)
+        assert seen == [5]
+
+    def test_multiple_listeners(self, corpus):
+        counts = [0, 0]
+        corpus.subscribe(on_retire=lambda ad: counts.__setitem__(0, counts[0] + 1))
+        corpus.subscribe(on_retire=lambda ad: counts.__setitem__(1, counts[1] + 1))
+        corpus.retire(1)
+        assert counts == [1, 1]
+
+
+class TestAggregates:
+    def test_max_bid_tracks_additions(self, corpus):
+        expected = max(ad.bid for ad in corpus.all_ads())
+        assert corpus.max_bid == expected
+
+    def test_max_bid_is_high_water_mark(self, corpus):
+        top = max(corpus.all_ads(), key=lambda ad: ad.bid)
+        corpus.retire(top.ad_id)
+        assert corpus.max_bid == top.bid  # monotone by design
+
+    def test_normalized_bid_in_unit_interval(self, corpus):
+        for ad in corpus.all_ads():
+            assert 0.0 < corpus.normalized_bid(ad.ad_id) <= 1.0
+
+    def test_normalized_bid_of_top_is_one(self, corpus):
+        top = max(corpus.all_ads(), key=lambda ad: ad.bid)
+        assert corpus.normalized_bid(top.ad_id) == pytest.approx(1.0)
+
+    def test_add_epoch_increments_on_add_only(self, corpus):
+        epoch = corpus.add_epoch
+        corpus.retire(0)
+        assert corpus.add_epoch == epoch
+        corpus.add(make_ads(12)[11])
+        assert corpus.add_epoch == epoch + 1

@@ -1,0 +1,198 @@
+"""Tests for CTR estimation and click simulation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.ads.ctr import QUALITY_CAP, CtrEstimator
+from repro.errors import ConfigError
+from repro.stream.clicks import ClickSimulator
+
+
+class TestValidation:
+    def test_prior_ctr_bounds(self):
+        with pytest.raises(ConfigError):
+            CtrEstimator(prior_ctr=0.0)
+        with pytest.raises(ConfigError):
+            CtrEstimator(prior_ctr=1.0)
+
+    def test_prior_strength_positive(self):
+        with pytest.raises(ConfigError):
+            CtrEstimator(prior_strength=0.0)
+
+    def test_discount_bounds(self):
+        with pytest.raises(ConfigError):
+            CtrEstimator(discount=0.0)
+        with pytest.raises(ConfigError):
+            CtrEstimator(discount=1.5)
+
+
+class TestEstimates:
+    def test_unseen_ad_gets_prior(self):
+        estimator = CtrEstimator(prior_ctr=0.05)
+        assert estimator.estimate(7) == pytest.approx(0.05)
+        assert estimator.quality_multiplier(7) == pytest.approx(1.0)
+
+    def test_clicks_raise_estimate(self):
+        estimator = CtrEstimator(prior_ctr=0.05, prior_strength=10.0)
+        for _ in range(20):
+            estimator.record_impression(1)
+            estimator.record_click(1)
+        assert estimator.estimate(1) > 0.5
+
+    def test_ignored_ad_sinks_below_prior(self):
+        estimator = CtrEstimator(prior_ctr=0.05, prior_strength=10.0)
+        for _ in range(200):
+            estimator.record_impression(1)
+        assert estimator.estimate(1) < 0.05
+        assert estimator.quality_multiplier(1) < 1.0
+
+    def test_quality_multiplier_capped(self):
+        estimator = CtrEstimator(prior_ctr=0.01, prior_strength=1.0)
+        for _ in range(50):
+            estimator.record_impression(1)
+            estimator.record_click(1)
+        assert estimator.quality_multiplier(1) == QUALITY_CAP
+
+    def test_counts_tracked(self):
+        estimator = CtrEstimator()
+        estimator.record_impression(3)
+        estimator.record_impression(3)
+        estimator.record_click(3)
+        assert estimator.impressions_of(3) == 2.0
+        assert estimator.clicks_of(3) == 1.0
+        assert estimator.observed_ads() == [3]
+
+    def test_global_ctr(self):
+        estimator = CtrEstimator(prior_ctr=0.05)
+        assert estimator.global_ctr() == 0.05
+        estimator.record_impression(1)
+        estimator.record_impression(2)
+        estimator.record_click(1)
+        assert estimator.global_ctr() == pytest.approx(0.5)
+
+    def test_discount_fades_history(self):
+        fading = CtrEstimator(prior_ctr=0.05, prior_strength=1.0, discount=0.5)
+        # One early click, then a long dry spell.
+        fading.record_impression(1)
+        fading.record_click(1)
+        for _ in range(20):
+            fading.record_impression(1)
+        frozen = CtrEstimator(prior_ctr=0.05, prior_strength=1.0, discount=1.0)
+        frozen.record_impression(1)
+        frozen.record_click(1)
+        for _ in range(20):
+            frozen.record_impression(1)
+        assert fading.clicks_of(1) < frozen.clicks_of(1)
+
+    @given(
+        clicks=st.integers(min_value=0, max_value=50),
+        impressions=st.integers(min_value=0, max_value=200),
+    )
+    def test_estimate_always_in_unit_interval(self, clicks, impressions):
+        estimator = CtrEstimator()
+        for _ in range(impressions):
+            estimator.record_impression(1)
+        for _ in range(min(clicks, impressions)):
+            estimator.record_click(1)
+        assert 0.0 < estimator.estimate(1) < 1.0
+
+
+class TestClickSimulator:
+    def test_validation(self):
+        rng = random.Random(0)
+        with pytest.raises(ConfigError):
+            ClickSimulator(rng, examine_decay=0.0)
+        with pytest.raises(ConfigError):
+            ClickSimulator(rng, click_given_relevant=1.5)
+        with pytest.raises(ConfigError):
+            ClickSimulator(rng, noise_click=-0.1)
+
+    def test_output_aligned_with_slate(self):
+        simulator = ClickSimulator(random.Random(1))
+        clicks = simulator.clicks_for_slate([1, 2, 3], lambda ad: 0.5)
+        assert len(clicks) == 3
+
+    def test_relevant_ads_clicked_more(self):
+        simulator = ClickSimulator(random.Random(2), examine_decay=1.0)
+        relevant = sum(
+            simulator.clicks_for_slate([1], lambda ad: 1.0)[0] for _ in range(500)
+        )
+        irrelevant = sum(
+            simulator.clicks_for_slate([1], lambda ad: 0.0)[0] for _ in range(500)
+        )
+        assert relevant > 5 * max(1, irrelevant)
+
+    def test_position_bias(self):
+        simulator = ClickSimulator(
+            random.Random(3), examine_decay=0.3, click_given_relevant=1.0
+        )
+        first = 0
+        fifth = 0
+        for _ in range(800):
+            clicks = simulator.clicks_for_slate([1, 2, 3, 4, 5], lambda ad: 1.0)
+            first += clicks[0]
+            fifth += clicks[4]
+        assert first > 3 * max(1, fifth)
+
+    def test_empty_slate(self):
+        simulator = ClickSimulator(random.Random(4))
+        assert simulator.clicks_for_slate([], lambda ad: 1.0) == []
+
+
+class TestEngineIntegration:
+    def test_engine_records_impressions_and_clicks(self, tiny_workload):
+        from repro.core.config import EngineConfig
+        from repro.core.recommender import ContextAwareRecommender
+
+        recommender = ContextAwareRecommender.from_workload(
+            tiny_workload, EngineConfig(ctr_feedback=True)
+        )
+        engine = recommender.engine
+        post = tiny_workload.posts[0]
+        result = engine.post(post.author_id, post.text, post.timestamp)
+        served = [s.ad_id for d in result.deliveries for s in d.slate]
+        if not served:
+            pytest.skip("no impressions generated by this post")
+        assert engine.ctr is not None
+        assert engine.ctr.impressions_of(served[0]) >= 1.0
+        engine.record_click(served[0])
+        assert engine.ctr.clicks_of(served[0]) == 1.0
+
+    def test_click_feedback_reranks(self, tiny_workload):
+        """Clicking one ad repeatedly must eventually raise it above an
+        equal-content rival in later slates."""
+        from repro.core.config import EngineConfig
+        from repro.core.recommender import ContextAwareRecommender
+
+        recommender = ContextAwareRecommender.from_workload(
+            tiny_workload,
+            EngineConfig(ctr_feedback=True, charge_impressions=False),
+        )
+        engine = recommender.engine
+        post = tiny_workload.posts[0]
+        before = engine.slate_for_message(0, post.text, post.timestamp)
+        if len(before) < 2:
+            pytest.skip("need at least two slate entries")
+        runner_up = before[1].ad_id
+        for _ in range(60):
+            engine.ctr.record_impression(runner_up)
+            engine.ctr.record_click(runner_up)
+        after = engine.slate_for_message(0, post.text, post.timestamp)
+        before_rank = [s.ad_id for s in before].index(runner_up)
+        after_rank = [s.ad_id for s in after].index(runner_up)
+        assert after_rank <= before_rank
+
+    def test_record_click_noop_without_feedback(self, tiny_workload):
+        from repro.core.config import EngineConfig
+        from repro.core.recommender import ContextAwareRecommender
+
+        recommender = ContextAwareRecommender.from_workload(
+            tiny_workload, EngineConfig(ctr_feedback=False)
+        )
+        recommender.engine.record_click(0)  # must not raise
+        assert recommender.engine.ctr is None

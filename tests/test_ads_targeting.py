@@ -1,0 +1,122 @@
+"""Tests for targeting predicates and proximity scoring."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ads.targeting import SECONDS_PER_DAY, TargetingSpec, TimeWindow
+from repro.errors import ConfigError
+from repro.geo.point import GeoPoint
+
+LONDON = GeoPoint(51.5074, -0.1278)
+PARIS = GeoPoint(48.8566, 2.3522)
+
+
+def hour(h: float) -> float:
+    """Timestamp at hour-of-day h on day zero."""
+    return h * 3600.0
+
+
+class TestTimeWindow:
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TimeWindow(-1.0, 5.0)
+        with pytest.raises(ConfigError):
+            TimeWindow(5.0, 24.0)
+        with pytest.raises(ConfigError):
+            TimeWindow(5.0, 5.0)
+
+    def test_simple_window(self):
+        window = TimeWindow(9.0, 17.0)
+        assert window.contains(hour(9.0))
+        assert window.contains(hour(16.99))
+        assert not window.contains(hour(17.0))
+        assert not window.contains(hour(8.99))
+
+    def test_wrapping_window(self):
+        window = TimeWindow(22.0, 6.0)
+        assert window.contains(hour(23.0))
+        assert window.contains(hour(2.0))
+        assert not window.contains(hour(12.0))
+
+    def test_next_day_same_hours(self):
+        window = TimeWindow(9.0, 17.0)
+        assert window.contains(SECONDS_PER_DAY + hour(10.0))
+
+
+class TestGeoPredicate:
+    def test_untargeted_matches_everywhere(self):
+        spec = TargetingSpec()
+        assert spec.matches_location(LONDON)
+        assert spec.matches_location(None)
+        assert spec.is_untargeted
+
+    def test_inside_circle(self):
+        spec = TargetingSpec(circles=((LONDON, 50.0),))
+        assert spec.matches_location(GeoPoint(51.4, -0.2))
+
+    def test_outside_circle(self):
+        spec = TargetingSpec(circles=((LONDON, 50.0),))
+        assert not spec.matches_location(PARIS)
+
+    def test_unknown_location_fails_geo_targeting(self):
+        spec = TargetingSpec(circles=((LONDON, 50.0),))
+        assert not spec.matches_location(None)
+
+    def test_any_circle_suffices(self):
+        spec = TargetingSpec(circles=((LONDON, 30.0), (PARIS, 30.0)))
+        assert spec.matches_location(PARIS)
+
+    def test_radius_validation(self):
+        with pytest.raises(ConfigError):
+            TargetingSpec(circles=((LONDON, 0.0),))
+
+    def test_max_radius(self):
+        spec = TargetingSpec(circles=((LONDON, 30.0), (PARIS, 80.0)))
+        assert spec.max_radius_km() == 80.0
+        assert TargetingSpec().max_radius_km() == 0.0
+
+
+class TestProximity:
+    def test_untargeted_is_neutral(self):
+        assert TargetingSpec().proximity(LONDON) == 1.0
+        assert TargetingSpec().proximity(None) == 1.0
+
+    def test_center_is_one(self):
+        spec = TargetingSpec(circles=((LONDON, 50.0),))
+        assert spec.proximity(LONDON) == pytest.approx(1.0)
+
+    def test_decays_linearly(self):
+        spec = TargetingSpec(circles=((GeoPoint(0.0, 0.0), 222.4),))
+        halfway = GeoPoint(1.0, 0.0)  # ~111.2 km
+        assert spec.proximity(halfway) == pytest.approx(0.5, abs=0.02)
+
+    def test_outside_is_zero(self):
+        spec = TargetingSpec(circles=((LONDON, 50.0),))
+        assert spec.proximity(PARIS) == 0.0
+
+    def test_unknown_location_zero_for_targeted(self):
+        spec = TargetingSpec(circles=((LONDON, 50.0),))
+        assert spec.proximity(None) == 0.0
+
+    def test_best_circle_wins(self):
+        spec = TargetingSpec(circles=((LONDON, 500.0), (PARIS, 500.0)))
+        assert spec.proximity(PARIS) == pytest.approx(1.0)
+
+
+class TestConjunction:
+    def test_both_constraints_must_hold(self):
+        spec = TargetingSpec(
+            circles=((LONDON, 50.0),),
+            time_windows=(TimeWindow(9.0, 17.0),),
+        )
+        assert spec.matches(LONDON, hour(10.0))
+        assert not spec.matches(LONDON, hour(20.0))
+        assert not spec.matches(PARIS, hour(10.0))
+
+    def test_time_only_targeting(self):
+        spec = TargetingSpec(time_windows=(TimeWindow(9.0, 17.0),))
+        assert spec.matches(None, hour(10.0))
+        assert not spec.matches(None, hour(18.0))
+        assert spec.is_time_targeted
+        assert not spec.is_geo_targeted

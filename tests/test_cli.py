@@ -1,0 +1,86 @@
+"""CLI tests (driven through main(argv) — no subprocesses)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+FAST = ["--users", "30", "--ads", "80", "--posts", "30", "--vocab", "1200", "--topics", "8"]
+
+
+class TestParser:
+    def test_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["frobnicate"])
+
+    def test_replay_mode_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--mode", "warp"])
+
+
+class TestGenerateAndStats:
+    def test_generate_writes_directory(self, tmp_path, capsys):
+        out = tmp_path / "wl"
+        code = main(["generate", *FAST, "--out", str(out)])
+        assert code == 0
+        assert (out / "meta.json").exists()
+        assert (out / "ads.jsonl").exists()
+        captured = capsys.readouterr()
+        assert "saved workload" in captured.out
+
+    def test_stats_reads_it_back(self, tmp_path, capsys):
+        out = tmp_path / "wl"
+        main(["generate", *FAST, "--out", str(out)])
+        capsys.readouterr()
+        code = main(["stats", "--workload", str(out)])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "users" in captured.out
+        assert "30" in captured.out
+
+    def test_stats_missing_workload_errors(self, tmp_path, capsys):
+        code = main(["stats", "--workload", str(tmp_path / "missing")])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+
+class TestReplay:
+    @pytest.mark.parametrize("mode", ["shared", "incremental", "exact"])
+    def test_replay_all_modes(self, mode, capsys):
+        code = main(
+            ["replay", *FAST, "--mode", mode, "--limit", "15", "--no-charging"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deliveries/s" in out
+        assert mode in out
+
+    def test_replay_from_saved_workload(self, tmp_path, capsys):
+        out = tmp_path / "wl"
+        main(["generate", *FAST, "--out", str(out)])
+        capsys.readouterr()
+        code = main(["replay", "--workload", str(out), "--limit", "10"])
+        assert code == 0
+        assert "Replay summary" in capsys.readouterr().out
+
+    def test_approximate_flag(self, capsys):
+        code = main(
+            ["replay", *FAST, "--limit", "10", "--approximate", "--no-charging"]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "fallback rate | 0" in out
+
+
+class TestEffectiveness:
+    def test_effectiveness_table(self, capsys):
+        code = main(["effectiveness", *FAST, "--max-posts", "25"])
+        assert code == 0
+        out = capsys.readouterr().out
+        for name in ("system", "content-only", "popularity", "random"):
+            assert name in out

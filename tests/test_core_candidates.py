@@ -1,0 +1,118 @@
+"""Tests for shared candidate generation and the global static list."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ads.corpus import AdCorpus
+from repro.core.candidates import SharedCandidateGenerator
+from repro.core.config import ScoringWeights
+from repro.core.static_list import GlobalStaticTopList
+from repro.errors import ConfigError
+from repro.index.inverted import AdInvertedIndex
+from tests.conftest import make_ads
+
+
+@pytest.fixture()
+def corpus() -> AdCorpus:
+    return AdCorpus(make_ads(50))
+
+
+@pytest.fixture()
+def index(corpus) -> AdInvertedIndex:
+    return AdInvertedIndex.from_corpus(corpus)
+
+
+class TestSharedCandidates:
+    def test_overfetch_validation(self, index):
+        with pytest.raises(ConfigError):
+            SharedCandidateGenerator(index, 0)
+
+    def test_entries_sorted_desc(self, index):
+        generator = SharedCandidateGenerator(index, 10)
+        result = generator.generate({"t0": 1.0, "t3": 0.5})
+        scores = [score for _, score in result.entries]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_cutoff_is_last_score_when_full(self, corpus, index):
+        generator = SharedCandidateGenerator(index, 3)
+        result = generator.generate({"t0": 1.0})
+        if len(result) == 3:
+            assert result.cutoff == result.entries[-1][1]
+            assert not result.complete
+
+    def test_cutoff_zero_when_incomplete(self, index):
+        generator = SharedCandidateGenerator(index, 10_000)
+        result = generator.generate({"t0": 1.0})
+        assert result.complete
+        assert result.cutoff == 0.0
+
+    def test_empty_message(self, index):
+        generator = SharedCandidateGenerator(index, 10)
+        result = generator.generate({})
+        assert len(result) == 0
+        assert result.complete
+
+    def test_probe_counter(self, index):
+        generator = SharedCandidateGenerator(index, 10)
+        generator.generate({"t0": 1.0})
+        generator.generate({"t1": 1.0})
+        assert generator.probes == 2
+
+    def test_ad_ids_order_matches_entries(self, index):
+        generator = SharedCandidateGenerator(index, 10)
+        result = generator.generate({"t0": 1.0, "t1": 1.0})
+        assert result.ad_ids() == [ad_id for ad_id, _ in result.entries]
+
+
+class TestGlobalStaticList:
+    def test_size_validation(self, corpus):
+        with pytest.raises(ConfigError):
+            GlobalStaticTopList(corpus, ScoringWeights(), 0)
+
+    def test_prefix_is_top_bids(self, corpus):
+        static_list = GlobalStaticTopList(corpus, ScoringWeights(), 5)
+        expected = [
+            ad.ad_id
+            for ad in sorted(
+                corpus.active_ads(), key=lambda ad: (-ad.bid, ad.ad_id)
+            )[:5]
+        ]
+        assert static_list.candidate_ids() == expected
+
+    def test_cutoff_dominates_outsiders(self, corpus):
+        weights = ScoringWeights()
+        static_list = GlobalStaticTopList(corpus, weights, 5)
+        cutoff = static_list.cutoff()
+        prefix = set(static_list.candidate_ids())
+        for ad in corpus.active_ads():
+            if ad.ad_id not in prefix:
+                upper = weights.gamma + weights.delta * corpus.normalized_bid(
+                    ad.ad_id
+                )
+                assert upper <= cutoff + 1e-9
+
+    def test_cutoff_zero_when_covering_everything(self, corpus):
+        static_list = GlobalStaticTopList(corpus, ScoringWeights(), 1000)
+        assert static_list.cutoff() == 0.0
+
+    def test_retirement_shrinks_list(self, corpus):
+        static_list = GlobalStaticTopList(corpus, ScoringWeights(), 5)
+        top = static_list.candidate_ids()[0]
+        corpus.retire(top)
+        assert top not in static_list.candidate_ids()
+
+    def test_addition_can_enter_prefix(self, corpus):
+        from repro.ads.ad import Ad
+
+        static_list = GlobalStaticTopList(corpus, ScoringWeights(), 5)
+        corpus.add(
+            Ad(
+                ad_id=900,
+                advertiser="whale",
+                text="t",
+                terms={"t0": 1.0},
+                bid=1000.0,
+            )
+        )
+        assert static_list.candidate_ids()[0] == 900

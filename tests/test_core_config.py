@@ -1,0 +1,73 @@
+"""Tests for engine configuration validation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EngineConfig, EngineMode, ScoringWeights
+from repro.errors import ConfigError
+
+
+class TestScoringWeights:
+    def test_defaults_valid(self):
+        weights = ScoringWeights()
+        assert weights.max_static == pytest.approx(
+            weights.beta + weights.gamma + weights.delta
+        )
+
+    def test_negative_weight_rejected(self):
+        with pytest.raises(ConfigError):
+            ScoringWeights(beta=-0.1)
+
+    def test_alpha_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            ScoringWeights(alpha=0.0)
+
+    def test_probe_static_excludes_beta(self):
+        weights = ScoringWeights(beta=0.9, gamma=0.1, delta=0.2)
+        assert weights.max_probe_static == pytest.approx(0.3)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            ScoringWeights().alpha = 2.0  # type: ignore[misc]
+
+
+class TestEngineConfig:
+    def test_defaults_valid(self):
+        config = EngineConfig()
+        assert config.mode is EngineMode.SHARED
+
+    def test_k_positive(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(k=0)
+
+    def test_overfetch_at_least_k(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(k=10, overfetch=5)
+
+    def test_shadow_at_least_k(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(k=10, shadow_size=5)
+
+    def test_candidate_depths_positive(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(profile_candidates=0)
+        with pytest.raises(ConfigError):
+            EngineConfig(static_candidates=0)
+
+    def test_window_size_positive(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(window_size=0)
+
+    def test_reserve_price_non_negative(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(reserve_price=-0.5)
+
+    def test_campaign_duration_positive(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(campaign_duration_s=0.0)
+
+    def test_describe_covers_key_knobs(self):
+        described = EngineConfig().describe()
+        for key in ("k", "mode", "alpha", "overfetch", "window_size"):
+            assert key in described

@@ -1,0 +1,159 @@
+"""Incremental maintainer correctness: the standing top-k equals a full
+recomputation after every arrival, while probes stay rare."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ads.corpus import AdCorpus
+from repro.core.candidates import SharedCandidateGenerator
+from repro.core.config import EngineConfig, EngineMode
+from repro.core.incremental import IncrementalTopK
+from repro.core.rerank import Personalizer
+from repro.core.scoring import ScoringModel
+from repro.datagen.adgen import generate_ads
+from repro.datagen.topicspace import TopicSpace
+from repro.index.inverted import AdInvertedIndex
+from repro.profiles.context import FeedContext
+from repro.util.sparse import dot, l2_normalize
+from tests.helpers import assert_scores_match
+
+
+def build_maintainer(seed: int = 0, num_ads: int = 120, **config_kwargs):
+    rng = random.Random(seed)
+    space = TopicSpace(5, 700)
+    ads, _ = generate_ads(num_ads, space, rng, geo_targeted_fraction=0.2)
+    corpus = AdCorpus(ads)
+    index = AdInvertedIndex.from_corpus(corpus)
+    config = EngineConfig(mode=EngineMode.INCREMENTAL, **config_kwargs)
+    scoring = ScoringModel(corpus, config.weights)
+    personalizer = Personalizer(scoring, index, config=config)
+    context = FeedContext(
+        window_size=config.window_size,
+        half_life_s=config.context_half_life_s,
+    )
+    maintainer = IncrementalTopK(
+        user_id=0,
+        context=context,
+        scoring=scoring,
+        index=index,
+        personalizer=personalizer,
+        k=config.k,
+        shadow_size=config.shadow_size,
+        exact_fallback=config.exact_fallback,
+    )
+    generator = SharedCandidateGenerator(index, config.shadow_size)
+    return rng, space, corpus, config, scoring, maintainer, generator
+
+
+def message(space: TopicSpace, rng: random.Random) -> dict[str, float]:
+    words = space.sample_words(rng.randrange(space.num_topics), 8, rng)
+    return l2_normalize({word: 1.0 for word in set(words)})
+
+
+def oracle_incremental_scores(corpus, weights, context, profile_vec, location, t, k):
+    """Full-corpus recomputation under incremental semantics (raw context
+    dot as the content term)."""
+    scores = []
+    for ad in corpus.active_ads():
+        content = context.dot_with(ad.terms)
+        profile_affinity = dot(profile_vec, ad.terms)
+        if content <= 0.0 and profile_affinity <= 0.0:
+            continue
+        if not ad.targeting.matches(location, t):
+            continue
+        scores.append(
+            weights.alpha * content
+            + weights.beta * profile_affinity
+            + weights.gamma * ad.targeting.proximity(location)
+            + weights.delta * corpus.normalized_bid(ad.ad_id)
+        )
+    scores.sort(reverse=True)
+    return scores[:k]
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_slate_matches_oracle_after_every_arrival(self, seed):
+        stack = build_maintainer(seed=seed)
+        rng, space, corpus, config, scoring, maintainer, generator = stack
+        profile_vec: dict[str, float] = {}
+        profile_epoch = 0
+        t = 0.0
+        for msg_id in range(40):
+            t += rng.uniform(1.0, 300.0)
+            vec = message(space, rng)
+            if rng.random() < 0.1:  # the user posts: profile changes
+                profile_vec = message(space, rng)
+                profile_epoch += 1
+            probe = generator.generate(vec)
+            slate = maintainer.on_arrival(
+                msg_id, t, vec, probe, profile_vec, profile_epoch, None
+            )
+            expected = oracle_incremental_scores(
+                corpus,
+                config.weights,
+                maintainer.context,
+                profile_vec,
+                None,
+                t,
+                config.k,
+            )
+            assert_scores_match([scored.score for scored in slate], expected)
+
+    def test_certification_actually_fires(self):
+        stack = build_maintainer(seed=1, shadow_size=60)
+        rng, space, _, _, _, maintainer, generator = stack
+        t = 0.0
+        for msg_id in range(60):
+            t += rng.uniform(1.0, 60.0)
+            vec = message(space, rng)
+            probe = generator.generate(vec)
+            maintainer.on_arrival(msg_id, t, vec, probe, {}, 0, None)
+        assert maintainer.stats.certified > 0
+        assert maintainer.stats.certified + maintainer.stats.refreshes == (
+            maintainer.stats.arrivals
+        )
+
+    def test_profile_change_forces_refresh(self):
+        stack = build_maintainer(seed=2)
+        rng, space, _, _, _, maintainer, generator = stack
+        vec = message(space, rng)
+        probe = generator.generate(vec)
+        maintainer.on_arrival(0, 10.0, vec, probe, {}, 0, None)
+        before = maintainer.stats.refreshes
+        vec2 = message(space, rng)
+        maintainer.on_arrival(1, 20.0, vec2, generator.generate(vec2), {}, 1, None)
+        assert maintainer.stats.refreshes == before + 1
+
+
+class TestRetirementHandling:
+    def test_retired_ads_leave_slate_on_next_arrival(self):
+        stack = build_maintainer(seed=3)
+        rng, space, corpus, _, _, maintainer, generator = stack
+        vec = message(space, rng)
+        slate = maintainer.on_arrival(0, 10.0, vec, generator.generate(vec), {}, 0, None)
+        assert slate, "need a non-empty slate for this test"
+        victim = slate[0].ad_id
+        corpus.retire(victim)
+        vec2 = message(space, rng)
+        slate2 = maintainer.on_arrival(
+            1, 20.0, vec2, generator.generate(vec2), {}, 0, None
+        )
+        assert victim not in {scored.ad_id for scored in slate2}
+
+
+class TestApproximateMode:
+    def test_served_approximate_counted(self):
+        stack = build_maintainer(seed=4, exact_fallback=False, shadow_size=10)
+        rng, space, _, _, _, maintainer, generator = stack
+        t = 0.0
+        for msg_id in range(20):
+            t += rng.uniform(1.0, 600.0)
+            vec = message(space, rng)
+            maintainer.on_arrival(msg_id, t, vec, generator.generate(vec), {}, 0, None)
+        stats = maintainer.stats
+        assert stats.refreshes == 0
+        assert stats.certified + stats.served_approximate == stats.arrivals

@@ -1,0 +1,174 @@
+"""Personalisation correctness: certified and fallback slates are exact."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ads.corpus import AdCorpus
+from repro.core.candidates import SharedCandidateGenerator
+from repro.core.config import EngineConfig, ScoringWeights
+from repro.core.rerank import Personalizer
+from repro.core.scoring import ScoringModel
+from repro.datagen.adgen import generate_ads
+from repro.datagen.topicspace import TopicSpace
+from repro.index.inverted import AdInvertedIndex
+from tests.helpers import assert_scores_match, oracle_slate_scores
+
+
+def build_stack(num_ads: int = 150, seed: int = 0, **config_kwargs):
+    rng = random.Random(seed)
+    space = TopicSpace(6, 800)
+    ads, _ = generate_ads(num_ads, space, rng, geo_targeted_fraction=0.3)
+    corpus = AdCorpus(ads)
+    index = AdInvertedIndex.from_corpus(corpus)
+    config = EngineConfig(**config_kwargs)
+    scoring = ScoringModel(corpus, config.weights)
+    personalizer = Personalizer(scoring, index, config=config)
+    generator = SharedCandidateGenerator(index, config.overfetch)
+    return rng, space, corpus, index, config, scoring, personalizer, generator
+
+
+def random_message(space: TopicSpace, rng: random.Random) -> dict[str, float]:
+    from repro.util.sparse import l2_normalize
+
+    words = space.sample_words(rng.randrange(space.num_topics), 10, rng)
+    return l2_normalize({word: 1.0 for word in set(words)})
+
+
+def random_profile(space: TopicSpace, rng: random.Random) -> dict[str, float]:
+    from repro.util.sparse import l2_normalize
+
+    words = space.sample_words(rng.randrange(space.num_topics), 15, rng)
+    return l2_normalize({word: 1.0 for word in set(words)})
+
+
+class TestExactSlate:
+    @pytest.mark.parametrize("seed", range(5))
+    def test_matches_oracle(self, seed):
+        rng, space, corpus, _, config, _, personalizer, _ = build_stack(seed=seed)
+        message = random_message(space, rng)
+        profile = random_profile(space, rng)
+        slate = personalizer.exact_slate(message, profile, None, 1000.0, config.k)
+        expected = oracle_slate_scores(
+            corpus, config.weights, message, profile, None, 1000.0, config.k
+        )
+        assert_scores_match([scored.score for scored in slate], expected)
+
+    def test_empty_message_serves_profile_matches(self):
+        rng, space, corpus, _, config, _, personalizer, _ = build_stack(seed=1)
+        profile = random_profile(space, rng)
+        slate = personalizer.exact_slate({}, profile, None, 0.0, config.k)
+        expected = oracle_slate_scores(
+            corpus, config.weights, {}, profile, None, 0.0, config.k
+        )
+        assert_scores_match([scored.score for scored in slate], expected)
+
+
+class TestSlateForWithFallback:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_always_exact(self, seed):
+        """With exact_fallback on, every slate (certified or not) must match
+        the oracle."""
+        stack = build_stack(seed=seed, exact_fallback=True)
+        rng, space, corpus, _, config, _, personalizer, generator = stack
+        for trial in range(5):
+            message = random_message(space, rng)
+            profile = random_profile(space, rng)
+            candidates = generator.generate(message)
+            result = personalizer.slate_for(
+                candidates, message, trial, profile, 0, None, 500.0, config.k
+            )
+            expected = oracle_slate_scores(
+                corpus, config.weights, message, profile, None, 500.0, config.k
+            )
+            assert_scores_match(
+                [scored.score for scored in result.slate], expected
+            )
+
+    def test_certified_slates_skip_fallback_yet_are_exact(self):
+        """Whenever certification fires, the slate was computed WITHOUT the
+        exact probe and must still equal the oracle."""
+        stack = build_stack(
+            seed=3, exact_fallback=False, overfetch=60, static_candidates=60
+        )
+        rng, space, corpus, _, config, _, personalizer, generator = stack
+        certified_seen = 0
+        for trial in range(30):
+            message = random_message(space, rng)
+            profile = random_profile(space, rng)
+            candidates = generator.generate(message)
+            result = personalizer.slate_for(
+                candidates, message, trial, profile, 0, None, 500.0, config.k
+            )
+            if result.certified:
+                certified_seen += 1
+                expected = oracle_slate_scores(
+                    corpus, config.weights, message, profile, None, 500.0, config.k
+                )
+                assert_scores_match(
+                    [scored.score for scored in result.slate], expected
+                )
+        assert certified_seen > 0, "certification never fired; bound is vacuous"
+
+
+class TestApproximateMode:
+    def test_no_fallback_flag(self):
+        stack = build_stack(seed=2, exact_fallback=False)
+        rng, space, _, _, config, _, personalizer, generator = stack
+        message = random_message(space, rng)
+        candidates = generator.generate(message)
+        result = personalizer.slate_for(
+            candidates, message, 0, {}, 0, None, 0.0, config.k
+        )
+        assert not result.fell_back
+
+    def test_approximate_slate_is_subset_of_union_sources(self):
+        stack = build_stack(seed=4, exact_fallback=False)
+        rng, space, _, _, config, _, personalizer, generator = stack
+        message = random_message(space, rng)
+        profile = random_profile(space, rng)
+        candidates = generator.generate(message)
+        result = personalizer.slate_for(
+            candidates, message, 0, profile, 0, None, 0.0, config.k
+        )
+        allowed = set(candidates.ad_ids())
+        allowed.update(personalizer.static_candidate_ids())
+        allowed.update(
+            ad_id
+            for ad_id, _ in personalizer.profile_candidates(0, profile, 0).entries
+        )
+        assert {scored.ad_id for scored in result.slate} <= allowed
+
+
+class TestProfileCandidateCache:
+    def test_cache_hit_on_same_epochs(self):
+        stack = build_stack(seed=5)
+        rng, space, _, _, _, _, personalizer, _ = stack
+        profile = random_profile(space, rng)
+        first = personalizer.profile_candidates(7, profile, 3)
+        second = personalizer.profile_candidates(7, profile, 3)
+        assert first is second
+
+    def test_invalidated_by_profile_epoch(self):
+        stack = build_stack(seed=5)
+        rng, space, _, _, _, _, personalizer, _ = stack
+        profile = random_profile(space, rng)
+        first = personalizer.profile_candidates(7, profile, 3)
+        second = personalizer.profile_candidates(7, profile, 4)
+        assert first is not second
+
+    def test_invalidated_by_corpus_add(self):
+        from repro.ads.ad import Ad
+
+        stack = build_stack(seed=5)
+        rng, space, corpus, _, _, _, personalizer, _ = stack
+        profile = random_profile(space, rng)
+        first = personalizer.profile_candidates(7, profile, 3)
+        corpus.add(
+            Ad(ad_id=5000, advertiser="n", text="t", terms=dict(profile), bid=1.0)
+        )
+        second = personalizer.profile_candidates(7, profile, 3)
+        assert first is not second
+        assert 5000 in [ad_id for ad_id, _ in second.entries]

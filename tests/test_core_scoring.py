@@ -1,0 +1,131 @@
+"""Tests for the scoring model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ads.ad import Ad
+from repro.ads.budget import BudgetManager
+from repro.ads.corpus import AdCorpus
+from repro.ads.targeting import TargetingSpec, TimeWindow
+from repro.core.config import ScoringWeights
+from repro.core.scoring import ScoringModel
+from repro.geo.point import GeoPoint
+
+LONDON = GeoPoint(51.5074, -0.1278)
+
+
+@pytest.fixture()
+def corpus() -> AdCorpus:
+    return AdCorpus(
+        [
+            Ad(ad_id=0, advertiser="a", text="x", terms={"run": 1.0}, bid=2.0),
+            Ad(
+                ad_id=1,
+                advertiser="b",
+                text="y",
+                terms={"run": 1.0, "shoe": 1.0},
+                bid=1.0,
+                targeting=TargetingSpec(circles=((LONDON, 50.0),)),
+            ),
+            Ad(
+                ad_id=2,
+                advertiser="c",
+                text="z",
+                terms={"coffee": 1.0},
+                bid=0.5,
+                budget=10.0,
+                targeting=TargetingSpec(time_windows=(TimeWindow(9.0, 17.0),)),
+            ),
+        ]
+    )
+
+
+@pytest.fixture()
+def scoring(corpus) -> ScoringModel:
+    return ScoringModel(corpus, ScoringWeights(alpha=1.0, beta=0.5, gamma=0.25, delta=0.25))
+
+
+class TestBidScore:
+    def test_top_bidder_is_one(self, scoring):
+        assert scoring.bid_score(0, 0.0) == pytest.approx(1.0)
+
+    def test_proportional(self, scoring):
+        assert scoring.bid_score(1, 0.0) == pytest.approx(0.5)
+
+    def test_pacing_applies(self, corpus):
+        manager = BudgetManager(corpus, campaign_end=100.0)
+        scoring = ScoringModel(corpus, ScoringWeights(), budget_manager=manager)
+        manager.charge(2, 5.0)  # 50% spent at t=0: heavy overspend
+        assert scoring.bid_score(2, 0.0) < 0.25 / 2.0  # throttled below raw
+
+
+class TestStaticScore:
+    def test_targeting_rejection_returns_none(self, scoring):
+        paris = GeoPoint(48.8566, 2.3522)
+        assert scoring.static_score(1, {}, paris, 0.0) is None
+
+    def test_time_rejection_returns_none(self, scoring):
+        assert scoring.static_score(2, {}, None, 20 * 3600.0) is None
+
+    def test_untargeted_gets_full_geo_weight(self, scoring):
+        static = scoring.static_score(0, {}, None, 0.0)
+        # beta*0 + gamma*1 + delta*1 (top bid)
+        assert static == pytest.approx(0.25 + 0.25)
+
+    def test_profile_affinity_included(self, scoring, corpus):
+        profile = {"run": 1.0}
+        static = scoring.static_score(0, profile, None, 0.0)
+        assert static == pytest.approx(0.5 * 1.0 + 0.25 + 0.25)
+
+    def test_bounded_by_max_static(self, scoring, corpus):
+        for ad in corpus.active_ads():
+            static = scoring.static_score(ad.ad_id, {"run": 1.0}, LONDON, 10 * 3600.0)
+            if static is not None:
+                assert static <= scoring.max_static + 1e-9
+
+
+class TestEvaluate:
+    def test_relevance_floor(self, scoring):
+        assert scoring.evaluate(0, 0.0, {}, None, 0.0) is None
+
+    def test_profile_affinity_passes_floor(self, scoring):
+        scored = scoring.evaluate(0, 0.0, {"run": 1.0}, None, 0.0)
+        assert scored is not None
+        assert scored.content == 0.0
+
+    def test_retired_ad_rejected(self, scoring, corpus):
+        corpus.retire(0)
+        assert scoring.evaluate(0, 0.5, {}, None, 0.0) is None
+
+    def test_total_composition(self, scoring):
+        scored = scoring.evaluate(0, 0.4, {"run": 1.0}, None, 0.0)
+        assert scored.score == pytest.approx(1.0 * 0.4 + 0.5 + 0.25 + 0.25)
+        assert scored.score == pytest.approx(
+            scoring.weights.alpha * scored.content + scored.static
+        )
+
+
+class TestCombinedQuery:
+    def test_merges_scaled_vectors(self, scoring):
+        query = scoring.combined_query({"run": 1.0}, {"run": 0.5, "coffee": 0.5})
+        assert query["run"] == pytest.approx(1.0 * 1.0 + 0.5 * 0.5)
+        assert query["coffee"] == pytest.approx(0.25)
+
+    def test_zero_beta_ignores_profile(self, corpus):
+        scoring = ScoringModel(corpus, ScoringWeights(beta=0.0))
+        query = scoring.combined_query({"run": 1.0}, {"coffee": 1.0})
+        assert "coffee" not in query
+
+
+class TestProbeHelpers:
+    def test_probe_static_fn_excludes_profile(self, scoring):
+        static_fn = scoring.probe_static_fn(None, 0.0)
+        assert static_fn(0) == pytest.approx(0.25 + 0.25)
+        assert static_fn(0) <= scoring.max_probe_static + 1e-9
+
+    def test_targeting_filter(self, scoring):
+        accepts = scoring.targeting_filter(LONDON, 10 * 3600.0)
+        assert accepts(0) and accepts(1) and accepts(2)
+        rejects = scoring.targeting_filter(None, 20 * 3600.0)
+        assert rejects(0) and not rejects(1) and not rejects(2)

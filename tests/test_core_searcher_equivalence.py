@@ -1,0 +1,63 @@
+"""End-to-end searcher interchangeability: the engine must produce
+score-identical slates whichever exact pruning strategy is configured."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EngineConfig, EngineMode
+from repro.core.recommender import ContextAwareRecommender
+from repro.errors import ConfigError
+from repro.index.factory import SEARCHER_KINDS, make_searcher
+
+
+class TestFactory:
+    def test_unknown_kind_rejected(self, tiny_workload):
+        from repro.index.inverted import AdInvertedIndex
+
+        index = AdInvertedIndex.from_corpus(tiny_workload.build_corpus())
+        with pytest.raises(ConfigError):
+            make_searcher("btree", index)
+
+    def test_all_kinds_constructible(self, tiny_workload):
+        from repro.index.inverted import AdInvertedIndex
+
+        index = AdInvertedIndex.from_corpus(tiny_workload.build_corpus())
+        for kind in SEARCHER_KINDS:
+            searcher = make_searcher(kind, index)
+            assert searcher.search({"w00010": 1.0}, 3) is not None
+
+    def test_config_rejects_unknown_searcher(self):
+        with pytest.raises(ConfigError):
+            EngineConfig(searcher="quantum")
+
+
+def _slate_scores(workload, searcher: str, mode: EngineMode):
+    recommender = ContextAwareRecommender.from_workload(
+        workload,
+        EngineConfig(searcher=searcher, mode=mode, charge_impressions=False),
+    )
+    collected = []
+    for post in workload.posts[:15]:
+        result = recommender.post(post.author_id, post.text, post.timestamp)
+        for delivery in result.deliveries:
+            collected.append(
+                (
+                    delivery.user_id,
+                    [round(scored.score, 9) for scored in delivery.slate],
+                )
+            )
+    return collected
+
+
+class TestEndToEndEquivalence:
+    @pytest.mark.parametrize("mode", [EngineMode.SHARED, EngineMode.EXACT])
+    def test_all_searchers_agree(self, tiny_workload, mode):
+        reference = _slate_scores(tiny_workload, "ta", mode)
+        for kind in ("wand", "maxscore"):
+            assert _slate_scores(tiny_workload, kind, mode) == reference
+
+    def test_incremental_searchers_agree(self, tiny_workload):
+        reference = _slate_scores(tiny_workload, "ta", EngineMode.INCREMENTAL)
+        other = _slate_scores(tiny_workload, "wand", EngineMode.INCREMENTAL)
+        assert other == reference

@@ -1,0 +1,152 @@
+"""Tests for user, ad, post and check-in generation."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.datagen.adgen import ad_from_text, generate_ads
+from repro.datagen.topicspace import TopicSpace
+from repro.datagen.tweetgen import generate_checkins, generate_posts
+from repro.datagen.users import generate_users
+from repro.errors import ConfigError
+from repro.text.tokenizer import Tokenizer
+from repro.text.vectorizer import TfidfVectorizer
+
+
+@pytest.fixture()
+def space() -> TopicSpace:
+    return TopicSpace(num_topics=4, vocab_size=400, focus_size=30)
+
+
+class TestUsers:
+    def test_count_and_ids(self, space):
+        users = generate_users(25, space, random.Random(0))
+        assert [user.user_id for user in users] == list(range(25))
+
+    def test_mixtures_are_distributions(self, space):
+        for user in generate_users(10, space, random.Random(1)):
+            assert sum(user.mixture) == pytest.approx(1.0)
+
+    def test_homes_near_cities(self, space):
+        for user in generate_users(20, space, random.Random(2)):
+            assert user.home.distance_km(user.city.center) < 60.0
+
+    def test_activity_is_skewed(self, space):
+        users = generate_users(100, space, random.Random(3))
+        activities = sorted((user.activity for user in users), reverse=True)
+        assert activities[0] > 10 * activities[-1]
+
+    def test_count_validation(self, space):
+        with pytest.raises(ConfigError):
+            generate_users(0, space, random.Random(0))
+
+
+class TestAds:
+    def test_round_robin_topics(self, space):
+        ads, ad_topics = generate_ads(8, space, random.Random(0))
+        assert [ad_topics[ad.ad_id] for ad in ads] == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_keywords_come_from_topic_focus(self, space):
+        ads, ad_topics = generate_ads(8, space, random.Random(1))
+        for ad in ads:
+            focus = set(space.focus_words(ad_topics[ad.ad_id]))
+            assert set(ad.keywords) <= focus
+
+    def test_keyword_count(self, space):
+        ads, _ = generate_ads(5, space, random.Random(2), keywords_per_ad=7)
+        for ad in ads:
+            assert len(ad.terms) == 7
+
+    def test_fraction_validation(self, space):
+        with pytest.raises(ConfigError):
+            generate_ads(5, space, random.Random(0), geo_targeted_fraction=1.5)
+
+    def test_budget_range_validation(self, space):
+        with pytest.raises(ConfigError):
+            generate_ads(5, space, random.Random(0), budget_range=(10.0, 5.0))
+
+    def test_targeting_fractions_roughly_hold(self, space):
+        ads, _ = generate_ads(
+            400,
+            space,
+            random.Random(3),
+            geo_targeted_fraction=0.5,
+            time_targeted_fraction=0.0,
+        )
+        geo = sum(1 for ad in ads if ad.targeting.is_geo_targeted)
+        assert geo == pytest.approx(200, abs=50)
+        assert not any(ad.targeting.is_time_targeted for ad in ads)
+
+
+class TestAdFromText:
+    def test_builds_through_text_pipeline(self):
+        tokenizer = Tokenizer()
+        vectorizer = TfidfVectorizer().fit([tokenizer.tokenize("running shoes sale")])
+        ad = ad_from_text(1, "acme", "Great running shoes!", vectorizer)
+        assert "run" in ad.terms and "shoe" in ad.terms
+
+    def test_empty_text_rejected(self):
+        vectorizer = TfidfVectorizer().fit([["x"]])
+        with pytest.raises(ConfigError):
+            ad_from_text(1, "acme", "!!!", vectorizer)
+
+
+class TestPosts:
+    def test_count_and_order(self, space):
+        users = generate_users(10, space, random.Random(0))
+        posts, topics = generate_posts(
+            users, space, random.Random(1), count=50, duration_s=3600.0
+        )
+        assert len(posts) == 50
+        stamps = [post.timestamp for post in posts]
+        assert stamps == sorted(stamps)
+        assert set(topics) == {post.msg_id for post in posts}
+
+    def test_topics_follow_author_mixture(self, space):
+        users = generate_users(1, space, random.Random(2))
+        # Force a degenerate mixture onto the single user.
+        from dataclasses import replace
+
+        users = [replace(users[0], mixture=(1.0, 0.0, 0.0, 0.0))]
+        _, topics = generate_posts(
+            users, space, random.Random(3), count=30, duration_s=100.0
+        )
+        assert set(topics.values()) == {0}
+
+    def test_words_have_minimum_length(self, space):
+        users = generate_users(5, space, random.Random(4))
+        posts, _ = generate_posts(
+            users, space, random.Random(5), count=20, duration_s=100.0
+        )
+        for post in posts:
+            assert len(post.text.split()) >= 4
+
+    def test_empty_users_rejected(self, space):
+        with pytest.raises(ConfigError):
+            generate_posts([], space, random.Random(0), count=5)
+
+
+class TestCheckins:
+    def test_near_home(self, space):
+        users = generate_users(20, space, random.Random(6))
+        checkins = generate_checkins(users, random.Random(7), mean_per_user=3.0)
+        homes = {user.user_id: user.home for user in users}
+        for checkin in checkins:
+            assert checkin.point.distance_km(homes[checkin.user_id]) < 15.0
+
+    def test_sorted_by_time(self, space):
+        users = generate_users(10, space, random.Random(8))
+        checkins = generate_checkins(users, random.Random(9))
+        stamps = [checkin.timestamp for checkin in checkins]
+        assert stamps == sorted(stamps)
+
+    def test_zero_rate(self, space):
+        users = generate_users(5, space, random.Random(10))
+        assert generate_checkins(users, random.Random(11), mean_per_user=0.0) == []
+
+    def test_negative_rate_rejected(self, space):
+        users = generate_users(5, space, random.Random(12))
+        with pytest.raises(ConfigError):
+            generate_checkins(users, random.Random(13), mean_per_user=-1.0)

@@ -1,0 +1,168 @@
+"""Tests for external tweet-trace import."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.datagen.importer import import_tweets
+from repro.errors import ConfigError
+
+
+def write_trace(path, records):
+    with open(path, "w", encoding="utf-8") as handle:
+        for record in records:
+            handle.write(json.dumps(record) + "\n")
+
+
+@pytest.fixture()
+def trace_path(tmp_path):
+    path = tmp_path / "tweets.jsonl"
+    write_trace(
+        path,
+        [
+            {"user": "alice", "text": "volleyball finals tonight", "timestamp": 30.0,
+             "lat": 51.5, "lon": -0.12},
+            {"user": "bob", "text": "fresh espresso beans", "timestamp": 10.0},
+            {"user": "alice", "text": "our team won the match", "timestamp": 50.0,
+             "lat": 51.6, "lon": -0.10},
+            {"user": "carol", "text": "marathon training run", "timestamp": 20.0,
+             "lat": 40.7, "lon": -74.0},
+        ],
+    )
+    return path
+
+
+class TestParsing:
+    def test_users_renumbered_densely(self, trace_path):
+        trace = import_tweets(trace_path)
+        assert trace.num_users == 3
+        assert sorted(trace.user_ids.values()) == [0, 1, 2]
+
+    def test_posts_sorted_by_time_with_dense_msg_ids(self, trace_path):
+        trace = import_tweets(trace_path)
+        stamps = [post.timestamp for post in trace.posts]
+        assert stamps == sorted(stamps)
+        assert [post.msg_id for post in trace.posts] == [0, 1, 2, 3]
+
+    def test_homes_averaged_from_coordinates(self, trace_path):
+        trace = import_tweets(trace_path)
+        alice = trace.user_ids["alice"]
+        home = trace.homes[alice]
+        assert home is not None
+        assert home.lat == pytest.approx(51.55)
+        assert home.lon == pytest.approx(-0.11)
+
+    def test_users_without_coordinates_have_no_home(self, trace_path):
+        trace = import_tweets(trace_path)
+        assert trace.homes[trace.user_ids["bob"]] is None
+
+    def test_max_posts_truncates(self, trace_path):
+        trace = import_tweets(trace_path, max_posts=2)
+        assert len(trace.posts) == 2
+
+    def test_vectorizer_fitted(self, trace_path):
+        trace = import_tweets(trace_path)
+        vec = trace.vectorizer.transform(trace.tokenizer.tokenize("espresso"))
+        assert vec  # term seen in the trace
+
+
+class TestValidation:
+    def test_empty_trace_rejected(self, tmp_path):
+        path = tmp_path / "empty.jsonl"
+        path.write_text("\n")
+        with pytest.raises(ConfigError):
+            import_tweets(path)
+
+    def test_bad_json_rejected(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("not json\n")
+        with pytest.raises(ConfigError):
+            import_tweets(path)
+
+    def test_missing_fields_rejected(self, tmp_path):
+        path = tmp_path / "missing.jsonl"
+        write_trace(path, [{"user": "a", "text": "x"}])
+        with pytest.raises(ConfigError):
+            import_tweets(path)
+
+    def test_non_string_text_rejected(self, tmp_path):
+        path = tmp_path / "weird.jsonl"
+        write_trace(path, [{"user": "a", "text": 5, "timestamp": 1.0}])
+        with pytest.raises(ConfigError):
+            import_tweets(path)
+
+
+class TestGraph:
+    def test_synthetic_graph_spans_users(self, trace_path):
+        trace = import_tweets(trace_path, synthetic_avg_fanout=1.0, seed=3)
+        assert trace.graph.num_users == 3
+
+    def test_supplied_follows_file(self, trace_path, tmp_path):
+        follows = tmp_path / "follows.jsonl"
+        write_trace(
+            follows,
+            [
+                {"user": "bob", "follows": ["alice"]},
+                {"user": "carol", "follows": ["alice", "bob"]},
+            ],
+        )
+        trace = import_tweets(trace_path, follows_path=follows)
+        alice = trace.user_ids["alice"]
+        bob = trace.user_ids["bob"]
+        assert trace.graph.is_following(bob, alice)
+        assert trace.graph.fanout(alice) == 2
+
+    def test_follows_can_introduce_new_users(self, trace_path, tmp_path):
+        follows = tmp_path / "follows.jsonl"
+        write_trace(follows, [{"user": "dave", "follows": ["alice"]}])
+        trace = import_tweets(trace_path, follows_path=follows)
+        assert "dave" in trace.user_ids
+        assert trace.graph.num_users == 4
+
+    def test_bad_follows_rejected(self, trace_path, tmp_path):
+        follows = tmp_path / "follows.jsonl"
+        follows.write_text('{"user": "x"}\n')
+        with pytest.raises(ConfigError):
+            import_tweets(trace_path, follows_path=follows)
+
+
+class TestEngineIntegration:
+    def test_imported_trace_drives_engine(self, trace_path):
+        """An imported trace + generated ads = a running engine."""
+        import random
+
+        from repro.ads.corpus import AdCorpus
+        from repro.core.config import EngineConfig
+        from repro.core.engine import AdEngine
+        from repro.datagen.adgen import ad_from_text
+
+        trace = import_tweets(trace_path)
+        # Refit the vectorizer over ads too so spaces align.
+        ads = []
+        for ad_id, text in enumerate(
+            ["volleyball team gear", "espresso coffee subscription"]
+        ):
+            trace.vectorizer.partial_fit(trace.tokenizer.tokenize(text))
+        for ad_id, text in enumerate(
+            ["volleyball team gear", "espresso coffee subscription"]
+        ):
+            ads.append(
+                ad_from_text(ad_id, f"brand{ad_id}", text, trace.vectorizer,
+                             tokenizer=trace.tokenizer)
+            )
+        engine = AdEngine(
+            AdCorpus(ads),
+            trace.graph,
+            trace.vectorizer,
+            tokenizer=trace.tokenizer,
+            config=EngineConfig(k=2),
+        )
+        for user, dense in trace.user_ids.items():
+            engine.register_user(dense, trace.homes[dense])
+        deliveries = 0
+        for post in trace.posts:
+            result = engine.post(post.author_id, post.text, post.timestamp)
+            deliveries += result.num_deliveries
+        assert engine.stats.posts == len(trace.posts)

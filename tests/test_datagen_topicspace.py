@@ -1,0 +1,94 @@
+"""Tests for the synthetic topic space."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.datagen.topicspace import TopicSpace
+from repro.errors import ConfigError
+
+
+@pytest.fixture()
+def space() -> TopicSpace:
+    return TopicSpace(num_topics=5, vocab_size=500, focus_size=40)
+
+
+class TestValidation:
+    def test_vocab_must_fit_topics(self):
+        with pytest.raises(ConfigError):
+            TopicSpace(num_topics=10, vocab_size=100, focus_size=50)
+
+    def test_focus_probability_bounds(self):
+        with pytest.raises(ConfigError):
+            TopicSpace(2, 500, focus_probability=1.5)
+
+    def test_topic_bounds_checked(self, space):
+        with pytest.raises(ConfigError):
+            space.focus_words(5)
+        with pytest.raises(ConfigError):
+            space.sample_word(-1, random.Random(0))
+
+
+class TestStructure:
+    def test_focus_blocks_are_disjoint(self, space):
+        seen: set[str] = set()
+        for topic in range(space.num_topics):
+            block = set(space.focus_words(topic))
+            assert len(block) == 40
+            assert not block & seen
+            seen |= block
+
+    def test_vocab_words_formatted(self, space):
+        assert space.vocab[0] == "w00000"
+        assert space.vocab[499] == "w00499"
+
+    def test_focused_sampling_prefers_own_block(self, space):
+        rng = random.Random(1)
+        block = set(space.focus_words(2))
+        words = space.sample_words(2, 500, rng)
+        in_block = sum(1 for word in words if word in block)
+        assert in_block > 250  # focus probability is 0.75
+
+    def test_topics_produce_different_words(self, space):
+        rng = random.Random(2)
+        words_a = set(space.sample_words(0, 200, rng))
+        words_b = set(space.sample_words(1, 200, rng))
+        overlap = words_a & words_b
+        # Only background words can overlap.
+        focus_union = set(space.focus_words(0)) | set(space.focus_words(1))
+        assert not (overlap & focus_union) or all(
+            word not in focus_union for word in overlap
+        )
+
+
+class TestMixtures:
+    def test_mixture_is_distribution(self, space):
+        mixture = space.sample_mixture(random.Random(0))
+        assert len(mixture) == 5
+        assert sum(mixture) == pytest.approx(1.0)
+        assert all(p >= 0 for p in mixture)
+
+    def test_concentration_validation(self, space):
+        with pytest.raises(ConfigError):
+            space.sample_mixture(random.Random(0), concentration=0.0)
+
+    def test_low_concentration_is_peaky(self, space):
+        rng = random.Random(3)
+        peaks = [max(space.sample_mixture(rng, 0.05)) for _ in range(50)]
+        assert sum(peaks) / len(peaks) > 0.8
+
+    def test_sample_topic_follows_mixture(self, space):
+        rng = random.Random(4)
+        mixture = (0.9, 0.1, 0.0, 0.0, 0.0)
+        draws = Counter(
+            TopicSpace.sample_topic(mixture, rng) for _ in range(1000)
+        )
+        assert draws[0] > 800
+        assert draws[2] == 0
+
+    def test_sample_topic_degenerate_rounding(self):
+        # cumulative float shortfall must fall back to the last topic
+        assert TopicSpace.sample_topic((0.0, 0.0), random.Random(0)) == 1

@@ -1,0 +1,124 @@
+"""Tests for ground truth and end-to-end workload generation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datagen.workload import WorkloadConfig, generate_workload
+from repro.errors import ConfigError, EvaluationError
+
+
+class TestConfigValidation:
+    def test_bounds(self):
+        with pytest.raises(ConfigError):
+            WorkloadConfig(num_users=1)
+        with pytest.raises(ConfigError):
+            WorkloadConfig(num_ads=0)
+        with pytest.raises(ConfigError):
+            WorkloadConfig(num_posts=0)
+        with pytest.raises(ConfigError):
+            WorkloadConfig(duration_s=0.0)
+
+
+class TestGeneration:
+    def test_reproducible_from_seed(self, tiny_workload):
+        again = generate_workload(tiny_workload.config)
+        assert [post.text for post in again.posts] == [
+            post.text for post in tiny_workload.posts
+        ]
+        assert [ad.bid for ad in again.ads] == [ad.bid for ad in tiny_workload.ads]
+
+    def test_different_seeds_differ(self, tiny_workload):
+        import dataclasses
+
+        other = generate_workload(
+            dataclasses.replace(tiny_workload.config, seed=99)
+        )
+        assert [post.text for post in other.posts] != [
+            post.text for post in tiny_workload.posts
+        ]
+
+    def test_sizes_match_config(self, tiny_workload):
+        config = tiny_workload.config
+        assert len(tiny_workload.users) == config.num_users
+        assert len(tiny_workload.ads) == config.num_ads
+        assert len(tiny_workload.posts) == config.num_posts
+
+    def test_vectorizer_fitted_over_posts_and_ads(self, tiny_workload):
+        assert tiny_workload.vectorizer.num_docs == (
+            len(tiny_workload.posts) + len(tiny_workload.ads)
+        )
+
+    def test_fresh_corpus_each_time(self, tiny_workload):
+        first = tiny_workload.build_corpus()
+        second = tiny_workload.build_corpus()
+        assert first is not second
+        first.retire(0)
+        assert second.is_active(0)
+
+    def test_stats_table(self, tiny_workload):
+        stats = tiny_workload.stats()
+        assert stats["users"] == tiny_workload.config.num_users
+        assert stats["deliveries"] > 0
+        for key in ("avg_fanout", "geo_targeted_ads", "budgeted_ads"):
+            assert key in stats
+
+
+class TestGroundTruth:
+    def test_same_topic_ads_are_relevant(self, tiny_workload):
+        truth = tiny_workload.ground_truth
+        post = next(
+            p
+            for p in tiny_workload.posts
+            if tiny_workload.graph.fanout(p.author_id) > 0
+        )
+        topic = tiny_workload.post_topics[post.msg_id]
+        followers = tiny_workload.graph.followers(post.author_id)
+        user_id = next(iter(followers))
+        relevant = truth.relevant_ads(post.msg_id, user_id, post.timestamp)
+        for ad_id in relevant:
+            assert tiny_workload.ad_topics[ad_id] == topic or (
+                tiny_workload.users[user_id].mixture[
+                    tiny_workload.ad_topics[ad_id]
+                ]
+                > 0.5
+            )
+
+    def test_grade_bounds(self, tiny_workload):
+        truth = tiny_workload.ground_truth
+        post = tiny_workload.posts[3]
+        grades = truth.grades_for(post.msg_id, 0, post.timestamp)
+        assert all(0.0 <= grade <= 1.0 for grade in grades.values())
+        assert len(grades) == len(tiny_workload.ads)
+
+    def test_targeting_gates_relevance(self, tiny_workload):
+        truth = tiny_workload.ground_truth
+        post = tiny_workload.posts[0]
+        user = tiny_workload.users[0]
+        for ad in tiny_workload.ads:
+            if not ad.targeting.matches(user.home, post.timestamp):
+                assert (
+                    truth.grade(ad.ad_id, post.msg_id, user.user_id, post.timestamp)
+                    == 0.0
+                )
+
+    def test_unknown_ids_raise(self, tiny_workload):
+        truth = tiny_workload.ground_truth
+        with pytest.raises(EvaluationError):
+            truth.grade(10**6, 0, 0, 0.0)
+        with pytest.raises(EvaluationError):
+            truth.grade(0, 10**6, 0, 0.0)
+        with pytest.raises(EvaluationError):
+            truth.grade(0, 0, 10**6, 0.0)
+
+    def test_relevance_threshold_validation(self, tiny_workload):
+        from repro.datagen.groundtruth import GroundTruth
+
+        with pytest.raises(ConfigError):
+            GroundTruth(
+                ads=tiny_workload.ads,
+                ad_topics=tiny_workload.ad_topics,
+                users={u.user_id: u for u in tiny_workload.users},
+                post_topics=tiny_workload.post_topics,
+                relevance_threshold=0.0,
+            )

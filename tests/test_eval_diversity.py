@@ -1,0 +1,98 @@
+"""Tests for slate diversity metrics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ads.ad import Ad
+from repro.ads.corpus import AdCorpus
+from repro.eval.diversity import (
+    advertiser_entropy,
+    catalog_coverage,
+    intra_slate_similarity,
+    mean_intra_slate_similarity,
+)
+
+
+@pytest.fixture()
+def corpus() -> AdCorpus:
+    return AdCorpus(
+        [
+            Ad(ad_id=0, advertiser="a", text="x", terms={"run": 1.0}, bid=1.0),
+            Ad(ad_id=1, advertiser="a", text="y", terms={"run": 1.0}, bid=1.0),
+            Ad(ad_id=2, advertiser="b", text="z", terms={"coffee": 1.0}, bid=1.0),
+            Ad(ad_id=3, advertiser="c", text="w", terms={"tea": 1.0}, bid=1.0),
+        ]
+    )
+
+
+class TestIntraSlateSimilarity:
+    def test_identical_ads_similarity_one(self, corpus):
+        assert intra_slate_similarity(corpus, [0, 1]) == pytest.approx(1.0)
+
+    def test_orthogonal_ads_zero(self, corpus):
+        assert intra_slate_similarity(corpus, [0, 2]) == 0.0
+
+    def test_mixed_slate(self, corpus):
+        # Pairs: (0,1)=1, (0,2)=0, (1,2)=0 → 1/3
+        assert intra_slate_similarity(corpus, [0, 1, 2]) == pytest.approx(1 / 3)
+
+    def test_short_slates_zero(self, corpus):
+        assert intra_slate_similarity(corpus, [0]) == 0.0
+        assert intra_slate_similarity(corpus, []) == 0.0
+
+    def test_mean_over_slates(self, corpus):
+        value = mean_intra_slate_similarity(corpus, [[0, 1], [0, 2]])
+        assert value == pytest.approx(0.5)
+
+    def test_mean_empty(self, corpus):
+        assert mean_intra_slate_similarity(corpus, []) == 0.0
+
+
+class TestAdvertiserEntropy:
+    def test_monoculture_is_zero(self, corpus):
+        assert advertiser_entropy(corpus, [0, 0, 1]) == 0.0  # all advertiser "a"
+
+    def test_uniform_is_one(self, corpus):
+        assert advertiser_entropy(corpus, [0, 2, 3]) == pytest.approx(1.0)
+
+    def test_skew_in_between(self, corpus):
+        value = advertiser_entropy(corpus, [0, 0, 0, 2])
+        assert 0.0 < value < 1.0
+
+    def test_no_impressions(self, corpus):
+        assert advertiser_entropy(corpus, []) == 0.0
+
+
+class TestCoverage:
+    def test_fraction(self, corpus):
+        assert catalog_coverage(corpus, [0, 0, 2]) == pytest.approx(0.5)
+
+    def test_full(self, corpus):
+        assert catalog_coverage(corpus, [0, 1, 2, 3]) == 1.0
+
+    def test_empty_corpus(self):
+        assert catalog_coverage(AdCorpus(), [0]) == 0.0
+
+
+class TestEngineDiversity:
+    def test_served_slates_are_not_monocultures(self, tiny_workload):
+        from repro.core.config import EngineConfig
+        from repro.core.recommender import ContextAwareRecommender
+
+        recommender = ContextAwareRecommender.from_workload(
+            tiny_workload, EngineConfig()
+        )
+        engine = recommender.engine
+        served: list[int] = []
+        slates: list[list[int]] = []
+        for post in tiny_workload.posts[:40]:
+            result = engine.post(post.author_id, post.text, post.timestamp)
+            for delivery in result.deliveries:
+                ids = [scored.ad_id for scored in delivery.slate]
+                if ids:
+                    slates.append(ids)
+                    served.extend(ids)
+        assert advertiser_entropy(engine.corpus, served) > 0.5
+        assert catalog_coverage(engine.corpus, served) > 0.1
+        assert mean_intra_slate_similarity(engine.corpus, slates) < 0.9

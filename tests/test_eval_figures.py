@@ -1,0 +1,65 @@
+"""Tests for terminal figure rendering."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import EvaluationError
+from repro.eval.figures import bar_chart, sparkline
+
+
+class TestBarChart:
+    def test_alignment_and_values(self):
+        chart = bar_chart(["a", "bb"], [10.0, 5.0], width=10)
+        lines = chart.splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("a  ▕")
+        assert "10.0" in lines[0]
+        assert "5.0" in lines[1]
+
+    def test_peak_fills_width(self):
+        chart = bar_chart(["x"], [7.0], width=8)
+        assert "█" * 8 in chart
+
+    def test_half_bar(self):
+        chart = bar_chart(["hi", "lo"], [10.0, 5.0], width=10)
+        assert "█" * 5 + " " in chart.splitlines()[1]
+
+    def test_title(self):
+        chart = bar_chart(["x"], [1.0], title="Demo")
+        assert chart.splitlines()[0] == "Demo"
+
+    def test_zero_values(self):
+        chart = bar_chart(["x"], [0.0], width=5)
+        assert "█" not in chart
+
+    def test_mismatched_inputs(self):
+        with pytest.raises(EvaluationError):
+            bar_chart(["a"], [1.0, 2.0])
+
+    def test_negative_rejected(self):
+        with pytest.raises(EvaluationError):
+            bar_chart(["a"], [-1.0])
+
+    def test_width_validation(self):
+        with pytest.raises(EvaluationError):
+            bar_chart(["a"], [1.0], width=0)
+
+    def test_empty(self):
+        assert bar_chart([], [], title="t") == "t"
+
+
+class TestSparkline:
+    def test_empty(self):
+        assert sparkline([]) == ""
+
+    def test_constant_series(self):
+        assert sparkline([3.0, 3.0, 3.0]) == "▁▁▁"
+
+    def test_monotone_series_is_monotone(self):
+        line = sparkline([1.0, 2.0, 3.0, 4.0])
+        assert list(line) == sorted(line)
+        assert line[0] == "▁" and line[-1] == "█"
+
+    def test_length_matches(self):
+        assert len(sparkline([1, 5, 2, 8, 3])) == 5

@@ -1,0 +1,119 @@
+"""Tests for ranking metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EvaluationError
+from repro.eval.metrics import (
+    average_precision,
+    f1_score,
+    ndcg_at_k,
+    precision_at_k,
+    recall_at_k,
+)
+
+
+class TestPrecision:
+    def test_perfect(self):
+        assert precision_at_k([1, 2, 3], {1, 2, 3}, 3) == 1.0
+
+    def test_partial(self):
+        assert precision_at_k([1, 9, 2], {1, 2}, 3) == pytest.approx(2 / 3)
+
+    def test_fixed_denominator_penalises_short_slates(self):
+        assert precision_at_k([1], {1, 2, 3}, 10) == pytest.approx(0.1)
+
+    def test_empty_slate(self):
+        assert precision_at_k([], {1}, 5) == 0.0
+
+    def test_k_validation(self):
+        with pytest.raises(EvaluationError):
+            precision_at_k([1], {1}, 0)
+
+    def test_only_top_k_counted(self):
+        assert precision_at_k([9, 8, 1], {1}, 2) == 0.0
+
+
+class TestRecall:
+    def test_perfect(self):
+        assert recall_at_k([1, 2], {1, 2}, 5) == 1.0
+
+    def test_partial(self):
+        assert recall_at_k([1], {1, 2, 3, 4}, 5) == 0.25
+
+    def test_empty_relevant(self):
+        assert recall_at_k([1, 2], set(), 5) == 0.0
+
+
+class TestF1:
+    def test_harmonic_mean(self):
+        assert f1_score(0.5, 1.0) == pytest.approx(2 / 3)
+
+    def test_zero(self):
+        assert f1_score(0.0, 0.0) == 0.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(EvaluationError):
+            f1_score(-0.1, 0.5)
+
+    @given(
+        st.floats(min_value=0.001, max_value=1.0),
+        st.floats(min_value=0.001, max_value=1.0),
+    )
+    def test_bounded_by_min_and_max(self, p, r):
+        f1 = f1_score(p, r)
+        assert min(p, r) - 1e-12 <= f1 <= max(p, r) + 1e-12
+
+
+class TestAveragePrecision:
+    def test_perfect_prefix(self):
+        assert average_precision([1, 2, 9], {1, 2}, 3) == 1.0
+
+    def test_late_hit_penalised(self):
+        early = average_precision([1, 9, 8], {1}, 3)
+        late = average_precision([9, 8, 1], {1}, 3)
+        assert early > late
+
+    def test_no_hits(self):
+        assert average_precision([9, 8], {1}, 2) == 0.0
+
+    def test_empty_relevant(self):
+        assert average_precision([1], set(), 1) == 0.0
+
+    def test_known_value(self):
+        # hits at positions 1 and 3: (1/1 + 2/3) / 2
+        assert average_precision([1, 9, 2], {1, 2}, 3) == pytest.approx(
+            (1.0 + 2 / 3) / 2
+        )
+
+
+class TestNdcg:
+    def test_ideal_ranking_is_one(self):
+        grades = {1: 1.0, 2: 0.5, 3: 0.2}
+        assert ndcg_at_k([1, 2, 3], grades, 3) == pytest.approx(1.0)
+
+    def test_reversed_is_less(self):
+        grades = {1: 1.0, 2: 0.5, 3: 0.2}
+        assert ndcg_at_k([3, 2, 1], grades, 3) < 1.0
+
+    def test_zero_grades(self):
+        assert ndcg_at_k([1, 2], {1: 0.0, 2: 0.0}, 2) == 0.0
+
+    def test_unknown_ads_score_nothing(self):
+        grades = {1: 1.0}
+        assert ndcg_at_k([99], grades, 1) == 0.0
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=20), max_size=10, unique=True),
+        st.dictionaries(
+            st.integers(min_value=0, max_value=20),
+            st.floats(min_value=0.0, max_value=1.0),
+            max_size=20,
+        ),
+    )
+    def test_bounded(self, ranking, grades):
+        value = ndcg_at_k(ranking, grades, 10)
+        assert 0.0 <= value <= 1.0 + 1e-9

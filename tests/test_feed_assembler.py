@@ -1,0 +1,163 @@
+"""Tests for news-feed assembly."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.scoring import ScoredAd
+from repro.errors import ConfigError
+from repro.feed.assembler import AdSlotPolicy, FeedAssembler, FeedItem
+
+
+def scored(ad_id: int, score: float = 1.0) -> ScoredAd:
+    return ScoredAd(ad_id=ad_id, score=score, content=score, static=0.0)
+
+
+def kinds(feed: list[FeedItem]) -> str:
+    return "".join("A" if item.kind == "ad" else "o" for item in feed)
+
+
+class TestValidation:
+    def test_policy_bounds(self):
+        with pytest.raises(ConfigError):
+            AdSlotPolicy(organic_between_ads=0)
+        with pytest.raises(ConfigError):
+            AdSlotPolicy(first_slot=-1)
+        with pytest.raises(ConfigError):
+            AdSlotPolicy(advertiser_cap=0)
+        with pytest.raises(ConfigError):
+            AdSlotPolicy(history_window=-1)
+
+    def test_feed_item_shape(self):
+        with pytest.raises(ConfigError):
+            FeedItem(kind="ad")  # missing ad_id
+        with pytest.raises(ConfigError):
+            FeedItem(kind="organic")  # missing msg_id
+        with pytest.raises(ConfigError):
+            FeedItem(kind="banner", ad_id=1)
+
+
+class TestSlotPlacement:
+    def test_basic_interleave(self):
+        assembler = FeedAssembler(AdSlotPolicy(organic_between_ads=2, first_slot=2))
+        feed = assembler.assemble(list(range(6)), [scored(10), scored(11), scored(12)])
+        assert kinds(feed) == "ooAooAooA"
+
+    def test_lead_in_respected(self):
+        assembler = FeedAssembler(
+            AdSlotPolicy(organic_between_ads=1, first_slot=3)
+        )
+        feed = assembler.assemble(list(range(5)), [scored(i) for i in range(10)])
+        assert kinds(feed).startswith("ooo")
+        assert feed[3].kind == "ad"
+
+    def test_zero_lead_in(self):
+        assembler = FeedAssembler(AdSlotPolicy(organic_between_ads=1, first_slot=0))
+        feed = assembler.assemble([1, 2], [scored(10), scored(11)])
+        assert kinds(feed) == "oAoA"
+
+    def test_no_ads_when_slate_empty(self):
+        assembler = FeedAssembler()
+        feed = assembler.assemble([1, 2, 3, 4, 5], [])
+        assert kinds(feed) == "ooooo"
+
+    def test_best_ad_first(self):
+        assembler = FeedAssembler(AdSlotPolicy(organic_between_ads=2, first_slot=0))
+        feed = assembler.assemble(
+            list(range(4)), [scored(10, 0.9), scored(11, 0.5)]
+        )
+        placed = [item.ad_id for item in feed if item.kind == "ad"]
+        assert placed == [10, 11]
+
+    def test_organic_order_preserved(self):
+        assembler = FeedAssembler()
+        feed = assembler.assemble([7, 3, 9], [])
+        assert [item.msg_id for item in feed] == [7, 3, 9]
+
+
+class TestCappingAndHistory:
+    def test_advertiser_cap(self):
+        assembler = FeedAssembler(
+            AdSlotPolicy(organic_between_ads=1, first_slot=0, advertiser_cap=1),
+            advertiser_of={10: "acme", 11: "acme", 12: "other"},
+        )
+        feed = assembler.assemble(
+            list(range(6)), [scored(10), scored(11), scored(12)]
+        )
+        placed = [item.ad_id for item in feed if item.kind == "ad"]
+        assert 10 in placed and 12 in placed and 11 not in placed
+
+    def test_recent_ads_not_repeated_across_renders(self):
+        assembler = FeedAssembler(
+            AdSlotPolicy(organic_between_ads=1, first_slot=0, history_window=10)
+        )
+        first = assembler.assemble([1, 2], [scored(10), scored(11)])
+        second = assembler.assemble([3, 4], [scored(10), scored(11), scored(12)])
+        first_ads = {item.ad_id for item in first if item.kind == "ad"}
+        second_ads = {item.ad_id for item in second if item.kind == "ad"}
+        assert not first_ads & second_ads
+
+    def test_history_window_expires(self):
+        assembler = FeedAssembler(
+            AdSlotPolicy(organic_between_ads=1, first_slot=0, history_window=1)
+        )
+        assembler.assemble([1], [scored(10)])
+        assembler.assemble([2], [scored(11)])  # pushes 10 out of history
+        third = assembler.assemble([3], [scored(10)])
+        assert any(item.ad_id == 10 for item in third if item.kind == "ad")
+
+    def test_history_disabled(self):
+        assembler = FeedAssembler(
+            AdSlotPolicy(organic_between_ads=1, first_slot=0, history_window=0)
+        )
+        first = assembler.assemble([1], [scored(10)])
+        second = assembler.assemble([2], [scored(10)])
+        assert kinds(first) == kinds(second) == "oA"
+
+
+class TestAdLoad:
+    def test_ad_load_fraction(self):
+        assembler = FeedAssembler(AdSlotPolicy(organic_between_ads=4, first_slot=2))
+        feed = assembler.assemble(list(range(8)), [scored(i) for i in range(5)])
+        assert assembler.ad_load(feed) == pytest.approx(
+            sum(1 for item in feed if item.kind == "ad") / len(feed)
+        )
+        # Spacing bounds the load: at most one ad per 4 organic items.
+        assert assembler.ad_load(feed) <= 1 / 4
+
+    def test_empty_feed(self):
+        assembler = FeedAssembler()
+        assert assembler.ad_load([]) == 0.0
+
+
+class TestEngineIntegration:
+    def test_assemble_from_engine_slates(self, tiny_workload):
+        from repro.core.config import EngineConfig
+        from repro.core.recommender import ContextAwareRecommender
+
+        recommender = ContextAwareRecommender.from_workload(
+            tiny_workload, EngineConfig(charge_impressions=False)
+        )
+        engine = recommender.engine
+        assembler = FeedAssembler(
+            AdSlotPolicy(organic_between_ads=1, first_slot=0),
+            advertiser_of={
+                ad.ad_id: ad.advertiser for ad in engine.corpus.all_ads()
+            },
+        )
+        organic: list[int] = []
+        slates = []
+        target_user = None
+        for post in tiny_workload.posts[:20]:
+            result = engine.post(post.author_id, post.text, post.timestamp)
+            for delivery in result.deliveries:
+                if target_user is None and delivery.slate:
+                    target_user = delivery.user_id
+                if delivery.user_id == target_user:
+                    organic.append(post.msg_id)
+                    slates.append(delivery.slate)
+        if target_user is None:
+            pytest.skip("no slates produced")
+        feed = assembler.assemble(organic, list(slates[-1]))
+        assert any(item.kind == "ad" for item in feed)
+        assert [item.msg_id for item in feed if item.kind == "organic"] == organic

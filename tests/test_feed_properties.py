@@ -1,0 +1,86 @@
+"""Hypothesis property tests for feed assembly invariants."""
+
+from __future__ import annotations
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scoring import ScoredAd
+from repro.feed.assembler import AdSlotPolicy, FeedAssembler
+
+policies = st.builds(
+    AdSlotPolicy,
+    organic_between_ads=st.integers(min_value=1, max_value=6),
+    first_slot=st.integers(min_value=0, max_value=5),
+    advertiser_cap=st.integers(min_value=1, max_value=3),
+    history_window=st.integers(min_value=0, max_value=10),
+)
+
+slates = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=30),
+        st.floats(min_value=0.0, max_value=2.0, allow_nan=False),
+    ),
+    max_size=12,
+).map(
+    lambda pairs: [
+        ScoredAd(ad_id=ad_id, score=score, content=score, static=0.0)
+        for ad_id, score in {ad_id: score for ad_id, score in pairs}.items()
+    ]
+)
+
+organics = st.lists(st.integers(min_value=0, max_value=100), max_size=15)
+
+
+@settings(max_examples=80, deadline=None)
+@given(policy=policies, slate=slates, organic=organics)
+def test_assembly_invariants(policy, slate, organic):
+    assembler = FeedAssembler(policy)
+    feed = assembler.assemble(organic, slate)
+
+    rendered_organic = [item.msg_id for item in feed if item.kind == "organic"]
+    ads = [item.ad_id for item in feed if item.kind == "ad"]
+
+    # 1. Organic content is preserved verbatim, in order.
+    assert rendered_organic == organic
+    # 2. No ad appears twice in one feed.
+    assert len(ads) == len(set(ads))
+    # 3. Every placed ad came from the slate.
+    assert set(ads) <= {scored.ad_id for scored in slate}
+    # 4. Lead-in: no ad before `first_slot` organic items.
+    organic_seen = 0
+    for item in feed:
+        if item.kind == "ad":
+            assert organic_seen >= policy.first_slot
+        else:
+            organic_seen += 1
+    # 5. Spacing: at least `organic_between_ads` organic items between ads.
+    since_ad = None
+    for item in feed:
+        if item.kind == "ad":
+            if since_ad is not None:
+                assert since_ad >= policy.organic_between_ads
+            since_ad = 0
+        elif since_ad is not None:
+            since_ad += 1
+    # 6. Advertiser cap (default identity mapping: ad_id == advertiser).
+    from collections import Counter
+
+    per_advertiser = Counter(
+        assembler.advertiser_of.get(ad_id, str(ad_id)) for ad_id in ads
+    )
+    assert all(count <= policy.advertiser_cap for count in per_advertiser.values())
+
+
+@settings(max_examples=40, deadline=None)
+@given(policy=policies, slate=slates, organic=organics)
+def test_repeat_suppression_across_renders(policy, slate, organic):
+    """With a history window, consecutive renders never repeat an ad that
+    still fits in the window."""
+    assembler = FeedAssembler(policy)
+    first = assembler.assemble(organic, slate)
+    second = assembler.assemble(organic, slate)
+    first_ads = [item.ad_id for item in first if item.kind == "ad"]
+    second_ads = [item.ad_id for item in second if item.kind == "ad"]
+    if policy.history_window >= len(first_ads) + len(second_ads):
+        assert not set(first_ads) & set(second_ads)

@@ -1,0 +1,107 @@
+"""Tests for the uniform grid index."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.geo.grid import GridIndex
+from repro.geo.point import GeoPoint, haversine_km
+
+
+class TestMembership:
+    def test_insert_and_contains(self):
+        grid = GridIndex()
+        grid.insert(1, GeoPoint(10.0, 20.0))
+        assert 1 in grid
+        assert len(grid) == 1
+
+    def test_reinsert_moves_item(self):
+        grid = GridIndex()
+        grid.insert(1, GeoPoint(10.0, 20.0))
+        grid.insert(1, GeoPoint(-30.0, 40.0))
+        assert len(grid) == 1
+        assert grid.location_of(1) == GeoPoint(-30.0, 40.0)
+
+    def test_remove(self):
+        grid = GridIndex()
+        grid.insert(1, GeoPoint(0.0, 0.0))
+        grid.remove(1)
+        assert 1 not in grid
+        assert len(grid) == 0
+
+    def test_remove_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            GridIndex().remove(99)
+
+    def test_location_of_unknown_raises(self):
+        with pytest.raises(ConfigError):
+            GridIndex().location_of(99)
+
+    def test_cell_degrees_validation(self):
+        with pytest.raises(ConfigError):
+            GridIndex(0.0)
+
+
+class TestRadiusQuery:
+    def test_finds_nearby_only(self):
+        grid = GridIndex()
+        grid.insert(1, GeoPoint(40.71, -74.00))  # NYC
+        grid.insert(2, GeoPoint(40.73, -73.99))  # ~2km away
+        grid.insert(3, GeoPoint(51.50, -0.12))  # London
+        found = set(grid.within_radius(GeoPoint(40.72, -74.0), 10.0))
+        assert found == {1, 2}
+
+    def test_zero_radius_exact_point(self):
+        grid = GridIndex()
+        point = GeoPoint(5.0, 5.0)
+        grid.insert(1, point)
+        assert set(grid.within_radius(point, 0.0)) == {1}
+
+    def test_negative_radius_rejected(self):
+        grid = GridIndex()
+        with pytest.raises(ConfigError):
+            list(grid.within_radius(GeoPoint(0, 0), -1.0))
+
+    def test_near_pole_query_does_not_crash(self):
+        grid = GridIndex(cell_degrees=5.0)
+        grid.insert(1, GeoPoint(89.9, 10.0))
+        found = set(grid.within_radius(GeoPoint(89.95, -170.0), 50.0))
+        assert 1 in found
+
+    def test_items_iteration(self):
+        grid = GridIndex()
+        grid.insert(1, GeoPoint(0, 0))
+        grid.insert(2, GeoPoint(1, 1))
+        assert dict(grid.items()) == {
+            1: GeoPoint(0, 0),
+            2: GeoPoint(1, 1),
+        }
+
+
+@settings(max_examples=25, deadline=None)
+@given(
+    st.integers(min_value=0, max_value=10_000),
+    st.floats(min_value=1.0, max_value=500.0, allow_nan=False),
+)
+def test_grid_matches_linear_scan(seed, radius_km):
+    """Property: radius query equals the brute-force distance filter."""
+    rng = random.Random(seed)
+    grid = GridIndex(cell_degrees=2.0)
+    population = {
+        item: GeoPoint(rng.uniform(-60, 60), rng.uniform(-170, 170))
+        for item in range(60)
+    }
+    for item, point in population.items():
+        grid.insert(item, point)
+    center = GeoPoint(rng.uniform(-60, 60), rng.uniform(-170, 170))
+    expected = {
+        item
+        for item, point in population.items()
+        if haversine_km(center, point) <= radius_km
+    }
+    assert set(grid.within_radius(center, radius_km)) == expected

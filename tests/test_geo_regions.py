@@ -1,0 +1,42 @@
+"""Tests for the city catalogue."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.geo.point import GeoPoint
+from repro.geo.regions import CITIES, City, city_by_name, nearest_city
+
+
+class TestCatalogue:
+    def test_catalogue_is_non_trivial(self):
+        assert len(CITIES) >= 10
+
+    def test_names_are_unique(self):
+        names = [city.name for city in CITIES]
+        assert len(names) == len(set(names))
+
+    def test_population_weights_positive(self):
+        assert all(city.population_weight > 0 for city in CITIES)
+
+    def test_city_validation(self):
+        with pytest.raises(ConfigError):
+            City("nowhere", GeoPoint(0, 0), 0.0)
+
+
+class TestLookup:
+    def test_city_by_name(self):
+        assert city_by_name("london").name == "london"
+
+    def test_unknown_city_raises(self):
+        with pytest.raises(ConfigError):
+            city_by_name("atlantis")
+
+    def test_nearest_city_at_center(self):
+        london = city_by_name("london")
+        assert nearest_city(london.center) == london
+
+    def test_nearest_city_nearby_point(self):
+        # Croydon, ~15 km from central London
+        assert nearest_city(GeoPoint(51.37, -0.10)).name == "london"

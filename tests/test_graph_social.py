@@ -1,0 +1,99 @@
+"""Tests for the directed follow graph."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, UnknownUserError
+from repro.graph.social import SocialGraph
+
+
+@pytest.fixture()
+def graph() -> SocialGraph:
+    g = SocialGraph()
+    for user in range(5):
+        g.add_user(user)
+    return g
+
+
+class TestUsers:
+    def test_add_user_idempotent(self, graph):
+        graph.add_user(0)
+        assert graph.num_users == 5
+
+    def test_negative_user_rejected(self):
+        with pytest.raises(ConfigError):
+            SocialGraph().add_user(-1)
+
+    def test_has_user(self, graph):
+        assert graph.has_user(3)
+        assert not graph.has_user(99)
+
+    def test_users_sorted(self):
+        g = SocialGraph()
+        for user in (3, 1, 2):
+            g.add_user(user)
+        assert g.users() == [1, 2, 3]
+
+
+class TestEdges:
+    def test_follow_directionality(self, graph):
+        graph.follow(1, 2)  # 1 follows 2
+        assert graph.is_following(1, 2)
+        assert not graph.is_following(2, 1)
+        assert graph.followers(2) == frozenset({1})
+        assert graph.followees(1) == frozenset({2})
+
+    def test_fanout_counts_followers(self, graph):
+        graph.follow(1, 0)
+        graph.follow(2, 0)
+        assert graph.fanout(0) == 2
+
+    def test_self_follow_rejected(self, graph):
+        with pytest.raises(ConfigError):
+            graph.follow(1, 1)
+
+    def test_unknown_users_rejected(self, graph):
+        with pytest.raises(UnknownUserError):
+            graph.follow(1, 99)
+        with pytest.raises(UnknownUserError):
+            graph.followers(99)
+
+    def test_follow_idempotent(self, graph):
+        graph.follow(1, 2)
+        graph.follow(1, 2)
+        assert graph.num_edges == 1
+
+    def test_unfollow(self, graph):
+        graph.follow(1, 2)
+        graph.unfollow(1, 2)
+        assert not graph.is_following(1, 2)
+        assert graph.followers(2) == frozenset()
+
+    def test_unfollow_missing_edge_is_noop(self, graph):
+        graph.unfollow(1, 2)
+        assert graph.num_edges == 0
+
+
+class TestStats:
+    def test_empty_graph(self):
+        stats = SocialGraph().stats()
+        assert stats.num_users == 0
+        assert stats.avg_fanout == 0.0
+        assert stats.max_fanout == 0
+
+    def test_stats_values(self, graph):
+        graph.follow(1, 0)
+        graph.follow(2, 0)
+        graph.follow(0, 1)
+        stats = graph.stats()
+        assert stats.num_users == 5
+        assert stats.num_edges == 3
+        assert stats.avg_fanout == pytest.approx(3 / 5)
+        assert stats.max_fanout == 2
+
+    def test_followers_returns_copy(self, graph):
+        graph.follow(1, 0)
+        snapshot = graph.followers(0)
+        graph.follow(2, 0)
+        assert snapshot == frozenset({1})

@@ -1,0 +1,86 @@
+"""MaxScore correctness: must agree with brute force (and hence WAND/TA)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.index.brute import exact_topk
+from repro.index.maxscore import MaxScoreSearcher
+from repro.index.wand import WandSearcher
+from tests.test_index_wand import random_query, random_setup, scores_of
+
+
+class TestBasics:
+    def test_empty_query(self):
+        _, _, index = random_setup(0)
+        assert MaxScoreSearcher(index).search({}, 5) == []
+
+    def test_unindexed_terms(self):
+        _, _, index = random_setup(0)
+        assert MaxScoreSearcher(index).search({"zzz": 1.0}, 5) == []
+
+    def test_negative_weight_rejected(self):
+        _, _, index = random_setup(0)
+        with pytest.raises(ConfigError):
+            MaxScoreSearcher(index).search({"t0": -1.0}, 5)
+
+    def test_max_static_requires_static_fn(self):
+        _, _, index = random_setup(0)
+        with pytest.raises(ConfigError):
+            MaxScoreSearcher(index, max_static=1.0)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_matches_brute(self, seed, k):
+        rng, corpus, index = random_setup(seed)
+        query = random_query(rng)
+        result = MaxScoreSearcher(index).search(query, k)
+        brute = exact_topk(corpus.active_ads(), query, k)
+        assert scores_of(result) == scores_of(brute)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_static_and_filter_match_brute(self, seed):
+        rng, corpus, index = random_setup(seed)
+        query = random_query(rng)
+        statics = {ad.ad_id: rng.uniform(0.0, 0.5) for ad in corpus.active_ads()}
+        allowed = {ad.ad_id for ad in corpus.active_ads() if ad.ad_id % 2 == 1}
+        result = MaxScoreSearcher(
+            index,
+            static_score=statics.__getitem__,
+            max_static=max(statics.values()),
+            filter_fn=allowed.__contains__,
+        ).search(query, 7)
+        brute = exact_topk(
+            corpus.active_ads(),
+            query,
+            7,
+            static_score=statics.__getitem__,
+            filter_fn=allowed.__contains__,
+        )
+        assert scores_of(result) == scores_of(brute)
+
+    def test_agrees_with_wand(self):
+        rng, _, index = random_setup(11)
+        query = random_query(rng)
+        wand = WandSearcher(index).search(query, 10)
+        maxscore = MaxScoreSearcher(index).search(query, 10)
+        assert scores_of(wand) == scores_of(maxscore)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    k=st.integers(min_value=1, max_value=20),
+    num_ads=st.integers(min_value=1, max_value=80),
+)
+def test_property_maxscore_equals_brute(seed, k, num_ads):
+    rng, corpus, index = random_setup(seed, num_ads=num_ads)
+    query = random_query(rng)
+    result = MaxScoreSearcher(index).search(query, k)
+    brute = exact_topk(corpus.active_ads(), query, k)
+    assert scores_of(result) == scores_of(brute)

@@ -1,0 +1,107 @@
+"""Tests for the spatial ad eligibility filter."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.ads.ad import Ad
+from repro.ads.corpus import AdCorpus
+from repro.ads.targeting import TargetingSpec
+from repro.geo.point import GeoPoint
+from repro.index.spatial import SpatialAdFilter
+
+LONDON = GeoPoint(51.5074, -0.1278)
+PARIS = GeoPoint(48.8566, 2.3522)
+TOKYO = GeoPoint(35.6762, 139.6503)
+
+
+def geo_ad(ad_id: int, center: GeoPoint, radius: float) -> Ad:
+    return Ad(
+        ad_id=ad_id,
+        advertiser="x",
+        text="t",
+        terms={"t": 1.0},
+        bid=1.0,
+        targeting=TargetingSpec(circles=((center, radius),)),
+    )
+
+
+def plain_ad(ad_id: int) -> Ad:
+    return Ad(ad_id=ad_id, advertiser="x", text="t", terms={"t": 1.0}, bid=1.0)
+
+
+@pytest.fixture()
+def corpus() -> AdCorpus:
+    return AdCorpus(
+        [
+            geo_ad(0, LONDON, 50.0),
+            geo_ad(1, PARIS, 100.0),
+            geo_ad(2, TOKYO, 25.0),
+            plain_ad(3),
+            plain_ad(4),
+        ]
+    )
+
+
+@pytest.fixture()
+def spatial(corpus) -> SpatialAdFilter:
+    return SpatialAdFilter.from_corpus(corpus)
+
+
+class TestEligibility:
+    def test_untargeted_always_eligible(self, spatial):
+        assert {3, 4} <= spatial.eligible(TOKYO)
+        assert spatial.eligible(None) == {3, 4}
+
+    def test_location_selects_matching_circles(self, spatial):
+        assert spatial.eligible(LONDON) == {0, 3, 4}
+        assert spatial.eligible(PARIS) == {1, 3, 4}
+
+    def test_far_location_gets_untargeted_only(self, spatial):
+        nowhere = GeoPoint(-45.0, -100.0)
+        assert spatial.eligible(nowhere) == {3, 4}
+
+    def test_counts(self, spatial):
+        assert spatial.num_geo_ads == 3
+        assert spatial.num_untargeted == 2
+
+
+class TestSubscription:
+    def test_retirement_removes(self, corpus, spatial):
+        corpus.retire(0)
+        assert 0 not in spatial.eligible(LONDON)
+        corpus.retire(3)
+        assert 3 not in spatial.eligible(LONDON)
+
+    def test_addition_enters(self, corpus, spatial):
+        corpus.add(geo_ad(10, LONDON, 10.0))
+        assert 10 in spatial.eligible(LONDON)
+
+    def test_multi_circle_ad(self, corpus, spatial):
+        corpus.add(
+            Ad(
+                ad_id=11,
+                advertiser="x",
+                text="t",
+                terms={"t": 1.0},
+                bid=1.0,
+                targeting=TargetingSpec(
+                    circles=((LONDON, 30.0), (TOKYO, 30.0))
+                ),
+            )
+        )
+        assert 11 in spatial.eligible(LONDON)
+        assert 11 in spatial.eligible(TOKYO)
+        assert 11 not in spatial.eligible(PARIS)
+
+
+class TestConsistencyWithPredicate:
+    def test_matches_targeting_predicate(self, corpus, spatial):
+        """Filter output equals evaluating every ad's predicate directly."""
+        for location in (LONDON, PARIS, TOKYO, GeoPoint(0, 0), None):
+            expected = {
+                ad.ad_id
+                for ad in corpus.active_ads()
+                if ad.targeting.matches_location(location)
+            }
+            assert spatial.eligible(location) == expected

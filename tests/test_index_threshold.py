@@ -1,0 +1,91 @@
+"""Threshold-algorithm (TA) correctness: must agree with WAND and brute."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ads.corpus import AdCorpus
+from repro.errors import ConfigError
+from repro.index.brute import exact_topk
+from repro.index.inverted import AdInvertedIndex
+from repro.index.threshold import ThresholdSearcher
+from tests.conftest import make_ads
+from tests.test_index_wand import random_query, random_setup, scores_of
+
+
+class TestBasics:
+    def test_empty_query(self):
+        _, _, index = random_setup(0)
+        assert ThresholdSearcher(index).search({}, 5) == []
+
+    def test_negative_weight_rejected(self):
+        _, _, index = random_setup(0)
+        with pytest.raises(ConfigError):
+            ThresholdSearcher(index).search({"t0": -0.1}, 5)
+
+    def test_max_static_requires_static_fn(self):
+        _, _, index = random_setup(0)
+        with pytest.raises(ConfigError):
+            ThresholdSearcher(index, max_static=1.0)
+
+
+class TestExactness:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [1, 5, 25])
+    def test_matches_brute(self, seed, k):
+        rng, corpus, index = random_setup(seed)
+        query = random_query(rng)
+        ta = ThresholdSearcher(index).search(query, k)
+        brute = exact_topk(corpus.active_ads(), query, k)
+        assert scores_of(ta) == scores_of(brute)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_static_and_filter_match_brute(self, seed):
+        rng, corpus, index = random_setup(seed)
+        query = random_query(rng)
+        statics = {ad.ad_id: rng.uniform(0.0, 0.5) for ad in corpus.active_ads()}
+        allowed = {ad.ad_id for ad in corpus.active_ads() if ad.ad_id % 2 == 0}
+        ta = ThresholdSearcher(
+            index,
+            static_score=statics.__getitem__,
+            max_static=max(statics.values()),
+            filter_fn=allowed.__contains__,
+        ).search(query, 7)
+        brute = exact_topk(
+            corpus.active_ads(),
+            query,
+            7,
+            static_score=statics.__getitem__,
+            filter_fn=allowed.__contains__,
+        )
+        assert scores_of(ta) == scores_of(brute)
+
+
+class TestEarlyTermination:
+    def test_stops_before_exhausting_lists(self):
+        ads = make_ads(500, seed=9, terms_per_ad=3)
+        corpus = AdCorpus(ads)
+        index = AdInvertedIndex.from_corpus(corpus)
+        searcher = ThresholdSearcher(index)
+        searcher.search({"t0": 1.0, "t1": 1.0}, 3)
+        total_postings = sum(
+            len(index.postings(term)) for term in ("t0", "t1") if index.postings(term)
+        )
+        assert searcher.last_evaluations < total_postings
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    k=st.integers(min_value=1, max_value=15),
+)
+def test_property_ta_equals_brute(seed, k):
+    rng, corpus, index = random_setup(seed, num_ads=50)
+    query = random_query(rng)
+    ta = ThresholdSearcher(index).search(query, k)
+    brute = exact_topk(corpus.active_ads(), query, k)
+    assert scores_of(ta) == scores_of(brute)

@@ -1,0 +1,170 @@
+"""WAND correctness: exactness against brute force, pruning effectiveness.
+
+The central invariant of the whole index layer: WAND (with or without
+static boosts and filters) returns the same score multiset as a full scan.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ads.ad import Ad
+from repro.ads.corpus import AdCorpus
+from repro.errors import ConfigError
+from repro.index.brute import exact_topk
+from repro.index.inverted import AdInvertedIndex
+from repro.index.wand import WandSearcher
+from tests.conftest import make_ads
+
+
+def scores_of(entries) -> list[float]:
+    return [round(entry.score, 9) for entry in entries]
+
+
+def random_setup(seed: int, num_ads: int = 60):
+    rng = random.Random(seed)
+    ads = make_ads(num_ads, seed=seed, terms_per_ad=rng.randint(2, 6))
+    corpus = AdCorpus(ads)
+    index = AdInvertedIndex.from_corpus(corpus)
+    return rng, corpus, index
+
+
+def random_query(rng: random.Random) -> dict[str, float]:
+    terms = [f"t{i}" for i in range(12)]
+    chosen = rng.sample(terms, rng.randint(1, 6))
+    return {term: rng.uniform(0.05, 1.0) for term in chosen}
+
+
+class TestBasics:
+    def test_empty_query(self):
+        _, _, index = random_setup(0)
+        assert WandSearcher(index).search({}, 5) == []
+
+    def test_unindexed_terms_only(self):
+        _, _, index = random_setup(0)
+        assert WandSearcher(index).search({"zzz": 1.0}, 5) == []
+
+    def test_negative_query_weight_rejected(self):
+        _, _, index = random_setup(0)
+        with pytest.raises(ConfigError):
+            WandSearcher(index).search({"t0": -1.0}, 5)
+
+    def test_zero_weights_skipped(self):
+        _, corpus, index = random_setup(1)
+        with_zero = WandSearcher(index).search({"t0": 1.0, "t1": 0.0}, 5)
+        without = WandSearcher(index).search({"t0": 1.0}, 5)
+        assert scores_of(with_zero) == scores_of(without)
+
+    def test_max_static_requires_static_fn(self):
+        _, _, index = random_setup(0)
+        with pytest.raises(ConfigError):
+            WandSearcher(index, max_static=0.5)
+
+    def test_results_sorted_desc(self):
+        rng, _, index = random_setup(2)
+        results = WandSearcher(index).search(random_query(rng), 10)
+        scores = [entry.score for entry in results]
+        assert scores == sorted(scores, reverse=True)
+
+
+class TestExactnessContentOnly:
+    @pytest.mark.parametrize("seed", range(8))
+    @pytest.mark.parametrize("k", [1, 3, 10, 100])
+    def test_matches_brute_force(self, seed, k):
+        rng, corpus, index = random_setup(seed)
+        query = random_query(rng)
+        wand = WandSearcher(index).search(query, k)
+        brute = exact_topk(corpus.active_ads(), query, k)
+        assert scores_of(wand) == scores_of(brute)
+
+    def test_k_larger_than_matches(self):
+        rng, corpus, index = random_setup(3)
+        query = {"t0": 1.0}
+        wand = WandSearcher(index).search(query, 1000)
+        brute = exact_topk(corpus.active_ads(), query, 1000)
+        assert scores_of(wand) == scores_of(brute)
+
+
+class TestExactnessWithStaticAndFilter:
+    @pytest.mark.parametrize("seed", range(8))
+    def test_static_boost_matches_brute(self, seed):
+        rng, corpus, index = random_setup(seed)
+        query = random_query(rng)
+        statics = {
+            ad.ad_id: rng.uniform(0.0, 0.8) for ad in corpus.active_ads()
+        }
+        max_static = max(statics.values())
+        wand = WandSearcher(
+            index, static_score=statics.__getitem__, max_static=max_static
+        ).search(query, 10)
+        brute = exact_topk(
+            corpus.active_ads(), query, 10, static_score=statics.__getitem__
+        )
+        assert scores_of(wand) == scores_of(brute)
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_filter_matches_brute(self, seed):
+        rng, corpus, index = random_setup(seed)
+        query = random_query(rng)
+        allowed = {
+            ad.ad_id for ad in corpus.active_ads() if ad.ad_id % 3 != 0
+        }
+        wand = WandSearcher(index, filter_fn=allowed.__contains__).search(query, 10)
+        brute = exact_topk(
+            corpus.active_ads(), query, 10, filter_fn=allowed.__contains__
+        )
+        assert scores_of(wand) == scores_of(brute)
+        assert all(entry.item in allowed for entry in wand)
+
+
+class TestPruning:
+    def test_prunes_evaluations(self):
+        """WAND must evaluate far fewer documents than exist for a skewed
+        corpus and small k."""
+        ads = []
+        rng = random.Random(0)
+        for ad_id in range(2000):
+            ads.append(
+                Ad(
+                    ad_id=ad_id,
+                    advertiser="x",
+                    text="t",
+                    terms={
+                        "common": rng.uniform(0.01, 1.0),
+                        f"rare{ad_id % 50}": rng.uniform(0.01, 1.0),
+                    },
+                    bid=1.0,
+                )
+            )
+        index = AdInvertedIndex.from_corpus(AdCorpus(ads))
+        searcher = WandSearcher(index)
+        searcher.search({"common": 1.0, "rare3": 1.0}, 5)
+        assert searcher.last_evaluations < 2000
+
+    def test_instrumentation_resets(self):
+        rng, _, index = random_setup(4)
+        searcher = WandSearcher(index)
+        searcher.search(random_query(rng), 5)
+        first = searcher.last_evaluations
+        searcher.search({"zzz": 1.0}, 5)
+        assert searcher.last_evaluations == 0
+        assert first >= 0
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    k=st.integers(min_value=1, max_value=20),
+    num_ads=st.integers(min_value=1, max_value=80),
+)
+def test_property_wand_equals_brute(seed, k, num_ads):
+    """Hypothesis sweep: arbitrary corpora, queries, k — identical scores."""
+    rng, corpus, index = random_setup(seed, num_ads=num_ads)
+    query = random_query(rng)
+    wand = WandSearcher(index).search(query, k)
+    brute = exact_topk(corpus.active_ads(), query, k)
+    assert scores_of(wand) == scores_of(brute)

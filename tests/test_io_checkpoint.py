@@ -1,0 +1,183 @@
+"""Checkpoint/restore tests: a restored engine must continue identically."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import EngineConfig, EngineMode
+from repro.core.recommender import ContextAwareRecommender
+from repro.errors import ConfigError
+from repro.io.checkpoint import load_checkpoint, save_checkpoint
+
+
+def fresh_engine(workload, **config_kwargs):
+    recommender = ContextAwareRecommender.from_workload(
+        workload, EngineConfig(**config_kwargs)
+    )
+    return recommender.engine
+
+
+def run_posts(engine, workload, start, stop):
+    results = []
+    for post in workload.posts[start:stop]:
+        results.append(engine.post(post.author_id, post.text, post.timestamp))
+    return results
+
+
+def slates_of(results):
+    return [
+        [(delivery.user_id, [s.ad_id for s in delivery.slate])
+         for delivery in result.deliveries]
+        for result in results
+    ]
+
+
+class TestRoundTrip:
+    @pytest.mark.parametrize(
+        "config_kwargs",
+        [
+            {},
+            {"mode": EngineMode.INCREMENTAL},
+            {"ctr_feedback": True},
+        ],
+        ids=["shared", "incremental", "ctr"],
+    )
+    def test_restored_engine_continues_identically(
+        self, tmp_path, tiny_workload, config_kwargs
+    ):
+        original = fresh_engine(tiny_workload, **config_kwargs)
+        run_posts(original, tiny_workload, 0, 30)
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(path, original)
+
+        restored = fresh_engine(tiny_workload, **config_kwargs)
+        load_checkpoint(path, restored)
+
+        continued_original = slates_of(run_posts(original, tiny_workload, 30, 50))
+        continued_restored = slates_of(run_posts(restored, tiny_workload, 30, 50))
+        assert continued_original == continued_restored
+
+    def test_stats_restored(self, tmp_path, tiny_workload):
+        original = fresh_engine(tiny_workload)
+        run_posts(original, tiny_workload, 0, 10)
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(path, original)
+
+        restored = fresh_engine(tiny_workload)
+        load_checkpoint(path, restored)
+        assert restored.stats.posts == original.stats.posts
+        assert restored.stats.revenue == pytest.approx(original.stats.revenue)
+        assert restored.budget.total_spend() == pytest.approx(
+            original.budget.total_spend()
+        )
+
+    def test_retired_ads_restored(self, tmp_path, tiny_workload):
+        import dataclasses
+
+        from repro.ads.corpus import AdCorpus
+        from repro.core.engine import AdEngine
+
+        def tight_engine():
+            corpus = AdCorpus(
+                dataclasses.replace(ad, budget=1.0, terms=dict(ad.terms))
+                for ad in tiny_workload.ads
+            )
+            engine = AdEngine(
+                corpus,
+                tiny_workload.graph,
+                tiny_workload.vectorizer,
+                tokenizer=tiny_workload.tokenizer,
+            )
+            for user in tiny_workload.users:
+                engine.register_user(user.user_id, user.home)
+            return engine
+
+        original = tight_engine()
+        run_posts(original, tiny_workload, 0, 40)
+        assert original.stats.retired_ads > 0
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(path, original)
+
+        restored = tight_engine()
+        load_checkpoint(path, restored)
+        assert set(restored.corpus.active_ids()) == set(
+            original.corpus.active_ids()
+        )
+        assert restored.index.num_ads == original.index.num_ads
+
+    def test_profiles_and_locations_restored(self, tmp_path, tiny_workload):
+        from repro.geo.point import GeoPoint
+
+        original = fresh_engine(tiny_workload)
+        run_posts(original, tiny_workload, 0, 20)
+        original.checkin(0, GeoPoint(12.0, 34.0), 99999.0)
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(path, original)
+
+        restored = fresh_engine(tiny_workload)
+        load_checkpoint(path, restored)
+        assert restored.location_of(0) == GeoPoint(12.0, 34.0)
+        author = tiny_workload.posts[0].author_id
+        assert restored.profiles.get_or_create(author).vector() == pytest.approx(
+            original.profiles.get_or_create(author).vector()
+        )
+
+
+class TestLaunchedAds:
+    def test_mid_stream_launches_survive_restore(self, tmp_path, tiny_workload):
+        from repro.ads.ad import Ad
+
+        original = fresh_engine(tiny_workload)
+        run_posts(original, tiny_workload, 0, 10)
+        newcomer = Ad(
+            ad_id=50_000,
+            advertiser="late",
+            text="w00010 w00011",
+            terms={"w00010": 1.0, "w00011": 0.5},
+            bid=2.0,
+            budget=30.0,
+        )
+        original.launch_campaign(newcomer, tiny_workload.posts[10].timestamp)
+        run_posts(original, tiny_workload, 10, 20)
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(path, original)
+
+        restored = fresh_engine(tiny_workload)
+        load_checkpoint(path, restored)
+        assert 50_000 in restored.corpus
+        assert restored.corpus.is_active(50_000) == original.corpus.is_active(
+            50_000
+        )
+        state = restored.budget.state(50_000)
+        assert state is not None
+        assert state.spent == pytest.approx(original.budget.state(50_000).spent)
+        continued_original = slates_of(run_posts(original, tiny_workload, 20, 35))
+        continued_restored = slates_of(run_posts(restored, tiny_workload, 20, 35))
+        assert continued_original == continued_restored
+
+
+class TestValidation:
+    def test_restore_into_used_engine_rejected(self, tmp_path, tiny_workload):
+        original = fresh_engine(tiny_workload)
+        run_posts(original, tiny_workload, 0, 5)
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(path, original)
+        with pytest.raises(ConfigError):
+            load_checkpoint(path, original)  # already processed posts
+
+    def test_ctr_state_needs_ctr_engine(self, tmp_path, tiny_workload):
+        original = fresh_engine(tiny_workload, ctr_feedback=True)
+        run_posts(original, tiny_workload, 0, 5)
+        path = tmp_path / "ckpt.json"
+        save_checkpoint(path, original)
+        plain = fresh_engine(tiny_workload, ctr_feedback=False)
+        with pytest.raises(ConfigError):
+            load_checkpoint(path, plain)
+
+    def test_version_check(self, tmp_path, tiny_workload):
+        import json
+
+        path = tmp_path / "ckpt.json"
+        path.write_text(json.dumps({"version": 99}))
+        with pytest.raises(ConfigError):
+            load_checkpoint(path, fresh_engine(tiny_workload))

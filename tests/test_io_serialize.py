@@ -1,0 +1,160 @@
+"""Round-trip tests for JSONL persistence."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.ads.ad import Ad
+from repro.ads.targeting import TargetingSpec, TimeWindow
+from repro.errors import ConfigError
+from repro.geo.point import GeoPoint
+from repro.io.serialize import (
+    ad_from_dict,
+    ad_to_dict,
+    load_ads,
+    load_graph,
+    load_posts,
+    load_workload,
+    save_ads,
+    save_graph,
+    save_posts,
+    save_workload,
+)
+from repro.stream.events import Post
+
+
+def targeted_ad() -> Ad:
+    return Ad(
+        ad_id=3,
+        advertiser="acme",
+        text="running shoes",
+        terms={"run": 0.8, "shoe": 0.6},
+        bid=1.25,
+        budget=40.0,
+        targeting=TargetingSpec(
+            circles=((GeoPoint(51.5, -0.12), 50.0),),
+            time_windows=(TimeWindow(9.0, 17.0),),
+        ),
+    )
+
+
+class TestAdRoundTrip:
+    def test_dict_round_trip_preserves_everything(self):
+        original = targeted_ad()
+        restored = ad_from_dict(json.loads(json.dumps(ad_to_dict(original))))
+        assert restored.ad_id == original.ad_id
+        assert restored.advertiser == original.advertiser
+        assert restored.bid == original.bid
+        assert restored.budget == original.budget
+        assert restored.terms == pytest.approx(original.terms)
+        assert restored.targeting == original.targeting
+
+    def test_untargeted_uncapped_ad(self):
+        ad = Ad(ad_id=0, advertiser="x", text="t", terms={"t": 1.0}, bid=0.5)
+        restored = ad_from_dict(ad_to_dict(ad))
+        assert restored.budget is None
+        assert restored.targeting.is_untargeted
+
+    def test_missing_field_raises(self):
+        raw = ad_to_dict(targeted_ad())
+        del raw["bid"]
+        with pytest.raises(ConfigError):
+            ad_from_dict(raw)
+
+    def test_file_round_trip(self, tmp_path):
+        ads = [targeted_ad(), Ad(ad_id=9, advertiser="b", text="y", terms={"y": 1.0}, bid=2.0)]
+        path = tmp_path / "ads.jsonl"
+        save_ads(path, ads)
+        restored = load_ads(path)
+        assert [ad.ad_id for ad in restored] == [3, 9]
+        assert restored[0].targeting == ads[0].targeting
+
+
+class TestPostAndGraphRoundTrip:
+    def test_posts(self, tmp_path):
+        posts = [
+            Post(msg_id=0, author_id=1, text="hello world", timestamp=5.0),
+            Post(msg_id=1, author_id=2, text="unicode café ☕", timestamp=6.5),
+        ]
+        path = tmp_path / "posts.jsonl"
+        save_posts(path, posts)
+        assert load_posts(path) == posts
+
+    def test_graph(self, tmp_path):
+        from repro.graph.social import SocialGraph
+
+        graph = SocialGraph()
+        for user in range(4):
+            graph.add_user(user)
+        graph.follow(1, 0)
+        graph.follow(2, 0)
+        graph.follow(0, 3)
+        path = tmp_path / "graph.jsonl"
+        save_graph(path, graph)
+        restored = load_graph(path)
+        assert restored.users() == graph.users()
+        for user in graph.users():
+            assert restored.followees(user) == graph.followees(user)
+
+
+class TestWorkloadRoundTrip:
+    def test_full_round_trip(self, tmp_path, tiny_workload):
+        directory = tmp_path / "workload"
+        save_workload(directory, tiny_workload)
+        restored = load_workload(directory)
+
+        assert restored.config == tiny_workload.config
+        assert [ad.ad_id for ad in restored.ads] == [
+            ad.ad_id for ad in tiny_workload.ads
+        ]
+        assert restored.posts == tiny_workload.posts
+        assert restored.post_topics == tiny_workload.post_topics
+        assert restored.ad_topics == tiny_workload.ad_topics
+        assert len(restored.users) == len(tiny_workload.users)
+        assert restored.users[0].mixture == tiny_workload.users[0].mixture
+        assert restored.graph.num_edges == tiny_workload.graph.num_edges
+
+    def test_restored_workload_drives_engine_identically(
+        self, tmp_path, tiny_workload
+    ):
+        """Slates computed from the restored workload match the originals."""
+        from repro.core.config import EngineConfig
+        from repro.core.recommender import ContextAwareRecommender
+
+        directory = tmp_path / "workload"
+        save_workload(directory, tiny_workload)
+        restored = load_workload(directory)
+
+        config = EngineConfig(charge_impressions=False)
+        original_rec = ContextAwareRecommender.from_workload(tiny_workload, config)
+        restored_rec = ContextAwareRecommender.from_workload(restored, config)
+        for post in tiny_workload.posts[:10]:
+            a = original_rec.post(post.author_id, post.text, post.timestamp)
+            b = restored_rec.post(post.author_id, post.text, post.timestamp)
+            assert [
+                [scored.ad_id for scored in delivery.slate]
+                for delivery in a.deliveries
+            ] == [
+                [scored.ad_id for scored in delivery.slate]
+                for delivery in b.deliveries
+            ]
+
+    def test_ground_truth_survives(self, tmp_path, tiny_workload):
+        directory = tmp_path / "workload"
+        save_workload(directory, tiny_workload)
+        restored = load_workload(directory)
+        post = tiny_workload.posts[0]
+        user = tiny_workload.users[0]
+        assert restored.ground_truth.grade(
+            0, post.msg_id, user.user_id, post.timestamp
+        ) == pytest.approx(
+            tiny_workload.ground_truth.grade(
+                0, post.msg_id, user.user_id, post.timestamp
+            )
+        )
+
+    def test_missing_directory_raises(self, tmp_path):
+        with pytest.raises(ConfigError):
+            load_workload(tmp_path / "nope")

@@ -1,0 +1,108 @@
+"""Cross-feature integration: campaigns + churn + checkpoint + CTR together
+(a compressed version of examples/operations_day.py, asserted)."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.ads.campaign import CampaignManager, CampaignPhase, CampaignSpec
+from repro.core.config import EngineConfig
+from repro.core.recommender import ContextAwareRecommender
+from repro.io.checkpoint import load_checkpoint, save_checkpoint
+from repro.stream.clicks import ClickSimulator
+
+
+@pytest.fixture()
+def engine(tiny_workload):
+    recommender = ContextAwareRecommender.from_workload(
+        tiny_workload, EngineConfig(ctr_feedback=True)
+    )
+    return recommender.engine
+
+
+def popular_creative(workload, count=4) -> str:
+    from collections import Counter
+
+    counts = Counter(
+        token
+        for post in workload.posts[:40]
+        for token in workload.tokenizer.tokenize(post.text)
+    )
+    return " ".join(token for token, _ in counts.most_common(count))
+
+
+class TestOperationsPipeline:
+    def test_full_day_with_everything_on(self, tmp_path, tiny_workload, engine):
+        manager = CampaignManager(engine)
+        creative = popular_creative(tiny_workload)
+        manager.register(
+            CampaignSpec(
+                campaign_id="flash-sale",
+                advertiser="mega",
+                creatives=(creative,),
+                bid=40.0,
+                total_budget=15.0,
+                flight_start=tiny_workload.posts[5].timestamp,
+                flight_end=tiny_workload.posts[-1].timestamp + 1.0,
+            )
+        )
+        clicks = ClickSimulator(random.Random(8))
+        checkpoint = tmp_path / "mid.json"
+        half = len(tiny_workload.posts) // 2
+
+        for position, post in enumerate(tiny_workload.posts):
+            manager.process_until(post.timestamp)
+            result = engine.post(post.author_id, post.text, post.timestamp)
+            for delivery in result.deliveries:
+                ids = [scored.ad_id for scored in delivery.slate]
+                for ad_id, clicked in zip(
+                    ids, clicks.clicks_for_slate(ids, lambda ad: 0.5)
+                ):
+                    if clicked:
+                        engine.record_click(ad_id)
+            if position == half:
+                save_checkpoint(checkpoint, engine)
+
+        status = manager.status("flash-sale")
+        assert status.phase is CampaignPhase.LIVE
+        assert status.spent > 0.0
+        assert engine.ctr is not None and engine.ctr.global_ctr() > 0.0
+
+        # The mid-day checkpoint must restore into a working engine that
+        # carries the launched campaign.
+        restored_rec = ContextAwareRecommender.from_workload(
+            tiny_workload, EngineConfig(ctr_feedback=True)
+        )
+        load_checkpoint(checkpoint, restored_rec.engine)
+        (ad_id,) = status.creative_ad_ids
+        assert ad_id in restored_rec.engine.corpus
+        post = tiny_workload.posts[half + 1]
+        result = restored_rec.post(post.author_id, post.text, post.timestamp)
+        assert result.num_deliveries == len(
+            tiny_workload.graph.followers(post.author_id)
+        )
+
+    def test_campaign_exhaustion_is_visible_in_status(self, tiny_workload, engine):
+        manager = CampaignManager(engine)
+        creative = popular_creative(tiny_workload)
+        manager.register(
+            CampaignSpec(
+                campaign_id="tiny",
+                advertiser="small",
+                creatives=(creative,),
+                bid=40.0,
+                total_budget=0.5,  # exhausts almost immediately
+                flight_start=0.0,
+                flight_end=10**6,
+            )
+        )
+        manager.process_until(0.0)
+        for post in tiny_workload.posts[:40]:
+            manager.process_until(post.timestamp)
+            engine.post(post.author_id, post.text, post.timestamp)
+        status = manager.status("tiny")
+        if status.spent >= 0.5:  # served enough to exhaust
+            assert status.active_creatives == 0
+            assert status.remaining == 0.0

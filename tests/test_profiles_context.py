@@ -1,0 +1,171 @@
+"""Tests for the sliding-window feed context, including the property that
+the lazily-scaled incremental aggregate tracks an exact recomputation."""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.profiles.context import FeedContext
+from repro.util.sparse import norm
+
+
+class TestValidation:
+    def test_window_size(self):
+        with pytest.raises(ConfigError):
+            FeedContext(window_size=0)
+
+    def test_half_life(self):
+        with pytest.raises(ConfigError):
+            FeedContext(half_life_s=0.0)
+
+    def test_max_age(self):
+        with pytest.raises(ConfigError):
+            FeedContext(max_age_s=0.0)
+
+
+class TestWindowing:
+    def test_count_eviction(self):
+        context = FeedContext(window_size=3, half_life_s=None)
+        for msg_id in range(5):
+            context.add(msg_id, float(msg_id), {f"w{msg_id}": 1.0})
+        assert context.message_ids() == [2, 3, 4]
+        assert len(context) == 3
+
+    def test_eviction_returns_ids(self):
+        context = FeedContext(window_size=1, half_life_s=None)
+        context.add(0, 0.0, {"a": 1.0})
+        evicted = context.add(1, 1.0, {"b": 1.0})
+        assert evicted == [0]
+
+    def test_age_eviction(self):
+        context = FeedContext(window_size=100, half_life_s=None, max_age_s=10.0)
+        context.add(0, 0.0, {"a": 1.0})
+        context.add(1, 20.0, {"b": 1.0})
+        assert context.message_ids() == [1]
+
+    def test_expire_without_add(self):
+        context = FeedContext(window_size=100, half_life_s=None, max_age_s=10.0)
+        context.add(0, 0.0, {"a": 1.0})
+        evicted = context.expire(50.0)
+        assert evicted == [0]
+        assert context.is_empty
+
+    def test_evicted_terms_leave_aggregate(self):
+        context = FeedContext(window_size=1, half_life_s=None)
+        context.add(0, 0.0, {"gone": 1.0})
+        context.add(1, 0.0, {"kept": 1.0})
+        assert set(context.vector()) == {"kept"}
+
+
+class TestDecay:
+    def test_recent_messages_dominate(self):
+        context = FeedContext(window_size=10, half_life_s=10.0)
+        context.add(0, 0.0, {"old": 1.0})
+        context.add(1, 100.0, {"new": 1.0})
+        vec = context.vector()
+        assert vec["new"] > 100 * vec.get("old", 1e-12)
+
+    def test_one_half_life(self):
+        context = FeedContext(window_size=10, half_life_s=50.0)
+        context.add(0, 0.0, {"old": 1.0})
+        context.add(1, 50.0, {"new": 1.0})
+        raw = context.raw_vector()
+        assert raw["old"] / raw["new"] == pytest.approx(0.5, rel=1e-6)
+
+    def test_dot_with_matches_raw_vector(self):
+        context = FeedContext(window_size=5, half_life_s=30.0)
+        context.add(0, 0.0, {"a": 0.7, "b": 0.3})
+        context.add(1, 10.0, {"b": 0.5, "c": 0.5})
+        terms = {"a": 0.5, "c": 1.0, "zzz": 1.0}
+        raw = context.raw_vector()
+        expected = sum(raw.get(term, 0.0) * weight for term, weight in terms.items())
+        assert context.dot_with(terms) == pytest.approx(expected, rel=1e-9)
+
+    def test_vector_unit_norm(self):
+        context = FeedContext()
+        context.add(0, 0.0, {"a": 1.0, "b": 0.5})
+        assert norm(context.vector()) == pytest.approx(1.0)
+
+    def test_epoch_tracks_mutations(self):
+        context = FeedContext(window_size=1, half_life_s=None)
+        assert context.epoch == 0
+        context.add(0, 0.0, {"a": 1.0})
+        context.add(1, 1.0, {"b": 1.0})
+        assert context.epoch == 2
+
+
+def _exact_aggregate(entries, now, half_life):
+    aggregate: dict[str, float] = {}
+    for timestamp, vec in entries:
+        decay = 1.0 if half_life is None else math.pow(0.5, (now - timestamp) / half_life)
+        for term, weight in vec.items():
+            aggregate[term] = aggregate.get(term, 0.0) + weight * decay
+    return aggregate
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    seed=st.integers(min_value=0, max_value=10_000),
+    window=st.integers(min_value=1, max_value=8),
+    half_life=st.one_of(st.none(), st.floats(min_value=1.0, max_value=500.0)),
+    events=st.integers(min_value=1, max_value=60),
+)
+def test_property_incremental_matches_exact(seed, window, half_life, events):
+    """The lazily-maintained aggregate equals a from-scratch recomputation."""
+    rng = random.Random(seed)
+    context = FeedContext(window_size=window, half_life_s=half_life, rebuild_every=10_000)
+    kept: list[tuple[float, dict[str, float]]] = []
+    now = 0.0
+    for msg_id in range(events):
+        now += rng.uniform(0.0, 50.0)
+        vec = {f"w{rng.randint(0, 5)}": rng.uniform(0.1, 1.0) for _ in range(2)}
+        context.add(msg_id, now, vec)
+        kept.append((now, vec))
+        kept = kept[-window:]
+    expected = _exact_aggregate(kept, now, half_life)
+    actual = context.raw_vector()
+    for term in set(expected) | set(actual):
+        assert actual.get(term, 0.0) == pytest.approx(
+            expected.get(term, 0.0), rel=1e-6, abs=1e-9
+        )
+
+
+def test_long_run_drift_is_controlled():
+    """After thousands of events (with periodic rebuilds) the incremental
+    aggregate still matches the exact one."""
+    rng = random.Random(3)
+    context = FeedContext(window_size=20, half_life_s=60.0, rebuild_every=256)
+    kept = []
+    now = 0.0
+    for msg_id in range(5000):
+        now += rng.uniform(0.0, 5.0)
+        vec = {f"w{rng.randint(0, 30)}": rng.uniform(0.1, 1.0)}
+        context.add(msg_id, now, vec)
+        kept.append((now, vec))
+        kept = kept[-20:]
+    expected = _exact_aggregate(kept, now, 60.0)
+    actual = context.raw_vector()
+    for term in set(expected) | set(actual):
+        assert actual.get(term, 0.0) == pytest.approx(
+            expected.get(term, 0.0), rel=1e-5, abs=1e-8
+        )
+
+
+def test_scale_fold_keeps_evictions_exact():
+    """Decay far past the fold threshold, then evict: the remembered
+    insert scales must be remapped correctly."""
+    context = FeedContext(window_size=2, half_life_s=1.0, rebuild_every=10_000)
+    context.add(0, 0.0, {"a": 1.0})
+    # 40 half-lives later the scale underflows the fold threshold.
+    context.add(1, 40.0, {"b": 1.0})
+    context.add(2, 40.0, {"c": 1.0})  # evicts msg 0
+    vec = context.raw_vector()
+    assert "a" not in vec or vec["a"] < 1e-9
+    assert vec["b"] == pytest.approx(1.0, rel=1e-6)
+    assert vec["c"] == pytest.approx(1.0, rel=1e-6)

@@ -1,0 +1,123 @@
+"""Tests for time-decayed interest profiles."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.profiles.profile import ProfileStore, UserProfile
+from repro.util.sparse import norm
+
+
+class TestValidation:
+    def test_half_life_positive_or_none(self):
+        with pytest.raises(ConfigError):
+            UserProfile(half_life_s=0.0)
+        UserProfile(half_life_s=None)  # allowed: no decay
+
+    def test_scale_positive(self):
+        profile = UserProfile()
+        with pytest.raises(ConfigError):
+            profile.update({"a": 1.0}, 0.0, scale=0.0)
+
+
+class TestAccumulation:
+    def test_empty_profile(self):
+        profile = UserProfile()
+        assert profile.is_empty
+        assert profile.vector() == {}
+
+    def test_empty_vec_is_noop(self):
+        profile = UserProfile()
+        profile.update({}, 10.0)
+        assert profile.is_empty
+        assert profile.epoch == 0
+
+    def test_vector_is_unit_norm(self):
+        profile = UserProfile()
+        profile.update({"a": 1.0, "b": 2.0}, 0.0)
+        assert norm(profile.vector()) == pytest.approx(1.0)
+
+    def test_epoch_bumps_on_update(self):
+        profile = UserProfile()
+        profile.update({"a": 1.0}, 0.0)
+        profile.update({"b": 1.0}, 1.0)
+        assert profile.epoch == 2
+
+    def test_accumulates_terms(self):
+        profile = UserProfile(half_life_s=None)
+        profile.update({"a": 1.0}, 0.0)
+        profile.update({"b": 1.0}, 0.0)
+        vec = profile.vector()
+        assert set(vec) == {"a", "b"}
+        assert vec["a"] == pytest.approx(vec["b"])
+
+
+class TestDecay:
+    def test_recent_interests_dominate(self):
+        profile = UserProfile(half_life_s=100.0)
+        profile.update({"old": 1.0}, 0.0)
+        profile.update({"new": 1.0}, 1000.0)  # ten half-lives later
+        vec = profile.vector()
+        assert vec["new"] > 100 * vec.get("old", 1e-12)
+
+    def test_one_half_life_halves_weight(self):
+        profile = UserProfile(half_life_s=100.0)
+        profile.update({"old": 1.0}, 0.0)
+        profile.update({"new": 1.0}, 100.0)
+        vec = profile.vector()
+        assert vec["old"] / vec["new"] == pytest.approx(0.5)
+
+    def test_no_decay_when_half_life_none(self):
+        profile = UserProfile(half_life_s=None)
+        profile.update({"old": 1.0}, 0.0)
+        profile.update({"new": 1.0}, 1e9)
+        vec = profile.vector()
+        assert vec["old"] == pytest.approx(vec["new"])
+
+    def test_out_of_order_updates_tolerated(self):
+        profile = UserProfile(half_life_s=100.0)
+        profile.update({"a": 1.0}, 50.0)
+        profile.update({"b": 1.0}, 40.0)  # slightly in the past
+        assert set(profile.vector()) == {"a", "b"}
+        assert profile.last_update == 50.0
+
+    def test_tiny_weights_pruned(self):
+        profile = UserProfile(half_life_s=1.0, prune_below=1e-6)
+        profile.update({"old": 1.0}, 0.0)
+        profile.update({"new": 1.0}, 100.0)  # 100 half-lives: ~1e-30
+        assert "old" not in profile.vector()
+
+    def test_same_timestamp_no_decay(self):
+        profile = UserProfile(half_life_s=10.0)
+        profile.update({"a": 1.0}, 5.0)
+        profile.update({"b": 1.0}, 5.0)
+        vec = profile.vector()
+        assert vec["a"] == pytest.approx(vec["b"])
+
+
+class TestTopInterests:
+    def test_ordering(self):
+        profile = UserProfile(half_life_s=None)
+        profile.update({"big": 3.0, "small": 1.0, "mid": 2.0}, 0.0)
+        names = [term for term, _ in profile.top_interests(2)]
+        assert names == ["big", "mid"]
+
+
+class TestProfileStore:
+    def test_get_or_create(self):
+        store = ProfileStore()
+        profile = store.get_or_create(7)
+        assert store.get_or_create(7) is profile
+        assert 7 in store
+        assert len(store) == 1
+
+    def test_users_sorted(self):
+        store = ProfileStore()
+        for user in (5, 1, 3):
+            store.get_or_create(user)
+        assert store.users() == [1, 3, 5]
+
+    def test_half_life_validation(self):
+        with pytest.raises(ConfigError):
+            ProfileStore(half_life_s=-1.0)

@@ -1,0 +1,85 @@
+"""Tests for the simulated clock and diurnal arrival process."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError, StreamError
+from repro.stream.clock import SimClock, diurnal_rate, diurnal_timestamps
+
+
+class TestSimClock:
+    def test_starts_at_zero(self):
+        assert SimClock().now == 0.0
+
+    def test_advance_to(self):
+        clock = SimClock()
+        clock.advance_to(10.0)
+        assert clock.now == 10.0
+
+    def test_advance_to_same_time_allowed(self):
+        clock = SimClock(5.0)
+        clock.advance_to(5.0)
+        assert clock.now == 5.0
+
+    def test_backward_rejected(self):
+        clock = SimClock(10.0)
+        with pytest.raises(StreamError):
+            clock.advance_to(9.0)
+
+    def test_advance_by(self):
+        clock = SimClock(1.0)
+        clock.advance_by(2.5)
+        assert clock.now == 3.5
+        with pytest.raises(StreamError):
+            clock.advance_by(-1.0)
+
+
+class TestDiurnalRate:
+    def test_peak_at_peak_hour(self):
+        peak = diurnal_rate(19 * 3600.0, 10.0, amplitude=0.5, peak_hour=19.0)
+        trough = diurnal_rate(7 * 3600.0, 10.0, amplitude=0.5, peak_hour=19.0)
+        assert peak == pytest.approx(15.0)
+        assert trough == pytest.approx(5.0)
+
+    def test_zero_amplitude_is_constant(self):
+        for hour in (0, 6, 12, 18):
+            assert diurnal_rate(hour * 3600.0, 7.0, amplitude=0.0) == 7.0
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            diurnal_rate(0.0, -1.0)
+        with pytest.raises(ConfigError):
+            diurnal_rate(0.0, 1.0, amplitude=1.5)
+
+
+class TestDiurnalTimestamps:
+    def test_within_range(self):
+        stamps = diurnal_timestamps(random.Random(0), 0.05, 10_000.0, start=100.0)
+        assert all(100.0 <= t < 10_100.0 for t in stamps)
+
+    def test_sorted(self):
+        stamps = diurnal_timestamps(random.Random(1), 0.05, 10_000.0)
+        assert stamps == sorted(stamps)
+
+    def test_count_near_expectation(self):
+        duration = 200_000.0
+        stamps = diurnal_timestamps(random.Random(2), 0.01, duration)
+        assert len(stamps) == pytest.approx(duration * 0.01, rel=0.2)
+
+    def test_zero_rate_empty(self):
+        assert diurnal_timestamps(random.Random(0), 0.0, 100.0) == []
+
+    def test_duration_validation(self):
+        with pytest.raises(ConfigError):
+            diurnal_timestamps(random.Random(0), 1.0, 0.0)
+
+    def test_peak_hours_denser(self):
+        stamps = diurnal_timestamps(
+            random.Random(3), 0.05, 86_400.0, amplitude=1.0, peak_hour=19.0
+        )
+        evening = sum(1 for t in stamps if 16 <= (t % 86_400) / 3600 < 22)
+        morning = sum(1 for t in stamps if 4 <= (t % 86_400) / 3600 < 10)
+        assert evening > morning

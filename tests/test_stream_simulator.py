@@ -1,0 +1,116 @@
+"""Tests for event types and the feed simulator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError, StreamError
+from repro.geo.point import GeoPoint
+from repro.stream.events import Checkin, Delivery, Post
+from repro.stream.metrics import StreamMetrics
+from repro.stream.simulator import FeedSimulator
+
+
+class TestEvents:
+    def test_post_validation(self):
+        with pytest.raises(ConfigError):
+            Post(msg_id=-1, author_id=0, text="x", timestamp=0.0)
+
+    def test_events_are_frozen(self):
+        post = Post(msg_id=0, author_id=1, text="x", timestamp=0.0)
+        with pytest.raises(AttributeError):
+            post.text = "y"  # type: ignore[misc]
+
+    def test_delivery_fields(self):
+        delivery = Delivery(msg_id=1, user_id=2, timestamp=3.0)
+        assert (delivery.msg_id, delivery.user_id) == (1, 2)
+
+
+class _FakeResult:
+    def __init__(self, deliveries: int, impressions: int) -> None:
+        self.num_deliveries = deliveries
+        self.num_impressions = impressions
+
+
+class _RecordingHandler:
+    def __init__(self) -> None:
+        self.events: list[tuple[str, float]] = []
+
+    def post(self, author_id, text, timestamp, *, msg_id):
+        self.events.append(("post", timestamp))
+        return _FakeResult(deliveries=2, impressions=4)
+
+    def checkin(self, user_id, point, timestamp):
+        self.events.append(("checkin", timestamp))
+
+
+class TestSimulator:
+    def _posts(self):
+        return [
+            Post(msg_id=0, author_id=0, text="a", timestamp=5.0),
+            Post(msg_id=1, author_id=1, text="b", timestamp=1.0),
+        ]
+
+    def test_replays_in_timestamp_order(self):
+        handler = _RecordingHandler()
+        FeedSimulator(handler).run(self._posts())
+        assert [t for _, t in handler.events] == [1.0, 5.0]
+
+    def test_checkins_before_posts_at_same_time(self):
+        handler = _RecordingHandler()
+        checkin = Checkin(user_id=0, point=GeoPoint(0, 0), timestamp=5.0)
+        FeedSimulator(handler).run(self._posts(), checkins=[checkin])
+        assert handler.events == [("post", 1.0), ("checkin", 5.0), ("post", 5.0)]
+
+    def test_metrics_aggregation(self):
+        metrics = FeedSimulator(_RecordingHandler()).run(self._posts())
+        assert metrics.posts == 2
+        assert metrics.deliveries == 4
+        assert metrics.impressions == 8
+        assert metrics.wall_seconds > 0.0
+        assert len(metrics.post_latency) == 2
+
+    def test_latency_can_be_disabled(self):
+        metrics = FeedSimulator(_RecordingHandler()).run(
+            self._posts(), measure_latency=False
+        )
+        assert len(metrics.post_latency) == 0
+
+    def test_handler_without_shape_rejected(self):
+        class BadHandler:
+            def post(self, author_id, text, timestamp, *, msg_id):
+                return object()  # no num_deliveries
+
+            def checkin(self, user_id, point, timestamp):
+                pass
+
+        with pytest.raises(StreamError):
+            FeedSimulator(BadHandler()).run(self._posts())
+
+    def test_none_result_tolerated(self):
+        class QuietHandler:
+            def post(self, author_id, text, timestamp, *, msg_id):
+                return None
+
+            def checkin(self, user_id, point, timestamp):
+                pass
+
+        metrics = FeedSimulator(QuietHandler()).run(self._posts())
+        assert metrics.posts == 2
+        assert metrics.deliveries == 0
+
+
+class TestStreamMetrics:
+    def test_rates(self):
+        metrics = StreamMetrics(posts=10, deliveries=100, wall_seconds=2.0)
+        assert metrics.deliveries_per_second() == 50.0
+        assert metrics.posts_per_second() == 5.0
+
+    def test_zero_wall_time(self):
+        metrics = StreamMetrics()
+        assert metrics.deliveries_per_second() == 0.0
+        assert metrics.posts_per_second() == 0.0
+
+    def test_summary_keys(self):
+        summary = StreamMetrics().summary()
+        assert {"posts", "deliveries", "deliveries_per_s"} <= set(summary)

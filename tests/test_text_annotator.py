@@ -1,0 +1,86 @@
+"""Tests for the dictionary concept annotator (DBpedia-Spotlight stand-in)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.text.annotator import Annotation, ConceptAnnotator
+
+
+@pytest.fixture()
+def annotator() -> ConceptAnnotator:
+    ann = ConceptAnnotator()
+    ann.register("volleyball", "Sport/Volleyball", 1.0)
+    ann.register("running shoes", "Product/Footwear", 0.9)
+    ann.register("shoes", "Product/Footwear", 0.5)
+    ann.register("new york", "Place/NYC", 0.8)
+    return ann
+
+
+class TestRegister:
+    def test_length(self, annotator):
+        assert len(annotator) == 4
+
+    def test_score_bounds(self):
+        ann = ConceptAnnotator()
+        with pytest.raises(ConfigError):
+            ann.register("x shoes", "X", 1.5)
+
+    def test_empty_phrase_rejected(self):
+        with pytest.raises(ConfigError):
+            ConceptAnnotator().register("the a of", "Nothing")
+
+    def test_too_long_phrase_rejected(self):
+        with pytest.raises(ConfigError):
+            ConceptAnnotator(max_phrase_length=2).register(
+                "very long sporting phrase", "X"
+            )
+
+    def test_bulk_register(self):
+        ann = ConceptAnnotator()
+        ann.register_concepts({"tennis": "Sport/Tennis", "golf": "Sport/Golf"})
+        assert len(ann) == 2
+
+    def test_annotation_score_validation(self):
+        with pytest.raises(ConfigError):
+            Annotation(concept="X", score=2.0, surface=("x",))
+
+
+class TestAnnotate:
+    def test_single_concept(self, annotator):
+        results = annotator.annotate("I love volleyball")
+        assert [annotation.concept for annotation in results] == [
+            "Sport/Volleyball"
+        ]
+
+    def test_longest_match_wins(self, annotator):
+        results = annotator.annotate("best running shoes ever")
+        assert len(results) == 1
+        assert results[0].concept == "Product/Footwear"
+        assert results[0].score == 0.9  # the bigram, not the unigram
+
+    def test_multi_word_surface_normalised(self, annotator):
+        # "New York" passes through tokenizer (stemmed/lowercased) both at
+        # registration and annotation time.
+        results = annotator.annotate("Greetings from New York!")
+        assert results and results[0].concept == "Place/NYC"
+
+    def test_no_match(self, annotator):
+        assert annotator.annotate("quantum physics lecture") == []
+
+    def test_multiple_annotations_in_order(self, annotator):
+        results = annotator.annotate("volleyball then shoes")
+        assert [annotation.concept for annotation in results] == [
+            "Sport/Volleyball",
+            "Product/Footwear",
+        ]
+
+
+class TestConceptVector:
+    def test_max_score_aggregation(self, annotator):
+        vector = annotator.concept_vector("shoes shoes running shoes")
+        assert vector == {"Product/Footwear": 0.9}
+
+    def test_empty_text(self, annotator):
+        assert annotator.concept_vector("") == {}

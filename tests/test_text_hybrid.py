@@ -1,0 +1,124 @@
+"""Tests for concept-enriched hybrid vectorisation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.text.annotator import ConceptAnnotator
+from repro.text.hybrid import CONCEPT_PREFIX, HybridVectorizer
+from repro.text.tokenizer import Tokenizer
+from repro.text.vectorizer import TfidfVectorizer
+from repro.util.sparse import dot, norm
+
+
+@pytest.fixture()
+def hybrid() -> HybridVectorizer:
+    tokenizer = Tokenizer()
+    vectorizer = TfidfVectorizer().fit(
+        tokenizer.tokenize(text)
+        for text in (
+            "running shoes on sale",
+            "best sneakers in town",
+            "espresso machine deals",
+        )
+    )
+    annotator = ConceptAnnotator(tokenizer=tokenizer)
+    annotator.register("running shoes", "Footwear", 0.9)
+    annotator.register("sneakers", "Footwear", 0.8)
+    annotator.register("espresso machine", "CoffeeGear", 1.0)
+    return HybridVectorizer(vectorizer, annotator, tokenizer=tokenizer)
+
+
+class TestValidation:
+    def test_concept_weight_bounds(self, hybrid):
+        with pytest.raises(ConfigError):
+            HybridVectorizer(
+                hybrid.vectorizer, hybrid.annotator, concept_weight=1.5
+            )
+
+
+class TestJointSpace:
+    def test_unit_norm(self, hybrid):
+        vec = hybrid.transform_text("running shoes today")
+        assert norm(vec) == pytest.approx(1.0)
+
+    def test_concept_features_prefixed(self, hybrid):
+        vec = hybrid.transform_text("great running shoes")
+        assert any(key.startswith(CONCEPT_PREFIX) for key in vec)
+        assert CONCEPT_PREFIX + "Footwear" in vec
+
+    def test_paraphrases_match_through_concepts(self, hybrid):
+        """'sneakers' and 'running shoes' share no stem; the concept space
+        must give them nonzero similarity anyway."""
+        a = hybrid.transform_text("fresh sneakers dropped")
+        b = hybrid.transform_text("running shoes restocked")
+        token_only = HybridVectorizer(
+            hybrid.vectorizer, hybrid.annotator, concept_weight=0.0
+        )
+        assert dot(
+            token_only.transform_text("fresh sneakers dropped"),
+            token_only.transform_text("running shoes restocked"),
+        ) == pytest.approx(0.0)
+        assert dot(a, b) > 0.1
+
+    def test_zero_weight_is_pure_tfidf(self, hybrid):
+        flat = HybridVectorizer(
+            hybrid.vectorizer, hybrid.annotator, concept_weight=0.0
+        )
+        vec = flat.transform_text("running shoes")
+        assert not any(key.startswith(CONCEPT_PREFIX) for key in vec)
+
+    def test_full_weight_is_pure_concepts(self, hybrid):
+        conceptual = HybridVectorizer(
+            hybrid.vectorizer, hybrid.annotator, concept_weight=1.0
+        )
+        vec = conceptual.transform_text("running shoes")
+        assert all(key.startswith(CONCEPT_PREFIX) for key in vec)
+
+    def test_callable_alias(self, hybrid):
+        assert hybrid("espresso machine") == hybrid.transform_text(
+            "espresso machine"
+        )
+
+
+class TestEngineIntegration:
+    def test_engine_matches_paraphrased_ad(self, hybrid):
+        """An ad phrased as 'sneakers' must surface for a 'running shoes'
+        post when the hybrid pipeline is plugged in."""
+        from repro.ads.ad import Ad
+        from repro.ads.corpus import AdCorpus
+        from repro.core.config import EngineConfig
+        from repro.core.engine import AdEngine
+        from repro.graph.social import SocialGraph
+
+        sneaker_ad = Ad(
+            ad_id=0,
+            advertiser="kicks",
+            text="fresh sneakers dropped",
+            terms=hybrid.transform_text("fresh sneakers dropped"),
+            bid=1.0,
+        )
+        coffee_ad = Ad(
+            ad_id=1,
+            advertiser="beans",
+            text="espresso machine deals",
+            terms=hybrid.transform_text("espresso machine deals"),
+            bid=1.0,
+        )
+        graph = SocialGraph()
+        graph.add_user(0)
+        graph.add_user(1)
+        graph.follow(1, 0)
+        engine = AdEngine(
+            AdCorpus([sneaker_ad, coffee_ad]),
+            graph,
+            hybrid.vectorizer,
+            config=EngineConfig(k=1),
+            text_vectorizer=hybrid.transform_text,
+        )
+        engine.register_user(0)
+        engine.register_user(1)
+        result = engine.post(0, "my running shoes wore out", 1.0)
+        (delivery,) = result.deliveries
+        assert delivery.slate[0].ad_id == 0

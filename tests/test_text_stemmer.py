@@ -1,0 +1,104 @@
+"""Tests for the from-scratch Porter stemmer against published examples."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.text.stemmer import PorterStemmer
+
+
+@pytest.fixture(scope="module")
+def stemmer() -> PorterStemmer:
+    return PorterStemmer()
+
+
+class TestClassicExamples:
+    """Vectors from Porter's 1980 paper and the reference implementation."""
+
+    @pytest.mark.parametrize(
+        ("word", "expected"),
+        [
+            ("caresses", "caress"),
+            ("ponies", "poni"),
+            ("ties", "ti"),
+            ("caress", "caress"),
+            ("cats", "cat"),
+            ("feed", "feed"),
+            ("agreed", "agre"),
+            ("plastered", "plaster"),
+            ("bled", "bled"),
+            ("motoring", "motor"),
+            ("sing", "sing"),
+            ("conflated", "conflat"),
+            ("troubled", "troubl"),
+            ("sized", "size"),
+            ("hopping", "hop"),
+            ("tanned", "tan"),
+            ("falling", "fall"),
+            ("hissing", "hiss"),
+            ("fizzed", "fizz"),
+            ("failing", "fail"),
+            ("filing", "file"),
+            ("happy", "happi"),
+            ("sky", "sky"),
+            ("relational", "relat"),
+            ("conditional", "condit"),
+            ("rational", "ration"),
+            ("valenci", "valenc"),
+            ("digitizer", "digit"),
+            ("operator", "oper"),
+            ("feudalism", "feudal"),
+            ("decisiveness", "decis"),
+            ("hopefulness", "hope"),
+            ("formaliti", "formal"),
+            ("triplicate", "triplic"),
+            ("formative", "form"),
+            ("formalize", "formal"),
+            ("electriciti", "electr"),
+            ("electrical", "electr"),
+            ("hopeful", "hope"),
+            ("goodness", "good"),
+            ("revival", "reviv"),
+            ("allowance", "allow"),
+            ("inference", "infer"),
+            ("airliner", "airlin"),
+            ("adjustable", "adjust"),
+            ("defensible", "defens"),
+            ("irritant", "irrit"),
+            ("replacement", "replac"),
+            ("adjustment", "adjust"),
+            ("dependent", "depend"),
+            ("adoption", "adopt"),
+            ("communism", "commun"),
+            ("activate", "activ"),
+            ("angulariti", "angular"),
+            ("homologous", "homolog"),
+            ("effective", "effect"),
+            ("bowdlerize", "bowdler"),
+            ("probate", "probat"),
+            ("rate", "rate"),
+            ("cease", "ceas"),
+            ("controll", "control"),
+            ("roll", "roll"),
+        ],
+    )
+    def test_known_vectors(self, stemmer, word, expected):
+        assert stemmer.stem(word) == expected
+
+
+class TestBehaviour:
+    def test_short_words_pass_through(self, stemmer):
+        assert stemmer.stem("at") == "at"
+        assert stemmer.stem("a") == "a"
+
+    def test_idempotent_on_common_words(self, stemmer):
+        for word in ("running", "shoes", "marketing", "volleyball", "nation"):
+            once = stemmer.stem(word)
+            assert stemmer.stem(once) == once or len(stemmer.stem(once)) <= len(once)
+
+    def test_conflates_inflections(self, stemmer):
+        assert stemmer.stem("running") == stemmer.stem("runs")
+
+    def test_synthetic_tokens_unchanged(self, stemmer):
+        # Workload vocabulary words must survive the pipeline untouched.
+        assert stemmer.stem("w00042") == "w00042"

@@ -1,0 +1,83 @@
+"""Tests for the tweet-aware tokenizer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.text.tokenizer import Tokenizer, TokenizerConfig
+
+
+@pytest.fixture()
+def tokenizer() -> Tokenizer:
+    return Tokenizer()
+
+
+@pytest.fixture()
+def no_stem_tokenizer() -> Tokenizer:
+    return Tokenizer(TokenizerConfig(stem=False))
+
+
+class TestNoise:
+    def test_strips_urls(self, no_stem_tokenizer):
+        tokens = no_stem_tokenizer("check https://example.com/x?q=1 now")
+        assert tokens == ["check", "now"]
+
+    def test_strips_www_urls(self, no_stem_tokenizer):
+        assert "www" not in no_stem_tokenizer("visit www.example.com today")
+
+    def test_strips_mentions(self, no_stem_tokenizer):
+        assert no_stem_tokenizer("@alice hello @bob_smith") == ["hello"]
+
+    def test_hashtag_keeps_word(self, no_stem_tokenizer):
+        assert no_stem_tokenizer("#volleyball tonight") == ["volleyball", "tonight"]
+
+    def test_squeezes_elongations(self, no_stem_tokenizer):
+        assert no_stem_tokenizer("sooooo good") == ["soo", "good"]
+
+    def test_drops_punctuation_and_numbers_alone(self, no_stem_tokenizer):
+        assert no_stem_tokenizer("!!! 123 ???") == []
+
+    def test_alphanumeric_tokens_kept(self, no_stem_tokenizer):
+        assert no_stem_tokenizer("w00042 arrived") == ["w00042", "arrived"]
+
+
+class TestFiltering:
+    def test_removes_stopwords(self, no_stem_tokenizer):
+        assert no_stem_tokenizer("the best shoes in the world") == [
+            "best",
+            "shoes",
+            "world",
+        ]
+
+    def test_keep_stopwords_option(self):
+        tokenizer = Tokenizer(TokenizerConfig(stem=False, keep_stopwords=True))
+        assert "the" in tokenizer("the best shoes")
+
+    def test_min_token_length(self):
+        tokenizer = Tokenizer(TokenizerConfig(stem=False, min_token_length=4))
+        assert tokenizer("big dog runs fast") == ["runs", "fast"]
+
+    def test_lowercases(self, no_stem_tokenizer):
+        assert no_stem_tokenizer("VOLLEYBALL Rocks") == ["volleyball", "rocks"]
+
+    def test_twitter_noise_words(self, no_stem_tokenizer):
+        assert no_stem_tokenizer("rt lol omg shoes") == ["shoes"]
+
+
+class TestStemming:
+    def test_stems_by_default(self, tokenizer):
+        assert tokenizer("running shoes") == ["run", "shoe"]
+
+    def test_empty_text(self, tokenizer):
+        assert tokenizer("") == []
+
+    def test_callable_matches_method(self, tokenizer):
+        text = "great marathon running shoes"
+        assert tokenizer(text) == tokenizer.tokenize(text)
+
+
+class TestConfigValidation:
+    def test_min_token_length_positive(self):
+        with pytest.raises(ConfigError):
+            TokenizerConfig(min_token_length=0)

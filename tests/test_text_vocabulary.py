@@ -1,0 +1,68 @@
+"""Tests for the term ↔ id mapping."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.text.vocabulary import Vocabulary
+
+
+class TestAdd:
+    def test_ids_are_contiguous(self):
+        vocab = Vocabulary()
+        assert vocab.add("a") == 0
+        assert vocab.add("b") == 1
+        assert len(vocab) == 2
+
+    def test_add_is_idempotent(self):
+        vocab = Vocabulary()
+        first = vocab.add("a")
+        assert vocab.add("a") == first
+        assert len(vocab) == 1
+
+    def test_init_from_iterable(self):
+        vocab = Vocabulary(["x", "y", "x"])
+        assert len(vocab) == 2
+        assert "x" in vocab
+
+    def test_add_all(self):
+        vocab = Vocabulary()
+        vocab.add_all(["a", "b", "a"])
+        assert len(vocab) == 2
+
+
+class TestLookup:
+    def test_roundtrip(self):
+        vocab = Vocabulary(["alpha", "beta"])
+        for term in ("alpha", "beta"):
+            assert vocab.term_of(vocab.id_of(term)) == term
+
+    def test_unknown_term_raises(self):
+        with pytest.raises(ConfigError):
+            Vocabulary().id_of("ghost")
+
+    def test_get_returns_none_for_unknown(self):
+        assert Vocabulary().get("ghost") is None
+
+    def test_term_of_bounds(self):
+        vocab = Vocabulary(["a"])
+        with pytest.raises(ConfigError):
+            vocab.term_of(1)
+        with pytest.raises(ConfigError):
+            vocab.term_of(-1)
+
+    def test_terms_in_id_order(self):
+        vocab = Vocabulary(["c", "a", "b"])
+        assert vocab.terms() == ["c", "a", "b"]
+
+
+class TestEncode:
+    def test_encode_drops_unknown_by_default(self):
+        vocab = Vocabulary(["a"])
+        assert vocab.encode(["a", "z", "a"]) == [0, 0]
+
+    def test_encode_grow(self):
+        vocab = Vocabulary()
+        assert vocab.encode(["a", "b", "a"], grow=True) == [0, 1, 0]
+        assert len(vocab) == 2

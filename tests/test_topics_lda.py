@@ -1,0 +1,97 @@
+"""Tests for the collapsed-Gibbs LDA implementation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.errors import ConfigError
+from repro.topics.lda import LdaModel
+
+
+def synthetic_corpus():
+    """Two sharply separated topics: sports words and food words."""
+    sports = ["goal", "match", "team", "score", "league", "coach"]
+    food = ["pasta", "sauce", "oven", "recipe", "flour", "basil"]
+    documents = []
+    for i in range(30):
+        words = sports if i % 2 == 0 else food
+        documents.append([words[(i + j) % len(words)] for j in range(12)])
+    return documents, sports, food
+
+
+class TestValidation:
+    def test_num_topics(self):
+        with pytest.raises(ConfigError):
+            LdaModel(1)
+
+    def test_hyperparameters(self):
+        with pytest.raises(ConfigError):
+            LdaModel(2, alpha=0.0)
+        with pytest.raises(ConfigError):
+            LdaModel(2, beta=-1.0)
+        with pytest.raises(ConfigError):
+            LdaModel(2, iterations=0)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ConfigError):
+            LdaModel(2).fit([])
+
+    def test_unfitted_access_rejected(self):
+        model = LdaModel(2)
+        with pytest.raises(ConfigError):
+            model.infer(["x"])
+        with pytest.raises(ConfigError):
+            model.topic_word_distribution()
+
+
+class TestFit:
+    @pytest.fixture(scope="class")
+    def fitted(self):
+        documents, sports, food = synthetic_corpus()
+        model = LdaModel(2, iterations=80, seed=1).fit(documents)
+        return model, documents, sports, food
+
+    def test_distributions_are_stochastic(self, fitted):
+        model, *_ = fitted
+        phi = model.topic_word_distribution()
+        assert phi.shape[0] == 2
+        np.testing.assert_allclose(phi.sum(axis=1), 1.0)
+        theta = model.document_topics()
+        np.testing.assert_allclose(theta.sum(axis=1), 1.0)
+
+    def test_separates_obvious_topics(self, fitted):
+        model, _, sports, food = fitted
+        sports_theta = model.infer(sports, iterations=30)
+        food_theta = model.infer(food, iterations=30)
+        # Each specialised doc should concentrate on a different topic.
+        assert sports_theta.argmax() != food_theta.argmax()
+        assert sports_theta.max() > 0.8
+        assert food_theta.max() > 0.8
+
+    def test_top_words_belong_to_topic(self, fitted):
+        model, _, sports, food = fitted
+        sports_topic = int(model.infer(sports, iterations=30).argmax())
+        top = set(model.top_words(sports_topic, 6))
+        assert len(top & set(sports)) >= 4
+
+    def test_top_words_topic_bounds(self, fitted):
+        model, *_ = fitted
+        with pytest.raises(ConfigError):
+            model.top_words(5)
+
+
+class TestInfer:
+    def test_unknown_tokens_uniform(self):
+        documents, *_ = synthetic_corpus()
+        model = LdaModel(2, iterations=20, seed=0).fit(documents)
+        theta = model.infer(["zzz", "qqq"])
+        np.testing.assert_allclose(theta, 0.5, atol=1e-9)
+
+    def test_infer_returns_distribution(self):
+        documents, sports, _ = synthetic_corpus()
+        model = LdaModel(3, iterations=20, seed=0).fit(documents)
+        theta = model.infer(sports)
+        assert theta.shape == (3,)
+        assert theta.sum() == pytest.approx(1.0)
+        assert (theta >= 0).all()

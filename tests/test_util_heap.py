@@ -1,0 +1,135 @@
+"""Tests for the bounded top-k heap."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.util.heap import BoundedTopK
+
+
+class TestBasics:
+    def test_k_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            BoundedTopK(0)
+
+    def test_empty_threshold_is_minus_inf(self):
+        heap = BoundedTopK(3)
+        assert heap.threshold() == float("-inf")
+
+    def test_fills_up_to_k(self):
+        heap = BoundedTopK(2)
+        assert heap.push(1.0, 10)
+        assert heap.push(0.5, 11)
+        assert len(heap) == 2
+
+    def test_rejects_weaker_items_when_full(self):
+        heap = BoundedTopK(2)
+        heap.push(2.0, 1)
+        heap.push(3.0, 2)
+        assert not heap.push(1.0, 3)
+        assert heap.items() == {1, 2}
+
+    def test_replaces_weakest(self):
+        heap = BoundedTopK(2)
+        heap.push(1.0, 1)
+        heap.push(2.0, 2)
+        assert heap.push(3.0, 3)
+        assert heap.items() == {2, 3}
+
+    def test_threshold_is_kth_score(self):
+        heap = BoundedTopK(2)
+        heap.push(5.0, 1)
+        heap.push(3.0, 2)
+        heap.push(4.0, 3)
+        assert heap.threshold() == 4.0
+
+
+class TestTieBreaking:
+    def test_smaller_id_wins_ties(self):
+        heap = BoundedTopK(1)
+        heap.push(1.0, 5)
+        assert heap.push(1.0, 3)  # same score, smaller id displaces
+        assert heap.items() == {3}
+
+    def test_larger_id_loses_ties(self):
+        heap = BoundedTopK(1)
+        heap.push(1.0, 3)
+        assert not heap.push(1.0, 5)
+        assert heap.items() == {3}
+
+    def test_results_sorted_score_desc_then_id_asc(self):
+        heap = BoundedTopK(4)
+        for score, item in [(1.0, 9), (2.0, 4), (1.0, 2), (2.0, 1)]:
+            heap.push(score, item)
+        ordered = [(entry.score, entry.item) for entry in heap.results()]
+        assert ordered == [(2.0, 1), (2.0, 4), (1.0, 2), (1.0, 9)]
+
+    def test_push_order_does_not_matter(self):
+        entries = [(1.0, 9), (2.0, 4), (1.0, 2), (2.0, 1), (0.5, 7)]
+        first = BoundedTopK(3)
+        second = BoundedTopK(3)
+        for score, item in entries:
+            first.push(score, item)
+        for score, item in reversed(entries):
+            second.push(score, item)
+        assert first.results() == second.results()
+
+
+class TestWouldAccept:
+    def test_accepts_anything_until_full(self):
+        heap = BoundedTopK(2)
+        heap.push(10.0, 1)
+        assert heap.would_accept(-100.0)
+
+    def test_accepts_ties_when_full(self):
+        heap = BoundedTopK(1)
+        heap.push(1.0, 1)
+        assert heap.would_accept(1.0)
+        assert not heap.would_accept(0.999)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=-100, max_value=100, allow_nan=False),
+            st.integers(min_value=0, max_value=1000),
+        ),
+        max_size=60,
+    ),
+    st.integers(min_value=1, max_value=10),
+)
+def test_matches_sorted_reference(entries, k):
+    """Heap results equal sorting everything and taking the best k."""
+    heap = BoundedTopK(k)
+    deduped: dict[int, float] = {}
+    # The heap assumes each item is offered once; dedup keeping the last.
+    for score, item in entries:
+        deduped[item] = score
+    for item, score in deduped.items():
+        heap.push(score, item)
+    expected = sorted(
+        ((score, item) for item, score in deduped.items()),
+        key=lambda pair: (-pair[0], pair[1]),
+    )[:k]
+    actual = [(entry.score, entry.item) for entry in heap.results()]
+    assert actual == expected
+
+
+def test_large_random_stream():
+    rng = random.Random(7)
+    heap = BoundedTopK(25)
+    scores = {}
+    for item in range(5000):
+        score = rng.random()
+        scores[item] = score
+        heap.push(score, item)
+    expected = set(
+        item
+        for item, _ in sorted(scores.items(), key=lambda kv: (-kv[1], kv[0]))[:25]
+    )
+    assert heap.items() == expected

@@ -1,0 +1,154 @@
+"""Unit and property tests for sparse-vector arithmetic."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.sparse import (
+    add_scaled,
+    cosine,
+    dot,
+    from_pairs,
+    l2_normalize,
+    norm,
+    scale,
+    top_terms,
+)
+
+vectors = st.dictionaries(
+    st.text(alphabet="abcdefg", min_size=1, max_size=3),
+    st.floats(min_value=0.0, max_value=10.0, allow_nan=False),
+    max_size=8,
+)
+
+
+class TestDot:
+    def test_empty_vectors(self):
+        assert dot({}, {}) == 0.0
+        assert dot({"a": 1.0}, {}) == 0.0
+
+    def test_disjoint(self):
+        assert dot({"a": 1.0}, {"b": 2.0}) == 0.0
+
+    def test_overlap(self):
+        assert dot({"a": 2.0, "b": 1.0}, {"a": 3.0, "c": 5.0}) == 6.0
+
+    @given(vectors, vectors)
+    def test_commutative(self, a, b):
+        assert dot(a, b) == pytest.approx(dot(b, a))
+
+    @given(vectors)
+    def test_dot_self_is_norm_squared(self, a):
+        assert dot(a, a) == pytest.approx(norm(a) ** 2)
+
+
+class TestNormAndNormalize:
+    def test_norm_simple(self):
+        assert norm({"a": 3.0, "b": 4.0}) == pytest.approx(5.0)
+
+    def test_normalize_empty(self):
+        assert l2_normalize({}) == {}
+
+    def test_normalize_zero_vector(self):
+        assert l2_normalize({"a": 0.0}) == {}
+
+    @given(vectors)
+    def test_normalized_has_unit_norm_or_empty(self, a):
+        unit = l2_normalize(a)
+        if unit:
+            assert norm(unit) == pytest.approx(1.0)
+
+    @given(vectors)
+    def test_normalize_is_idempotent(self, a):
+        once = l2_normalize(a)
+        twice = l2_normalize(once)
+        for term in once:
+            assert once[term] == pytest.approx(twice[term])
+
+
+class TestCosine:
+    def test_identical_direction(self):
+        assert cosine({"a": 2.0}, {"a": 5.0}) == pytest.approx(1.0)
+
+    def test_orthogonal(self):
+        assert cosine({"a": 1.0}, {"b": 1.0}) == 0.0
+
+    def test_empty_is_zero(self):
+        assert cosine({}, {"a": 1.0}) == 0.0
+
+    @given(vectors, vectors)
+    def test_bounded(self, a, b):
+        value = cosine(a, b)
+        assert -1e-9 <= value <= 1.0 + 1e-9
+
+
+class TestAddScaled:
+    def test_accumulates(self):
+        acc = {"a": 1.0}
+        add_scaled(acc, {"a": 2.0, "b": 3.0}, 0.5)
+        assert acc == pytest.approx({"a": 2.0, "b": 1.5})
+
+    def test_returns_accumulator(self):
+        acc: dict[str, float] = {}
+        assert add_scaled(acc, {"a": 1.0}) is acc
+
+    def test_prunes_cancelled_entries(self):
+        acc = {"a": 1.0}
+        add_scaled(acc, {"a": 1.0}, -1.0)
+        assert "a" not in acc
+
+    def test_prune_below_threshold(self):
+        acc = {"a": 1.0}
+        add_scaled(acc, {"a": 0.999999}, -1.0, prune_below=1e-3)
+        assert "a" not in acc
+
+    @given(vectors, vectors)
+    def test_matches_manual_sum(self, a, b):
+        acc = dict(a)
+        add_scaled(acc, b, 2.0)
+        for term in set(a) | set(b):
+            expected = a.get(term, 0.0) + 2.0 * b.get(term, 0.0)
+            if expected != 0.0:
+                assert acc.get(term, 0.0) == pytest.approx(expected)
+
+
+class TestScaleAndTopTerms:
+    def test_scale(self):
+        assert scale({"a": 2.0}, 1.5) == {"a": 3.0}
+
+    def test_scale_does_not_mutate(self):
+        original = {"a": 2.0}
+        scale(original, 3.0)
+        assert original == {"a": 2.0}
+
+    def test_top_terms_order_and_tiebreak(self):
+        vec = {"b": 1.0, "a": 1.0, "c": 2.0}
+        assert top_terms(vec, 2) == [("c", 2.0), ("a", 1.0)]
+
+    def test_top_terms_zero_limit(self):
+        assert top_terms({"a": 1.0}, 0) == []
+
+    def test_from_pairs_sums_duplicates(self):
+        assert from_pairs([("a", 1.0), ("a", 2.0), ("b", 1.0)]) == {
+            "a": 3.0,
+            "b": 1.0,
+        }
+
+
+class TestDotAsymmetricSizes:
+    def test_iterates_smaller_side(self):
+        big = {f"t{i}": 1.0 for i in range(100)}
+        small = {"t5": 2.0}
+        assert dot(small, big) == 2.0
+        assert dot(big, small) == 2.0
+
+    def test_norm_empty(self):
+        assert norm({}) == 0.0
+
+    def test_norm_is_math_sqrt(self):
+        vec = {"a": 1.0, "b": 2.0, "c": 2.0}
+        assert norm(vec) == pytest.approx(math.sqrt(9.0))

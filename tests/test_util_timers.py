@@ -1,0 +1,99 @@
+"""Tests for timers, latency percentiles and throughput metering."""
+
+from __future__ import annotations
+
+import time
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.util.timers import LatencyRecorder, ThroughputMeter, Timer
+
+
+class TestTimer:
+    def test_measures_elapsed(self):
+        with Timer() as timer:
+            time.sleep(0.01)
+        assert timer.elapsed >= 0.009
+
+    def test_elapsed_zero_before_use(self):
+        assert Timer().elapsed == 0.0
+
+
+class TestLatencyRecorder:
+    def test_rejects_negative(self):
+        with pytest.raises(ConfigError):
+            LatencyRecorder().record(-1.0)
+
+    def test_mean(self):
+        recorder = LatencyRecorder()
+        for value in (1.0, 2.0, 3.0):
+            recorder.record(value)
+        assert recorder.mean() == pytest.approx(2.0)
+
+    def test_mean_empty(self):
+        assert LatencyRecorder().mean() == 0.0
+
+    def test_percentile_empty(self):
+        assert LatencyRecorder().percentile(99.0) == 0.0
+
+    def test_percentile_bounds(self):
+        recorder = LatencyRecorder()
+        recorder.record(1.0)
+        with pytest.raises(ConfigError):
+            recorder.percentile(0.0)
+        with pytest.raises(ConfigError):
+            recorder.percentile(101.0)
+
+    def test_nearest_rank_percentiles(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):  # 1..100
+            recorder.record(float(value))
+        assert recorder.p50() == 50.0
+        assert recorder.p99() == 99.0
+        assert recorder.percentile(100.0) == 100.0
+        assert recorder.percentile(1.0) == 1.0
+
+    def test_single_sample(self):
+        recorder = LatencyRecorder()
+        recorder.record(5.0)
+        assert recorder.p50() == 5.0
+        assert recorder.p99() == 5.0
+
+    def test_merge(self):
+        first = LatencyRecorder()
+        first.record(1.0)
+        second = LatencyRecorder()
+        second.record(3.0)
+        first.merge(second)
+        assert first.count == 2
+        assert first.mean() == pytest.approx(2.0)
+
+
+class TestThroughputMeter:
+    def test_tick_before_start_raises(self):
+        with pytest.raises(ConfigError):
+            ThroughputMeter().tick()
+
+    def test_stop_before_start_raises(self):
+        with pytest.raises(ConfigError):
+            ThroughputMeter().stop()
+
+    def test_counts_events(self):
+        meter = ThroughputMeter()
+        meter.start()
+        meter.tick(5)
+        meter.tick()
+        meter.stop()
+        assert meter.count == 6
+        assert meter.events_per_second() > 0.0
+
+    def test_zero_before_start(self):
+        assert ThroughputMeter().events_per_second() == 0.0
+
+    def test_restart_resets(self):
+        meter = ThroughputMeter()
+        meter.start()
+        meter.tick(3)
+        meter.start()
+        assert meter.count == 0

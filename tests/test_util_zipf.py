@@ -1,0 +1,80 @@
+"""Tests for the Zipf sampler."""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.util.zipf import ZipfSampler
+
+
+class TestValidation:
+    def test_size_must_be_positive(self):
+        with pytest.raises(ConfigError):
+            ZipfSampler(0)
+
+    def test_exponent_must_be_non_negative(self):
+        with pytest.raises(ConfigError):
+            ZipfSampler(10, -0.5)
+
+    def test_probability_index_bounds(self):
+        sampler = ZipfSampler(5)
+        with pytest.raises(ConfigError):
+            sampler.probability(5)
+        with pytest.raises(ConfigError):
+            sampler.probability(-1)
+
+    def test_negative_count_rejected(self):
+        with pytest.raises(ConfigError):
+            ZipfSampler(5).sample_many(random.Random(0), -1)
+
+
+class TestDistribution:
+    def test_probabilities_sum_to_one(self):
+        sampler = ZipfSampler(50, 1.2)
+        total = sum(sampler.probability(index) for index in range(50))
+        assert total == pytest.approx(1.0)
+
+    def test_probabilities_are_decreasing(self):
+        sampler = ZipfSampler(20, 1.0)
+        probabilities = [sampler.probability(index) for index in range(20)]
+        assert probabilities == sorted(probabilities, reverse=True)
+
+    def test_exponent_zero_is_uniform(self):
+        sampler = ZipfSampler(4, 0.0)
+        for index in range(4):
+            assert sampler.probability(index) == pytest.approx(0.25)
+
+    def test_samples_in_range(self):
+        sampler = ZipfSampler(10, 1.0)
+        rng = random.Random(1)
+        for _ in range(500):
+            assert 0 <= sampler.sample(rng) < 10
+
+    def test_head_is_heavier_than_tail(self):
+        sampler = ZipfSampler(100, 1.0)
+        rng = random.Random(2)
+        counts = Counter(sampler.sample_many(rng, 5000))
+        assert counts[0] > counts.get(99, 0)
+
+    def test_deterministic_given_seed(self):
+        sampler = ZipfSampler(30, 0.8)
+        first = sampler.sample_many(random.Random(9), 50)
+        second = sampler.sample_many(random.Random(9), 50)
+        assert first == second
+
+
+@given(
+    st.integers(min_value=1, max_value=200),
+    st.floats(min_value=0.0, max_value=3.0, allow_nan=False),
+)
+def test_empirical_support_matches_size(size, exponent):
+    sampler = ZipfSampler(size, exponent)
+    rng = random.Random(3)
+    draws = sampler.sample_many(rng, 100)
+    assert all(0 <= draw < size for draw in draws)
