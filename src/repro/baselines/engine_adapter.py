@@ -9,6 +9,7 @@ from repro.core.candidates import CandidateSet, SharedCandidateGenerator
 from repro.core.config import EngineConfig
 from repro.core.rerank import Personalizer
 from repro.core.scoring import ScoringModel
+from repro.core.services import EngineServices
 from repro.index.inverted import AdInvertedIndex
 from repro.util.sparse import SparseVector
 
@@ -26,8 +27,15 @@ class SystemRecommender(SlateRecommender):
         self._candidate_gen = SharedCandidateGenerator(
             self._index, self._config.overfetch
         )
+        # A ranking-only services slice: no graph, budgets or clock — the
+        # baseline harness owns profile/location state itself.
         self._personalizer = Personalizer(
-            self._scoring, self._index, config=self._config
+            EngineServices(
+                config=self._config,
+                corpus=state.corpus,
+                index=self._index,
+                scoring=self._scoring,
+            )
         )
         self._cached_msg: int | None = None
         self._cached_candidates: CandidateSet | None = None

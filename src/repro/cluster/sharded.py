@@ -22,8 +22,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from collections.abc import Iterable
+
 from repro.core.config import EngineConfig
 from repro.core.engine import AdEngine, PostResult
+from repro.core.pipeline import PostEvent
 from repro.datagen.workload import Workload
 from repro.errors import ConfigError
 from repro.geo.point import GeoPoint
@@ -96,6 +99,7 @@ class ShardedEngine:
             self._shards.append(engine)
         self._posts_routed = 0
         self._shard_touches = 0
+        self._next_msg_id = 0
 
     def shard_of(self, user_id: int) -> int:
         shard = self._shard_of.get(user_id)
@@ -106,24 +110,57 @@ class ShardedEngine:
 
     # -- the routed operations ---------------------------------------------
 
-    def post(self, author_id: int, text: str, timestamp: float) -> list[PostResult]:
-        """Route one post to every shard owning a follower.
-
-        The author's own profile lives on their shard, which is contacted
-        even with no followers there (profiles must stay current).
-        """
+    def _route(self, author_id: int) -> list[int]:
+        """The shards one post touches: every follower's home shard, plus
+        the author's (their profile lives there and must stay current)."""
         followers = self._workload.graph.followers(author_id)
         touched: set[int] = {self.shard_of(author_id)}
         touched.update(self.shard_of(follower) for follower in followers)
+        return sorted(touched)
+
+    def _event_for(self, author_id: int, text: str, timestamp: float) -> PostEvent:
+        """Vectorize once at the router; every touched shard reuses the
+        event (shards share the workload's fitted vectorizer, so the
+        router-side vector is exactly what each shard would compute)."""
+        msg_id = self._next_msg_id
+        self._next_msg_id += 1
+        return self._shards[0].make_event(
+            author_id, text, timestamp, msg_id=msg_id
+        )
+
+    def post(self, author_id: int, text: str, timestamp: float) -> list[PostResult]:
+        """Route one post to every shard owning a follower."""
+        event = self._event_for(author_id, text, timestamp)
+        touched = self._route(author_id)
         self._posts_routed += 1
         self._shard_touches += len(touched)
-        results = []
-        for shard in sorted(touched):
-            results.append(
-                self._shards[shard].post(
-                    author_id, text, timestamp, msg_id=None
-                )
-            )
+        return [self._shards[shard].post_event(event) for shard in touched]
+
+    def post_batch(self, posts: Iterable) -> list[list[PostResult]]:
+        """Route a timestamp-ordered batch of posts (objects with
+        ``author_id``/``text``/``timestamp``), grouped per shard.
+
+        Each post is vectorized once and routed; each touched shard then
+        consumes its events in arrival order through its own pipeline —
+        the per-shard batch entry point, one router pass per batch instead
+        of one per post.
+        """
+        routed: list[tuple[PostEvent, list[int]]] = []
+        by_shard: dict[int, list[int]] = {}
+        for position, post in enumerate(posts):
+            event = self._event_for(post.author_id, post.text, post.timestamp)
+            touched = self._route(post.author_id)
+            self._posts_routed += 1
+            self._shard_touches += len(touched)
+            routed.append((event, touched))
+            for shard in touched:
+                by_shard.setdefault(shard, []).append(position)
+
+        results: list[list[PostResult]] = [[] for _ in routed]
+        for shard, positions in sorted(by_shard.items()):
+            engine = self._shards[shard]
+            for position in positions:
+                results[position].append(engine.post_event(routed[position][0]))
         return results
 
     def checkin(self, user_id: int, point: GeoPoint, timestamp: float) -> None:

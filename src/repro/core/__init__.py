@@ -6,31 +6,55 @@
   certify-or-fallback exactness guarantee;
 * :mod:`repro.core.incremental` — standing per-user top-k maintained
   incrementally as the feed window slides;
-* :mod:`repro.core.engine` — the full pipeline;
+* :mod:`repro.core.services` — the shared :class:`EngineServices` context
+  every stage draws from;
+* :mod:`repro.core.pipeline` — the staged delivery pipeline (vectorize →
+  candidates → personalize → charge → feedback) with batch fan-out;
+* :mod:`repro.core.engine` — the stream-facing engine facade;
 * :mod:`repro.core.recommender` — the public facade.
 """
 
 from repro.core.candidates import CandidateSet, SharedCandidateGenerator
 from repro.core.config import EngineConfig, EngineMode, ScoringWeights
-from repro.core.engine import AdEngine, DeliveryResult, EngineStats, PostResult
+from repro.core.engine import AdEngine, DeliveryResult, PostResult
 from repro.core.incremental import IncrementalTopK
+from repro.core.pipeline import (
+    CandidateStage,
+    ChargeStage,
+    DeliveryOutcome,
+    DeliveryPipeline,
+    FeedbackStage,
+    PersonalizeStage,
+    PostEvent,
+    VectorizeStage,
+)
 from repro.core.recommender import ContextAwareRecommender
 from repro.core.rerank import Personalizer
 from repro.core.scoring import ScoredAd, ScoringModel
+from repro.core.services import EngineServices, EngineStats
 
 __all__ = [
     "AdEngine",
     "CandidateSet",
+    "CandidateStage",
+    "ChargeStage",
     "ContextAwareRecommender",
+    "DeliveryOutcome",
+    "DeliveryPipeline",
     "DeliveryResult",
     "EngineConfig",
     "EngineMode",
+    "EngineServices",
     "EngineStats",
+    "FeedbackStage",
     "IncrementalTopK",
     "Personalizer",
+    "PersonalizeStage",
+    "PostEvent",
     "PostResult",
     "ScoredAd",
     "ScoringModel",
     "SharedCandidateGenerator",
     "ScoringWeights",
+    "VectorizeStage",
 ]

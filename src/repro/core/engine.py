@@ -1,44 +1,56 @@
-"""The context-aware advertising engine: post → fan-out → slates → charging.
+"""The context-aware advertising engine facade: post → pipeline → result.
 
-``AdEngine`` wires every substrate together and exposes the stream-facing
-operations: :meth:`post` (a user publishes a message; every follower's feed
-receives it and gets an ad slate), :meth:`checkin` (location update) and
-:meth:`slate_for_message` (one-off exact query, used by examples and the
-effectiveness harness).
+``AdEngine`` wires every substrate into one
+:class:`~repro.core.services.EngineServices`, builds the staged
+:class:`~repro.core.pipeline.DeliveryPipeline`, and exposes the
+stream-facing operations: :meth:`post` (a user publishes a message; every
+follower's feed receives it and gets an ad slate), :meth:`post_event`
+(the shard-portable variant consuming a pre-vectorized
+:class:`~repro.core.pipeline.PostEvent`), :meth:`post_batch`,
+:meth:`checkin` (location update) and :meth:`slate_for_message` (one-off
+exact query, used by examples and the effectiveness harness).
 
-Three modes (:class:`~repro.core.config.EngineMode`):
-
-* ``SHARED`` — one content probe per message, O(overfetch) personalisation
-  per delivery, certify-or-fallback exactness (the headline method);
-* ``INCREMENTAL`` — standing per-user top-k over the sliding feed window,
-  updated by the certify-or-refresh maintainer;
-* ``EXACT`` — one exact combined-query probe per delivery (the strong
-  baseline the paper-style evaluation compares against).
+Mode dispatch (:class:`~repro.core.config.EngineMode` — SHARED /
+INCREMENTAL / EXACT) lives entirely in the pipeline's
+``PersonalizeStage`` implementations, selected once at wiring time; the
+facade's delivery path is mode-free.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
+from typing import Iterable, Sequence
 
-from repro.ads.auction import run_gsp_auction
 from repro.ads.budget import BudgetManager
 from repro.ads.corpus import AdCorpus
 from repro.ads.ctr import CtrEstimator
 from repro.core.candidates import SharedCandidateGenerator
 from repro.core.config import EngineConfig, EngineMode
-from repro.core.incremental import IncrementalTopK
+from repro.core.pipeline import (
+    DeliveryOutcome,
+    DeliveryPipeline,
+    PostEvent,
+    TextVectorizeStage,
+)
 from repro.core.rerank import Personalizer
 from repro.core.scoring import ScoredAd, ScoringModel
-from repro.errors import ConfigError, UnknownUserError
+from repro.core.services import EngineServices, EngineStats, UserState, UserStateStore
+from repro.errors import ConfigError
 from repro.geo.point import GeoPoint
 from repro.graph.social import SocialGraph
 from repro.index.inverted import AdInvertedIndex
-from repro.profiles.context import FeedContext
 from repro.profiles.profile import ProfileStore
 from repro.stream.clock import SimClock
 from repro.text.tokenizer import Tokenizer
 from repro.text.vectorizer import TfidfVectorizer
 from repro.util.sparse import MutableSparseVector
+
+__all__ = [
+    "AdEngine",
+    "DeliveryResult",
+    "EngineStats",
+    "PostResult",
+]
 
 
 @dataclass(frozen=True, slots=True)
@@ -64,43 +76,8 @@ class PostResult:
     deliveries: tuple[DeliveryResult, ...]
 
 
-@dataclass
-class EngineStats:
-    """Cumulative engine counters (the F6/F7 instrumentation)."""
-
-    posts: int = 0
-    deliveries: int = 0
-    impressions: int = 0
-    revenue: float = 0.0
-    shared_probes: int = 0
-    certified_deliveries: int = 0
-    fallback_deliveries: int = 0
-    approximate_deliveries: int = 0
-    incremental_refreshes: int = 0
-    retired_ads: int = 0
-
-    def fallback_rate(self) -> float:
-        if self.deliveries == 0:
-            return 0.0
-        return self.fallback_deliveries / self.deliveries
-
-    def refresh_rate(self) -> float:
-        if self.deliveries == 0:
-            return 0.0
-        return self.incremental_refreshes / self.deliveries
-
-
-@dataclass
-class _UserState:
-    location: GeoPoint | None = None
-    context: FeedContext | None = None
-    incremental: IncrementalTopK | None = None
-    profile_vec_epoch: int = -1
-    profile_vec: MutableSparseVector = field(default_factory=dict)
-
-
 class AdEngine:
-    """The full context-aware ad recommendation pipeline."""
+    """The full context-aware ad recommendation pipeline, as a facade."""
 
     def __init__(
         self,
@@ -115,48 +92,59 @@ class AdEngine:
         """``text_vectorizer`` (optional ``str -> sparse vector``) replaces
         the default tokenize→TF-IDF pipeline — how the concept-enriched
         :class:`~repro.text.hybrid.HybridVectorizer` plugs in."""
-        self.config = config or EngineConfig()
-        self.corpus = corpus
-        self.graph = graph
+        config = config or EngineConfig()
         self.vectorizer = vectorizer
         self.tokenizer = tokenizer or Tokenizer()
-        self._text_vectorizer = text_vectorizer
-        self.budget = BudgetManager(
+        budget = BudgetManager(
             corpus,
             campaign_start=0.0,
-            campaign_end=self.config.campaign_duration_s,
-            pacing_enabled=self.config.pacing_enabled,
+            campaign_end=config.campaign_duration_s,
+            pacing_enabled=config.pacing_enabled,
         )
-        self.index = AdInvertedIndex.from_corpus(corpus, subscribe=True)
-        self.ctr = (
+        index = AdInvertedIndex.from_corpus(corpus, subscribe=True)
+        ctr = (
             CtrEstimator(
-                prior_ctr=self.config.ctr_prior,
-                prior_strength=self.config.ctr_prior_strength,
+                prior_ctr=config.ctr_prior,
+                prior_strength=config.ctr_prior_strength,
             )
-            if self.config.ctr_feedback
+            if config.ctr_feedback
             else None
         )
-        self.scoring = ScoringModel(
+        scoring = ScoringModel(
             corpus,
-            self.config.weights,
-            budget_manager=self.budget,
-            ctr_estimator=self.ctr,
+            config.weights,
+            budget_manager=budget,
+            ctr_estimator=ctr,
         )
-        self.profiles = ProfileStore(self.config.profile_half_life_s)
+        self.services = EngineServices(
+            config=config,
+            corpus=corpus,
+            index=index,
+            scoring=scoring,
+            graph=graph,
+            budget=budget,
+            profiles=ProfileStore(config.profile_half_life_s),
+            ctr=ctr,
+            clock=SimClock(),
+            users=UserStateStore(graph),
+        )
         probe_depth = (
-            self.config.overfetch
-            if self.config.mode is EngineMode.SHARED
-            else self.config.shadow_size
+            config.overfetch
+            if config.mode is EngineMode.SHARED
+            else config.shadow_size
         )
         self.candidate_gen = SharedCandidateGenerator(
-            self.index, probe_depth, searcher=self.config.searcher
+            index, probe_depth, searcher=config.searcher
         )
-        self.personalizer = Personalizer(
-            self.scoring, self.index, config=self.config
+        self.personalizer = Personalizer(self.services)
+        self.pipeline = DeliveryPipeline.for_services(
+            self.services,
+            vectorize=TextVectorizeStage(
+                self.vectorizer, self.tokenizer, custom=text_vectorizer
+            ),
+            candidate_generator=self.candidate_gen,
+            personalizer=self.personalizer,
         )
-        self.stats = EngineStats()
-        self._users: dict[int, _UserState] = {}
-        self._clock = SimClock()
         self._next_msg_id = 0
         # Ads launched after construction (checkpoints must replay them,
         # since a restore target is built from the base catalog only).
@@ -166,74 +154,91 @@ class AdEngine:
     def _count_retirement(self, _ad) -> None:
         self.stats.retired_ads += 1
 
+    # -- services delegation ------------------------------------------------
+
+    @property
+    def config(self) -> EngineConfig:
+        return self.services.config
+
+    @property
+    def corpus(self) -> AdCorpus:
+        return self.services.corpus
+
+    @property
+    def graph(self) -> SocialGraph:
+        return self.services.graph
+
+    @property
+    def index(self) -> AdInvertedIndex:
+        return self.services.index
+
+    @property
+    def budget(self) -> BudgetManager:
+        return self.services.budget
+
+    @property
+    def scoring(self) -> ScoringModel:
+        return self.services.scoring
+
+    @property
+    def profiles(self) -> ProfileStore:
+        return self.services.profiles
+
+    @property
+    def ctr(self) -> CtrEstimator | None:
+        return self.services.ctr
+
+    @property
+    def stats(self) -> EngineStats:
+        return self.services.stats
+
     # -- user management ---------------------------------------------------
 
     def register_user(self, user_id: int, location: GeoPoint | None = None) -> None:
         """Make a user known to the engine (and the graph, if absent)."""
         if not self.graph.has_user(user_id):
             self.graph.add_user(user_id)
-        state = self._users.setdefault(user_id, _UserState())
+        state = self.services.users.register(user_id)
         if location is not None:
             state.location = location
 
-    def _state(self, user_id: int) -> _UserState:
-        state = self._users.get(user_id)
-        if state is None:
-            if not self.graph.has_user(user_id):
-                raise UnknownUserError(user_id)
-            state = _UserState()
-            self._users[user_id] = state
-        return state
+    def _state(self, user_id: int) -> UserState:
+        return self.services.users.state(user_id)
 
     def checkin(self, user_id: int, point: GeoPoint, timestamp: float) -> None:
         """Record a location update."""
-        self._clock.advance_to(max(self._clock.now, timestamp))
+        self.services.clock.advance_to_at_least(timestamp)
         self._state(user_id).location = point
 
     def location_of(self, user_id: int) -> GeoPoint | None:
         return self._state(user_id).location
 
-    def _context_of(self, state: _UserState) -> FeedContext:
-        if state.context is None:
-            state.context = FeedContext(
-                window_size=self.config.window_size,
-                half_life_s=self.config.context_half_life_s,
-                max_age_s=self.config.context_max_age_s,
-            )
-        return state.context
-
-    def _incremental_of(self, user_id: int, state: _UserState) -> IncrementalTopK:
-        if state.incremental is None:
-            state.incremental = IncrementalTopK(
-                user_id=user_id,
-                context=self._context_of(state),
-                scoring=self.scoring,
-                index=self.index,
-                personalizer=self.personalizer,
-                k=self.config.k,
-                shadow_size=self.config.shadow_size,
-                exact_fallback=self.config.exact_fallback,
-                searcher=self.config.searcher,
-            )
-        return state.incremental
-
-    def _profile_vector(self, user_id: int, state: _UserState) -> MutableSparseVector:
-        """The user's normalised profile vector, cached by profile epoch."""
-        profile = self.profiles.get_or_create(user_id)
-        if state.profile_vec_epoch != profile.epoch:
-            state.profile_vec = profile.vector()
-            state.profile_vec_epoch = profile.epoch
-        return state.profile_vec
-
     # -- text -----------------------------------------------------------------
 
     def vectorize(self, text: str) -> MutableSparseVector:
         """Text → unit sparse vector (custom pipeline when configured)."""
-        if self._text_vectorizer is not None:
-            return self._text_vectorizer(text)
-        return self.vectorizer.transform(self.tokenizer.tokenize(text))
+        return self.pipeline.vectorize(text)
 
     # -- the stream-facing operations -------------------------------------------
+
+    def make_event(
+        self,
+        author_id: int,
+        text: str,
+        timestamp: float,
+        *,
+        msg_id: int | None = None,
+    ) -> PostEvent:
+        """Vectorize one post into a shard-portable :class:`PostEvent`."""
+        if msg_id is None:
+            msg_id = self._next_msg_id
+        return PostEvent(
+            msg_id=msg_id,
+            author_id=author_id,
+            timestamp=timestamp,
+            message_vec=self.pipeline.vectorize(text),
+            text=text,
+        )
 
     def post(
         self,
@@ -245,126 +250,82 @@ class AdEngine:
     ) -> PostResult:
         """Publish a message: update the author's profile, fan out to every
         follower, produce (and charge) an ad slate per delivery."""
-        self._clock.advance_to(max(self._clock.now, timestamp))
-        if msg_id is None:
-            msg_id = self._next_msg_id
-        self._next_msg_id = max(self._next_msg_id, msg_id + 1)
-        author_state = self._state(author_id)
-        message_vec = self.vectorize(text)
-        self.profiles.get_or_create(author_id).update(message_vec, timestamp)
-        author_state.profile_vec_epoch = -1  # invalidate cache
+        return self.post_event(
+            self.make_event(author_id, text, timestamp, msg_id=msg_id)
+        )
 
-        followers = sorted(self.graph.followers(author_id))
+    def post_event(self, event: PostEvent) -> PostResult:
+        """Publish a pre-vectorized event — the per-shard batch entry point
+        the router uses so a post is vectorized once, not once per shard."""
+        self._ingest(event)
+        followers = sorted(self.graph.followers(event.author_id))
+        outcomes = self.pipeline.deliver_batch(event, followers)
+        return self._assemble_result(event, followers, outcomes)
+
+    def post_batch(
+        self, posts: Iterable, *, results: bool = True
+    ) -> list[PostResult]:
+        """Publish a timestamp-ordered batch of posts (objects with
+        ``author_id``/``text``/``timestamp`` and optional ``msg_id``).
+
+        The harness-facing bulk entry point: one facade call per batch
+        instead of one per post.
+        """
+        collected: list[PostResult] = []
+        for post in posts:
+            result = self.post(
+                post.author_id,
+                post.text,
+                post.timestamp,
+                msg_id=getattr(post, "msg_id", None),
+            )
+            if results:
+                collected.append(result)
+        return collected
+
+    def _ingest(self, event: PostEvent) -> None:
+        """Stream bookkeeping for one event: clock, id watermark, author
+        profile update."""
+        self.services.clock.advance_to_at_least(event.timestamp)
+        self._next_msg_id = max(self._next_msg_id, event.msg_id + 1)
+        author_state = self._state(event.author_id)
+        self.profiles.get_or_create(event.author_id).update(
+            event.message_vec, event.timestamp
+        )
+        author_state.profile_vec_epoch = -1  # invalidate cache
         self.stats.posts += 1
 
-        mode = self.config.mode
-        if mode is EngineMode.EXACT:
-            candidates = None  # the per-delivery baseline never shares
-        else:
-            candidates = self.candidate_gen.generate(message_vec)
-            self.stats.shared_probes += 1
-
-        deliveries: list[DeliveryResult] = []
+    def _assemble_result(
+        self,
+        event: PostEvent,
+        followers: Sequence[int],
+        outcomes: Sequence[DeliveryOutcome],
+    ) -> PostResult:
         num_impressions = 0
         revenue = 0.0
-        for follower in followers:
-            state = self._state(follower)
-            profile_vec = self._profile_vector(follower, state)
-            if mode is EngineMode.SHARED:
-                profile = self.profiles.get_or_create(follower)
-                result = self.personalizer.slate_for(
-                    candidates,
-                    message_vec,
-                    follower,
-                    profile_vec,
-                    profile.epoch,
-                    state.location,
-                    timestamp,
-                    self.config.k,
-                )
-                slate, certified, fell_back = (
-                    result.slate,
-                    result.certified,
-                    result.fell_back,
-                )
-            elif mode is EngineMode.INCREMENTAL:
-                maintainer = self._incremental_of(follower, state)
-                profile = self.profiles.get_or_create(follower)
-                before = maintainer.stats.refreshes
-                slate = maintainer.on_arrival(
-                    msg_id,
-                    timestamp,
-                    message_vec,
-                    candidates,
-                    profile_vec,
-                    profile.epoch,
-                    state.location,
-                )
-                refreshed = maintainer.stats.refreshes > before
-                self.stats.incremental_refreshes += 1 if refreshed else 0
-                certified, fell_back = not refreshed, refreshed
-            else:  # EngineMode.EXACT
-                slate = self.personalizer.exact_slate(
-                    message_vec,
-                    profile_vec,
-                    state.location,
-                    timestamp,
-                    self.config.k,
-                )
-                certified, fell_back = True, True
-
-            self.stats.deliveries += 1
-            if certified and not fell_back:
-                self.stats.certified_deliveries += 1
-            if fell_back:
-                self.stats.fallback_deliveries += 1
-            if not certified and not fell_back:
-                self.stats.approximate_deliveries += 1
-
-            revenue += self._charge(slate, timestamp)
-            num_impressions += len(slate)
-            if self.ctr is not None:
-                for scored in slate:
-                    self.ctr.record_impression(scored.ad_id)
-            if self.config.collect_deliveries:
+        deliveries: list[DeliveryResult] = []
+        collect = self.config.collect_deliveries
+        for outcome in outcomes:
+            num_impressions += len(outcome.slate)
+            revenue += outcome.revenue
+            if collect:
                 deliveries.append(
                     DeliveryResult(
-                        user_id=follower,
-                        slate=slate,
-                        certified=certified,
-                        fell_back=fell_back,
+                        user_id=outcome.user_id,
+                        slate=outcome.slate,
+                        certified=outcome.certified,
+                        fell_back=outcome.fell_back,
                     )
                 )
-
-        self.stats.impressions += num_impressions
-        self.stats.revenue += revenue
         return PostResult(
-            msg_id=msg_id,
-            author_id=author_id,
-            timestamp=timestamp,
+            msg_id=event.msg_id,
+            author_id=event.author_id,
+            timestamp=event.timestamp,
             num_deliveries=len(followers),
             num_impressions=num_impressions,
             revenue=revenue,
             deliveries=tuple(deliveries),
         )
-
-    def _charge(self, slate: tuple[ScoredAd, ...], timestamp: float) -> float:
-        """GSP-price and debit one slate; returns the revenue collected."""
-        if not self.config.charge_impressions or not slate:
-            return 0.0
-        live = [
-            scored.ad_id
-            for scored in slate
-            if self.corpus.is_active(scored.ad_id)
-        ]
-        if not live:
-            return 0.0
-        outcome = run_gsp_auction(
-            self.corpus, live, reserve_price=self.config.reserve_price
-        )
-        for ad_id, price in zip(outcome.ad_ids, outcome.prices):
-            self.budget.charge(ad_id, price)
-        return outcome.revenue
 
     # -- campaign churn ------------------------------------------------------
 
@@ -376,14 +337,14 @@ class AdEngine:
         invalidated by the corpus add-epoch bump, so the new ad is eligible
         for the very next delivery.
         """
-        self._clock.advance_to(max(self._clock.now, timestamp))
+        self.services.clock.advance_to_at_least(timestamp)
         self.corpus.add(ad)
         self._launched_ads.append(ad)
 
     def end_campaign(self, ad_id: int, timestamp: float) -> None:
         """Deactivate a campaign before its budget runs out (idempotent:
         ending an already-retired campaign is a no-op)."""
-        self._clock.advance_to(max(self._clock.now, timestamp))
+        self.services.clock.advance_to_at_least(timestamp)
         if self.corpus.is_active(ad_id):
             self.corpus.retire(ad_id)
 
@@ -402,9 +363,10 @@ class AdEngine:
         """One-off exact slate for a (user, message) pair — a read-only query
         that does not touch profiles, contexts or budgets."""
         state = self._state(user_id)
+        _, profile_vec = self.services.profile_of(user_id, state)
         return self.personalizer.exact_slate(
             self.vectorize(text),
-            self._profile_vector(user_id, state),
+            profile_vec,
             state.location,
             timestamp,
             self.config.k,

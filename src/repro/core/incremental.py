@@ -34,11 +34,11 @@ from dataclasses import dataclass, field
 
 from repro.core.candidates import CandidateSet
 from repro.core.rerank import Personalizer
-from repro.core.scoring import ScoredAd, ScoringModel
+from repro.core.scoring import ScoredAd
+from repro.core.services import EngineServices
 from repro.errors import ConfigError
 from repro.geo.point import GeoPoint
 from repro.index.factory import make_searcher
-from repro.index.inverted import AdInvertedIndex
 from repro.profiles.context import FeedContext
 from repro.util.sparse import SparseVector, dot
 
@@ -55,20 +55,27 @@ class IncrementalStats:
 
 @dataclass
 class IncrementalTopK:
-    """One user's incrementally-maintained slate."""
+    """One user's incrementally-maintained slate.
+
+    All knobs (``k``, ``shadow_size``, ``exact_fallback``, ``searcher``)
+    and substrates (scoring, index) come from the shared
+    :class:`~repro.core.services.EngineServices`.
+    """
 
     user_id: int
     context: FeedContext
-    scoring: ScoringModel
-    index: AdInvertedIndex
+    services: EngineServices
     personalizer: Personalizer
-    k: int
-    shadow_size: int
-    exact_fallback: bool = True
-    searcher: str = "ta"
     stats: IncrementalStats = field(default_factory=IncrementalStats)
 
     def __post_init__(self) -> None:
+        config = self.services.config
+        self.scoring = self.services.scoring
+        self.index = self.services.index
+        self.k = config.k
+        self.shadow_size = config.shadow_size
+        self.exact_fallback = config.exact_fallback
+        self.searcher = config.searcher
         if self.shadow_size < self.k:
             raise ConfigError(
                 f"shadow_size ({self.shadow_size}) must be >= k ({self.k})"

@@ -1,0 +1,446 @@
+"""The staged delivery pipeline: post → vectorize → probe → fan-out.
+
+The engine's hot path is an explicit pipeline of five pluggable stages
+(cf. the ingest→embed→blend→observe decomposition production feed-ad
+systems use):
+
+* :class:`VectorizeStage` — text → unit sparse vector, once per message;
+* :class:`CandidateStage` — the per-message shared content probe (or
+  nothing, for the per-delivery EXACT baseline);
+* :class:`PersonalizeStage` — per-follower slate construction; the three
+  :class:`~repro.core.config.EngineMode`\\ s are three implementations
+  selected at wiring time, so the fan-out loop has no mode branches;
+* :class:`ChargeStage` — GSP pricing + budget debit per served slate;
+* :class:`FeedbackStage` — impression bookkeeping for the CTR estimator.
+
+:class:`DeliveryPipeline` wires the stages over one
+:class:`~repro.core.services.EngineServices` and exposes the batch entry
+point :meth:`DeliveryPipeline.deliver_batch`: one :class:`PostEvent` in,
+one :class:`DeliveryOutcome` per follower out, with the shared probe and
+the per-follower profile-vector/location lookups amortised across the
+whole fan-out. The sharded router and the stream simulator drive batches
+directly; :class:`~repro.core.engine.AdEngine` survives as a thin facade.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import NamedTuple, Protocol, runtime_checkable
+
+from repro.ads.auction import run_gsp_auction
+from repro.core.candidates import CandidateSet, SharedCandidateGenerator
+from repro.core.config import EngineMode
+from repro.core.incremental import IncrementalTopK
+from repro.core.rerank import Personalizer
+from repro.core.scoring import ScoredAd
+from repro.core.services import EngineServices, UserState
+from repro.errors import ConfigError
+from repro.profiles.profile import UserProfile
+from repro.text.tokenizer import Tokenizer
+from repro.text.vectorizer import TfidfVectorizer
+from repro.util.sparse import MutableSparseVector, SparseVector
+
+
+@dataclass(frozen=True, slots=True)
+class PostEvent:
+    """One published message, vectorized once, ready to fan out.
+
+    Events are shard-portable: the sharded router vectorizes a post once
+    and hands the same event to every shard owning a follower.
+    """
+
+    msg_id: int
+    author_id: int
+    timestamp: float
+    message_vec: SparseVector
+    text: str | None = None
+
+
+@dataclass(frozen=True, slots=True)
+class DeliveryOutcome:
+    """One follower's slate for one event, plus how it was produced."""
+
+    user_id: int
+    slate: tuple[ScoredAd, ...]
+    certified: bool
+    fell_back: bool
+    exact: bool
+    revenue: float
+
+
+class PersonalizedDelivery(NamedTuple):
+    """What a :class:`PersonalizeStage` reports back to the pipeline."""
+
+    slate: tuple[ScoredAd, ...]
+    certified: bool
+    fell_back: bool
+    exact: bool
+
+
+# -- stage protocols ---------------------------------------------------------
+
+
+@runtime_checkable
+class VectorizeStage(Protocol):
+    """Text → unit sparse vector."""
+
+    def vectorize(self, text: str) -> MutableSparseVector: ...
+
+
+@runtime_checkable
+class CandidateStage(Protocol):
+    """Per-message shared candidate generation (None = no sharing)."""
+
+    def candidates_for(self, event: PostEvent) -> CandidateSet | None: ...
+
+
+@runtime_checkable
+class PersonalizeStage(Protocol):
+    """Per-follower slate construction — mode dispatch lives here."""
+
+    def personalize(
+        self,
+        event: PostEvent,
+        candidates: CandidateSet | None,
+        user_id: int,
+        state: UserState,
+        profile: UserProfile,
+        profile_vec: SparseVector,
+    ) -> PersonalizedDelivery: ...
+
+
+@runtime_checkable
+class ChargeStage(Protocol):
+    """Price and debit one served slate; returns revenue collected."""
+
+    def charge(self, slate: tuple[ScoredAd, ...], timestamp: float) -> float: ...
+
+
+@runtime_checkable
+class FeedbackStage(Protocol):
+    """Observe one served slate (impression bookkeeping)."""
+
+    def observe_impressions(self, slate: tuple[ScoredAd, ...]) -> None: ...
+
+
+# -- concrete stages ---------------------------------------------------------
+
+
+class TextVectorizeStage:
+    """tokenize → TF-IDF, or a custom ``str -> sparse vector`` override
+    (how the concept-enriched hybrid vectorizer plugs in)."""
+
+    def __init__(
+        self,
+        vectorizer: TfidfVectorizer,
+        tokenizer: Tokenizer,
+        custom=None,
+    ) -> None:
+        self._vectorizer = vectorizer
+        self._tokenizer = tokenizer
+        self._custom = custom
+
+    def vectorize(self, text: str) -> MutableSparseVector:
+        if self._custom is not None:
+            return self._custom(text)
+        return self._vectorizer.transform(self._tokenizer.tokenize(text))
+
+
+class SharedProbeStage:
+    """One content probe per message, reused across the whole fan-out."""
+
+    def __init__(self, services: EngineServices, generator: SharedCandidateGenerator) -> None:
+        self._stats = services.stats
+        self._generator = generator
+
+    def candidates_for(self, event: PostEvent) -> CandidateSet:
+        self._stats.shared_probes += 1
+        return self._generator.generate(event.message_vec)
+
+
+class NoProbeStage:
+    """EXACT mode: the per-delivery baseline never shares candidates."""
+
+    def candidates_for(self, event: PostEvent) -> None:
+        return None
+
+
+class SharedPersonalizeStage:
+    """SHARED mode: union-score the three candidate sources, certify, and
+    fall back to one exact probe when certification fails."""
+
+    def __init__(self, services: EngineServices, personalizer: Personalizer) -> None:
+        self._config = services.config
+        self._personalizer = personalizer
+
+    def personalize(
+        self, event, candidates, user_id, state, profile, profile_vec
+    ) -> PersonalizedDelivery:
+        result = self._personalizer.slate_for(
+            candidates,
+            event.message_vec,
+            user_id,
+            profile_vec,
+            profile.epoch,
+            state.location,
+            event.timestamp,
+            self._config.k,
+        )
+        return PersonalizedDelivery(
+            result.slate, result.certified, result.fell_back, False
+        )
+
+
+class IncrementalPersonalizeStage:
+    """INCREMENTAL mode: fold the arrival into the user's standing top-k."""
+
+    def __init__(self, services: EngineServices, personalizer: Personalizer) -> None:
+        self._services = services
+        self._personalizer = personalizer
+
+    def _maintainer_of(self, user_id: int, state: UserState) -> IncrementalTopK:
+        if state.incremental is None:
+            state.incremental = IncrementalTopK(
+                user_id=user_id,
+                context=self._services.context_of(state),
+                services=self._services,
+                personalizer=self._personalizer,
+            )
+        return state.incremental
+
+    def personalize(
+        self, event, candidates, user_id, state, profile, profile_vec
+    ) -> PersonalizedDelivery:
+        maintainer = self._maintainer_of(user_id, state)
+        before = maintainer.stats.refreshes
+        slate = maintainer.on_arrival(
+            event.msg_id,
+            event.timestamp,
+            event.message_vec,
+            candidates,
+            profile_vec,
+            profile.epoch,
+            state.location,
+        )
+        refreshed = maintainer.stats.refreshes > before
+        if refreshed:
+            self._services.stats.incremental_refreshes += 1
+        return PersonalizedDelivery(slate, not refreshed, refreshed, False)
+
+
+class ExactPersonalizeStage:
+    """EXACT mode: one exact combined-query probe per delivery (the strong
+    baseline). Deliveries count as ``exact``, never as fallbacks."""
+
+    def __init__(self, services: EngineServices, personalizer: Personalizer) -> None:
+        self._config = services.config
+        self._personalizer = personalizer
+
+    def personalize(
+        self, event, candidates, user_id, state, profile, profile_vec
+    ) -> PersonalizedDelivery:
+        slate = self._personalizer.exact_slate(
+            event.message_vec,
+            profile_vec,
+            state.location,
+            event.timestamp,
+            self._config.k,
+        )
+        return PersonalizedDelivery(slate, True, False, True)
+
+
+class GspChargeStage:
+    """GSP-price the live slate entries and debit their budgets."""
+
+    def __init__(self, services: EngineServices) -> None:
+        self._corpus = services.corpus
+        self._budget = services.budget
+        self._reserve_price = services.config.reserve_price
+
+    def charge(self, slate: tuple[ScoredAd, ...], timestamp: float) -> float:
+        if not slate:
+            return 0.0
+        corpus = self._corpus
+        live = [
+            scored.ad_id for scored in slate if corpus.is_active(scored.ad_id)
+        ]
+        if not live:
+            return 0.0
+        outcome = run_gsp_auction(
+            corpus, live, reserve_price=self._reserve_price
+        )
+        for ad_id, price in zip(outcome.ad_ids, outcome.prices):
+            self._budget.charge(ad_id, price)
+        return outcome.revenue
+
+
+class NoChargeStage:
+    """Charging disabled: impressions are free (effectiveness harnesses)."""
+
+    def charge(self, slate: tuple[ScoredAd, ...], timestamp: float) -> float:
+        return 0.0
+
+
+class CtrFeedbackStage:
+    """Record one impression per served slate entry."""
+
+    def __init__(self, services: EngineServices) -> None:
+        self._ctr = services.ctr
+
+    def observe_impressions(self, slate: tuple[ScoredAd, ...]) -> None:
+        record = self._ctr.record_impression
+        for scored in slate:
+            record(scored.ad_id)
+
+
+class NoFeedbackStage:
+    """Click feedback disabled: impressions leave no trace."""
+
+    def observe_impressions(self, slate: tuple[ScoredAd, ...]) -> None:
+        return None
+
+
+# -- stage selection ---------------------------------------------------------
+
+_PERSONALIZE_STAGES: dict[EngineMode, type] = {
+    EngineMode.SHARED: SharedPersonalizeStage,
+    EngineMode.INCREMENTAL: IncrementalPersonalizeStage,
+    EngineMode.EXACT: ExactPersonalizeStage,
+}
+
+
+def make_personalize_stage(
+    services: EngineServices, personalizer: Personalizer
+) -> PersonalizeStage:
+    """The mode's :class:`PersonalizeStage` — the only mode dispatch on the
+    delivery path, resolved once at wiring time."""
+    stage_cls = _PERSONALIZE_STAGES.get(services.config.mode)
+    if stage_cls is None:
+        raise ConfigError(f"unknown engine mode: {services.config.mode!r}")
+    return stage_cls(services, personalizer)
+
+
+def make_candidate_stage(
+    services: EngineServices, generator: SharedCandidateGenerator
+) -> CandidateStage:
+    if services.config.mode is EngineMode.EXACT:
+        return NoProbeStage()
+    return SharedProbeStage(services, generator)
+
+
+def make_charge_stage(services: EngineServices) -> ChargeStage:
+    if not services.config.charge_impressions:
+        return NoChargeStage()
+    return GspChargeStage(services)
+
+
+def make_feedback_stage(services: EngineServices) -> FeedbackStage:
+    if services.ctr is None:
+        return NoFeedbackStage()
+    return CtrFeedbackStage(services)
+
+
+# -- the pipeline ------------------------------------------------------------
+
+
+class DeliveryPipeline:
+    """Stages wired over one :class:`EngineServices`.
+
+    The pipeline owns delivery mechanics only; stream-facing concerns
+    (clock, message ids, author profile updates, result assembly) stay on
+    the :class:`~repro.core.engine.AdEngine` facade.
+    """
+
+    def __init__(
+        self,
+        services: EngineServices,
+        *,
+        vectorize: VectorizeStage,
+        candidates: CandidateStage,
+        personalize: PersonalizeStage,
+        charge: ChargeStage,
+        feedback: FeedbackStage,
+    ) -> None:
+        self.services = services
+        self.vectorize_stage = vectorize
+        self.candidate_stage = candidates
+        self.personalize_stage = personalize
+        self.charge_stage = charge
+        self.feedback_stage = feedback
+
+    @classmethod
+    def for_services(
+        cls,
+        services: EngineServices,
+        *,
+        vectorize: VectorizeStage,
+        candidate_generator: SharedCandidateGenerator,
+        personalizer: Personalizer,
+    ) -> "DeliveryPipeline":
+        """Default wiring: stages selected from ``services.config``."""
+        return cls(
+            services,
+            vectorize=vectorize,
+            candidates=make_candidate_stage(services, candidate_generator),
+            personalize=make_personalize_stage(services, personalizer),
+            charge=make_charge_stage(services),
+            feedback=make_feedback_stage(services),
+        )
+
+    def vectorize(self, text: str) -> MutableSparseVector:
+        return self.vectorize_stage.vectorize(text)
+
+    def deliver(self, event: PostEvent, follower: int) -> DeliveryOutcome:
+        """Single-follower convenience over :meth:`deliver_batch`."""
+        return self.deliver_batch(event, (follower,))[0]
+
+    def deliver_batch(
+        self, event: PostEvent, followers
+    ) -> list[DeliveryOutcome]:
+        """Fan one event out to ``followers``: one shared probe, then one
+        personalize → charge → feedback pass per follower.
+
+        The per-follower state, profile and profile-vector lookups are
+        done exactly once each here, so every stage receives them resolved
+        — the batch-amortisation point for profile and location access.
+        """
+        services = self.services
+        stats = services.stats
+        users = services.users
+        profile_of = services.profile_of
+        personalize = self.personalize_stage.personalize
+        charge = self.charge_stage.charge
+        observe = self.feedback_stage.observe_impressions
+
+        candidates = self.candidate_stage.candidates_for(event)
+        outcomes: list[DeliveryOutcome] = []
+        for follower in followers:
+            state = users.state(follower)
+            profile, profile_vec = profile_of(follower, state)
+            slate, certified, fell_back, exact = personalize(
+                event, candidates, follower, state, profile, profile_vec
+            )
+            stats.deliveries += 1
+            if exact:
+                stats.exact_deliveries += 1
+            if certified and not fell_back:
+                stats.certified_deliveries += 1
+            elif fell_back:
+                stats.fallback_deliveries += 1
+            elif not certified:
+                stats.approximate_deliveries += 1
+            revenue = charge(slate, event.timestamp)
+            observe(slate)
+            stats.impressions += len(slate)
+            stats.revenue += revenue
+            outcomes.append(
+                DeliveryOutcome(
+                    user_id=follower,
+                    slate=slate,
+                    certified=certified,
+                    fell_back=fell_back,
+                    exact=exact,
+                    revenue=revenue,
+                )
+            )
+        return outcomes

@@ -62,6 +62,10 @@ class ContextAwareRecommender:
         """Publish one message through the engine."""
         return self.engine.post(author_id, text, timestamp, msg_id=msg_id)
 
+    def post_batch(self, posts) -> list[PostResult]:
+        """Publish a timestamp-ordered batch of posts in one call."""
+        return self.engine.post_batch(posts)
+
     def checkin(self, user_id: int, point: GeoPoint, timestamp: float) -> None:
         self.engine.checkin(user_id, point, timestamp)
 
@@ -75,12 +79,20 @@ class ContextAwareRecommender:
 
     # -- batch driving -------------------------------------------------------
 
-    def run_stream(self, workload: "Workload", *, limit: int | None = None) -> StreamMetrics:
+    def run_stream(
+        self,
+        workload: "Workload",
+        *,
+        limit: int | None = None,
+        batch_size: int | None = None,
+    ) -> StreamMetrics:
         """Replay the workload's post stream (optionally truncated) through
         the engine and return stream-level metrics."""
         posts = workload.posts if limit is None else workload.posts[:limit]
         simulator = FeedSimulator(self.engine)
-        return simulator.run(posts, checkins=workload.checkins)
+        return simulator.run(
+            posts, checkins=workload.checkins, batch_size=batch_size
+        )
 
     def explain(self, scored: ScoredAd) -> str:
         """Human-readable one-liner for a slate entry."""

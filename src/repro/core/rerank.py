@@ -27,12 +27,11 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.candidates import CandidateSet
-from repro.core.config import EngineConfig
-from repro.core.scoring import ScoredAd, ScoringModel
+from repro.core.scoring import ScoredAd
+from repro.core.services import EngineServices
 from repro.core.static_list import GlobalStaticTopList
 from repro.geo.point import GeoPoint
 from repro.index.factory import make_searcher
-from repro.index.inverted import AdInvertedIndex
 from repro.util.sparse import SparseVector, dot
 
 
@@ -58,13 +57,10 @@ class _ProfileCandidates:
 class Personalizer:
     """Turns shared candidates into per-user slates."""
 
-    def __init__(
-        self,
-        scoring: ScoringModel,
-        index: AdInvertedIndex,
-        *,
-        config: EngineConfig,
-    ) -> None:
+    def __init__(self, services: EngineServices) -> None:
+        scoring = services.scoring
+        index = services.index
+        config = services.config
         self._scoring = scoring
         self._index = index
         self._config = config

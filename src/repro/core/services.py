@@ -1,0 +1,149 @@
+"""Shared engine services: the single context object behind the pipeline.
+
+Every delivery stage — vectorization, the shared probe, the three
+personalisation strategies, GSP charging, CTR feedback — used to reach for
+a loose bag of attributes threaded ad-hoc through ``AdEngine``
+(``corpus``/``index``/``budget``/``scoring``/``profiles``/``ctr``/clock).
+:class:`EngineServices` names that bag once so stages, the checkpoint
+layer and the facade all share one wiring point.
+
+Only ``config``/``corpus``/``index``/``scoring`` are mandatory: the
+ranking layer (:class:`~repro.core.rerank.Personalizer`,
+:class:`~repro.core.incremental.IncrementalTopK`) runs off those four,
+which is how the baseline adapter and the unit tests build partial stacks
+without a graph, budgets or a clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
+
+from repro.core.config import EngineConfig
+from repro.errors import UnknownUserError
+from repro.geo.point import GeoPoint
+from repro.profiles.context import FeedContext
+from repro.util.sparse import MutableSparseVector
+
+if TYPE_CHECKING:  # heavyweight imports only needed for annotations
+    from repro.ads.budget import BudgetManager
+    from repro.ads.corpus import AdCorpus
+    from repro.ads.ctr import CtrEstimator
+    from repro.core.incremental import IncrementalTopK
+    from repro.core.scoring import ScoringModel
+    from repro.graph.social import SocialGraph
+    from repro.index.inverted import AdInvertedIndex
+    from repro.profiles.profile import ProfileStore, UserProfile
+    from repro.stream.clock import SimClock
+
+
+@dataclass
+class EngineStats:
+    """Cumulative engine counters (the F6/F7 instrumentation)."""
+
+    posts: int = 0
+    deliveries: int = 0
+    impressions: int = 0
+    revenue: float = 0.0
+    shared_probes: int = 0
+    certified_deliveries: int = 0
+    fallback_deliveries: int = 0
+    approximate_deliveries: int = 0
+    exact_deliveries: int = 0
+    incremental_refreshes: int = 0
+    retired_ads: int = 0
+
+    def fallback_rate(self) -> float:
+        if self.deliveries == 0:
+            return 0.0
+        return self.fallback_deliveries / self.deliveries
+
+    def refresh_rate(self) -> float:
+        if self.deliveries == 0:
+            return 0.0
+        return self.incremental_refreshes / self.deliveries
+
+
+@dataclass
+class UserState:
+    """Everything the engine remembers about one user."""
+
+    location: GeoPoint | None = None
+    context: FeedContext | None = None
+    incremental: "IncrementalTopK | None" = None
+    profile_vec_epoch: int = -1
+    profile_vec: MutableSparseVector = field(default_factory=dict)
+
+
+class UserStateStore:
+    """Per-user mutable state, keyed by user id and guarded by the graph."""
+
+    def __init__(self, graph: "SocialGraph") -> None:
+        self._graph = graph
+        self._states: dict[int, UserState] = {}
+
+    def register(self, user_id: int) -> UserState:
+        """Create (or fetch) a state slot without a graph membership check."""
+        return self._states.setdefault(user_id, UserState())
+
+    def state(self, user_id: int) -> UserState:
+        """The user's state; unknown users (absent from the graph) raise."""
+        state = self._states.get(user_id)
+        if state is None:
+            if not self._graph.has_user(user_id):
+                raise UnknownUserError(user_id)
+            state = UserState()
+            self._states[user_id] = state
+        return state
+
+    def items(self):
+        return self._states.items()
+
+    def __len__(self) -> int:
+        return len(self._states)
+
+    def __contains__(self, user_id: int) -> bool:
+        return user_id in self._states
+
+
+@dataclass
+class EngineServices:
+    """The wired substrate every pipeline stage draws from."""
+
+    config: EngineConfig
+    corpus: "AdCorpus"
+    index: "AdInvertedIndex"
+    scoring: "ScoringModel"
+    graph: "SocialGraph | None" = None
+    budget: "BudgetManager | None" = None
+    profiles: "ProfileStore | None" = None
+    ctr: "CtrEstimator | None" = None
+    clock: "SimClock | None" = None
+    users: UserStateStore | None = None
+    stats: EngineStats = field(default_factory=EngineStats)
+
+    # -- per-user helpers ---------------------------------------------------
+
+    def context_of(self, state: UserState) -> FeedContext:
+        """The user's feed context, created lazily with the config knobs."""
+        if state.context is None:
+            state.context = FeedContext(
+                window_size=self.config.window_size,
+                half_life_s=self.config.context_half_life_s,
+                max_age_s=self.config.context_max_age_s,
+            )
+        return state.context
+
+    def profile_of(
+        self, user_id: int, state: UserState
+    ) -> "tuple[UserProfile, MutableSparseVector]":
+        """One lookup for (profile, normalised vector), epoch-cached.
+
+        The batch fan-out calls this once per follower per message; the
+        vector is rebuilt only when the profile's epoch moved.
+        """
+        profile = self.profiles.get_or_create(user_id)
+        if state.profile_vec_epoch != profile.epoch:
+            state.profile_vec = profile.vector()
+            state.profile_vec_epoch = profile.epoch
+        return profile, state.profile_vec

@@ -44,17 +44,21 @@ def run_perf(
     label: str,
     limit_posts: int | None = None,
     with_checkins: bool = False,
+    batch_size: int | None = None,
 ) -> PerfResult:
     """Build a fresh engine for ``config``, replay the stream, measure.
 
     Each call takes a fresh corpus so budget-driven retirements in one run
-    never leak into another.
+    never leak into another. ``batch_size`` drives the engine through its
+    batch entry point (latency is then per batch, not per post).
     """
     recommender = ContextAwareRecommender.from_workload(workload, config)
     posts = workload.posts if limit_posts is None else workload.posts[:limit_posts]
     simulator = FeedSimulator(recommender.engine)
     metrics = simulator.run(
-        posts, checkins=workload.checkins if with_checkins else ()
+        posts,
+        checkins=workload.checkins if with_checkins else (),
+        batch_size=batch_size,
     )
     stats = recommender.stats
     return PerfResult(

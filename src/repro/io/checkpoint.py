@@ -50,9 +50,16 @@ def _context_state(context: FeedContext) -> list[dict[str, Any]]:
 
 
 def save_checkpoint(path: Path | str, engine: AdEngine) -> None:
-    """Serialise the engine's mutable state to one JSON file."""
+    """Serialise the engine's mutable state to one JSON file.
+
+    All mutable state hangs off the engine's
+    :class:`~repro.core.services.EngineServices` (clock, user states,
+    profiles, budgets, CTR evidence); the facade itself only adds the
+    message-id counter and the launched-ad replay list.
+    """
+    services = engine.services
     users: dict[str, Any] = {}
-    for user_id, state in engine._users.items():
+    for user_id, state in services.users.items():
         record: dict[str, Any] = {}
         if state.location is not None:
             record["location"] = [state.location.lat, state.location.lon]
@@ -87,7 +94,7 @@ def save_checkpoint(path: Path | str, engine: AdEngine) -> None:
 
     payload = {
         "version": _FORMAT_VERSION,
-        "clock": engine._clock.now,
+        "clock": services.clock.now,
         "next_msg_id": engine._next_msg_id,
         "launched_ads": [ad_to_dict(ad) for ad in engine._launched_ads],
         "retired": sorted(
@@ -127,7 +134,8 @@ def load_checkpoint(path: Path | str, engine: AdEngine) -> None:
 
     from repro.io.serialize import ad_from_dict
 
-    engine._clock.advance_to(payload["clock"])
+    services = engine.services
+    services.clock.advance_to(payload["clock"])
     engine._next_msg_id = payload["next_msg_id"]
 
     for raw in payload.get("launched_ads", ()):
@@ -151,12 +159,12 @@ def load_checkpoint(path: Path | str, engine: AdEngine) -> None:
     for user_id_str, record in payload["users"].items():
         user_id = int(user_id_str)
         engine.register_user(user_id)
-        state = engine._state(user_id)
+        state = services.users.state(user_id)
         if "location" in record:
             lat, lon = record["location"]
             state.location = GeoPoint(lat, lon)
         if "context" in record:
-            context = engine._context_of(state)
+            context = services.context_of(state)
             for entry in record["context"]:
                 context.add(entry["msg_id"], entry["timestamp"], entry["vec"])
             context.expire(record["context_last_t"])

@@ -36,6 +36,12 @@ class SimClock:
             )
         self._now = timestamp
 
+    def advance_to_at_least(self, timestamp: float) -> None:
+        """Clamp-forward: advance to ``timestamp``, or stay put if the clock
+        is already past it (out-of-order events are tolerated, not rewound)."""
+        if timestamp > self._now:
+            self._now = timestamp
+
     def advance_by(self, seconds: float) -> None:
         if seconds < 0.0:
             raise StreamError(f"cannot advance by negative seconds: {seconds}")

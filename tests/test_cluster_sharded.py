@@ -82,6 +82,80 @@ class TestRouting:
                 assert sharded.shard_of(delivery.user_id) == shard
 
 
+class TestShardParity:
+    """Sharding is a routing concern only: any shard count must produce
+    the same slates and the same total revenue as one engine.
+
+    Pacing is disabled because the pacing multiplier depends on *observed*
+    per-manager spend, which legitimately differs between one global
+    budget manager and per-shard replicas.
+    """
+
+    @staticmethod
+    def _plain_engine(workload):
+        from repro.core.engine import AdEngine
+
+        engine = AdEngine(
+            corpus=workload.build_corpus(),
+            graph=workload.graph,
+            vectorizer=workload.vectorizer,
+            tokenizer=workload.tokenizer,
+            config=EngineConfig(pacing_enabled=False),
+        )
+        for user in workload.users:
+            engine.register_user(user.user_id, user.home)
+        return engine
+
+    @pytest.mark.parametrize("num_shards", [1, 4])
+    def test_slates_and_revenue_match_single_engine(
+        self, tiny_workload, num_shards
+    ):
+        sharded = ShardedEngine(
+            tiny_workload,
+            num_shards,
+            config=EngineConfig(pacing_enabled=False),
+        )
+        plain = self._plain_engine(tiny_workload)
+        for post in tiny_workload.posts[:30]:
+            shard_results = sharded.post(
+                post.author_id, post.text, post.timestamp
+            )
+            plain_result = plain.post(post.author_id, post.text, post.timestamp)
+            sharded_slates = {
+                delivery.user_id: [
+                    (scored.ad_id, pytest.approx(scored.score))
+                    for scored in delivery.slate
+                ]
+                for result in shard_results
+                for delivery in result.deliveries
+            }
+            plain_slates = {
+                delivery.user_id: [
+                    (scored.ad_id, scored.score) for scored in delivery.slate
+                ]
+                for delivery in plain_result.deliveries
+            }
+            assert sharded_slates == plain_slates
+            assert sum(
+                result.revenue for result in shard_results
+            ) == pytest.approx(plain_result.revenue)
+        total = sum(engine.stats.revenue for engine in sharded._shards)
+        assert total == pytest.approx(plain.stats.revenue)
+        assert total > 0.0
+
+    def test_post_batch_equals_post_sequence(self, tiny_workload):
+        batched = build(tiny_workload, 3)
+        sequential = build(tiny_workload, 3)
+        posts = tiny_workload.posts[:20]
+        batch_results = batched.post_batch(posts)
+        seq_results = [
+            sequential.post(post.author_id, post.text, post.timestamp)
+            for post in posts
+        ]
+        assert batch_results == seq_results
+        assert batched.amplification() == sequential.amplification()
+
+
 class TestScaleOutMetrics:
     def test_amplification_bounds(self, tiny_workload):
         sharded = build(tiny_workload, 4)

@@ -5,7 +5,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.config import EngineConfig, EngineMode, ScoringWeights
+from repro.core.config import EngineConfig, EngineMode
 from repro.core.engine import AdEngine
 from repro.core.recommender import ContextAwareRecommender
 from repro.errors import ConfigError, UnknownUserError

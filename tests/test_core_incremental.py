@@ -13,6 +13,7 @@ from repro.core.config import EngineConfig, EngineMode
 from repro.core.incremental import IncrementalTopK
 from repro.core.rerank import Personalizer
 from repro.core.scoring import ScoringModel
+from repro.core.services import EngineServices
 from repro.datagen.adgen import generate_ads
 from repro.datagen.topicspace import TopicSpace
 from repro.index.inverted import AdInvertedIndex
@@ -29,7 +30,10 @@ def build_maintainer(seed: int = 0, num_ads: int = 120, **config_kwargs):
     index = AdInvertedIndex.from_corpus(corpus)
     config = EngineConfig(mode=EngineMode.INCREMENTAL, **config_kwargs)
     scoring = ScoringModel(corpus, config.weights)
-    personalizer = Personalizer(scoring, index, config=config)
+    services = EngineServices(
+        config=config, corpus=corpus, index=index, scoring=scoring
+    )
+    personalizer = Personalizer(services)
     context = FeedContext(
         window_size=config.window_size,
         half_life_s=config.context_half_life_s,
@@ -37,12 +41,8 @@ def build_maintainer(seed: int = 0, num_ads: int = 120, **config_kwargs):
     maintainer = IncrementalTopK(
         user_id=0,
         context=context,
-        scoring=scoring,
-        index=index,
+        services=services,
         personalizer=personalizer,
-        k=config.k,
-        shadow_size=config.shadow_size,
-        exact_fallback=config.exact_fallback,
     )
     generator = SharedCandidateGenerator(index, config.shadow_size)
     return rng, space, corpus, config, scoring, maintainer, generator

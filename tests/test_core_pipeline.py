@@ -1,0 +1,185 @@
+"""Delivery-pipeline tests: golden parity with the pre-refactor engine,
+stage selection per mode, batch fan-out, and pluggable stages."""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.core.config import EngineConfig, EngineMode
+from repro.core.pipeline import (
+    ExactPersonalizeStage,
+    IncrementalPersonalizeStage,
+    NoChargeStage,
+    NoProbeStage,
+    SharedPersonalizeStage,
+    SharedProbeStage,
+)
+from repro.core.recommender import ContextAwareRecommender
+from repro.datagen.workload import WorkloadConfig, generate_workload
+
+GOLDEN_PATH = Path(__file__).parent / "golden" / "engine_mode_slates.json"
+
+
+@pytest.fixture(scope="module")
+def golden_workload():
+    """The exact workload the golden file was captured on (pre-refactor
+    engine, see tests/golden/engine_mode_slates.json)."""
+    return generate_workload(
+        WorkloadConfig(
+            num_users=25,
+            num_ads=80,
+            num_posts=40,
+            num_topics=6,
+            vocab_size=800,
+            follows_per_user=4,
+            seed=7,
+        )
+    )
+
+
+class TestGoldenModeParity:
+    """Each EngineMode's PersonalizeStage must reproduce, delivery for
+    delivery, the slates the monolithic pre-refactor ``post()`` produced."""
+
+    @pytest.mark.parametrize("mode", list(EngineMode))
+    def test_mode_matches_golden(self, golden_workload, mode):
+        golden = json.loads(GOLDEN_PATH.read_text())[mode.value]
+        config = EngineConfig(mode=mode, charge_impressions=False)
+        rec = ContextAwareRecommender.from_workload(golden_workload, config)
+        for post, expected in zip(golden_workload.posts[:30], golden):
+            result = rec.post(
+                post.author_id, post.text, post.timestamp, msg_id=post.msg_id
+            )
+            assert result.msg_id == expected["msg_id"]
+            assert len(result.deliveries) == len(expected["deliveries"])
+            for delivery, want in zip(result.deliveries, expected["deliveries"]):
+                assert delivery.user_id == want["user_id"]
+                got = [
+                    [scored.ad_id, round(scored.score, 9)]
+                    for scored in delivery.slate
+                ]
+                assert got == want["slate"]
+
+
+class TestStageSelection:
+    def _engine(self, workload, **config_kwargs):
+        config = EngineConfig(**config_kwargs)
+        return ContextAwareRecommender.from_workload(workload, config).engine
+
+    def test_shared_mode_stages(self, tiny_workload):
+        engine = self._engine(tiny_workload, mode=EngineMode.SHARED)
+        assert isinstance(engine.pipeline.candidate_stage, SharedProbeStage)
+        assert isinstance(
+            engine.pipeline.personalize_stage, SharedPersonalizeStage
+        )
+
+    def test_incremental_mode_stages(self, tiny_workload):
+        engine = self._engine(tiny_workload, mode=EngineMode.INCREMENTAL)
+        assert isinstance(engine.pipeline.candidate_stage, SharedProbeStage)
+        assert isinstance(
+            engine.pipeline.personalize_stage, IncrementalPersonalizeStage
+        )
+
+    def test_exact_mode_stages(self, tiny_workload):
+        engine = self._engine(tiny_workload, mode=EngineMode.EXACT)
+        assert isinstance(engine.pipeline.candidate_stage, NoProbeStage)
+        assert isinstance(engine.pipeline.personalize_stage, ExactPersonalizeStage)
+
+    def test_charging_off_selects_null_stage(self, tiny_workload):
+        engine = self._engine(tiny_workload, charge_impressions=False)
+        assert isinstance(engine.pipeline.charge_stage, NoChargeStage)
+
+
+class TestExactModeStats:
+    """EXACT deliveries are exact probes, not fallbacks: the baseline's
+    fallback_rate must read 0, with a distinct exact_deliveries counter."""
+
+    def test_exact_deliveries_not_counted_as_fallbacks(self, tiny_workload):
+        config = EngineConfig(mode=EngineMode.EXACT, charge_impressions=False)
+        rec = ContextAwareRecommender.from_workload(tiny_workload, config)
+        for post in tiny_workload.posts[:15]:
+            rec.post(post.author_id, post.text, post.timestamp)
+        stats = rec.stats
+        assert stats.deliveries > 0
+        assert stats.fallback_deliveries == 0
+        assert stats.fallback_rate() == 0.0
+        assert stats.exact_deliveries == stats.deliveries
+        assert stats.certified_deliveries == stats.deliveries
+        assert (
+            stats.certified_deliveries
+            + stats.fallback_deliveries
+            + stats.approximate_deliveries
+            == stats.deliveries
+        )
+
+    def test_shared_mode_has_no_exact_deliveries(self, tiny_workload):
+        config = EngineConfig(mode=EngineMode.SHARED, charge_impressions=False)
+        rec = ContextAwareRecommender.from_workload(tiny_workload, config)
+        for post in tiny_workload.posts[:15]:
+            rec.post(post.author_id, post.text, post.timestamp)
+        assert rec.stats.exact_deliveries == 0
+
+
+class TestBatchFanout:
+    def test_deliver_batch_matches_single_deliveries(self, tiny_workload):
+        """deliver() is a batch of one: a batched fan-out must equal
+        delivering to the same followers one by one."""
+        config = EngineConfig(charge_impressions=False)
+        batched = ContextAwareRecommender.from_workload(tiny_workload, config)
+        single = ContextAwareRecommender.from_workload(tiny_workload, config)
+        for post in tiny_workload.posts[:10]:
+            event_b = batched.engine.make_event(
+                post.author_id, post.text, post.timestamp, msg_id=post.msg_id
+            )
+            batched.engine._ingest(event_b)
+            followers = sorted(
+                tiny_workload.graph.followers(post.author_id)
+            )
+            batch = batched.engine.pipeline.deliver_batch(event_b, followers)
+
+            event_s = single.engine.make_event(
+                post.author_id, post.text, post.timestamp, msg_id=post.msg_id
+            )
+            single.engine._ingest(event_s)
+            ones = [
+                single.engine.pipeline.deliver(event_s, follower)
+                for follower in followers
+            ]
+            assert batch == ones
+
+    def test_post_batch_equals_post_sequence(self, tiny_workload):
+        config = EngineConfig(charge_impressions=False)
+        batched = ContextAwareRecommender.from_workload(tiny_workload, config)
+        sequential = ContextAwareRecommender.from_workload(tiny_workload, config)
+        posts = tiny_workload.posts[:20]
+        batch_results = batched.post_batch(posts)
+        seq_results = [
+            sequential.post(
+                post.author_id, post.text, post.timestamp, msg_id=post.msg_id
+            )
+            for post in posts
+        ]
+        assert batch_results == seq_results
+        assert batched.stats == sequential.stats
+
+
+class TestPluggableStages:
+    def test_custom_feedback_stage_observes_every_slate(self, tiny_workload):
+        config = EngineConfig(charge_impressions=False)
+        rec = ContextAwareRecommender.from_workload(tiny_workload, config)
+        seen: list[int] = []
+
+        class RecordingFeedback:
+            def observe_impressions(self, slate):
+                seen.extend(scored.ad_id for scored in slate)
+
+        rec.engine.pipeline.feedback_stage = RecordingFeedback()
+        impressions = 0
+        for post in tiny_workload.posts[:10]:
+            impressions += rec.post(
+                post.author_id, post.text, post.timestamp
+            ).num_impressions
+        assert len(seen) == impressions > 0

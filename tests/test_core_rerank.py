@@ -8,9 +8,10 @@ import pytest
 
 from repro.ads.corpus import AdCorpus
 from repro.core.candidates import SharedCandidateGenerator
-from repro.core.config import EngineConfig, ScoringWeights
+from repro.core.config import EngineConfig
 from repro.core.rerank import Personalizer
 from repro.core.scoring import ScoringModel
+from repro.core.services import EngineServices
 from repro.datagen.adgen import generate_ads
 from repro.datagen.topicspace import TopicSpace
 from repro.index.inverted import AdInvertedIndex
@@ -25,7 +26,10 @@ def build_stack(num_ads: int = 150, seed: int = 0, **config_kwargs):
     index = AdInvertedIndex.from_corpus(corpus)
     config = EngineConfig(**config_kwargs)
     scoring = ScoringModel(corpus, config.weights)
-    personalizer = Personalizer(scoring, index, config=config)
+    services = EngineServices(
+        config=config, corpus=corpus, index=index, scoring=scoring
+    )
+    personalizer = Personalizer(services)
     generator = SharedCandidateGenerator(index, config.overfetch)
     return rng, space, corpus, index, config, scoring, personalizer, generator
 

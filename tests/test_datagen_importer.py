@@ -131,8 +131,6 @@ class TestGraph:
 class TestEngineIntegration:
     def test_imported_trace_drives_engine(self, trace_path):
         """An imported trace + generated ads = a running engine."""
-        import random
-
         from repro.ads.corpus import AdCorpus
         from repro.core.config import EngineConfig
         from repro.core.engine import AdEngine

@@ -11,7 +11,6 @@ from repro.baselines.popularity import PopularityRecommender
 from repro.baselines.random_rec import RandomRecommender
 from repro.core.config import EngineConfig, EngineMode
 from repro.core.recommender import ContextAwareRecommender
-from repro.datagen.workload import WorkloadConfig, generate_workload
 from repro.eval.harness import EffectivenessHarness
 from repro.eval.perf import run_perf
 from repro.stream.simulator import FeedSimulator

@@ -29,6 +29,20 @@ class TestSimClock:
         with pytest.raises(StreamError):
             clock.advance_to(9.0)
 
+    def test_advance_to_at_least_moves_forward(self):
+        clock = SimClock(5.0)
+        clock.advance_to_at_least(8.0)
+        assert clock.now == 8.0
+
+    def test_advance_to_at_least_clamps_stale_timestamps(self):
+        """The engine's out-of-order tolerance: a late event never rewinds
+        the clock (and never raises, unlike advance_to)."""
+        clock = SimClock(10.0)
+        clock.advance_to_at_least(7.0)
+        assert clock.now == 10.0
+        clock.advance_to_at_least(10.0)
+        assert clock.now == 10.0
+
     def test_advance_by(self):
         clock = SimClock(1.0)
         clock.advance_by(2.5)

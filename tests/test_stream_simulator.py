@@ -100,6 +100,62 @@ class TestSimulator:
         assert metrics.deliveries == 0
 
 
+class _BatchingHandler(_RecordingHandler):
+    """Records batch boundaries alongside individual events."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.batches: list[int] = []
+
+    def post_batch(self, posts):
+        self.batches.append(len(posts))
+        return [
+            self.post(p.author_id, p.text, p.timestamp, msg_id=p.msg_id)
+            for p in posts
+        ]
+
+
+class TestBatchedSimulator:
+    def _posts(self, n=5):
+        return [
+            Post(msg_id=i, author_id=i, text="x", timestamp=float(i))
+            for i in range(n)
+        ]
+
+    def test_batches_chunk_consecutive_posts(self):
+        handler = _BatchingHandler()
+        metrics = FeedSimulator(handler).run(self._posts(5), batch_size=2)
+        assert handler.batches == [2, 2, 1]
+        assert metrics.posts == 5
+        assert metrics.deliveries == 10
+
+    def test_checkin_flushes_pending_batch(self):
+        """A check-in is a barrier: posts before it must be delivered before
+        the location updates, exactly as in the unbatched replay."""
+        handler = _BatchingHandler()
+        checkin = Checkin(user_id=0, point=GeoPoint(0, 0), timestamp=2.5)
+        FeedSimulator(handler).run(
+            self._posts(5), checkins=[checkin], batch_size=4
+        )
+        assert handler.batches == [3, 2]
+        assert handler.events.index(("checkin", 2.5)) == 3
+
+    def test_batched_metrics_match_unbatched(self):
+        batched = FeedSimulator(_BatchingHandler()).run(
+            self._posts(7), batch_size=3
+        )
+        plain = FeedSimulator(_RecordingHandler()).run(self._posts(7))
+        assert batched.posts == plain.posts
+        assert batched.deliveries == plain.deliveries
+        assert batched.impressions == plain.impressions
+
+    def test_batch_size_ignored_without_post_batch(self):
+        handler = _RecordingHandler()
+        metrics = FeedSimulator(handler).run(self._posts(4), batch_size=2)
+        assert metrics.posts == 4
+        assert len(metrics.post_latency) == 4
+
+
 class TestStreamMetrics:
     def test_rates(self):
         metrics = StreamMetrics(posts=10, deliveries=100, wall_seconds=2.0)
