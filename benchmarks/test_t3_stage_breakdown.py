@@ -1,0 +1,74 @@
+"""T3 — per-stage latency breakdown of the delivery pipeline, per mode.
+
+The headline throughput/latency numbers (F3–F7) measure the pipeline end
+to end; this table shows *where* the time goes — vectorize, candidate
+probe, personalize fan-out, charge, feedback — for each engine mode, via
+the observability layer (``repro.obs``). Results land both as a monospace
+table and as a JSON-line file for downstream tooling.
+
+Expected shape: personalize dominates everywhere; the shared modes pay
+one candidate probe per post while EXACT pays nothing there and much more
+per delivery; charge/feedback are noise-level.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import RESULTS_DIR, save_table
+from helpers import engine_config_for
+from repro.eval.perf import run_perf
+from repro.obs import RecordingTracer, stage_table, write_stage_jsonl
+
+METHODS = ["car-shared", "car-incremental", "per-delivery-probe"]
+LIMIT = 120
+
+_tables: dict[str, str] = {}
+_snapshots: dict[str, dict] = {}
+
+
+@pytest.mark.parametrize("method", METHODS)
+def test_t3_stage_breakdown(benchmark, method, default_workload):
+    tracer = RecordingTracer()
+    config = engine_config_for(method)
+
+    result = benchmark.pedantic(
+        lambda: run_perf(
+            default_workload,
+            config,
+            label=method,
+            limit_posts=LIMIT,
+            tracer=tracer,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    stages = result.stages
+    # the traced run must reconcile span counts with the stream counters
+    assert stages["vectorize"].spans == result.posts
+    assert stages["candidate"].spans == result.posts
+    for per_delivery in ("personalize", "charge", "feedback", "delivery"):
+        assert stages[per_delivery].spans == result.deliveries
+    benchmark.extra_info["personalize_p99_ms"] = stages["personalize"].p99_ms
+
+    _tables[method] = stage_table(
+        stages, title=f"T3: per-stage latency — {method} ({LIMIT} posts)"
+    )
+    _snapshots[method] = stages
+
+    if len(_tables) == len(METHODS):
+        save_table(
+            "t3_stage_breakdown",
+            "\n\n".join(_tables[m] for m in METHODS),
+        )
+        jsonl = RESULTS_DIR / "t3_stage_breakdown.jsonl"
+        jsonl.unlink(missing_ok=True)
+        for m in METHODS:
+            write_stage_jsonl(_snapshots[m], jsonl, label=m)
+        # the fan-out stage dominates the candidate probe in every mode
+        for m in METHODS:
+            snap = _snapshots[m]
+            assert (
+                snap["personalize"].total_seconds >= snap["charge"].total_seconds
+            )

@@ -45,6 +45,7 @@ from repro.geo.point import GeoPoint
 from repro.graph.social import SocialGraph
 from repro.io.checkpoint import load_checkpoint, save_checkpoint
 from repro.io.serialize import load_workload, save_workload
+from repro.obs.tracer import NoopTracer, RecordingTracer
 from repro.stream.simulator import FeedSimulator
 
 __version__ = "1.0.0"
@@ -58,6 +59,8 @@ __all__ = [
     "CtrEstimator",
     "FeedAssembler",
     "ImportedTrace",
+    "NoopTracer",
+    "RecordingTracer",
     "ShardedEngine",
     "import_tweets",
     "load_checkpoint",

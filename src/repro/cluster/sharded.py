@@ -30,6 +30,7 @@ from repro.core.pipeline import PostEvent
 from repro.datagen.workload import Workload
 from repro.errors import ConfigError
 from repro.geo.point import GeoPoint
+from repro.obs.tracer import NoopTracer, StageStats, StageTracer
 
 
 def hash_shard(user_id: int, num_shards: int) -> int:
@@ -40,12 +41,15 @@ def hash_shard(user_id: int, num_shards: int) -> int:
 
 @dataclass(frozen=True, slots=True)
 class ShardStats:
-    """Per-shard load summary."""
+    """Per-shard load summary (``stages`` is empty unless the router was
+    built with a recording tracer — then it carries the shard's per-stage
+    latency roll-up)."""
 
     shard: int
     users: int
     deliveries: int
     probes: int
+    stages: tuple[StageStats, ...] = ()
 
 
 class ShardedEngine:
@@ -57,6 +61,7 @@ class ShardedEngine:
         num_shards: int,
         *,
         config: EngineConfig | None = None,
+        tracer: StageTracer | None = None,
     ) -> None:
         if num_shards < 1:
             raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
@@ -64,6 +69,10 @@ class ShardedEngine:
         self._workload = workload
         self._shard_of: dict[int, int] = {}
         config = config or EngineConfig()
+        # One child tracer per shard (spawned from the caller's tracer, so
+        # a NoopTracer stays a shared noop); roll-ups merge the children.
+        self._tracer = tracer or NoopTracer()
+        self._shard_tracers = [self._tracer.spawn() for _ in range(num_shards)]
 
         for user in workload.users:
             self._shard_of[user.user_id] = hash_shard(user.user_id, num_shards)
@@ -91,6 +100,7 @@ class ShardedEngine:
                 vectorizer=workload.vectorizer,
                 tokenizer=workload.tokenizer,
                 config=config,
+                tracer=self._shard_tracers[shard],
             )
             # Every shard knows every user's location (cheap broadcast
             # state); only the owning shard accumulates feed contexts.
@@ -169,6 +179,23 @@ class ShardedEngine:
 
     # -- reporting --------------------------------------------------------------
 
+    @property
+    def tracer(self) -> StageTracer:
+        """The cluster-wide tracer view: the caller's tracer with every
+        shard's spans merged in (router-side vectorization runs through
+        shard 0's pipeline, so its spans live on shard 0's child)."""
+        merged = self._tracer.spawn()
+        for shard_tracer in self._shard_tracers:
+            merged.merge(shard_tracer)
+        return merged
+
+    def stage_report(self) -> dict[str, StageStats]:
+        """Merged per-stage roll-up across all shards."""
+        return self.tracer.snapshot()
+
+    def stage_report_by_shard(self) -> list[dict[str, StageStats]]:
+        return [tracer.snapshot() for tracer in self._shard_tracers]
+
     def amplification(self) -> float:
         """Mean number of shards touched per post (1.0 = free scale-out)."""
         if self._posts_routed == 0:
@@ -185,15 +212,28 @@ class ShardedEngine:
                 users=owners.get(shard, 0),
                 deliveries=engine.stats.deliveries,
                 probes=engine.candidate_gen.probes,
+                stages=tuple(self._shard_tracers[shard].snapshot().values()),
             )
             for shard, engine in enumerate(self._shards)
         ]
 
-    def load_imbalance(self) -> float:
-        """max/mean delivery load across shards (1.0 = perfectly balanced)."""
-        deliveries = [engine.stats.deliveries for engine in self._shards]
-        total = sum(deliveries)
+    def load_imbalance(self, *, stage: str | None = None) -> float:
+        """max/mean load across shards (1.0 = perfectly balanced).
+
+        By default load is delivery *count*; with ``stage`` set (and a
+        recording tracer attached) it is busy *time* in that stage, which
+        exposes skew that equal delivery counts hide — e.g. a shard whose
+        residents have pathological fan-in spending longer per delivery.
+        """
+        if stage is None:
+            loads = [float(engine.stats.deliveries) for engine in self._shards]
+        else:
+            loads = [
+                report[stage].total_seconds if stage in report else 0.0
+                for report in self.stage_report_by_shard()
+            ]
+        total = sum(loads)
         if total == 0:
             return 1.0
-        mean = total / len(deliveries)
-        return max(deliveries) / mean
+        mean = total / len(loads)
+        return max(loads) / mean

@@ -39,6 +39,7 @@ from repro.errors import ConfigError
 from repro.geo.point import GeoPoint
 from repro.graph.social import SocialGraph
 from repro.index.inverted import AdInvertedIndex
+from repro.obs.tracer import NoopTracer, StageTracer
 from repro.profiles.profile import ProfileStore
 from repro.stream.clock import SimClock
 from repro.text.tokenizer import Tokenizer
@@ -61,6 +62,7 @@ class DeliveryResult:
     slate: tuple[ScoredAd, ...]
     certified: bool
     fell_back: bool
+    exact: bool = False
 
 
 @dataclass(frozen=True, slots=True)
@@ -88,10 +90,16 @@ class AdEngine:
         config: EngineConfig | None = None,
         tokenizer: Tokenizer | None = None,
         text_vectorizer=None,
+        tracer: StageTracer | None = None,
     ) -> None:
         """``text_vectorizer`` (optional ``str -> sparse vector``) replaces
         the default tokenize→TF-IDF pipeline — how the concept-enriched
-        :class:`~repro.text.hybrid.HybridVectorizer` plugs in."""
+        :class:`~repro.text.hybrid.HybridVectorizer` plugs in.
+
+        ``tracer`` (optional :class:`~repro.obs.tracer.StageTracer`)
+        receives one span per pipeline stage per event; the default
+        :class:`~repro.obs.tracer.NoopTracer` observes nothing.
+        """
         config = config or EngineConfig()
         self.vectorizer = vectorizer
         self.tokenizer = tokenizer or Tokenizer()
@@ -127,6 +135,7 @@ class AdEngine:
             ctr=ctr,
             clock=SimClock(),
             users=UserStateStore(graph),
+            tracer=tracer or NoopTracer(),
         )
         probe_depth = (
             config.overfetch
@@ -191,6 +200,10 @@ class AdEngine:
     @property
     def stats(self) -> EngineStats:
         return self.services.stats
+
+    @property
+    def tracer(self) -> StageTracer:
+        return self.services.tracer
 
     # -- user management ---------------------------------------------------
 
@@ -315,6 +328,7 @@ class AdEngine:
                         slate=outcome.slate,
                         certified=outcome.certified,
                         fell_back=outcome.fell_back,
+                        exact=outcome.exact,
                     )
                 )
         return PostResult(

@@ -25,6 +25,7 @@ directly; :class:`~repro.core.engine.AdEngine` survives as a thin facade.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
 from typing import NamedTuple, Protocol, runtime_checkable
 
 from repro.ads.auction import run_gsp_auction
@@ -388,7 +389,13 @@ class DeliveryPipeline:
         )
 
     def vectorize(self, text: str) -> MutableSparseVector:
-        return self.vectorize_stage.vectorize(text)
+        tracer = self.services.tracer
+        if not tracer.enabled:
+            return self.vectorize_stage.vectorize(text)
+        started = perf_counter()
+        vec = self.vectorize_stage.vectorize(text)
+        tracer.record("vectorize", perf_counter() - started)
+        return vec
 
     def deliver(self, event: PostEvent, follower: int) -> DeliveryOutcome:
         """Single-follower convenience over :meth:`deliver_batch`."""
@@ -403,6 +410,12 @@ class DeliveryPipeline:
         The per-follower state, profile and profile-vector lookups are
         done exactly once each here, so every stage receives them resolved
         — the batch-amortisation point for profile and location access.
+
+        Span emission: one ``candidate`` span per event, then one
+        ``personalize``/``charge``/``feedback`` span each plus one wrapping
+        ``delivery`` span per follower. All timing reads are gated on
+        ``tracer.enabled`` so the default :class:`~repro.obs.tracer.NoopTracer`
+        costs one boolean check per potential span.
         """
         services = self.services
         stats = services.stats
@@ -411,15 +424,27 @@ class DeliveryPipeline:
         personalize = self.personalize_stage.personalize
         charge = self.charge_stage.charge
         observe = self.feedback_stage.observe_impressions
+        tracer = services.tracer
+        tracing = tracer.enabled
 
+        if tracing:
+            span_started = perf_counter()
         candidates = self.candidate_stage.candidates_for(event)
+        if tracing:
+            tracer.record("candidate", perf_counter() - span_started)
         outcomes: list[DeliveryOutcome] = []
         for follower in followers:
+            if tracing:
+                delivery_started = perf_counter()
             state = users.state(follower)
             profile, profile_vec = profile_of(follower, state)
             slate, certified, fell_back, exact = personalize(
                 event, candidates, follower, state, profile, profile_vec
             )
+            if tracing:
+                now = perf_counter()
+                tracer.record("personalize", now - delivery_started)
+                span_started = now
             stats.deliveries += 1
             if exact:
                 stats.exact_deliveries += 1
@@ -430,7 +455,15 @@ class DeliveryPipeline:
             elif not certified:
                 stats.approximate_deliveries += 1
             revenue = charge(slate, event.timestamp)
+            if tracing:
+                now = perf_counter()
+                tracer.record("charge", now - span_started)
+                span_started = now
             observe(slate)
+            if tracing:
+                now = perf_counter()
+                tracer.record("feedback", now - span_started)
+                tracer.record("delivery", now - delivery_started)
             stats.impressions += len(slate)
             stats.revenue += revenue
             outcomes.append(

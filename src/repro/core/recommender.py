@@ -19,6 +19,7 @@ from repro.stream.simulator import FeedSimulator
 
 if TYPE_CHECKING:  # avoid an import cycle: datagen imports core types
     from repro.datagen.workload import Workload
+    from repro.obs.tracer import StageTracer
 
 
 class ContextAwareRecommender:
@@ -32,15 +33,19 @@ class ContextAwareRecommender:
         cls,
         workload: "Workload",
         config: EngineConfig | None = None,
+        *,
+        tracer: "StageTracer | None" = None,
     ) -> "ContextAwareRecommender":
         """Wire an engine over a generated workload's corpus, graph, users
-        and fitted vectorizer."""
+        and fitted vectorizer. ``tracer`` opts the engine into per-stage
+        observability (see :mod:`repro.obs`)."""
         engine = AdEngine(
             corpus=workload.corpus,
             graph=workload.graph,
             vectorizer=workload.vectorizer,
             config=config,
             tokenizer=workload.tokenizer,
+            tracer=tracer,
         )
         for user in workload.users:
             engine.register_user(user.user_id, user.home)
@@ -55,6 +60,10 @@ class ContextAwareRecommender:
     @property
     def stats(self) -> EngineStats:
         return self.engine.stats
+
+    @property
+    def tracer(self) -> "StageTracer":
+        return self.engine.tracer
 
     def post(
         self, author_id: int, text: str, timestamp: float, *, msg_id: int | None = None

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 from repro.core.config import EngineConfig
 from repro.errors import UnknownUserError
 from repro.geo.point import GeoPoint
+from repro.obs.tracer import NoopTracer, StageTracer
 from repro.profiles.context import FeedContext
 from repro.util.sparse import MutableSparseVector
 
@@ -121,6 +122,9 @@ class EngineServices:
     clock: "SimClock | None" = None
     users: UserStateStore | None = None
     stats: EngineStats = field(default_factory=EngineStats)
+    # Stage observability. NoopTracer by default: tracing must be opted
+    # into, and the un-traced hot path pays one attribute check per span.
+    tracer: StageTracer = field(default_factory=NoopTracer)
 
     # -- per-user helpers ---------------------------------------------------
 

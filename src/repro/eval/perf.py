@@ -3,12 +3,17 @@ report throughput, latency and engine instrumentation in one flat record."""
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.core.config import EngineConfig
 from repro.core.recommender import ContextAwareRecommender
 from repro.datagen.workload import Workload
+from repro.obs.export import stage_table
 from repro.stream.simulator import FeedSimulator
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import StageStats, StageTracer
 
 
 @dataclass(frozen=True, slots=True)
@@ -25,6 +30,9 @@ class PerfResult:
     fallback_rate: float
     refresh_rate: float
     impressions: int
+    # Per-stage breakdown; populated only when run_perf got a recording
+    # tracer, so untraced benchmark rows carry no observability weight.
+    stages: "dict[str, StageStats]" = field(default_factory=dict)
 
     def row(self) -> list[object]:
         return [
@@ -36,6 +44,12 @@ class PerfResult:
             self.fallback_rate,
         ]
 
+    def stage_breakdown(self) -> str:
+        """Per-stage latency table for this row (see benchmarks/results/)."""
+        return stage_table(
+            self.stages, title=f"per-stage latency — {self.label}"
+        )
+
 
 def run_perf(
     workload: Workload,
@@ -45,14 +59,19 @@ def run_perf(
     limit_posts: int | None = None,
     with_checkins: bool = False,
     batch_size: int | None = None,
+    tracer: "StageTracer | None" = None,
 ) -> PerfResult:
     """Build a fresh engine for ``config``, replay the stream, measure.
 
     Each call takes a fresh corpus so budget-driven retirements in one run
     never leak into another. ``batch_size`` drives the engine through its
     batch entry point (latency is then per batch, not per post).
+    ``tracer`` (a recording :class:`~repro.obs.tracer.StageTracer`) adds a
+    per-stage latency breakdown to the result.
     """
-    recommender = ContextAwareRecommender.from_workload(workload, config)
+    recommender = ContextAwareRecommender.from_workload(
+        workload, config, tracer=tracer
+    )
     posts = workload.posts if limit_posts is None else workload.posts[:limit_posts]
     simulator = FeedSimulator(recommender.engine)
     metrics = simulator.run(
@@ -72,4 +91,5 @@ def run_perf(
         fallback_rate=stats.fallback_rate(),
         refresh_rate=stats.refresh_rate(),
         impressions=metrics.impressions,
+        stages=metrics.stages,
     )

@@ -1,0 +1,34 @@
+"""Observability layer: stage tracers, quantile sketches, export sinks.
+
+See DESIGN.md § Observability for the span taxonomy and overhead budget.
+"""
+
+from repro.obs.export import (
+    read_stage_jsonl,
+    stage_rows,
+    stage_table,
+    tracer_table,
+    write_stage_jsonl,
+)
+from repro.obs.histogram import QuantileSketch
+from repro.obs.tracer import (
+    STAGES,
+    NoopTracer,
+    RecordingTracer,
+    StageStats,
+    StageTracer,
+)
+
+__all__ = [
+    "STAGES",
+    "NoopTracer",
+    "QuantileSketch",
+    "RecordingTracer",
+    "StageStats",
+    "StageTracer",
+    "read_stage_jsonl",
+    "stage_rows",
+    "stage_table",
+    "tracer_table",
+    "write_stage_jsonl",
+]

@@ -1,0 +1,82 @@
+"""Export sinks for stage traces: monospace tables and JSON lines.
+
+The benchmarks write both forms under ``benchmarks/results/``: the table
+for EXPERIMENTS.md-style inspection, the JSON-line file for downstream
+tooling (one object per stage per line, so files concatenate and stream).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import StageStats, StageTracer
+
+__all__ = ["stage_rows", "stage_table", "write_stage_jsonl", "read_stage_jsonl"]
+
+_HEADERS = ["stage", "spans", "mean (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max (ms)"]
+
+
+def stage_rows(snapshot: "dict[str, StageStats]") -> list[dict]:
+    """Flat JSON-ready dictionaries, one per stage, insertion-ordered."""
+    return [
+        {
+            "stage": stats.stage,
+            "spans": stats.spans,
+            "total_seconds": stats.total_seconds,
+            "mean_ms": stats.mean_ms,
+            "p50_ms": stats.p50_ms,
+            "p95_ms": stats.p95_ms,
+            "p99_ms": stats.p99_ms,
+            "max_ms": stats.max_ms,
+        }
+        for stats in snapshot.values()
+    ]
+
+
+def stage_table(
+    snapshot: "dict[str, StageStats]", *, title: str | None = None
+) -> str:
+    """Per-stage latency table (the acceptance artefact of a traced run)."""
+    # Imported lazily: repro.eval's package init pulls in the engine, which
+    # pulls in this package — a module-level import would be circular.
+    from repro.eval.report import ascii_table
+
+    rows = [stats.row() for stats in snapshot.values()]
+    if not rows:
+        rows = [["(no spans recorded)"] + [0] * (len(_HEADERS) - 1)]
+    return ascii_table(_HEADERS, rows, title=title)
+
+
+def write_stage_jsonl(
+    snapshot: "dict[str, StageStats]",
+    path: str | Path,
+    *,
+    label: str | None = None,
+) -> Path:
+    """Append one JSON line per stage to ``path`` (created if missing)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as sink:
+        for row in stage_rows(snapshot):
+            if label is not None:
+                row = {"label": label, **row}
+            sink.write(json.dumps(row, sort_keys=True) + "\n")
+    return path
+
+
+def read_stage_jsonl(path: str | Path) -> list[dict]:
+    """Parse a stage JSON-line file back into row dictionaries."""
+    rows: list[dict] = []
+    for line in Path(path).read_text(encoding="utf-8").splitlines():
+        line = line.strip()
+        if line:
+            rows.append(json.loads(line))
+    return rows
+
+
+def tracer_table(tracer: "StageTracer", *, title: str | None = None) -> str:
+    """Convenience: snapshot a tracer and render its stage table."""
+    return stage_table(tracer.snapshot(), title=title)

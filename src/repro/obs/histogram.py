@@ -1,0 +1,180 @@
+"""Streaming quantile sketch with bounded relative error.
+
+:class:`~repro.util.timers.LatencyRecorder` keeps every sample, which is
+fine for a few hundred thousand events but not for the millions of spans a
+traced large-scale run produces. :class:`QuantileSketch` is the scalable
+replacement on the observability path: a log-bucketed histogram in the
+DDSketch family. Values land in geometrically sized buckets
+``(γ^(i-1), γ^i]`` with ``γ = (1+α)/(1-α)``, so any reported quantile is
+within relative error ``α`` of the exact sample quantile, memory is
+``O(log(max/min) / α)`` regardless of stream length, and two sketches with
+the same ``α`` merge by adding bucket counts — which is how per-shard
+roll-ups combine into a cluster-wide view.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+
+__all__ = ["QuantileSketch"]
+
+
+class QuantileSketch:
+    """Mergeable streaming quantile estimator for non-negative values.
+
+    Quantiles follow the same nearest-rank convention as
+    :meth:`repro.util.timers.LatencyRecorder.percentile`, so sketch and
+    exact recorder are directly comparable in tests and reports.
+    """
+
+    __slots__ = (
+        "_alpha",
+        "_gamma",
+        "_log_gamma",
+        "_buckets",
+        "_zero_count",
+        "_count",
+        "_sum",
+        "_min",
+        "_max",
+    )
+
+    def __init__(self, relative_error: float = 0.01) -> None:
+        if not 0.0 < relative_error < 1.0:
+            raise ConfigError(
+                f"relative_error must be in (0, 1), got {relative_error}"
+            )
+        self._alpha = relative_error
+        self._gamma = (1.0 + relative_error) / (1.0 - relative_error)
+        self._log_gamma = math.log(self._gamma)
+        self._buckets: dict[int, int] = {}
+        self._zero_count = 0
+        self._count = 0
+        self._sum = 0.0
+        self._min = math.inf
+        self._max = 0.0
+
+    # -- recording ----------------------------------------------------------
+
+    def record(self, value: float) -> None:
+        if value < 0.0:
+            raise ConfigError(f"sketch values must be >= 0, got {value}")
+        self._count += 1
+        self._sum += value
+        if value < self._min:
+            self._min = value
+        if value > self._max:
+            self._max = value
+        if value == 0.0:
+            self._zero_count += 1
+            return
+        key = math.ceil(math.log(value) / self._log_gamma)
+        self._buckets[key] = self._buckets.get(key, 0) + 1
+
+    # -- introspection ------------------------------------------------------
+
+    @property
+    def relative_error(self) -> float:
+        return self._alpha
+
+    @property
+    def count(self) -> int:
+        return self._count
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def num_buckets(self) -> int:
+        """Live bucket count — the sketch's actual memory footprint."""
+        return len(self._buckets) + (1 if self._zero_count else 0)
+
+    def sum(self) -> float:
+        return self._sum
+
+    def mean(self) -> float:
+        if self._count == 0:
+            return 0.0
+        return self._sum / self._count
+
+    def min(self) -> float:
+        return 0.0 if self._count == 0 else self._min
+
+    def max(self) -> float:
+        return self._max
+
+    # -- quantiles ----------------------------------------------------------
+
+    def quantile(self, q: float) -> float:
+        """Nearest-rank q-th quantile estimate (0 < q <= 100)."""
+        if not 0.0 < q <= 100.0:
+            raise ConfigError(f"quantile must be in (0, 100], got {q}")
+        if self._count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q / 100.0 * self._count))
+        if rank <= self._zero_count:
+            return 0.0
+        seen = self._zero_count
+        for key in sorted(self._buckets):
+            seen += self._buckets[key]
+            if seen >= rank:
+                # Bucket midpoint (in log space): relative error <= alpha.
+                estimate = 2.0 * self._gamma**key / (self._gamma + 1.0)
+                return min(max(estimate, self._min), self._max)
+        return self._max
+
+    def p50(self) -> float:
+        return self.quantile(50.0)
+
+    def p95(self) -> float:
+        return self.quantile(95.0)
+
+    def p99(self) -> float:
+        return self.quantile(99.0)
+
+    # -- merge / serialisation ----------------------------------------------
+
+    def merge(self, other: "QuantileSketch") -> None:
+        """Fold another sketch into this one (same ``relative_error`` only:
+        bucket boundaries must line up for counts to be addable)."""
+        if other._alpha != self._alpha:
+            raise ConfigError(
+                "cannot merge sketches with different relative_error: "
+                f"{self._alpha} vs {other._alpha}"
+            )
+        for key, count in other._buckets.items():
+            self._buckets[key] = self._buckets.get(key, 0) + count
+        self._zero_count += other._zero_count
+        self._count += other._count
+        self._sum += other._sum
+        if other._count:
+            self._min = min(self._min, other._min)
+            self._max = max(self._max, other._max)
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable snapshot (the export sink's wire format)."""
+        return {
+            "relative_error": self._alpha,
+            "count": self._count,
+            "sum": self._sum,
+            "min": self.min(),
+            "max": self._max,
+            "zero_count": self._zero_count,
+            "buckets": {str(key): count for key, count in sorted(self._buckets.items())},
+        }
+
+    @classmethod
+    def from_dict(cls, payload: dict) -> "QuantileSketch":
+        sketch = cls(relative_error=payload["relative_error"])
+        sketch._count = int(payload["count"])
+        sketch._sum = float(payload["sum"])
+        sketch._zero_count = int(payload["zero_count"])
+        sketch._buckets = {
+            int(key): int(count) for key, count in payload["buckets"].items()
+        }
+        if sketch._count:
+            sketch._min = float(payload["min"])
+            sketch._max = float(payload["max"])
+        return sketch

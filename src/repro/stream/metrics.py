@@ -4,18 +4,26 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 
+from repro.obs.export import stage_table
+from repro.obs.tracer import StageStats
 from repro.util.timers import LatencyRecorder
 
 
 @dataclass
 class StreamMetrics:
-    """Counters and latency samples for one simulated run."""
+    """Counters and latency samples for one simulated run.
+
+    ``stages`` carries the per-stage latency breakdown when the driven
+    handler had a recording :class:`~repro.obs.tracer.StageTracer`
+    attached; it stays empty under the default noop tracer.
+    """
 
     posts: int = 0
     deliveries: int = 0
     impressions: int = 0
     wall_seconds: float = 0.0
     post_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
+    stages: dict[str, StageStats] = field(default_factory=dict)
 
     def deliveries_per_second(self) -> float:
         """Deliveries processed per wall-clock second (the headline number)."""
@@ -39,3 +47,17 @@ class StreamMetrics:
             "post_latency_p50_ms": self.post_latency.p50() * 1e3,
             "post_latency_p99_ms": self.post_latency.p99() * 1e3,
         }
+
+    def stage_summary(self) -> dict[str, float]:
+        """Flat per-stage columns (empty without a recording tracer)."""
+        flat: dict[str, float] = {}
+        for name, stats in self.stages.items():
+            flat[f"stage_{name}_spans"] = float(stats.spans)
+            flat[f"stage_{name}_p50_ms"] = stats.p50_ms
+            flat[f"stage_{name}_p95_ms"] = stats.p95_ms
+            flat[f"stage_{name}_p99_ms"] = stats.p99_ms
+        return flat
+
+    def stage_breakdown(self, *, title: str | None = None) -> str:
+        """The per-stage latency table for this run (see README)."""
+        return stage_table(self.stages, title=title)

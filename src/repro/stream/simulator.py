@@ -10,11 +10,14 @@ from __future__ import annotations
 
 import time
 from collections.abc import Iterable, Sequence
-from typing import Protocol, runtime_checkable
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.errors import StreamError
 from repro.stream.events import Checkin, Post
 from repro.stream.metrics import StreamMetrics
+
+if TYPE_CHECKING:
+    from repro.obs.tracer import StageTracer
 
 
 @runtime_checkable
@@ -37,10 +40,26 @@ class FeedSimulator:
     check-ins are grouped and handed over in one call — the batch entry
     point that amortises per-post dispatch; latency is then recorded per
     batch, not per post.
+
+    Observability: when the handler carries a recording
+    :class:`~repro.obs.tracer.StageTracer` (``AdEngine.tracer`` /
+    ``ShardedEngine.tracer`` — or pass one explicitly as ``tracer``),
+    :meth:`run` snapshots it into ``StreamMetrics.stages`` so every run
+    reports a per-stage latency breakdown next to its run-level counters.
+    The snapshot covers spans recorded since the tracer was attached;
+    drive one run per tracer for per-run numbers.
     """
 
-    def __init__(self, handler: PostHandler) -> None:
+    def __init__(
+        self, handler: PostHandler, *, tracer: "StageTracer | None" = None
+    ) -> None:
         self._handler = handler
+        self._tracer = tracer
+
+    def _resolve_tracer(self) -> "StageTracer | None":
+        if self._tracer is not None:
+            return self._tracer
+        return getattr(self._handler, "tracer", None)
 
     def run(
         self,
@@ -96,6 +115,9 @@ class FeedSimulator:
         if pending:
             self._flush_batch(pending, metrics, measure_latency)
         metrics.wall_seconds = time.perf_counter() - run_started
+        tracer = self._resolve_tracer()
+        if tracer is not None and tracer.enabled:
+            metrics.stages = tracer.snapshot()
         return metrics
 
     def _flush_batch(

@@ -1,0 +1,172 @@
+"""Smoke tests for the benchmark suite: every ``benchmarks/test_f*``
+scenario must import and run at miniature scale.
+
+The benchmark files live outside the tier-1 test run, so their code paths
+could rot silently (API drift in ``helpers``/``conftest``, renamed config
+knobs, broken report plumbing). Each scenario is loaded here with:
+
+* the workload fixtures/factory replaced by miniature workloads (tiny
+  corpus, few users, a dozen posts);
+* ``save_table`` replaced by an in-memory collector, so mini-scale numbers
+  never overwrite ``benchmarks/results/``;
+* a shim for the pytest-benchmark fixture that just calls the function;
+* one parametrization point per sweep — cross-sweep shape assertions are
+  deliberately left to the full benchmark run, but the whole measured code
+  path (engine build, replay, metric math) executes.
+
+The remaining benchmark modules (a*/b*/t*) are import-checked.
+"""
+
+from __future__ import annotations
+
+import functools
+import importlib.util
+import inspect
+import sys
+import time
+from pathlib import Path
+from types import SimpleNamespace
+
+import pytest
+
+from repro.datagen.workload import WorkloadConfig, generate_workload
+
+BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
+F_FILES = sorted(BENCH_DIR.glob("test_f*.py"))
+OTHER_FILES = sorted(
+    path for path in BENCH_DIR.glob("test_*.py") if path not in F_FILES
+)
+
+# Size knobs forced down to smoke scale; everything else passes through.
+_MINI_CAPS = {
+    "num_users": 24,
+    "num_ads": 120,
+    "num_posts": 16,
+    "num_topics": 6,
+    "vocab_size": 900,
+    "follows_per_user": 4,
+}
+_MINI_LIMIT = 12
+
+
+@functools.lru_cache(maxsize=32)
+def _mini_workload_cached(items: frozenset):
+    return generate_workload(WorkloadConfig(**dict(items)))
+
+
+def mini_workload(**overrides):
+    """A miniature stand-in for ``benchmarks.conftest.workload_with``."""
+    params = dict(_MINI_CAPS)
+    for key, value in overrides.items():
+        if key in _MINI_CAPS:
+            params[key] = min(value, _MINI_CAPS[key])
+        elif key != "seed":
+            params[key] = value
+    params["seed"] = overrides.get("seed", 21)
+    return _mini_workload_cached(frozenset(params.items()))
+
+
+class BenchmarkShim:
+    """Duck-types the pytest-benchmark fixture: runs the function once and
+    exposes a real elapsed time as ``benchmark.stats.stats.mean``."""
+
+    def __init__(self) -> None:
+        self.extra_info: dict = {}
+        self.stats = SimpleNamespace(stats=SimpleNamespace(mean=1e-9))
+
+    def _run(self, target, args, kwargs):
+        started = time.perf_counter()
+        result = target(*args, **(kwargs or {}))
+        self.stats.stats.mean = max(time.perf_counter() - started, 1e-9)
+        return result
+
+    def pedantic(self, target, args=(), kwargs=None, rounds=1, iterations=1):
+        return self._run(target, args, kwargs)
+
+    def __call__(self, target, *args, **kwargs):
+        return self._run(target, args, kwargs)
+
+
+def load_benchmark_module(path: Path):
+    """Import one benchmark file with the benchmarks dir importable (the
+    files do ``from conftest import ...`` / ``from helpers import ...``)."""
+    sys.path.insert(0, str(BENCH_DIR))
+    try:
+        name = f"_bench_smoke_{path.stem}"
+        spec = importlib.util.spec_from_file_location(name, path)
+        module = importlib.util.module_from_spec(spec)
+        sys.modules[name] = module
+        spec.loader.exec_module(module)
+        return module
+    finally:
+        sys.path.remove(str(BENCH_DIR))
+
+
+def miniaturise(module, saved: dict) -> None:
+    """Swap the module's scale-bearing knobs for smoke-scale stand-ins."""
+    if hasattr(module, "save_table"):
+        module.save_table = lambda name, text: saved.__setitem__(name, text)
+    if hasattr(module, "workload_with"):
+        module.workload_with = mini_workload
+    if hasattr(module, "LIMIT"):
+        module.LIMIT = min(module.LIMIT, _MINI_LIMIT)
+
+
+def first_parametrization(fn) -> dict:
+    """First value of every ``@pytest.mark.parametrize`` on ``fn``."""
+    point: dict = {}
+    for mark in getattr(fn, "pytestmark", []):
+        if mark.name != "parametrize":
+            continue
+        argnames, argvalues = mark.args[0], mark.args[1]
+        names = [name.strip() for name in argnames.split(",")]
+        first = argvalues[0]
+        if len(names) == 1:
+            point[names[0]] = first
+        else:
+            point.update(zip(names, first))
+    return point
+
+
+def scenario_functions(module):
+    return [
+        fn
+        for name, fn in vars(module).items()
+        if name.startswith("test_") and inspect.isfunction(fn)
+    ]
+
+
+@pytest.mark.parametrize("path", F_FILES, ids=[p.stem for p in F_FILES])
+def test_f_scenario_runs_at_mini_scale(path):
+    saved: dict = {}
+    module = load_benchmark_module(path)
+    miniaturise(module, saved)
+    functions = scenario_functions(module)
+    assert functions, f"{path.name} defines no test functions"
+    for fn in functions:
+        kwargs = first_parametrization(fn)
+        for name in inspect.signature(fn).parameters:
+            if name == "benchmark":
+                kwargs[name] = BenchmarkShim()
+            elif name in ("default_workload", "small_workload"):
+                kwargs[name] = mini_workload()
+            elif name not in kwargs:
+                pytest.fail(
+                    f"{path.name}::{fn.__name__} takes unknown fixture "
+                    f"{name!r} — teach the smoke driver about it"
+                )
+        fn(**kwargs)
+
+
+def test_f_files_cover_known_scenarios():
+    """The driver actually exercises the sweep suite (guards against the
+    glob silently matching nothing after a rename)."""
+    names = {path.stem for path in F_FILES}
+    assert {"test_f3_throughput_vs_ads", "test_f15_sharding"} <= names
+    assert len(names) >= 10
+
+
+@pytest.mark.parametrize("path", OTHER_FILES, ids=[p.stem for p in OTHER_FILES])
+def test_other_benchmarks_import_cleanly(path):
+    module = load_benchmark_module(path)
+    assert scenario_functions(module) or path.stem in ("conftest", "helpers")

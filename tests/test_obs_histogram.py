@@ -1,0 +1,167 @@
+"""QuantileSketch: sketch-vs-exact error bounds and merge correctness.
+
+The sketch promises every quantile within relative error ``alpha`` of the
+exact sample quantile (same nearest-rank convention as
+:class:`~repro.util.timers.LatencyRecorder`). The adversarial
+distributions here — constant, bimodal with a huge gap, heavy-tail Zipf —
+are the ones that break naive fixed-width histograms.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.histogram import QuantileSketch
+from repro.util.timers import LatencyRecorder
+
+QUANTILES = (10.0, 25.0, 50.0, 75.0, 90.0, 95.0, 99.0, 100.0)
+
+
+def fill(values, *, relative_error=0.01):
+    sketch = QuantileSketch(relative_error)
+    exact = LatencyRecorder()
+    for value in values:
+        sketch.record(value)
+        exact.record(value)
+    return sketch, exact
+
+
+def assert_within_bound(sketch: QuantileSketch, exact: LatencyRecorder) -> None:
+    alpha = sketch.relative_error
+    for q in QUANTILES:
+        want = exact.percentile(q)
+        got = sketch.quantile(q)
+        assert abs(got - want) <= alpha * want + 1e-12, (q, got, want)
+
+
+class TestErrorBounds:
+    def test_constant_distribution(self):
+        sketch, exact = fill([0.125] * 5000)
+        assert_within_bound(sketch, exact)
+        assert sketch.num_buckets == 1
+
+    def test_bimodal_distribution(self):
+        # Fast path ~50us, stalls ~2s: six orders of magnitude apart.
+        rng = random.Random(5)
+        values = [
+            rng.uniform(40e-6, 60e-6) if rng.random() < 0.95 else rng.uniform(1.5, 2.5)
+            for _ in range(20_000)
+        ]
+        sketch, exact = fill(values)
+        assert_within_bound(sketch, exact)
+
+    def test_heavy_tail_zipf(self):
+        rng = random.Random(11)
+        values = [1e-4 * rng.paretovariate(1.2) for _ in range(20_000)]
+        sketch, exact = fill(values)
+        assert_within_bound(sketch, exact)
+
+    def test_coarser_sketch_still_bounded(self):
+        rng = random.Random(3)
+        values = [rng.expovariate(10.0) for _ in range(5000)]
+        sketch, exact = fill(values, relative_error=0.05)
+        assert_within_bound(sketch, exact)
+
+    def test_zeros_and_min_max(self):
+        sketch, exact = fill([0.0, 0.0, 0.0, 1.0])
+        assert sketch.quantile(50.0) == 0.0
+        assert sketch.min() == 0.0
+        assert sketch.max() == 1.0
+        assert_within_bound(sketch, exact)
+
+    def test_memory_stays_bounded(self):
+        # A million-ish span stream must not grow storage linearly: the
+        # bucket count depends only on alpha and the dynamic range.
+        rng = random.Random(7)
+        sketch = QuantileSketch(0.01)
+        for _ in range(100_000):
+            sketch.record(1e-5 * rng.paretovariate(1.1))
+        assert sketch.count == 100_000
+        assert sketch.num_buckets < 2500
+
+
+class TestBasics:
+    def test_empty_sketch(self):
+        sketch = QuantileSketch()
+        assert sketch.count == 0
+        assert sketch.quantile(50.0) == 0.0
+        assert sketch.mean() == 0.0
+        assert sketch.min() == 0.0
+        assert sketch.max() == 0.0
+
+    def test_mean_and_sum_are_exact(self):
+        values = [0.1, 0.2, 0.3, 0.4]
+        sketch, _ = fill(values)
+        assert sketch.sum() == pytest.approx(1.0)
+        assert sketch.mean() == pytest.approx(0.25)
+
+    def test_rejects_negative_values(self):
+        with pytest.raises(ConfigError):
+            QuantileSketch().record(-1e-9)
+
+    def test_rejects_bad_relative_error(self):
+        for bad in (0.0, 1.0, -0.5, 2.0):
+            with pytest.raises(ConfigError):
+                QuantileSketch(bad)
+
+    def test_rejects_bad_quantile(self):
+        sketch = QuantileSketch()
+        for bad in (0.0, -5.0, 101.0):
+            with pytest.raises(ConfigError):
+                sketch.quantile(bad)
+
+
+class TestMerge:
+    """Per-shard roll-up correctness: merged sketch == sketch of the
+    concatenated stream, and the merged bound still holds."""
+
+    def test_merge_equals_concatenation(self):
+        rng = random.Random(13)
+        shard_streams = [
+            [rng.expovariate(100.0) for _ in range(4000)] for _ in range(4)
+        ]
+        merged = QuantileSketch(0.01)
+        for stream in shard_streams:
+            shard_sketch = QuantileSketch(0.01)
+            for value in stream:
+                shard_sketch.record(value)
+            merged.merge(shard_sketch)
+        flat, exact = fill([v for stream in shard_streams for v in stream])
+        assert merged.count == flat.count
+        assert merged.sum() == pytest.approx(flat.sum())
+        for q in QUANTILES:
+            assert merged.quantile(q) == pytest.approx(flat.quantile(q))
+        assert_within_bound(merged, exact)
+
+    def test_merge_empty_and_into_empty(self):
+        sketch, _ = fill([0.5, 1.5])
+        empty = QuantileSketch(0.01)
+        sketch.merge(QuantileSketch(0.01))
+        assert sketch.count == 2
+        empty.merge(sketch)
+        assert empty.count == 2
+        assert empty.min() == pytest.approx(0.5)
+        assert empty.max() == pytest.approx(1.5)
+
+    def test_merge_requires_matching_error(self):
+        with pytest.raises(ConfigError):
+            QuantileSketch(0.01).merge(QuantileSketch(0.02))
+
+
+class TestSerialisation:
+    def test_round_trip(self):
+        rng = random.Random(17)
+        sketch, _ = fill([rng.expovariate(50.0) for _ in range(1000)])
+        clone = QuantileSketch.from_dict(sketch.to_dict())
+        assert clone.count == sketch.count
+        assert clone.sum() == pytest.approx(sketch.sum())
+        for q in QUANTILES:
+            assert clone.quantile(q) == pytest.approx(sketch.quantile(q))
+
+    def test_round_trip_empty(self):
+        clone = QuantileSketch.from_dict(QuantileSketch().to_dict())
+        assert clone.count == 0
+        assert clone.quantile(99.0) == 0.0

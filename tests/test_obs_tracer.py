@@ -1,0 +1,139 @@
+"""StageTracer implementations and the export sinks."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.obs.export import (
+    read_stage_jsonl,
+    stage_rows,
+    stage_table,
+    tracer_table,
+    write_stage_jsonl,
+)
+from repro.obs.tracer import STAGES, NoopTracer, RecordingTracer, StageTracer
+
+
+class TestNoopTracer:
+    def test_is_disabled_and_observes_nothing(self):
+        tracer = NoopTracer()
+        assert tracer.enabled is False
+        tracer.record("personalize", 0.5)
+        assert tracer.snapshot() == {}
+
+    def test_spawn_returns_self(self):
+        tracer = NoopTracer()
+        assert tracer.spawn() is tracer
+
+    def test_merge_is_a_noop(self):
+        tracer = NoopTracer()
+        child = RecordingTracer()
+        child.record("charge", 0.1)
+        tracer.merge(child)
+        assert tracer.snapshot() == {}
+
+    def test_satisfies_protocol(self):
+        assert isinstance(NoopTracer(), StageTracer)
+        assert isinstance(RecordingTracer(), StageTracer)
+
+
+class TestRecordingTracer:
+    def test_records_spans_per_stage(self):
+        tracer = RecordingTracer()
+        assert tracer.enabled is True
+        for _ in range(3):
+            tracer.record("personalize", 0.010)
+        tracer.record("charge", 0.001)
+        assert tracer.spans("personalize") == 3
+        assert tracer.spans("charge") == 1
+        assert tracer.spans("feedback") == 0
+        snapshot = tracer.snapshot()
+        assert snapshot["personalize"].spans == 3
+        assert snapshot["personalize"].p50_ms == pytest.approx(10.0, rel=0.02)
+        assert snapshot["charge"].total_seconds == pytest.approx(0.001, rel=0.02)
+
+    def test_stage_order_is_pipeline_order_then_extras(self):
+        tracer = RecordingTracer()
+        tracer.record("custom_stage", 0.1)
+        tracer.record("delivery", 0.1)
+        tracer.record("vectorize", 0.1)
+        assert tracer.stages() == ["vectorize", "delivery", "custom_stage"]
+        assert list(tracer.snapshot()) == ["vectorize", "delivery", "custom_stage"]
+
+    def test_spawn_is_independent(self):
+        parent = RecordingTracer()
+        child = parent.spawn()
+        child.record("personalize", 0.2)
+        assert parent.spans("personalize") == 0
+        assert child.spans("personalize") == 1
+
+    def test_merge_rolls_children_up(self):
+        parent = RecordingTracer()
+        children = [parent.spawn() for _ in range(3)]
+        for shard, child in enumerate(children):
+            for _ in range(shard + 1):
+                child.record("personalize", 0.001 * (shard + 1))
+        for child in children:
+            parent.merge(child)
+        assert parent.spans("personalize") == 1 + 2 + 3
+        sketch = parent.sketch("personalize")
+        assert sketch.max() == pytest.approx(0.003)
+
+    def test_merge_noop_child_is_harmless(self):
+        parent = RecordingTracer()
+        parent.record("charge", 0.1)
+        parent.merge(NoopTracer())
+        assert parent.spans("charge") == 1
+
+    def test_known_taxonomy(self):
+        assert STAGES == (
+            "vectorize",
+            "candidate",
+            "personalize",
+            "charge",
+            "feedback",
+            "delivery",
+        )
+
+
+class TestExport:
+    def _traced(self) -> RecordingTracer:
+        tracer = RecordingTracer()
+        for stage, value in [("vectorize", 0.001), ("personalize", 0.004), ("charge", 0.0005)]:
+            for _ in range(5):
+                tracer.record(stage, value)
+        return tracer
+
+    def test_stage_table_renders_all_stages(self):
+        table = stage_table(self._traced().snapshot(), title="t")
+        assert table.splitlines()[0] == "t"
+        for stage in ("vectorize", "personalize", "charge"):
+            assert stage in table
+        assert "spans" in table
+
+    def test_stage_table_empty_snapshot(self):
+        assert "(no spans recorded)" in stage_table({})
+
+    def test_tracer_table_convenience(self):
+        assert "personalize" in tracer_table(self._traced())
+
+    def test_jsonl_round_trip(self, tmp_path):
+        snapshot = self._traced().snapshot()
+        path = tmp_path / "stages.jsonl"
+        write_stage_jsonl(snapshot, path, label="run-a")
+        write_stage_jsonl(snapshot, path, label="run-b")  # appends
+        rows = read_stage_jsonl(path)
+        assert len(rows) == 6
+        assert {row["label"] for row in rows} == {"run-a", "run-b"}
+        assert all(row["spans"] == 5 for row in rows)
+        # every line is standalone JSON (streamable)
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_stage_rows_shape(self):
+        rows = stage_rows(self._traced().snapshot())
+        assert [row["stage"] for row in rows] == ["vectorize", "personalize", "charge"]
+        for row in rows:
+            assert {"spans", "total_seconds", "mean_ms", "p50_ms", "p95_ms", "p99_ms", "max_ms"} <= set(row)

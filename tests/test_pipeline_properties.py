@@ -1,0 +1,167 @@
+"""Hypothesis property tests: invariants of the delivery pipeline.
+
+Random tiny corpora/post streams, replayed across all three engine modes,
+must always satisfy the pipeline's contract:
+
+* a slate never exceeds ``k`` and never repeats an ad;
+* revenue is non-negative, totals consistently across post results and
+  engine stats, and budget debits never exceed GSP revenue;
+* ``exact`` and ``fell_back`` are mutually exclusive per delivery, and the
+  per-delivery flags reconcile with the engine's cumulative counters;
+* ``post_batch`` is observationally identical to posting one at a time.
+"""
+
+from __future__ import annotations
+
+import functools
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.config import EngineConfig, EngineMode
+from repro.core.engine import AdEngine
+from repro.datagen.workload import WorkloadConfig, generate_workload
+
+MODES = st.sampled_from(list(EngineMode))
+SEEDS = st.integers(min_value=0, max_value=7)
+KS = st.sampled_from([1, 3, 10])
+
+PROPERTY_SETTINGS = settings(
+    max_examples=15,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+@functools.lru_cache(maxsize=16)
+def tiny_workload(seed: int):
+    """Cached per-seed workload: examples share inputs, never engines."""
+    return generate_workload(
+        WorkloadConfig(
+            num_users=15,
+            num_ads=50,
+            num_posts=25,
+            num_topics=6,
+            vocab_size=900,
+            follows_per_user=4,
+            seed=seed,
+        )
+    )
+
+
+def build_engine(workload, mode: EngineMode, k: int) -> AdEngine:
+    config = EngineConfig(
+        mode=mode,
+        k=k,
+        overfetch=max(40, 2 * k),
+        charge_impressions=True,
+    )
+    engine = AdEngine(
+        corpus=workload.build_corpus(),
+        graph=workload.graph,
+        vectorizer=workload.vectorizer,
+        tokenizer=workload.tokenizer,
+        config=config,
+    )
+    for user in workload.users:
+        engine.register_user(user.user_id, user.home)
+    return engine
+
+
+def replay(engine, posts):
+    return [
+        engine.post(post.author_id, post.text, post.timestamp, msg_id=post.msg_id)
+        for post in posts
+    ]
+
+
+@PROPERTY_SETTINGS
+@given(mode=MODES, seed=SEEDS, k=KS)
+def test_slate_invariants(mode, seed, k):
+    workload = tiny_workload(seed)
+    engine = build_engine(workload, mode, k)
+    for result in replay(engine, workload.posts):
+        for delivery in result.deliveries:
+            # slate size bounded by k
+            assert len(delivery.slate) <= k
+            # no duplicate ads within one slate
+            ad_ids = [scored.ad_id for scored in delivery.slate]
+            assert len(ad_ids) == len(set(ad_ids))
+            # scores are served best-first
+            scores = [scored.score for scored in delivery.slate]
+            assert scores == sorted(scores, reverse=True)
+            # exact and fell_back are mutually exclusive
+            assert not (delivery.exact and delivery.fell_back)
+
+
+@PROPERTY_SETTINGS
+@given(mode=MODES, seed=SEEDS)
+def test_revenue_invariants(mode, seed):
+    workload = tiny_workload(seed)
+    engine = build_engine(workload, mode, k=5)
+    results = replay(engine, workload.posts)
+    # every post's revenue is non-negative and stats totals agree with the
+    # per-post sums (revenue is exactly the sum of GSP auction outcomes)
+    assert all(result.revenue >= 0.0 for result in results)
+    total = sum(result.revenue for result in results)
+    assert engine.stats.revenue == pytest.approx(total, abs=1e-9)
+    # budget debits are capped at remaining budget, so the ledger never
+    # exceeds the GSP revenue the auctions reported
+    assert engine.budget.total_spend() <= total + 1e-9
+
+
+@PROPERTY_SETTINGS
+@given(mode=MODES, seed=SEEDS)
+def test_flag_counters_reconcile(mode, seed):
+    workload = tiny_workload(seed)
+    engine = build_engine(workload, mode, k=5)
+    results = replay(engine, workload.posts)
+    deliveries = [d for r in results for d in r.deliveries]
+    stats = engine.stats
+    assert stats.deliveries == len(deliveries)
+    assert stats.exact_deliveries == sum(1 for d in deliveries if d.exact)
+    assert stats.fallback_deliveries == sum(1 for d in deliveries if d.fell_back)
+    assert stats.certified_deliveries == sum(
+        1 for d in deliveries if d.certified and not d.fell_back
+    )
+    # every delivery lands in exactly one certification bucket
+    assert (
+        stats.certified_deliveries
+        + stats.fallback_deliveries
+        + stats.approximate_deliveries
+        == stats.deliveries
+    )
+    assert stats.impressions == sum(len(d.slate) for d in deliveries)
+    if mode is EngineMode.EXACT:
+        assert stats.exact_deliveries == stats.deliveries
+        assert stats.fallback_deliveries == 0
+    else:
+        assert stats.exact_deliveries == 0
+
+
+@PROPERTY_SETTINGS
+@given(mode=MODES, seed=SEEDS, batch_size=st.sampled_from([2, 5, 25]))
+def test_post_batch_matches_sequential(mode, seed, batch_size):
+    workload = tiny_workload(seed)
+    posts = workload.posts
+    sequential = replay(build_engine(workload, mode, k=5), posts)
+    batched_engine = build_engine(workload, mode, k=5)
+    batched: list = []
+    for start in range(0, len(posts), batch_size):
+        batched.extend(batched_engine.post_batch(posts[start : start + batch_size]))
+
+    assert len(sequential) == len(batched)
+    for one, many in zip(sequential, batched):
+        assert one.msg_id == many.msg_id
+        assert one.num_deliveries == many.num_deliveries
+        assert one.num_impressions == many.num_impressions
+        assert one.revenue == pytest.approx(many.revenue, abs=1e-12)
+        for d1, d2 in zip(one.deliveries, many.deliveries):
+            assert d1.user_id == d2.user_id
+            assert d1.certified == d2.certified
+            assert d1.fell_back == d2.fell_back
+            assert d1.exact == d2.exact
+            assert [s.ad_id for s in d1.slate] == [s.ad_id for s in d2.slate]
+            for s1, s2 in zip(d1.slate, d2.slate):
+                assert s1.score == pytest.approx(s2.score, abs=1e-12)
