@@ -9,6 +9,15 @@ Four subcommands cover the library's workflows end-to-end::
 
 ``replay`` and ``effectiveness`` also accept generation flags directly
 (omit ``--workload``) for one-shot runs.
+
+``replay --live`` switches on the live telemetry layer: a
+:class:`~repro.obs.registry.MetricsRegistry` rides along with the engine
+and a dashboard line prints at every sampling interval of *stream* time.
+Add ``--slo`` to grade each interval against p99/throughput targets
+(``--slo-p99-ms stage=ms``, ``--slo-min-dps``) and finish with an
+OK / DEGRADED / OVERLOADED verdict; ``--metrics-out`` appends one JSON
+line per interval and ``--prom-out`` writes the final snapshot in
+Prometheus text exposition format.
 """
 
 from __future__ import annotations
@@ -19,7 +28,7 @@ from collections.abc import Sequence
 
 from repro.core.config import EngineConfig, EngineMode
 from repro.datagen.workload import Workload, WorkloadConfig, generate_workload
-from repro.errors import ReproError
+from repro.errors import ConfigError, ReproError
 from repro.eval.perf import run_perf
 from repro.eval.report import ascii_table
 from repro.io.serialize import load_workload, save_workload
@@ -70,6 +79,139 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_slo_targets(entries: Sequence[str] | None) -> dict[str, float]:
+    """Parse repeated ``--slo-p99-ms stage=ms`` flags into a target map."""
+    targets: dict[str, float] = {}
+    for entry in entries or ():
+        stage, sep, value = entry.partition("=")
+        if not sep or not stage.strip():
+            raise ConfigError(
+                f"--slo-p99-ms expects stage=milliseconds, got {entry!r}"
+            )
+        try:
+            targets[stage.strip()] = float(value)
+        except ValueError as error:
+            raise ConfigError(
+                f"--slo-p99-ms expects a numeric target, got {entry!r}"
+            ) from error
+    return targets
+
+
+def _dashboard_line(snapshot, report) -> str:
+    """One fixed-width live dashboard line per sampling interval."""
+    delivery = snapshot.windows.get("stage_delivery")
+    p99_ms = delivery.p99 * 1e3 if delivery is not None and delivery.count else 0.0
+    parts = [
+        f"t={snapshot.at:>10.1f}s",
+        f"posts={int(snapshot.counters.get('posts', 0)):>6d}",
+        f"deliveries={int(snapshot.counters.get('deliveries', 0)):>8d}",
+        f"win p99[delivery]={p99_ms:8.3f}ms",
+    ]
+    if report is not None:
+        parts.append(f"dps={report.deliveries_per_s:>9.1f}")
+        parts.append(f"burn={report.burn_rate:5.2f}")
+        parts.append(f"[{report.state.value.upper()}]")
+    return "  ".join(parts)
+
+
+def _replay_live(
+    args: argparse.Namespace, workload: Workload, config: EngineConfig
+) -> int:
+    """The ``replay --live`` path: windowed registry, interval dashboard,
+    optional SLO grading and timeseries/Prometheus sinks."""
+    from repro.obs.health import HealthMonitor, SloSpec
+    from repro.obs.prometheus import TimeseriesWriter, render_prometheus
+    from repro.obs.registry import MetricsRegistry
+
+    posts = workload.posts if args.limit is None else workload.posts[: args.limit]
+    if not posts:
+        raise ConfigError("no posts to replay (empty workload or --limit 0)")
+    timestamps = [post.timestamp for post in posts]
+    span = max(timestamps) - min(timestamps)
+    interval = args.interval if args.interval else max(span / 12.0, 1e-6)
+    window = args.window if args.window else interval * 5.0
+    registry = MetricsRegistry(window_s=window)
+
+    monitor = None
+    if args.slo:
+        targets = _parse_slo_targets(args.slo_p99_ms)
+        if not targets and args.slo_min_dps <= 0.0:
+            # A bare --slo still needs something to judge: a permissive
+            # default target on the end-to-end delivery stage.
+            targets = {"delivery": 50.0}
+        monitor = HealthMonitor(
+            registry,
+            SloSpec(
+                stage_p99_ms=targets,
+                min_deliveries_per_s=max(args.slo_min_dps, 0.0),
+            ),
+        )
+    writer = TimeseriesWriter(args.metrics_out) if args.metrics_out else None
+
+    print(
+        f"live replay: mode={args.mode} interval={interval:g}s "
+        f"window={window:g}s slo={'on' if monitor else 'off'}"
+    )
+
+    def on_interval(now: float, wall_seconds: float) -> None:
+        snapshot = registry.snapshot(now)
+        report = (
+            monitor.evaluate(now, wall_seconds=wall_seconds) if monitor else None
+        )
+        print(_dashboard_line(snapshot, report))
+        if writer is not None:
+            writer.append(snapshot, health=report)
+
+    result = run_perf(
+        workload,
+        config,
+        label=args.mode,
+        limit_posts=args.limit,
+        metrics_registry=registry,
+        interval_s=interval,
+        on_interval=on_interval,
+    )
+
+    rows: list[list[object]] = [
+        ["mode", args.mode],
+        ["posts", result.posts],
+        ["deliveries", result.deliveries],
+        ["deliveries/s", round(result.deliveries_per_s, 1)],
+        ["post p50 (ms)", round(result.post_latency_p50_ms, 3)],
+        ["post p99 (ms)", round(result.post_latency_p99_ms, 3)],
+        ["fallback rate", round(result.fallback_rate, 4)],
+        ["impressions", result.impressions],
+    ]
+    if monitor is not None:
+        summary = monitor.summary()
+        rows.extend([
+            ["intervals", summary["intervals"]],
+            ["violating intervals", summary["violating_intervals"]],
+            ["compliance", round(summary["compliance"], 4)],
+            ["burn rate", round(summary["burn_rate"], 3)],
+        ])
+        if writer is not None:
+            writer.append_summary(summary)
+    print(ascii_table(["metric", "value"], rows, title="Replay summary"))
+    if args.prom_out:
+        from pathlib import Path
+
+        text = render_prometheus(registry.snapshot())
+        path = Path(args.prom_out)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(text, encoding="utf-8")
+        print(f"wrote Prometheus exposition to {args.prom_out}")
+    if writer is not None:
+        print(f"wrote {writer.rows} timeseries rows to {args.metrics_out}")
+    if monitor is not None:
+        verdict = monitor.verdict()
+        print(f"SLO verdict: {verdict.value.upper()}")
+        for report in monitor.reports:
+            for breach in report.breaches:
+                print(f"  breach @ t={report.at:.1f}s: {breach}")
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     workload = _workload_from_args(args)
     config = EngineConfig(
@@ -79,6 +221,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         collect_deliveries=False,
         charge_impressions=not args.no_charging,
     )
+    if args.live or args.slo or args.metrics_out or args.prom_out:
+        return _replay_live(args, workload, config)
     result = run_perf(
         workload, config, label=args.mode, limit_posts=args.limit
     )
@@ -177,6 +321,55 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the exact fallback (production mode)",
     )
     replay.add_argument("--no-charging", action="store_true")
+    replay.add_argument(
+        "--live",
+        action="store_true",
+        help="attach a live metrics registry; print one dashboard line "
+        "per sampling interval of stream time",
+    )
+    replay.add_argument(
+        "--slo",
+        action="store_true",
+        help="grade each interval against SLO targets and end with an "
+        "OK/DEGRADED/OVERLOADED verdict (implies --live)",
+    )
+    replay.add_argument(
+        "--interval",
+        type=float,
+        default=None,
+        help="sampling interval in stream seconds (default: stream span / 12)",
+    )
+    replay.add_argument(
+        "--window",
+        type=float,
+        default=None,
+        help="trailing telemetry window in stream seconds (default: 5x interval)",
+    )
+    replay.add_argument(
+        "--slo-p99-ms",
+        action="append",
+        metavar="STAGE=MS",
+        help="per-stage windowed p99 target in ms (repeatable, "
+        "e.g. --slo-p99-ms delivery=5)",
+    )
+    replay.add_argument(
+        "--slo-min-dps",
+        type=float,
+        default=0.0,
+        help="deliveries/s floor for the SLO (0 disables)",
+    )
+    replay.add_argument(
+        "--metrics-out",
+        default=None,
+        help="append one JSON line per interval to this timeseries file "
+        "(implies --live)",
+    )
+    replay.add_argument(
+        "--prom-out",
+        default=None,
+        help="write the final snapshot in Prometheus text exposition "
+        "format (implies --live)",
+    )
     replay.set_defaults(handler=_cmd_replay)
 
     effectiveness = commands.add_parser(

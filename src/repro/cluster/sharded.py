@@ -30,6 +30,7 @@ from repro.core.pipeline import PostEvent
 from repro.datagen.workload import Workload
 from repro.errors import ConfigError
 from repro.geo.point import GeoPoint
+from repro.obs.registry import NULL_METRICS, MetricsRegistry, NullMetrics
 from repro.obs.tracer import NoopTracer, StageStats, StageTracer
 
 
@@ -62,6 +63,7 @@ class ShardedEngine:
         *,
         config: EngineConfig | None = None,
         tracer: StageTracer | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         if num_shards < 1:
             raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
@@ -69,10 +71,12 @@ class ShardedEngine:
         self._workload = workload
         self._shard_of: dict[int, int] = {}
         config = config or EngineConfig()
-        # One child tracer per shard (spawned from the caller's tracer, so
-        # a NoopTracer stays a shared noop); roll-ups merge the children.
+        # One child tracer/registry per shard (spawned from the caller's,
+        # so the noop defaults stay shared noops); roll-ups merge children.
         self._tracer = tracer or NoopTracer()
         self._shard_tracers = [self._tracer.spawn() for _ in range(num_shards)]
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        self._shard_metrics = [self._metrics.spawn() for _ in range(num_shards)]
 
         for user in workload.users:
             self._shard_of[user.user_id] = hash_shard(user.user_id, num_shards)
@@ -101,6 +105,11 @@ class ShardedEngine:
                 tokenizer=workload.tokenizer,
                 config=config,
                 tracer=self._shard_tracers[shard],
+                metrics=(
+                    self._shard_metrics[shard]
+                    if self._metrics.enabled
+                    else None
+                ),
             )
             # Every shard knows every user's location (cheap broadcast
             # state); only the owning shard accumulates feed contexts.
@@ -188,6 +197,18 @@ class ShardedEngine:
         for shard_tracer in self._shard_tracers:
             merged.merge(shard_tracer)
         return merged
+
+    @property
+    def metrics(self) -> "MetricsRegistry | NullMetrics":
+        """The cluster-wide registry view: every shard's counters, gauges
+        and windowed histograms merged (lossless — same geometry)."""
+        merged = self._metrics.spawn()
+        for shard_metrics in self._shard_metrics:
+            merged.merge(shard_metrics)
+        return merged
+
+    def metrics_by_shard(self) -> "list[MetricsRegistry | NullMetrics]":
+        return list(self._shard_metrics)
 
     def stage_report(self) -> dict[str, StageStats]:
         """Merged per-stage roll-up across all shards."""

@@ -39,6 +39,7 @@ from repro.errors import ConfigError
 from repro.geo.point import GeoPoint
 from repro.graph.social import SocialGraph
 from repro.index.inverted import AdInvertedIndex
+from repro.obs.registry import NULL_METRICS, MetricsRegistry, NullMetrics
 from repro.obs.tracer import NoopTracer, StageTracer
 from repro.profiles.profile import ProfileStore
 from repro.stream.clock import SimClock
@@ -91,6 +92,7 @@ class AdEngine:
         tokenizer: Tokenizer | None = None,
         text_vectorizer=None,
         tracer: StageTracer | None = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> None:
         """``text_vectorizer`` (optional ``str -> sparse vector``) replaces
         the default tokenize→TF-IDF pipeline — how the concept-enriched
@@ -99,6 +101,9 @@ class AdEngine:
         ``tracer`` (optional :class:`~repro.obs.tracer.StageTracer`)
         receives one span per pipeline stage per event; the default
         :class:`~repro.obs.tracer.NoopTracer` observes nothing.
+        ``metrics`` (optional :class:`~repro.obs.registry.MetricsRegistry`)
+        is the live side: windowed per-stage latency histograms plus
+        posts/deliveries/impressions/revenue counters, disabled by default.
         """
         config = config or EngineConfig()
         self.vectorizer = vectorizer
@@ -136,6 +141,7 @@ class AdEngine:
             clock=SimClock(),
             users=UserStateStore(graph),
             tracer=tracer or NoopTracer(),
+            metrics=metrics if metrics is not None else NULL_METRICS,
         )
         probe_depth = (
             config.overfetch
@@ -204,6 +210,10 @@ class AdEngine:
     @property
     def tracer(self) -> StageTracer:
         return self.services.tracer
+
+    @property
+    def metrics(self) -> "MetricsRegistry | NullMetrics":
+        return self.services.metrics
 
     # -- user management ---------------------------------------------------
 
@@ -307,6 +317,9 @@ class AdEngine:
         )
         author_state.profile_vec_epoch = -1  # invalidate cache
         self.stats.posts += 1
+        metrics = self.services.metrics
+        if metrics.enabled:
+            metrics.inc("posts")
 
     def _assemble_result(
         self,

@@ -389,12 +389,23 @@ class DeliveryPipeline:
         )
 
     def vectorize(self, text: str) -> MutableSparseVector:
-        tracer = self.services.tracer
-        if not tracer.enabled:
+        services = self.services
+        tracer = services.tracer
+        metrics = services.metrics
+        if not (tracer.enabled or metrics.enabled):
             return self.vectorize_stage.vectorize(text)
         started = perf_counter()
         vec = self.vectorize_stage.vectorize(text)
-        tracer.record("vectorize", perf_counter() - started)
+        elapsed = perf_counter() - started
+        if tracer.enabled:
+            tracer.record("vectorize", elapsed)
+        if metrics.enabled:
+            # Vectorization happens before a PostEvent exists, so the
+            # stream clock (advanced by ingest) supplies the bucket time.
+            clock = services.clock
+            metrics.observe_stage(
+                "vectorize", elapsed, clock.now if clock is not None else 0.0
+            )
         return vec
 
     def deliver(self, event: PostEvent, follower: int) -> DeliveryOutcome:
@@ -413,9 +424,11 @@ class DeliveryPipeline:
 
         Span emission: one ``candidate`` span per event, then one
         ``personalize``/``charge``/``feedback`` span each plus one wrapping
-        ``delivery`` span per follower. All timing reads are gated on
-        ``tracer.enabled`` so the default :class:`~repro.obs.tracer.NoopTracer`
-        costs one boolean check per potential span.
+        ``delivery`` span per follower. Spans feed the whole-run tracer
+        and, windowed under the event's stream time, the live metrics
+        registry. All timing reads are gated on ``tracer.enabled`` /
+        ``metrics.enabled`` so the default noop pair costs one boolean
+        check per potential span.
         """
         services = self.services
         stats = services.stats
@@ -425,25 +438,37 @@ class DeliveryPipeline:
         charge = self.charge_stage.charge
         observe = self.feedback_stage.observe_impressions
         tracer = services.tracer
+        metrics = services.metrics
         tracing = tracer.enabled
+        metering = metrics.enabled
+        observing = tracing or metering
+        at = event.timestamp
 
-        if tracing:
+        def emit(stage: str, elapsed: float) -> None:
+            # Only reached on the enabled path — the disabled hot path
+            # pays the single `observing` check per potential span.
+            if tracing:
+                tracer.record(stage, elapsed)
+            if metering:
+                metrics.observe_stage(stage, elapsed, at)
+
+        if observing:
             span_started = perf_counter()
         candidates = self.candidate_stage.candidates_for(event)
-        if tracing:
-            tracer.record("candidate", perf_counter() - span_started)
+        if observing:
+            emit("candidate", perf_counter() - span_started)
         outcomes: list[DeliveryOutcome] = []
         for follower in followers:
-            if tracing:
+            if observing:
                 delivery_started = perf_counter()
             state = users.state(follower)
             profile, profile_vec = profile_of(follower, state)
             slate, certified, fell_back, exact = personalize(
                 event, candidates, follower, state, profile, profile_vec
             )
-            if tracing:
+            if observing:
                 now = perf_counter()
-                tracer.record("personalize", now - delivery_started)
+                emit("personalize", now - delivery_started)
                 span_started = now
             stats.deliveries += 1
             if exact:
@@ -455,15 +480,19 @@ class DeliveryPipeline:
             elif not certified:
                 stats.approximate_deliveries += 1
             revenue = charge(slate, event.timestamp)
-            if tracing:
+            if observing:
                 now = perf_counter()
-                tracer.record("charge", now - span_started)
+                emit("charge", now - span_started)
                 span_started = now
             observe(slate)
-            if tracing:
+            if observing:
                 now = perf_counter()
-                tracer.record("feedback", now - span_started)
-                tracer.record("delivery", now - delivery_started)
+                emit("feedback", now - span_started)
+                emit("delivery", now - delivery_started)
+            if metering:
+                metrics.inc("deliveries")
+                metrics.inc("impressions", len(slate))
+                metrics.inc("revenue", revenue)
             stats.impressions += len(slate)
             stats.revenue += revenue
             outcomes.append(

@@ -19,6 +19,7 @@ from repro.stream.simulator import FeedSimulator
 
 if TYPE_CHECKING:  # avoid an import cycle: datagen imports core types
     from repro.datagen.workload import Workload
+    from repro.obs.registry import MetricsRegistry, NullMetrics
     from repro.obs.tracer import StageTracer
 
 
@@ -35,10 +36,12 @@ class ContextAwareRecommender:
         config: EngineConfig | None = None,
         *,
         tracer: "StageTracer | None" = None,
+        metrics: "MetricsRegistry | None" = None,
     ) -> "ContextAwareRecommender":
         """Wire an engine over a generated workload's corpus, graph, users
         and fitted vectorizer. ``tracer`` opts the engine into per-stage
-        observability (see :mod:`repro.obs`)."""
+        observability; ``metrics`` into live windowed telemetry (see
+        :mod:`repro.obs`)."""
         engine = AdEngine(
             corpus=workload.corpus,
             graph=workload.graph,
@@ -46,6 +49,7 @@ class ContextAwareRecommender:
             config=config,
             tokenizer=workload.tokenizer,
             tracer=tracer,
+            metrics=metrics,
         )
         for user in workload.users:
             engine.register_user(user.user_id, user.home)
@@ -64,6 +68,10 @@ class ContextAwareRecommender:
     @property
     def tracer(self) -> "StageTracer":
         return self.engine.tracer
+
+    @property
+    def metrics(self) -> "MetricsRegistry | NullMetrics":
+        return self.engine.metrics
 
     def post(
         self, author_id: int, text: str, timestamp: float, *, msg_id: int | None = None

@@ -22,6 +22,7 @@ from typing import TYPE_CHECKING
 from repro.core.config import EngineConfig
 from repro.errors import UnknownUserError
 from repro.geo.point import GeoPoint
+from repro.obs.registry import NULL_METRICS, MetricsRegistry, NullMetrics
 from repro.obs.tracer import NoopTracer, StageTracer
 from repro.profiles.context import FeedContext
 from repro.util.sparse import MutableSparseVector
@@ -125,6 +126,9 @@ class EngineServices:
     # Stage observability. NoopTracer by default: tracing must be opted
     # into, and the un-traced hot path pays one attribute check per span.
     tracer: StageTracer = field(default_factory=NoopTracer)
+    # Live telemetry. The shared NULL_METRICS singleton by default — same
+    # contract as the tracer: enabled-gated, one attribute check when off.
+    metrics: "MetricsRegistry | NullMetrics" = NULL_METRICS
 
     # -- per-user helpers ---------------------------------------------------
 

@@ -10,9 +10,10 @@ from repro.core.config import EngineConfig
 from repro.core.recommender import ContextAwareRecommender
 from repro.datagen.workload import Workload
 from repro.obs.export import stage_table
-from repro.stream.simulator import FeedSimulator
+from repro.stream.simulator import FeedSimulator, IntervalHook
 
 if TYPE_CHECKING:
+    from repro.obs.registry import MetricsRegistry
     from repro.obs.tracer import StageStats, StageTracer
 
 
@@ -60,6 +61,9 @@ def run_perf(
     with_checkins: bool = False,
     batch_size: int | None = None,
     tracer: "StageTracer | None" = None,
+    metrics_registry: "MetricsRegistry | None" = None,
+    interval_s: float | None = None,
+    on_interval: IntervalHook | None = None,
 ) -> PerfResult:
     """Build a fresh engine for ``config``, replay the stream, measure.
 
@@ -67,10 +71,13 @@ def run_perf(
     never leak into another. ``batch_size`` drives the engine through its
     batch entry point (latency is then per batch, not per post).
     ``tracer`` (a recording :class:`~repro.obs.tracer.StageTracer`) adds a
-    per-stage latency breakdown to the result.
+    per-stage latency breakdown to the result. ``metrics_registry`` opts
+    the engine into live windowed telemetry; with ``interval_s`` and
+    ``on_interval`` the simulator fires the sampling hook at every stream
+    interval boundary (see :meth:`~repro.stream.simulator.FeedSimulator.run`).
     """
     recommender = ContextAwareRecommender.from_workload(
-        workload, config, tracer=tracer
+        workload, config, tracer=tracer, metrics=metrics_registry
     )
     posts = workload.posts if limit_posts is None else workload.posts[:limit_posts]
     simulator = FeedSimulator(recommender.engine)
@@ -78,6 +85,8 @@ def run_perf(
         posts,
         checkins=workload.checkins if with_checkins else (),
         batch_size=batch_size,
+        interval_s=interval_s,
+        on_interval=on_interval,
     )
     stats = recommender.stats
     return PerfResult(

@@ -1,6 +1,7 @@
-"""Observability layer: stage tracers, quantile sketches, export sinks.
+"""Observability layer: stage tracers, quantile sketches, export sinks,
+and the live telemetry stack (windowed metrics, SLO health, Prometheus).
 
-See DESIGN.md § Observability for the span taxonomy and overhead budget.
+See DESIGN.md § Observability and § Live telemetry & SLOs.
 """
 
 from repro.obs.export import (
@@ -10,7 +11,21 @@ from repro.obs.export import (
     tracer_table,
     write_stage_jsonl,
 )
+from repro.obs.health import HealthMonitor, HealthReport, HealthState, SloSpec
 from repro.obs.histogram import QuantileSketch
+from repro.obs.prometheus import (
+    TimeseriesWriter,
+    metric_name,
+    read_timeseries_jsonl,
+    render_prometheus,
+)
+from repro.obs.registry import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetrics,
+    RegistrySnapshot,
+    WindowStats,
+)
 from repro.obs.tracer import (
     STAGES,
     NoopTracer,
@@ -18,15 +33,30 @@ from repro.obs.tracer import (
     StageStats,
     StageTracer,
 )
+from repro.obs.window import WindowedSketch
 
 __all__ = [
+    "NULL_METRICS",
     "STAGES",
+    "HealthMonitor",
+    "HealthReport",
+    "HealthState",
+    "MetricsRegistry",
     "NoopTracer",
+    "NullMetrics",
     "QuantileSketch",
     "RecordingTracer",
+    "RegistrySnapshot",
+    "SloSpec",
     "StageStats",
     "StageTracer",
+    "TimeseriesWriter",
+    "WindowStats",
+    "WindowedSketch",
+    "metric_name",
     "read_stage_jsonl",
+    "read_timeseries_jsonl",
+    "render_prometheus",
     "stage_rows",
     "stage_table",
     "tracer_table",

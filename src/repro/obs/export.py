@@ -14,7 +14,13 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:
     from repro.obs.tracer import StageStats, StageTracer
 
-__all__ = ["stage_rows", "stage_table", "write_stage_jsonl", "read_stage_jsonl"]
+__all__ = [
+    "stage_rows",
+    "stage_table",
+    "tracer_table",
+    "write_stage_jsonl",
+    "read_stage_jsonl",
+]
 
 _HEADERS = ["stage", "spans", "mean (ms)", "p50 (ms)", "p95 (ms)", "p99 (ms)", "max (ms)"]
 

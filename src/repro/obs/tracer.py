@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Protocol, runtime_checkable
 
+from repro.errors import ConfigError
 from repro.obs.histogram import QuantileSketch
 
 __all__ = [
@@ -140,6 +141,14 @@ class RecordingTracer:
     def merge(self, other: StageTracer) -> None:
         if not isinstance(other, RecordingTracer):
             return  # nothing to fold in from a noop
+        if other._relative_error != self._relative_error:
+            # Eager check: sketch.merge would catch overlapping stages, but
+            # a child with no common stages (or no spans yet) would fold in
+            # silently and poison later merges with misaligned buckets.
+            raise ConfigError(
+                "cannot merge tracers with different relative_error: "
+                f"{self._relative_error} vs {other._relative_error}"
+            )
         for stage, sketch in other._sketches.items():
             mine = self._sketches.get(stage)
             if mine is None:

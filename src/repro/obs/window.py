@@ -1,0 +1,213 @@
+"""Sliding-window quantile sketches keyed off the stream clock.
+
+:class:`~repro.obs.histogram.QuantileSketch` answers "what happened over
+the whole run" — it never forgets. Live operations needs the complement:
+"what is the p99 *right now*", meaning over only the trailing few minutes
+of stream time. :class:`WindowedSketch` provides that with the classic
+ring-of-buckets construction: time is cut into fixed-width buckets, each
+bucket owns one :class:`QuantileSketch`, and the ring holds the most
+recent ``num_buckets`` of them. Writing into a bucket whose slot is held
+by an expired epoch resets the slot (rotation), so memory stays
+``O(num_buckets · sketch)`` forever. Reads *merge on read*: the live
+buckets — those covering the trailing window relative to ``now`` — are
+folded into one throwaway sketch, reusing the exact mergeability of the
+underlying histogram. Quantiles therefore carry the same bounded relative
+error as the whole-run sketch, just over a moving horizon.
+
+Window semantics are bucket-granular: the window covers the ``num_buckets``
+bucket epochs ending at ``now``'s epoch, so the oldest contributing sample
+may be up to one bucket width older than ``now - window_s``. That is the
+standard trade (Prometheus and friends do the same) and the property tests
+pin it exactly.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.errors import ConfigError
+from repro.obs.histogram import QuantileSketch
+
+__all__ = ["WindowedSketch"]
+
+
+class WindowedSketch:
+    """A ring of time-bucketed quantile sketches over a trailing window.
+
+    ``record(value, at)`` files the sample under the bucket covering
+    stream time ``at``; reads report only samples whose bucket is within
+    the trailing window ending at ``now`` (default: the latest stream
+    time seen). Two windowed sketches with identical geometry merge
+    bucket-by-bucket, which is how per-shard registries roll up.
+    """
+
+    __slots__ = (
+        "_window_s",
+        "_bucket_s",
+        "_num_buckets",
+        "_relative_error",
+        "_epochs",
+        "_sketches",
+        "_latest_at",
+        "_total_count",
+    )
+
+    def __init__(
+        self,
+        window_s: float,
+        *,
+        num_buckets: int = 6,
+        relative_error: float = 0.01,
+    ) -> None:
+        if window_s <= 0.0:
+            raise ConfigError(f"window_s must be positive, got {window_s}")
+        if num_buckets < 1:
+            raise ConfigError(f"num_buckets must be >= 1, got {num_buckets}")
+        self._window_s = float(window_s)
+        self._num_buckets = num_buckets
+        self._bucket_s = self._window_s / num_buckets
+        self._relative_error = relative_error
+        # Parallel slot arrays: the epoch currently held by each ring slot
+        # (-1 = never written) and its sketch (lazily created on rotation).
+        self._epochs: list[int] = [-1] * num_buckets
+        self._sketches: list[QuantileSketch | None] = [None] * num_buckets
+        self._latest_at = -math.inf
+        self._total_count = 0
+
+    # -- geometry ------------------------------------------------------------
+
+    @property
+    def window_s(self) -> float:
+        return self._window_s
+
+    @property
+    def bucket_s(self) -> float:
+        return self._bucket_s
+
+    @property
+    def num_buckets(self) -> int:
+        return self._num_buckets
+
+    @property
+    def relative_error(self) -> float:
+        return self._relative_error
+
+    @property
+    def total_count(self) -> int:
+        """Lifetime sample count (expiry does not decrement it)."""
+        return self._total_count
+
+    @property
+    def latest_at(self) -> float:
+        """Stream time of the most recent sample (``-inf`` when empty)."""
+        return self._latest_at
+
+    def epoch_of(self, at: float) -> int:
+        """The bucket epoch covering stream time ``at``."""
+        return math.floor(at / self._bucket_s)
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, value: float, at: float) -> None:
+        """File one sample under the bucket covering stream time ``at``."""
+        epoch = self.epoch_of(at)
+        slot = epoch % self._num_buckets
+        if self._epochs[slot] != epoch:
+            # Rotation: the slot belonged to an expired (or future-stale)
+            # epoch — drop its contents and claim it for this epoch.
+            self._epochs[slot] = epoch
+            self._sketches[slot] = QuantileSketch(self._relative_error)
+        self._sketches[slot].record(value)
+        if at > self._latest_at:
+            self._latest_at = at
+        self._total_count += 1
+
+    # -- merge-on-read -------------------------------------------------------
+
+    def _resolve_now(self, now: float | None) -> float:
+        if now is not None:
+            return now
+        if self._latest_at == -math.inf:
+            return 0.0
+        return self._latest_at
+
+    def live_epochs(self, now: float | None = None) -> range:
+        """Epochs inside the trailing window ending at ``now``."""
+        newest = self.epoch_of(self._resolve_now(now))
+        return range(newest - self._num_buckets + 1, newest + 1)
+
+    def merged(self, now: float | None = None) -> QuantileSketch:
+        """One sketch holding exactly the live buckets' samples."""
+        merged = QuantileSketch(self._relative_error)
+        live = self.live_epochs(now)
+        for slot, epoch in enumerate(self._epochs):
+            if epoch in live and self._sketches[slot] is not None:
+                merged.merge(self._sketches[slot])
+        return merged
+
+    def count(self, now: float | None = None) -> int:
+        live = self.live_epochs(now)
+        return sum(
+            self._sketches[slot].count
+            for slot, epoch in enumerate(self._epochs)
+            if epoch in live and self._sketches[slot] is not None
+        )
+
+    def quantile(self, q: float, now: float | None = None) -> float:
+        return self.merged(now).quantile(q)
+
+    def p50(self, now: float | None = None) -> float:
+        return self.quantile(50.0, now)
+
+    def p95(self, now: float | None = None) -> float:
+        return self.quantile(95.0, now)
+
+    def p99(self, now: float | None = None) -> float:
+        return self.quantile(99.0, now)
+
+    def mean(self, now: float | None = None) -> float:
+        return self.merged(now).mean()
+
+    def max(self, now: float | None = None) -> float:
+        return self.merged(now).max()
+
+    # -- roll-up -------------------------------------------------------------
+
+    def merge(self, other: "WindowedSketch") -> None:
+        """Fold another windowed sketch into this one, bucket-by-bucket.
+
+        Geometry must match exactly (window, bucket count, relative
+        error), otherwise bucket epochs would not line up. Where both
+        rings hold the same epoch in a slot the sketches merge exactly;
+        where they differ the *newer* epoch wins — the older one is
+        expired at any read time where the newer is live, so nothing a
+        read could report is lost.
+        """
+        if (
+            other._window_s != self._window_s
+            or other._num_buckets != self._num_buckets
+            or other._relative_error != self._relative_error
+        ):
+            raise ConfigError(
+                "cannot merge windowed sketches with different geometry: "
+                f"(window_s={self._window_s}, num_buckets={self._num_buckets}, "
+                f"relative_error={self._relative_error}) vs "
+                f"(window_s={other._window_s}, num_buckets={other._num_buckets}, "
+                f"relative_error={other._relative_error})"
+            )
+        for slot in range(self._num_buckets):
+            theirs = other._sketches[slot]
+            if theirs is None:
+                continue
+            their_epoch = other._epochs[slot]
+            my_epoch = self._epochs[slot]
+            if my_epoch == their_epoch:
+                self._sketches[slot].merge(theirs)
+            elif their_epoch > my_epoch:
+                replacement = QuantileSketch(self._relative_error)
+                replacement.merge(theirs)
+                self._epochs[slot] = their_epoch
+                self._sketches[slot] = replacement
+        if other._latest_at > self._latest_at:
+            self._latest_at = other._latest_at
+        self._total_count += other._total_count

@@ -3,10 +3,14 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 from repro.obs.export import stage_table
 from repro.obs.tracer import StageStats
 from repro.util.timers import LatencyRecorder
+
+if TYPE_CHECKING:
+    from repro.obs.registry import RegistrySnapshot
 
 
 @dataclass
@@ -15,7 +19,9 @@ class StreamMetrics:
 
     ``stages`` carries the per-stage latency breakdown when the driven
     handler had a recording :class:`~repro.obs.tracer.StageTracer`
-    attached; it stays empty under the default noop tracer.
+    attached; it stays empty under the default noop tracer. ``telemetry``
+    is the handler's final :class:`~repro.obs.registry.RegistrySnapshot`
+    when it carried an enabled :class:`~repro.obs.registry.MetricsRegistry`.
     """
 
     posts: int = 0
@@ -24,6 +30,7 @@ class StreamMetrics:
     wall_seconds: float = 0.0
     post_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
     stages: dict[str, StageStats] = field(default_factory=dict)
+    telemetry: "RegistrySnapshot | None" = None
 
     def deliveries_per_second(self) -> float:
         """Deliveries processed per wall-clock second (the headline number)."""
@@ -44,7 +51,9 @@ class StreamMetrics:
             "impressions": float(self.impressions),
             "wall_seconds": self.wall_seconds,
             "deliveries_per_s": self.deliveries_per_second(),
+            "posts_per_s": self.posts_per_second(),
             "post_latency_p50_ms": self.post_latency.p50() * 1e3,
+            "post_latency_p95_ms": self.post_latency.p95() * 1e3,
             "post_latency_p99_ms": self.post_latency.p99() * 1e3,
         }
 

@@ -9,15 +9,20 @@ methods on identical event sequences.
 from __future__ import annotations
 
 import time
-from collections.abc import Iterable, Sequence
+from collections.abc import Callable, Iterable, Sequence
 from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
-from repro.errors import StreamError
+from repro.errors import ConfigError, StreamError
 from repro.stream.events import Checkin, Post
 from repro.stream.metrics import StreamMetrics
 
 if TYPE_CHECKING:
     from repro.obs.tracer import StageTracer
+
+#: Sampling hook signature: ``on_interval(now, wall_seconds)`` where
+#: ``now`` is the stream time of the interval boundary and
+#: ``wall_seconds`` the wall-clock time elapsed since the previous tick.
+IntervalHook = Callable[[float, float], None]
 
 
 @runtime_checkable
@@ -68,13 +73,31 @@ class FeedSimulator:
         checkins: Iterable[Checkin] = (),
         measure_latency: bool = True,
         batch_size: int | None = None,
+        interval_s: float | None = None,
+        on_interval: IntervalHook | None = None,
     ) -> StreamMetrics:
         """Replay events in timestamp order and collect metrics.
 
         Posts and check-ins are merged into one timeline; equal timestamps
         keep posts after check-ins so a location update at time t affects
         deliveries at time t.
+
+        With ``interval_s`` and ``on_interval`` set, the hook fires at
+        every crossing of an interval boundary of the *stream* clock
+        (boundaries at ``first_event + k·interval_s``), receiving the
+        boundary's stream time and the wall-clock seconds elapsed since
+        the previous tick — the live-telemetry sampling point (snapshot a
+        registry, evaluate a health monitor, print a dashboard line). Any
+        pending batch is flushed before a tick so counters are current; a
+        final tick fires after the last event for the trailing partial
+        interval.
         """
+        if (interval_s is None) != (on_interval is None):
+            raise ConfigError(
+                "interval_s and on_interval must be provided together"
+            )
+        if interval_s is not None and interval_s <= 0.0:
+            raise ConfigError(f"interval_s must be positive, got {interval_s}")
         timeline: list[tuple[float, int, object]] = [
             (checkin.timestamp, 0, checkin) for checkin in checkins
         ]
@@ -86,10 +109,29 @@ class FeedSimulator:
             and batch_size > 1
             and hasattr(self._handler, "post_batch")
         )
+        sampling = interval_s is not None and timeline
+        next_tick = timeline[0][0] + interval_s if sampling else None
+        last_stream_time = timeline[-1][0] if timeline else 0.0
         metrics = StreamMetrics()
         run_started = time.perf_counter()
+        last_tick_wall = run_started
         pending: list[Post] = []
-        for _, kind, event in timeline:
+
+        def fire_ticks(up_to: float) -> None:
+            """Fire every interval boundary at or before stream time ``up_to``."""
+            nonlocal next_tick, last_tick_wall, pending
+            while next_tick <= up_to:
+                if pending:
+                    self._flush_batch(pending, metrics, measure_latency)
+                    pending = []
+                wall_now = time.perf_counter()
+                on_interval(next_tick, wall_now - last_tick_wall)
+                last_tick_wall = wall_now
+                next_tick += interval_s
+
+        for stream_time, kind, event in timeline:
+            if sampling and stream_time >= next_tick:
+                fire_ticks(stream_time)
             if kind == 0:
                 if pending:
                     self._flush_batch(pending, metrics, measure_latency)
@@ -114,10 +156,19 @@ class FeedSimulator:
             self._count(result, metrics)
         if pending:
             self._flush_batch(pending, metrics, measure_latency)
+        if sampling:
+            # Final tick: the trailing partial interval after the last event.
+            on_interval(
+                max(last_stream_time, next_tick - interval_s),
+                time.perf_counter() - last_tick_wall,
+            )
         metrics.wall_seconds = time.perf_counter() - run_started
         tracer = self._resolve_tracer()
         if tracer is not None and tracer.enabled:
             metrics.stages = tracer.snapshot()
+        telemetry = getattr(self._handler, "metrics", None)
+        if telemetry is not None and getattr(telemetry, "enabled", False):
+            metrics.telemetry = telemetry.snapshot(last_stream_time)
         return metrics
 
     def _flush_batch(

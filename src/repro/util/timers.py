@@ -76,6 +76,9 @@ class LatencyRecorder:
     def p50(self) -> float:
         return self.percentile(50.0)
 
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
     def p99(self) -> float:
         return self.percentile(99.0)
 

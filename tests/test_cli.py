@@ -77,6 +77,77 @@ class TestReplay:
         assert "fallback rate | 0" in out
 
 
+class TestLiveReplay:
+    def test_live_dashboard_lines(self, capsys):
+        code = main(["replay", *FAST, "--limit", "20", "--live"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "live replay:" in out
+        assert "win p99[delivery]" in out
+        assert "Replay summary" in out
+        assert "SLO verdict" not in out  # plain --live does not grade
+
+    def test_slo_implies_live_and_prints_verdict(self, capsys):
+        code = main(
+            [
+                "replay", *FAST, "--limit", "20", "--slo",
+                "--slo-p99-ms", "delivery=1000", "--interval", "10000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "live replay:" in out
+        assert "SLO verdict: OK" in out
+        assert "[OK]" in out
+
+    def test_metrics_and_prom_sinks(self, tmp_path, capsys):
+        from repro.obs import read_timeseries_jsonl
+
+        series = tmp_path / "series.jsonl"
+        prom = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "replay", *FAST, "--limit", "20", "--slo",
+                "--metrics-out", str(series), "--prom-out", str(prom),
+            ]
+        )
+        assert code == 0
+        rows = read_timeseries_jsonl(series)
+        intervals = [row for row in rows if row["label"] == "interval"]
+        assert len(intervals) >= 2
+        assert all("health" in row for row in intervals)
+        assert rows[-1]["label"] == "summary"
+        assert "verdict" in rows[-1]
+        text = prom.read_text()
+        assert "repro_deliveries_total" in text
+        assert 'quantile="0.99"' in text
+        assert "wrote" in capsys.readouterr().out
+
+    def test_bad_slo_target_is_a_usage_error(self, capsys):
+        code = main(
+            ["replay", *FAST, "--limit", "5", "--slo", "--slo-p99-ms", "delivery"]
+        )
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_degraded_verdict_on_impossible_target(self, capsys):
+        # A 1-nanosecond p99 target cannot be met: the verdict must say so.
+        code = main(
+            [
+                "replay", *FAST, "--limit", "20", "--slo",
+                "--slo-p99-ms", "delivery=0.000001", "--interval", "10000",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "SLO verdict:" in out
+        verdict_line = [
+            line for line in out.splitlines() if line.startswith("SLO verdict:")
+        ][0]
+        assert verdict_line.split(": ")[1] in {"DEGRADED", "OVERLOADED"}
+        assert "breach" in out
+
+
 class TestEffectiveness:
     def test_effectiveness_table(self, capsys):
         code = main(["effectiveness", *FAST, "--max-posts", "25"])

@@ -18,6 +18,8 @@ from repro.core.config import EngineConfig, EngineMode
 from repro.core.engine import AdEngine
 from repro.core.recommender import ContextAwareRecommender
 from repro.datagen.workload import WorkloadConfig, generate_workload
+from repro.obs.health import HealthMonitor, SloSpec
+from repro.obs.registry import MetricsRegistry
 from repro.obs.tracer import NoopTracer, RecordingTracer
 from repro.stream.simulator import FeedSimulator
 
@@ -37,7 +39,7 @@ def workload():
     )
 
 
-def engine_for(workload, mode, tracer):
+def engine_for(workload, mode, tracer, *, metrics=None):
     config = EngineConfig(mode=mode)
     return AdEngine(
         corpus=workload.build_corpus(),
@@ -46,6 +48,7 @@ def engine_for(workload, mode, tracer):
         tokenizer=workload.tokenizer,
         config=config,
         tracer=tracer,
+        metrics=metrics,
     )
 
 
@@ -54,7 +57,7 @@ def register_users(engine, workload):
         engine.register_user(user.user_id, user.home)
 
 
-def run_stream(engine, workload, *, batch_size=None):
+def run_stream(engine, workload, *, batch_size=None, interval_s=None, on_interval=None):
     simulator = FeedSimulator(engine)
     results: list = []
     original_post = engine.post
@@ -67,7 +70,11 @@ def run_stream(engine, workload, *, batch_size=None):
     engine.post = capturing_post  # capture per-post results during the run
     try:
         metrics = simulator.run(
-            workload.posts, checkins=workload.checkins, batch_size=batch_size
+            workload.posts,
+            checkins=workload.checkins,
+            batch_size=batch_size,
+            interval_s=interval_s,
+            on_interval=on_interval,
         )
     finally:
         del engine.post
@@ -139,6 +146,55 @@ class TestTracerNeverPerturbs:
             assert stats.spans > 0
 
 
+@pytest.mark.parametrize("mode", list(EngineMode))
+class TestMetricsNeverPerturb:
+    """The live registry + health monitor are read-only riders: a metered,
+    monitored replay must be byte-identical to a bare one."""
+
+    def test_identical_outcomes_counters_and_revenue(self, workload, mode):
+        bare_engine = engine_for(workload, mode, NoopTracer())
+        registry = MetricsRegistry(window_s=3600.0)
+        metered_engine = engine_for(
+            workload, mode, NoopTracer(), metrics=registry
+        )
+        register_users(bare_engine, workload)
+        register_users(metered_engine, workload)
+        monitor = HealthMonitor(
+            registry, SloSpec(stage_p99_ms={"delivery": 50.0})
+        )
+
+        def on_interval(now, wall_seconds):
+            monitor.evaluate(now, wall_seconds=wall_seconds)
+
+        bare_metrics, bare_results = run_stream(bare_engine, workload)
+        metered_metrics, metered_results = run_stream(
+            metered_engine,
+            workload,
+            interval_s=3600.0,
+            on_interval=on_interval,
+        )
+
+        assert canonical(bare_results) == canonical(metered_results)
+        assert bare_metrics.posts == metered_metrics.posts
+        assert bare_metrics.deliveries == metered_metrics.deliveries
+        assert bare_metrics.impressions == metered_metrics.impressions
+        assert bare_engine.stats.revenue == pytest.approx(
+            metered_engine.stats.revenue, abs=1e-12
+        )
+        # The registry's counters reconcile exactly with the stream's.
+        assert registry.counter("posts") == metered_metrics.posts
+        assert registry.counter("deliveries") == metered_metrics.deliveries
+        assert registry.counter("impressions") == metered_metrics.impressions
+        assert registry.counter("revenue") == pytest.approx(
+            metered_engine.stats.revenue, abs=1e-9
+        )
+        # The monitor saw at least one interval; the bare run carried no
+        # telemetry at all (noop default preserved).
+        assert monitor.intervals >= 1
+        assert metered_metrics.telemetry is not None
+        assert bare_metrics.telemetry is None
+
+
 class TestBatchedAndShardedTracing:
     def test_batched_run_reconciles(self, workload):
         tracer = RecordingTracer()
@@ -179,3 +235,26 @@ class TestBatchedAndShardedTracing:
         # busy-time imbalance is defined (and 1.0-ish territory, not inf)
         assert traced.load_imbalance(stage="personalize") >= 1.0
         assert noop.load_imbalance(stage="personalize") == 1.0  # no spans → neutral
+
+    def test_sharded_metrics_rollup(self, workload):
+        config = EngineConfig(pacing_enabled=False)
+        registry = MetricsRegistry(window_s=3600.0)
+        bare = ShardedEngine(workload, 3, config=config)
+        metered = ShardedEngine(workload, 3, config=config, metrics=registry)
+        for post in workload.posts[:40]:
+            bare_results = bare.post(post.author_id, post.text, post.timestamp)
+            metered_results = metered.post(post.author_id, post.text, post.timestamp)
+            assert canonical(bare_results) == canonical(metered_results)
+
+        merged = metered.metrics
+        total_deliveries = sum(s.deliveries for s in metered.stats_by_shard())
+        assert merged.counter("deliveries") == total_deliveries
+        # posts count per shard-touch, mirroring per-shard engine stats
+        assert merged.counter("posts") == sum(
+            engine.stats.posts for engine in metered._shards
+        )
+        # per-shard registries sum to the merged view
+        by_shard = metered.metrics_by_shard()
+        assert sum(r.counter("deliveries") for r in by_shard) == total_deliveries
+        # the unmetered router exposes the shared null registry
+        assert not bare.metrics.enabled

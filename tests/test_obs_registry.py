@@ -1,0 +1,135 @@
+"""Tests for the live metrics registry and its null counterpart."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.registry import (
+    NULL_METRICS,
+    MetricsRegistry,
+    NullMetrics,
+    RegistrySnapshot,
+)
+
+
+class TestCountersAndGauges:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("deliveries")
+        registry.inc("deliveries", 4)
+        registry.inc("revenue", 2.5)
+        assert registry.counter("deliveries") == 5.0
+        assert registry.counter("revenue") == 2.5
+        assert registry.counter("missing") == 0.0
+
+    def test_negative_increment_rejected(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry().inc("deliveries", -1.0)
+
+    def test_gauges_overwrite(self):
+        registry = MetricsRegistry()
+        registry.set_gauge("queue_depth", 3.0)
+        registry.set_gauge("queue_depth", 1.0)
+        assert registry.gauge("queue_depth") == 1.0
+        assert registry.gauge("missing", 7.0) == 7.0
+
+
+class TestWindowedHistograms:
+    def test_histograms_created_with_registry_geometry(self):
+        registry = MetricsRegistry(window_s=30.0, num_buckets=3)
+        sketch = registry.histogram("stage_delivery")
+        assert sketch.window_s == 30.0
+        assert sketch.num_buckets == 3
+        assert registry.histogram("stage_delivery") is sketch  # cached
+
+    def test_observe_stage_prefixes(self):
+        registry = MetricsRegistry()
+        registry.observe_stage("delivery", 0.002, at=5.0)
+        assert registry.histogram_names() == ["stage_delivery"]
+        assert registry.histogram("stage_delivery").total_count == 1
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ConfigError):
+            MetricsRegistry(window_s=0.0)
+
+
+class TestHierarchy:
+    def test_spawn_merge_rolls_up_all_metric_kinds(self):
+        parent = MetricsRegistry(window_s=60.0)
+        children = [parent.spawn() for _ in range(3)]
+        for shard, child in enumerate(children):
+            child.inc("deliveries", 10 * (shard + 1))
+            child.set_gauge("active", 1.0)
+            child.observe("latency", 0.001 * (shard + 1), at=float(shard))
+        for child in children:
+            parent.merge(child)
+        assert parent.counter("deliveries") == 60.0
+        assert parent.gauge("active") == 3.0  # gauges add across shards
+        assert parent.histogram("latency").total_count == 3
+
+    def test_merge_null_is_noop(self):
+        parent = MetricsRegistry()
+        parent.inc("posts")
+        parent.merge(NULL_METRICS)
+        assert parent.counter("posts") == 1.0
+
+    def test_merge_geometry_mismatch_propagates(self):
+        parent = MetricsRegistry(window_s=60.0)
+        other = MetricsRegistry(window_s=30.0)
+        other.observe("latency", 0.001, at=0.0)
+        parent.observe("latency", 0.001, at=0.0)
+        with pytest.raises(ConfigError):
+            parent.merge(other)
+
+
+class TestSnapshot:
+    def test_snapshot_freezes_everything(self):
+        registry = MetricsRegistry(window_s=60.0)
+        registry.inc("deliveries", 5)
+        registry.set_gauge("active", 2.0)
+        for value in (0.001, 0.002, 0.003):
+            registry.observe_stage("delivery", value, at=10.0)
+        snapshot = registry.snapshot(10.0)
+        assert isinstance(snapshot, RegistrySnapshot)
+        assert snapshot.at == 10.0
+        assert snapshot.counters["deliveries"] == 5.0
+        stats = snapshot.windows["stage_delivery"]
+        assert stats.count == stats.total_count == 3
+        assert 0.001 <= stats.p50 <= stats.p99 <= stats.max_value * 1.01
+        with pytest.raises(TypeError):
+            snapshot.counters["deliveries"] = 0.0  # read-only view
+
+    def test_snapshot_defaults_to_latest_sample_time(self):
+        registry = MetricsRegistry(window_s=10.0)
+        registry.observe("latency", 0.5, at=123.0)
+        assert registry.snapshot().at == 123.0
+        assert MetricsRegistry().snapshot().at == 0.0
+
+    def test_snapshot_to_dict_is_json_shaped(self):
+        registry = MetricsRegistry()
+        registry.inc("posts")
+        registry.observe("latency", 0.1, at=1.0)
+        payload = registry.snapshot(1.0).to_dict()
+        assert payload["counters"] == {"posts": 1.0}
+        assert "latency" in payload["windows"]
+        assert payload["windows"]["latency"]["count"] == 1
+
+
+class TestNullMetrics:
+    def test_disabled_and_inert(self):
+        null = NullMetrics()
+        assert not null.enabled
+        null.inc("x")
+        null.set_gauge("y", 1.0)
+        null.observe("z", 1.0, at=0.0)
+        null.observe_stage("delivery", 1.0, at=0.0)
+        assert null.counter("x") == 0.0
+        assert null.gauge("y") == 0.0
+        assert null.spawn() is null
+        snapshot = null.snapshot()
+        assert snapshot.counters == {} and snapshot.windows == {}
+
+    def test_shared_singleton(self):
+        assert NULL_METRICS.spawn() is NULL_METRICS
+        assert not NULL_METRICS.enabled

@@ -87,6 +87,16 @@ class TestRecordingTracer:
         parent.merge(NoopTracer())
         assert parent.spans("charge") == 1
 
+    def test_merge_relative_error_mismatch_raises(self):
+        from repro.errors import ConfigError
+
+        parent = RecordingTracer(relative_error=0.01)
+        other = RecordingTracer(relative_error=0.05)
+        other.record("charge", 0.1)
+        with pytest.raises(ConfigError, match="relative_error"):
+            parent.merge(other)
+        assert parent.spans("charge") == 0  # rejected merge left no residue
+
     def test_known_taxonomy(self):
         assert STAGES == (
             "vectorize",

@@ -1,0 +1,163 @@
+"""Property and unit tests for the sliding-window quantile sketch.
+
+The two load-bearing invariants, pinned with hypothesis:
+
+* **expiry** — a read at ``now`` reflects exactly the samples whose
+  bucket epoch lies in the trailing window; everything older has zero
+  influence on any quantile;
+* **lossless roll-up** — for samples inside one window, merging two
+  same-geometry sketches is byte-identical (as a sketch snapshot) to
+  recording every sample into one sketch — the property the per-shard
+  registry roll-up rides on.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.obs.histogram import QuantileSketch
+from repro.obs.window import WindowedSketch
+
+VALUES = st.floats(min_value=1e-4, max_value=100.0, allow_nan=False)
+SAMPLES = st.lists(
+    st.tuples(VALUES, st.floats(min_value=0.0, max_value=1000.0)),
+    min_size=1,
+    max_size=80,
+)
+
+PROPERTY_SETTINGS = settings(max_examples=40, deadline=None)
+
+
+def reference_sketch(values, relative_error=0.01) -> QuantileSketch:
+    sketch = QuantileSketch(relative_error)
+    for value in values:
+        sketch.record(value)
+    return sketch
+
+
+def assert_same_sketch(actual: QuantileSketch, expected: QuantileSketch) -> None:
+    """Snapshot equality, with ``sum`` compared tolerantly: merge adds
+    per-bucket partial sums, so its float addition order differs from
+    sequential recording by ulps. Everything quantiles depend on (bucket
+    counts, zero count, max) must match exactly."""
+    got, want = actual.to_dict(), expected.to_dict()
+    got_sum, want_sum = got.pop("sum"), want.pop("sum")
+    assert got == want
+    assert got_sum == pytest.approx(want_sum, rel=1e-9, abs=1e-12)
+
+
+class TestExpiryProperty:
+    @PROPERTY_SETTINGS
+    @given(samples=SAMPLES, lag=st.floats(min_value=0.0, max_value=500.0))
+    def test_only_trailing_window_samples_influence_quantiles(self, samples, lag):
+        # Stream order (non-decreasing time) is the simulator's contract;
+        # under it, slot rotation only ever drops already-expired epochs.
+        samples = sorted(samples, key=lambda pair: pair[1])
+        window = WindowedSketch(60.0, num_buckets=6)
+        for value, at in samples:
+            window.record(value, at)
+        now = samples[-1][1] + lag
+
+        live = window.live_epochs(now)
+        expected = [
+            value for value, at in samples if window.epoch_of(at) in live
+        ]
+        merged = window.merged(now)
+        assert merged.count == len(expected) == window.count(now)
+        # Same multiset into same-geometry sketches → identical snapshots,
+        # hence identical answers for every quantile.
+        assert_same_sketch(merged, reference_sketch(expected))
+
+    @PROPERTY_SETTINGS
+    @given(samples=SAMPLES)
+    def test_total_count_never_forgets(self, samples):
+        window = WindowedSketch(10.0, num_buckets=4)
+        for value, at in sorted(samples, key=lambda pair: pair[1]):
+            window.record(value, at)
+        assert window.total_count == len(samples)
+        assert window.count(samples[-1][1] + 1e9) == 0  # far future: all expired
+
+
+class TestMergeProperty:
+    @PROPERTY_SETTINGS
+    @given(
+        samples=st.lists(
+            st.tuples(VALUES, st.floats(min_value=0.0, max_value=59.999)),
+            min_size=1,
+            max_size=60,
+        ),
+        split=st.integers(min_value=0, max_value=60),
+    )
+    def test_merge_equals_concatenation_within_window(self, samples, split):
+        samples = sorted(samples, key=lambda pair: pair[1])
+        left = WindowedSketch(60.0, num_buckets=6)
+        right = WindowedSketch(60.0, num_buckets=6)
+        for value, at in samples[:split]:
+            left.record(value, at)
+        for value, at in samples[split:]:
+            right.record(value, at)
+        left.merge(right)
+
+        combined = WindowedSketch(60.0, num_buckets=6)
+        for value, at in samples:
+            combined.record(value, at)
+        now = samples[-1][1]
+        assert left.total_count == len(samples)
+        assert_same_sketch(left.merged(now), combined.merged(now))
+
+    def test_merge_geometry_mismatch_raises(self):
+        base = WindowedSketch(60.0, num_buckets=6)
+        for other in (
+            WindowedSketch(30.0, num_buckets=6),
+            WindowedSketch(60.0, num_buckets=5),
+            WindowedSketch(60.0, num_buckets=6, relative_error=0.05),
+        ):
+            with pytest.raises(ConfigError):
+                base.merge(other)
+
+    def test_merge_newer_epoch_wins_per_slot(self):
+        # Same slot, epochs one full ring apart: the newer bucket's
+        # samples must survive, the older's must not resurface.
+        old = WindowedSketch(4.0, num_buckets=4)  # bucket_s = 1
+        new = WindowedSketch(4.0, num_buckets=4)
+        old.record(1.0, 0.5)  # epoch 0, slot 0
+        new.record(2.0, 4.5)  # epoch 4, slot 0
+        old.merge(new)
+        merged = old.merged(4.5)
+        assert merged.count == 1
+        assert merged.max() == pytest.approx(2.0, rel=0.02)
+
+
+class TestRingMechanics:
+    def test_rotation_drops_expired_bucket(self):
+        window = WindowedSketch(3.0, num_buckets=3)  # bucket_s = 1
+        window.record(5.0, 0.1)  # epoch 0
+        window.record(1.0, 1.1)  # epoch 1
+        assert window.count(1.1) == 2
+        window.record(1.0, 3.2)  # epoch 3 reclaims slot 0
+        assert window.count(3.2) == 2  # epochs 1..3 live, epoch 0 gone
+        assert window.max(3.2) == pytest.approx(1.0, rel=0.02)
+
+    def test_read_before_any_samples(self):
+        window = WindowedSketch(10.0)
+        assert window.count() == 0
+        assert window.p99() == 0.0
+        assert window.latest_at == -math.inf
+
+    def test_epoch_and_live_range(self):
+        window = WindowedSketch(60.0, num_buckets=6)  # bucket_s = 10
+        assert window.epoch_of(0.0) == 0
+        assert window.epoch_of(59.9) == 5
+        assert list(window.live_epochs(59.9)) == [0, 1, 2, 3, 4, 5]
+        assert list(window.live_epochs(60.0)) == [1, 2, 3, 4, 5, 6]
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            WindowedSketch(0.0)
+        with pytest.raises(ConfigError):
+            WindowedSketch(10.0, num_buckets=0)

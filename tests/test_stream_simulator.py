@@ -156,6 +156,75 @@ class TestBatchedSimulator:
         assert len(metrics.post_latency) == 4
 
 
+class TestIntervalSampling:
+    def _posts_at(self, timestamps):
+        return [
+            Post(msg_id=i, author_id=i, text="x", timestamp=t)
+            for i, t in enumerate(timestamps)
+        ]
+
+    def test_hook_fires_at_stream_boundaries(self):
+        handler = _RecordingHandler()
+        ticks: list[tuple[float, int]] = []
+        FeedSimulator(handler).run(
+            self._posts_at([0.0, 5.0, 10.0, 25.0]),
+            interval_s=10.0,
+            on_interval=lambda now, wall: ticks.append((now, len(handler.events))),
+        )
+        # Boundaries at first_event + k*10; a tick covers events strictly
+        # before it, and a final tick captures the trailing partial interval.
+        assert [now for now, _ in ticks] == [10.0, 20.0, 25.0]
+        assert [seen for _, seen in ticks] == [2, 3, 4]
+
+    def test_wall_seconds_are_non_negative_deltas(self):
+        walls: list[float] = []
+        FeedSimulator(_RecordingHandler()).run(
+            self._posts_at([0.0, 30.0]),
+            interval_s=10.0,
+            on_interval=lambda now, wall: walls.append(wall),
+        )
+        assert len(walls) == 4  # boundaries 10, 20, 30 + final tick
+        assert all(wall >= 0.0 for wall in walls)
+
+    def test_pending_batch_flushed_before_tick(self):
+        handler = _BatchingHandler()
+        ticks: list[tuple[float, list[int]]] = []
+        FeedSimulator(handler).run(
+            self._posts_at([0.0, 5.0, 10.0, 25.0]),
+            batch_size=10,
+            interval_s=10.0,
+            on_interval=lambda now, wall: ticks.append((now, list(handler.batches))),
+        )
+        # Every tick observes all events before its boundary already
+        # flushed, never waiting on the batch to fill.
+        assert ticks == [(10.0, [2]), (20.0, [2, 1]), (25.0, [2, 1, 1])]
+
+    def test_empty_stream_never_ticks(self):
+        ticks: list[float] = []
+        metrics = FeedSimulator(_RecordingHandler()).run(
+            [], interval_s=10.0, on_interval=lambda now, wall: ticks.append(now)
+        )
+        assert ticks == []
+        assert metrics.posts == 0
+
+    def test_interval_and_hook_must_travel_together(self):
+        simulator = FeedSimulator(_RecordingHandler())
+        with pytest.raises(ConfigError):
+            simulator.run(self._posts_at([0.0]), interval_s=10.0)
+        with pytest.raises(ConfigError):
+            simulator.run(
+                self._posts_at([0.0]), on_interval=lambda now, wall: None
+            )
+
+    def test_non_positive_interval_rejected(self):
+        with pytest.raises(ConfigError):
+            FeedSimulator(_RecordingHandler()).run(
+                self._posts_at([0.0]),
+                interval_s=0.0,
+                on_interval=lambda now, wall: None,
+            )
+
+
 class TestStreamMetrics:
     def test_rates(self):
         metrics = StreamMetrics(posts=10, deliveries=100, wall_seconds=2.0)

@@ -60,6 +60,13 @@ class TestLatencyRecorder:
         assert recorder.p50() == 5.0
         assert recorder.p99() == 5.0
 
+    def test_p95_is_the_95th_percentile(self):
+        recorder = LatencyRecorder()
+        for value in range(1, 101):  # 1..100
+            recorder.record(float(value))
+        assert recorder.p95() == recorder.percentile(95.0) == 95.0
+        assert recorder.p50() <= recorder.p95() <= recorder.p99()
+
     def test_merge(self):
         first = LatencyRecorder()
         first.record(1.0)
