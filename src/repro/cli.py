@@ -17,7 +17,15 @@ Add ``--slo`` to grade each interval against p99/throughput targets
 (``--slo-p99-ms stage=ms``, ``--slo-min-dps``) and finish with an
 OK / DEGRADED / OVERLOADED verdict; ``--metrics-out`` appends one JSON
 line per interval and ``--prom-out`` writes the final snapshot in
-Prometheus text exposition format.
+Prometheus text exposition format. A failing run-level verdict exits
+nonzero, so scripts and CI can gate on SLO compliance.
+
+``replay --qos`` closes the loop: a
+:class:`~repro.qos.controller.QosController` steps a degradation ladder
+from the interval grades (shrink the over-fetch, shrink the slate, skip
+the certificate fallback, serve candidates-only, shed) and, with
+``--qos-rate``, puts a value-aware admission controller in front of the
+fan-out. The dashboard line then shows the live rung.
 """
 
 from __future__ import annotations
@@ -97,7 +105,7 @@ def _parse_slo_targets(entries: Sequence[str] | None) -> dict[str, float]:
     return targets
 
 
-def _dashboard_line(snapshot, report) -> str:
+def _dashboard_line(snapshot, report, controller=None) -> str:
     """One fixed-width live dashboard line per sampling interval."""
     delivery = snapshot.windows.get("stage_delivery")
     p99_ms = delivery.p99 * 1e3 if delivery is not None and delivery.count else 0.0
@@ -111,7 +119,34 @@ def _dashboard_line(snapshot, report) -> str:
         parts.append(f"dps={report.deliveries_per_s:>9.1f}")
         parts.append(f"burn={report.burn_rate:5.2f}")
         parts.append(f"[{report.state.value.upper()}]")
+    if controller is not None:
+        parts.append(
+            f"rung={controller.rung_index}:{controller.rung.name}"
+        )
     return "  ".join(parts)
+
+
+def _build_qos_controller(args: argparse.Namespace):
+    """Wire the ``--qos`` flags into a QoS controller (None without --qos)."""
+    if not args.qos:
+        return None
+    from repro.qos import AdmissionController, DegradationLadder, QosController
+
+    admission = None
+    if args.qos_rate > 0.0:
+        admission = AdmissionController(
+            rate_per_s=args.qos_rate,
+            burst_s=args.qos_burst_s,
+            max_queue_s=args.qos_queue_s,
+        )
+    ladder = DegradationLadder(
+        floor=args.qos_floor if args.qos_floor is not None else None
+    )
+    return QosController(
+        ladder=ladder,
+        admission=admission,
+        recover_after=args.qos_recover_after,
+    )
 
 
 def _replay_live(
@@ -119,7 +154,7 @@ def _replay_live(
 ) -> int:
     """The ``replay --live`` path: windowed registry, interval dashboard,
     optional SLO grading and timeseries/Prometheus sinks."""
-    from repro.obs.health import HealthMonitor, SloSpec
+    from repro.obs.health import HealthMonitor, HealthState, SloSpec
     from repro.obs.prometheus import TimeseriesWriter, render_prometheus
     from repro.obs.registry import MetricsRegistry
 
@@ -131,9 +166,10 @@ def _replay_live(
     interval = args.interval if args.interval else max(span / 12.0, 1e-6)
     window = args.window if args.window else interval * 5.0
     registry = MetricsRegistry(window_s=window)
+    controller = _build_qos_controller(args)
 
     monitor = None
-    if args.slo:
+    if args.slo or controller is not None:  # --qos needs grades to react to
         targets = _parse_slo_targets(args.slo_p99_ms)
         if not targets and args.slo_min_dps <= 0.0:
             # A bare --slo still needs something to judge: a permissive
@@ -150,7 +186,8 @@ def _replay_live(
 
     print(
         f"live replay: mode={args.mode} interval={interval:g}s "
-        f"window={window:g}s slo={'on' if monitor else 'off'}"
+        f"window={window:g}s slo={'on' if monitor else 'off'} "
+        f"qos={'on' if controller else 'off'}"
     )
 
     def on_interval(now: float, wall_seconds: float) -> None:
@@ -158,7 +195,11 @@ def _replay_live(
         report = (
             monitor.evaluate(now, wall_seconds=wall_seconds) if monitor else None
         )
-        print(_dashboard_line(snapshot, report))
+        if controller is not None and report is not None:
+            # Closed loop: the raw interval grade steps the ladder (the
+            # controller applies its own hysteresis on top).
+            controller.observe(report.grade)
+        print(_dashboard_line(snapshot, report, controller))
         if writer is not None:
             writer.append(snapshot, health=report)
 
@@ -170,6 +211,7 @@ def _replay_live(
         metrics_registry=registry,
         interval_s=interval,
         on_interval=on_interval,
+        qos=controller,
     )
 
     rows: list[list[object]] = [
@@ -192,6 +234,16 @@ def _replay_live(
         ])
         if writer is not None:
             writer.append_summary(summary)
+    if controller is not None:
+        qos_summary = controller.summary()
+        rows.extend([
+            ["qos rung", f"{qos_summary['rung']}:{qos_summary['rung_name']}"],
+            ["qos degrade steps", qos_summary["degrade_steps"]],
+            ["qos recover steps", qos_summary["recover_steps"]],
+            ["deliveries shed", result.deliveries_shed],
+            ["deliveries degraded", result.deliveries_degraded],
+            ["revenue shed (bound)", round(result.revenue_shed_upper_bound, 4)],
+        ])
     print(ascii_table(["metric", "value"], rows, title="Replay summary"))
     if args.prom_out:
         from pathlib import Path
@@ -209,6 +261,10 @@ def _replay_live(
         for report in monitor.reports:
             for breach in report.breaches:
                 print(f"  breach @ t={report.at:.1f}s: {breach}")
+        # A failing run-level verdict fails the process: CI and scripts
+        # gate on the exit code, not on scraping the verdict line.
+        if verdict is not HealthState.OK:
+            return 1
     return 0
 
 
@@ -221,7 +277,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         collect_deliveries=False,
         charge_impressions=not args.no_charging,
     )
-    if args.live or args.slo or args.metrics_out or args.prom_out:
+    if args.live or args.slo or args.qos or args.metrics_out or args.prom_out:
         return _replay_live(args, workload, config)
     result = run_perf(
         workload, config, label=args.mode, limit_posts=args.limit
@@ -357,6 +413,46 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=0.0,
         help="deliveries/s floor for the SLO (0 disables)",
+    )
+    replay.add_argument(
+        "--qos",
+        action="store_true",
+        help="attach the QoS control plane: a degradation ladder stepped "
+        "by interval health grades, plus admission control when "
+        "--qos-rate is set (implies --live and SLO grading)",
+    )
+    replay.add_argument(
+        "--qos-rate",
+        type=float,
+        default=0.0,
+        help="admission token-bucket rate in deliveries per stream second "
+        "(0 disables admission; the ladder still runs)",
+    )
+    replay.add_argument(
+        "--qos-burst-s",
+        type=float,
+        default=1.0,
+        help="admission burst capacity in seconds of rate",
+    )
+    replay.add_argument(
+        "--qos-queue-s",
+        type=float,
+        default=0.0,
+        help="bounded stream-time queue (debt) high-value batches may "
+        "borrow into, in seconds of rate",
+    )
+    replay.add_argument(
+        "--qos-floor",
+        type=int,
+        default=None,
+        help="deepest degradation rung the ladder may reach "
+        "(default: the full ladder, down to shedding)",
+    )
+    replay.add_argument(
+        "--qos-recover-after",
+        type=int,
+        default=2,
+        help="consecutive OK intervals required to climb back one rung",
     )
     replay.add_argument(
         "--metrics-out",

@@ -16,11 +16,23 @@ measures exactly what determines real scalability:
 
 Both are reported by :meth:`ShardedEngine.stats_by_shard` and exercised by
 experiment F15.
+
+With a :class:`~repro.qos.faults.FaultInjector` attached the router also
+rehearses the failure story: dispatch to a down shard retries with
+bounded stream-time backoff, then fails over to the deterministic
+fallback (the next up shard), which serves the stranded followers
+profile-less (it holds no profile state for them) without ingesting the
+event. The down shard's missed ingestions are buffered and replayed on
+recovery, so its author profiles reconverge with the no-fault timeline;
+duplicate dispatches (lost acks under at-least-once delivery) are
+suppressed by a router-side seen set.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from time import perf_counter
+from typing import TYPE_CHECKING
 
 from collections.abc import Iterable
 
@@ -28,10 +40,14 @@ from repro.core.config import EngineConfig
 from repro.core.engine import AdEngine, PostResult
 from repro.core.pipeline import PostEvent
 from repro.datagen.workload import Workload
-from repro.errors import ConfigError
+from repro.errors import ConfigError, StreamError
 from repro.geo.point import GeoPoint
 from repro.obs.registry import NULL_METRICS, MetricsRegistry, NullMetrics
 from repro.obs.tracer import NoopTracer, StageStats, StageTracer
+
+if TYPE_CHECKING:
+    from repro.qos.controller import QosController
+    from repro.qos.faults import FaultInjector
 
 
 def hash_shard(user_id: int, num_shards: int) -> int:
@@ -53,6 +69,19 @@ class ShardStats:
     stages: tuple[StageStats, ...] = ()
 
 
+@dataclass(frozen=True, slots=True)
+class FailoverStats:
+    """Roll-up of the router's fault-handling activity (all zero without
+    an attached :class:`~repro.qos.faults.FaultInjector`)."""
+
+    retries: int = 0
+    failovers: int = 0
+    redirected_deliveries: int = 0
+    duplicates_suppressed: int = 0
+    reintegrated_events: int = 0
+    pending_reintegration: int = 0
+
+
 class ShardedEngine:
     """A router over ``num_shards`` independent :class:`AdEngine` replicas."""
 
@@ -64,9 +93,23 @@ class ShardedEngine:
         config: EngineConfig | None = None,
         tracer: StageTracer | None = None,
         metrics: "MetricsRegistry | None" = None,
+        faults: "FaultInjector | None" = None,
+        qos: "QosController | None" = None,
+        max_retries: int = 3,
+        backoff_s: float = 0.05,
     ) -> None:
+        """``faults`` attaches a fault plan the router consults on every
+        dispatch; ``qos`` attaches one cluster-wide QoS controller shared
+        by every shard (admission then rate-limits the whole cluster).
+        ``max_retries``/``backoff_s`` bound the stream-time exponential
+        backoff a dispatch spends probing a down shard before failover.
+        """
         if num_shards < 1:
             raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        if max_retries < 0:
+            raise ConfigError(f"max_retries must be >= 0, got {max_retries}")
+        if backoff_s <= 0.0:
+            raise ConfigError(f"backoff_s must be positive, got {backoff_s}")
         self.num_shards = num_shards
         self._workload = workload
         self._shard_of: dict[int, int] = {}
@@ -110,6 +153,7 @@ class ShardedEngine:
                     if self._metrics.enabled
                     else None
                 ),
+                qos=qos,
             )
             # Every shard knows every user's location (cheap broadcast
             # state); only the owning shard accumulates feed contexts.
@@ -119,6 +163,19 @@ class ShardedEngine:
         self._posts_routed = 0
         self._shard_touches = 0
         self._next_msg_id = 0
+        # Fault handling state (inert when no injector is attached).
+        self._faults = faults
+        self._qos = qos
+        self._max_retries = max_retries
+        self._backoff_s = backoff_s
+        self._seen: set[tuple[int, int]] = set()  # (msg_id, home shard)
+        self._down_buffers: dict[int, list[PostEvent]] = {}
+        self._dispatch_seconds = [0.0] * num_shards
+        self._retries = 0
+        self._failovers = 0
+        self._redirected_deliveries = 0
+        self._duplicates_suppressed = 0
+        self._reintegrated_events = 0
 
     def shard_of(self, user_id: int) -> int:
         shard = self._shard_of.get(user_id)
@@ -147,13 +204,106 @@ class ShardedEngine:
             author_id, text, timestamp, msg_id=msg_id
         )
 
+    # -- fault-aware dispatch ------------------------------------------------
+
+    def _reintegrate(self, now: float) -> None:
+        """Replay buffered ingestions on shards that have recovered, in
+        arrival order, before they take any new traffic — the recovered
+        shard's author profiles reconverge with the no-fault timeline."""
+        if not self._down_buffers:
+            return
+        for shard in sorted(self._down_buffers):
+            if self._faults.is_down(shard, now):
+                continue
+            engine = self._shards[shard]
+            events = self._down_buffers.pop(shard)
+            for event in events:
+                engine.ingest_event(event)
+            self._reintegrated_events += len(events)
+
+    def _resolve(self, home: int, now: float) -> tuple[int, bool]:
+        """The shard that will serve a dispatch aimed at ``home``: retry
+        the home shard with bounded stream-time exponential backoff, then
+        fail over to the deterministic fallback (the next up shard)."""
+        faults = self._faults
+        if not faults.is_down(home, now):
+            return home, False
+        delay = self._backoff_s
+        for _ in range(self._max_retries):
+            self._retries += 1
+            if not faults.is_down(home, now + delay):
+                return home, False
+            delay *= 2.0
+        for offset in range(1, self.num_shards):
+            candidate = (home + offset) % self.num_shards
+            if not faults.is_down(candidate, now):
+                self._failovers += 1
+                return candidate, True
+        raise StreamError(
+            f"no shard available at t={now}: all {self.num_shards} are down"
+        )
+
+    def _dispatch(self, event: PostEvent, home: int) -> PostResult | None:
+        """One fault-injected dispatch of ``event`` to ``home``'s fan-out.
+
+        Returns ``None`` for a suppressed duplicate. A redirected dispatch
+        does NOT ingest on the fallback shard (the home shard's buffered
+        replay is the only profile update, preserving post-recovery
+        parity) and serves profile-less candidates-only slates.
+        """
+        faults = self._faults
+        if faults is None:
+            return self._shards[home].post_event(event)
+        key = (event.msg_id, home)
+        if key in self._seen:
+            self._duplicates_suppressed += 1
+            return None
+        self._seen.add(key)
+        self._reintegrate(event.timestamp)
+        target, redirected = self._resolve(home, event.timestamp)
+        started = perf_counter()
+        if redirected:
+            self._down_buffers.setdefault(home, []).append(event)
+            followers = self._shards[home].graph.followers(event.author_id)
+            result = self._shards[target].deliver_event_to(
+                event, sorted(followers), ingest=False, candidates_only=True
+            )
+            self._redirected_deliveries += result.num_deliveries
+        else:
+            result = self._shards[target].post_event(event)
+        elapsed = perf_counter() - started
+        factor = faults.slowdown_factor(target, event.timestamp)
+        if factor > 1.0:
+            # Stretch the shard's service time in place: the slowdown has
+            # to show up as real busy-time skew for the imbalance and SLO
+            # telemetry to see it.
+            deadline = started + elapsed * factor
+            while perf_counter() < deadline:
+                pass
+            elapsed = perf_counter() - started
+        self._dispatch_seconds[target] += elapsed
+        return result
+
     def post(self, author_id: int, text: str, timestamp: float) -> list[PostResult]:
         """Route one post to every shard owning a follower."""
         event = self._event_for(author_id, text, timestamp)
         touched = self._route(author_id)
         self._posts_routed += 1
         self._shard_touches += len(touched)
-        return [self._shards[shard].post_event(event) for shard in touched]
+        faults = self._faults
+        if faults is None:
+            return [self._shards[shard].post_event(event) for shard in touched]
+        results: list[PostResult] = []
+        duplicate = faults.should_duplicate(event.msg_id)
+        for shard in touched:
+            outcome = self._dispatch(event, shard)
+            if outcome is not None:
+                results.append(outcome)
+            if duplicate:  # lost ack: at-least-once delivery re-sends
+                echo = self._dispatch(event, shard)
+                if echo is not None:
+                    results.append(echo)
+        return results
 
     def post_batch(self, posts: Iterable) -> list[list[PostResult]]:
         """Route a timestamp-ordered batch of posts (objects with
@@ -176,10 +326,21 @@ class ShardedEngine:
                 by_shard.setdefault(shard, []).append(position)
 
         results: list[list[PostResult]] = [[] for _ in routed]
+        faults = self._faults
         for shard, positions in sorted(by_shard.items()):
             engine = self._shards[shard]
             for position in positions:
-                results[position].append(engine.post_event(routed[position][0]))
+                event = routed[position][0]
+                if faults is None:
+                    results[position].append(engine.post_event(event))
+                    continue
+                outcome = self._dispatch(event, shard)
+                if outcome is not None:
+                    results[position].append(outcome)
+                if faults.should_duplicate(event.msg_id):
+                    echo = self._dispatch(event, shard)
+                    if echo is not None:
+                        results[position].append(echo)
         return results
 
     def checkin(self, user_id: int, point: GeoPoint, timestamp: float) -> None:
@@ -216,6 +377,40 @@ class ShardedEngine:
 
     def stage_report_by_shard(self) -> list[dict[str, StageStats]]:
         return [tracer.snapshot() for tracer in self._shard_tracers]
+
+    @property
+    def qos(self) -> "QosController | None":
+        """The cluster-wide QoS controller (shared by every shard)."""
+        return self._qos
+
+    def failover_stats(self) -> FailoverStats:
+        """Roll-up of retries, failovers, redirected deliveries, suppressed
+        duplicates and reintegration progress under fault injection."""
+        return FailoverStats(
+            retries=self._retries,
+            failovers=self._failovers,
+            redirected_deliveries=self._redirected_deliveries,
+            duplicates_suppressed=self._duplicates_suppressed,
+            reintegrated_events=self._reintegrated_events,
+            pending_reintegration=sum(
+                len(buffer) for buffer in self._down_buffers.values()
+            ),
+        )
+
+    def reintegrate_now(self, now: float) -> int:
+        """Force reintegration of any recovered shards at stream time
+        ``now`` (end-of-run flush when no further traffic will trigger
+        it); returns how many buffered events were replayed."""
+        if self._faults is None:
+            return 0
+        before = self._reintegrated_events
+        self._reintegrate(now)
+        return self._reintegrated_events - before
+
+    def dispatch_seconds_by_shard(self) -> list[float]:
+        """Per-shard wall time spent serving dispatches (slowdown faults
+        stretch it — the busy-time skew signal). All zero without faults."""
+        return list(self._dispatch_seconds)
 
     def amplification(self) -> float:
         """Mean number of shards touched per post (1.0 = free scale-out)."""

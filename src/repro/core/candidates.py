@@ -53,11 +53,20 @@ class SharedCandidateGenerator:
         self.overfetch = overfetch
         self.probes = 0
 
-    def generate(self, message_vec: SparseVector) -> CandidateSet:
-        """Content top-``overfetch`` for one message vector."""
+    def generate(
+        self, message_vec: SparseVector, *, depth: int | None = None
+    ) -> CandidateSet:
+        """Content top-``overfetch`` for one message vector. ``depth``
+        overrides the configured over-fetch for this probe only (the QoS
+        ladder shrinks K′ under load); the cutoff certificate stays sound
+        at any depth — a shallower probe just certifies less often."""
+        if depth is None:
+            depth = self.overfetch
+        elif depth < 1:
+            raise ConfigError(f"depth must be >= 1, got {depth}")
         self.probes += 1
-        results = self._searcher.search(message_vec, self.overfetch)
-        complete = len(results) < self.overfetch
+        results = self._searcher.search(message_vec, depth)
+        complete = len(results) < depth
         cutoff = 0.0 if complete else results[-1].score
         return CandidateSet(
             entries=tuple((entry.item, entry.score) for entry in results),

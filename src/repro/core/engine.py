@@ -42,6 +42,7 @@ from repro.index.inverted import AdInvertedIndex
 from repro.obs.registry import NULL_METRICS, MetricsRegistry, NullMetrics
 from repro.obs.tracer import NoopTracer, StageTracer
 from repro.profiles.profile import ProfileStore
+from repro.qos.controller import QosController
 from repro.stream.clock import SimClock
 from repro.text.tokenizer import Tokenizer
 from repro.text.vectorizer import TfidfVectorizer
@@ -64,11 +65,19 @@ class DeliveryResult:
     certified: bool
     fell_back: bool
     exact: bool = False
+    degraded: bool = False
 
 
 @dataclass(frozen=True, slots=True)
 class PostResult:
-    """Everything that happened when one message was posted."""
+    """Everything that happened when one message was posted.
+
+    The QoS fields stay at their zero defaults unless a
+    :class:`~repro.qos.controller.QosController` is attached:
+    ``num_deliveries`` then counts *admitted* deliveries only, with
+    ``num_shed`` holding the rest of the fan-out and ``revenue_shed``
+    the upper bound on what those shed slates could have earned.
+    """
 
     msg_id: int
     author_id: int
@@ -77,6 +86,9 @@ class PostResult:
     num_impressions: int
     revenue: float
     deliveries: tuple[DeliveryResult, ...]
+    num_shed: int = 0
+    num_degraded: int = 0
+    revenue_shed: float = 0.0
 
 
 class AdEngine:
@@ -93,6 +105,7 @@ class AdEngine:
         text_vectorizer=None,
         tracer: StageTracer | None = None,
         metrics: "MetricsRegistry | None" = None,
+        qos: "QosController | None" = None,
     ) -> None:
         """``text_vectorizer`` (optional ``str -> sparse vector``) replaces
         the default tokenize→TF-IDF pipeline — how the concept-enriched
@@ -104,6 +117,10 @@ class AdEngine:
         ``metrics`` (optional :class:`~repro.obs.registry.MetricsRegistry`)
         is the live side: windowed per-stage latency histograms plus
         posts/deliveries/impressions/revenue counters, disabled by default.
+        ``qos`` (optional :class:`~repro.qos.controller.QosController`)
+        attaches the QoS control plane — admission control and the
+        degradation ladder; with the ``None`` default the delivery path is
+        byte-identical to an engine without one.
         """
         config = config or EngineConfig()
         self.vectorizer = vectorizer
@@ -142,6 +159,7 @@ class AdEngine:
             users=UserStateStore(graph),
             tracer=tracer or NoopTracer(),
             metrics=metrics if metrics is not None else NULL_METRICS,
+            qos=qos,
         )
         probe_depth = (
             config.overfetch
@@ -215,6 +233,10 @@ class AdEngine:
     def metrics(self) -> "MetricsRegistry | NullMetrics":
         return self.services.metrics
 
+    @property
+    def qos(self) -> "QosController | None":
+        return self.services.qos
+
     # -- user management ---------------------------------------------------
 
     def register_user(self, user_id: int, location: GeoPoint | None = None) -> None:
@@ -283,7 +305,40 @@ class AdEngine:
         self._ingest(event)
         followers = sorted(self.graph.followers(event.author_id))
         outcomes = self.pipeline.deliver_batch(event, followers)
-        return self._assemble_result(event, followers, outcomes)
+        return self._assemble_result(event, outcomes)
+
+    def ingest_event(self, event: PostEvent) -> None:
+        """Apply an event's stream bookkeeping (clock, watermark, author
+        profile) without delivering — the shard-reintegration entry point:
+        a recovered shard replays the ingestion it missed so its author
+        profiles converge with the no-fault timeline."""
+        self._ingest(event)
+
+    def deliver_event_to(
+        self,
+        event: PostEvent,
+        followers: Sequence[int],
+        *,
+        ingest: bool = False,
+        candidates_only: bool = False,
+    ) -> PostResult:
+        """Fan one event out to an explicit follower list.
+
+        The failover entry point: a fallback shard serves another shard's
+        followers without ingesting the event (``ingest=False``), so the
+        home shard's eventual reintegration replay is the only profile
+        update and post-recovery state matches the no-fault run.
+        ``candidates_only=True`` serves the shared profile-less slate —
+        the fallback shard holds no profile state for foreign followers.
+        """
+        if ingest:
+            self._ingest(event)
+        else:
+            self.services.clock.advance_to_at_least(event.timestamp)
+        outcomes = self.pipeline.deliver_batch(
+            event, sorted(followers), candidates_only=candidates_only
+        )
+        return self._assemble_result(event, outcomes)
 
     def post_batch(
         self, posts: Iterable, *, results: bool = True
@@ -324,16 +379,18 @@ class AdEngine:
     def _assemble_result(
         self,
         event: PostEvent,
-        followers: Sequence[int],
         outcomes: Sequence[DeliveryOutcome],
     ) -> PostResult:
         num_impressions = 0
+        num_degraded = 0
         revenue = 0.0
         deliveries: list[DeliveryResult] = []
         collect = self.config.collect_deliveries
         for outcome in outcomes:
             num_impressions += len(outcome.slate)
             revenue += outcome.revenue
+            if outcome.degraded:
+                num_degraded += 1
             if collect:
                 deliveries.append(
                     DeliveryResult(
@@ -342,16 +399,21 @@ class AdEngine:
                         certified=outcome.certified,
                         fell_back=outcome.fell_back,
                         exact=outcome.exact,
+                        degraded=outcome.degraded,
                     )
                 )
+        num_shed, revenue_shed = self.pipeline.pop_batch_shed()
         return PostResult(
             msg_id=event.msg_id,
             author_id=event.author_id,
             timestamp=event.timestamp,
-            num_deliveries=len(followers),
+            num_deliveries=len(outcomes),
             num_impressions=num_impressions,
             revenue=revenue,
             deliveries=tuple(deliveries),
+            num_shed=num_shed,
+            num_degraded=num_degraded,
+            revenue_shed=revenue_shed,
         )
 
     # -- campaign churn ------------------------------------------------------

@@ -37,6 +37,7 @@ from repro.core.scoring import ScoredAd
 from repro.core.services import EngineServices, UserState
 from repro.errors import ConfigError
 from repro.profiles.profile import UserProfile
+from repro.qos.admission import slate_value_bound
 from repro.text.tokenizer import Tokenizer
 from repro.text.vectorizer import TfidfVectorizer
 from repro.util.sparse import MutableSparseVector, SparseVector
@@ -67,6 +68,8 @@ class DeliveryOutcome:
     fell_back: bool
     exact: bool
     revenue: float
+    # True when the slate was served under a QoS degradation rung.
+    degraded: bool = False
 
 
 class PersonalizedDelivery(NamedTuple):
@@ -148,15 +151,25 @@ class TextVectorizeStage:
 
 
 class SharedProbeStage:
-    """One content probe per message, reused across the whole fan-out."""
+    """One content probe per message, reused across the whole fan-out.
+
+    Under an attached QoS controller the probe depth follows the current
+    degradation rung (a shallower K′ is the ladder's cheapest rung)."""
 
     def __init__(self, services: EngineServices, generator: SharedCandidateGenerator) -> None:
-        self._stats = services.stats
+        self._services = services
         self._generator = generator
 
     def candidates_for(self, event: PostEvent) -> CandidateSet:
-        self._stats.shared_probes += 1
-        return self._generator.generate(event.message_vec)
+        services = self._services
+        services.stats.shared_probes += 1
+        qos = services.qos
+        depth = None
+        if qos is not None and qos.degrading:
+            depth = qos.probe_depth(
+                self._generator.overfetch, services.config.k
+            )
+        return self._generator.generate(event.message_vec, depth=depth)
 
 
 class NoProbeStage:
@@ -168,15 +181,22 @@ class NoProbeStage:
 
 class SharedPersonalizeStage:
     """SHARED mode: union-score the three candidate sources, certify, and
-    fall back to one exact probe when certification fails."""
+    fall back to one exact probe when certification fails (the QoS rung
+    may shrink k and suppress the fallback probe)."""
 
     def __init__(self, services: EngineServices, personalizer: Personalizer) -> None:
-        self._config = services.config
+        self._services = services
         self._personalizer = personalizer
 
     def personalize(
         self, event, candidates, user_id, state, profile, profile_vec
     ) -> PersonalizedDelivery:
+        qos = self._services.qos
+        k = self._services.config.k
+        allow_fallback = True
+        if qos is not None and qos.degrading:
+            k = qos.slate_k(k)
+            allow_fallback = qos.allow_fallback
         result = self._personalizer.slate_for(
             candidates,
             event.message_vec,
@@ -185,7 +205,8 @@ class SharedPersonalizeStage:
             profile.epoch,
             state.location,
             event.timestamp,
-            self._config.k,
+            k,
+            allow_fallback=allow_fallback,
         )
         return PersonalizedDelivery(
             result.slate, result.certified, result.fell_back, False
@@ -234,18 +255,22 @@ class ExactPersonalizeStage:
     baseline). Deliveries count as ``exact``, never as fallbacks."""
 
     def __init__(self, services: EngineServices, personalizer: Personalizer) -> None:
-        self._config = services.config
+        self._services = services
         self._personalizer = personalizer
 
     def personalize(
         self, event, candidates, user_id, state, profile, profile_vec
     ) -> PersonalizedDelivery:
+        qos = self._services.qos
+        k = self._services.config.k
+        if qos is not None and qos.degrading:
+            k = qos.slate_k(k)
         slate = self._personalizer.exact_slate(
             event.message_vec,
             profile_vec,
             state.location,
             event.timestamp,
-            self._config.k,
+            k,
         )
         return PersonalizedDelivery(slate, True, False, True)
 
@@ -368,6 +393,10 @@ class DeliveryPipeline:
         self.personalize_stage = personalize
         self.charge_stage = charge
         self.feedback_stage = feedback
+        # Per-batch QoS ledger for the facade's result assembly:
+        # (deliveries shed, revenue upper bound given up). Reset on read.
+        self._batch_shed = 0
+        self._batch_revenue_shed = 0.0
 
     @classmethod
     def for_services(
@@ -412,8 +441,43 @@ class DeliveryPipeline:
         """Single-follower convenience over :meth:`deliver_batch`."""
         return self.deliver_batch(event, (follower,))[0]
 
+    def pop_batch_shed(self) -> tuple[int, float]:
+        """The last batch's (shed deliveries, shed revenue bound); resets.
+
+        The facade reads this right after :meth:`deliver_batch` to stamp
+        per-event shed accounting onto the post result without widening
+        the outcome list's shape."""
+        shed = (self._batch_shed, self._batch_revenue_shed)
+        self._batch_shed = 0
+        self._batch_revenue_shed = 0.0
+        return shed
+
+    def _degraded_slate(
+        self, candidates: CandidateSet, k: int
+    ) -> tuple[ScoredAd, ...]:
+        """Candidates-only serving (the deepest non-shed rung): the shared
+        probe's top-k active ads, scored on content alone — zero per-user
+        work, shared by the whole fan-out."""
+        corpus = self.services.corpus
+        alpha = self.services.config.weights.alpha
+        slate: list[ScoredAd] = []
+        for ad_id, content in candidates.entries:
+            if not corpus.is_active(ad_id):
+                continue
+            slate.append(
+                ScoredAd(
+                    ad_id=ad_id,
+                    score=alpha * content,
+                    content=content,
+                    static=0.0,
+                )
+            )
+            if len(slate) >= k:
+                break
+        return tuple(slate)
+
     def deliver_batch(
-        self, event: PostEvent, followers
+        self, event: PostEvent, followers, *, candidates_only: bool = False
     ) -> list[DeliveryOutcome]:
         """Fan one event out to ``followers``: one shared probe, then one
         personalize → charge → feedback pass per follower.
@@ -457,20 +521,78 @@ class DeliveryPipeline:
         candidates = self.candidate_stage.candidates_for(event)
         if observing:
             emit("candidate", perf_counter() - span_started)
+
+        # QoS consultation, once per batch: admission (value-aware shed)
+        # and the current degradation rung. `services.qos is None` is the
+        # default — that single check is the whole disabled-path cost.
+        qos = services.qos
+        degrading = False
+        degraded_slate: tuple[ScoredAd, ...] | None = None
+        if qos is not None and qos.active:
+            value = qos.delivery_value(
+                slate_value_bound(candidates, services.corpus, services.config.k)
+            )
+            decision = qos.admit(at, len(followers), value)
+            if decision.shed:
+                # All deliveries of one event carry the same value bound,
+                # so shedding the fan-out tail drops lowest-value-first
+                # across batches while staying deterministic within one.
+                followers = list(followers)[: decision.admitted]
+                stats.deliveries_shed += decision.shed
+                stats.revenue_shed_upper_bound += decision.revenue_shed_upper_bound
+                self._batch_shed += decision.shed
+                self._batch_revenue_shed += decision.revenue_shed_upper_bound
+                if metering:
+                    metrics.inc("deliveries_shed", decision.shed)
+                    metrics.inc(
+                        "revenue_shed_upper_bound",
+                        decision.revenue_shed_upper_bound,
+                    )
+            degrading = qos.degrading
+            if (
+                degrading
+                and qos.candidates_only
+                and candidates is not None
+                and len(candidates)
+            ):
+                degraded_slate = self._degraded_slate(
+                    candidates, qos.slate_k(services.config.k)
+                )
+        if (
+            candidates_only
+            and degraded_slate is None
+            and candidates is not None
+            and len(candidates)
+        ):
+            # Forced profile-less serving — the failover path: a fallback
+            # shard serving another shard's followers has no profile state
+            # for them, so it serves the shared slate and flags it degraded.
+            degrading = True
+            degraded_slate = self._degraded_slate(
+                candidates, services.config.k
+            )
+
         outcomes: list[DeliveryOutcome] = []
         for follower in followers:
             if observing:
                 delivery_started = perf_counter()
-            state = users.state(follower)
-            profile, profile_vec = profile_of(follower, state)
-            slate, certified, fell_back, exact = personalize(
-                event, candidates, follower, state, profile, profile_vec
-            )
+            if degraded_slate is not None:
+                slate, certified, fell_back, exact = (
+                    degraded_slate, False, False, False
+                )
+            else:
+                state = users.state(follower)
+                profile, profile_vec = profile_of(follower, state)
+                slate, certified, fell_back, exact = personalize(
+                    event, candidates, follower, state, profile, profile_vec
+                )
             if observing:
                 now = perf_counter()
                 emit("personalize", now - delivery_started)
                 span_started = now
             stats.deliveries += 1
+            if degrading:
+                stats.deliveries_degraded += 1
             if exact:
                 stats.exact_deliveries += 1
             if certified and not fell_back:
@@ -493,6 +615,8 @@ class DeliveryPipeline:
                 metrics.inc("deliveries")
                 metrics.inc("impressions", len(slate))
                 metrics.inc("revenue", revenue)
+                if degrading:
+                    metrics.inc("deliveries_degraded")
             stats.impressions += len(slate)
             stats.revenue += revenue
             outcomes.append(
@@ -503,6 +627,7 @@ class DeliveryPipeline:
                     fell_back=fell_back,
                     exact=exact,
                     revenue=revenue,
+                    degraded=degrading,
                 )
             )
         return outcomes

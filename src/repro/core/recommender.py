@@ -21,6 +21,7 @@ if TYPE_CHECKING:  # avoid an import cycle: datagen imports core types
     from repro.datagen.workload import Workload
     from repro.obs.registry import MetricsRegistry, NullMetrics
     from repro.obs.tracer import StageTracer
+    from repro.qos.controller import QosController
 
 
 class ContextAwareRecommender:
@@ -37,11 +38,13 @@ class ContextAwareRecommender:
         *,
         tracer: "StageTracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
+        qos: "QosController | None" = None,
     ) -> "ContextAwareRecommender":
         """Wire an engine over a generated workload's corpus, graph, users
         and fitted vectorizer. ``tracer`` opts the engine into per-stage
         observability; ``metrics`` into live windowed telemetry (see
-        :mod:`repro.obs`)."""
+        :mod:`repro.obs`); ``qos`` attaches the QoS control plane (see
+        :mod:`repro.qos`)."""
         engine = AdEngine(
             corpus=workload.corpus,
             graph=workload.graph,
@@ -50,6 +53,7 @@ class ContextAwareRecommender:
             tokenizer=workload.tokenizer,
             tracer=tracer,
             metrics=metrics,
+            qos=qos,
         )
         for user in workload.users:
             engine.register_user(user.user_id, user.home)

@@ -123,8 +123,16 @@ class Personalizer:
         location: GeoPoint | None,
         timestamp: float,
         k: int,
+        *,
+        allow_fallback: bool = True,
     ) -> PersonalizedSlate:
-        """Union-score, certify, and fall back if needed."""
+        """Union-score, certify, and fall back if needed.
+
+        ``allow_fallback=False`` suppresses the certificate-fallback
+        exact probe for this delivery even when the engine is configured
+        with ``exact_fallback`` — the QoS ladder's serve-approximate
+        rung — and the slate is served as-is, certified or not.
+        """
         scoring = self._scoring
         corpus = scoring.corpus
         profile_cands = self.profile_candidates(user_id, profile_vec, profile_epoch)
@@ -156,7 +164,7 @@ class Personalizer:
             + self._static_list.cutoff()
         )
         certified = len(slate) == k and slate[-1].score >= certificate
-        if certified or not self._exact_fallback:
+        if certified or not (self._exact_fallback and allow_fallback):
             return PersonalizedSlate(slate=slate, certified=certified, fell_back=False)
         return PersonalizedSlate(
             slate=self.exact_slate(message_vec, profile_vec, location, timestamp, k),

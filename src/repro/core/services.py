@@ -36,6 +36,7 @@ if TYPE_CHECKING:  # heavyweight imports only needed for annotations
     from repro.graph.social import SocialGraph
     from repro.index.inverted import AdInvertedIndex
     from repro.profiles.profile import ProfileStore, UserProfile
+    from repro.qos.controller import QosController
     from repro.stream.clock import SimClock
 
 
@@ -54,6 +55,15 @@ class EngineStats:
     exact_deliveries: int = 0
     incremental_refreshes: int = 0
     retired_ads: int = 0
+    # QoS control plane (zero unless a QosController is attached).
+    deliveries_shed: int = 0
+    deliveries_degraded: int = 0
+    revenue_shed_upper_bound: float = 0.0
+
+    @property
+    def attempted_deliveries(self) -> int:
+        """Fan-out size before admission control: admitted + shed."""
+        return self.deliveries + self.deliveries_shed
 
     def fallback_rate(self) -> float:
         if self.deliveries == 0:
@@ -129,6 +139,10 @@ class EngineServices:
     # Live telemetry. The shared NULL_METRICS singleton by default — same
     # contract as the tracer: enabled-gated, one attribute check when off.
     metrics: "MetricsRegistry | NullMetrics" = NULL_METRICS
+    # QoS control plane. None by default: with no controller attached the
+    # delivery path is byte-identical to a pre-QoS engine (one None check
+    # per batch); a QosController gates admission and degradation rungs.
+    qos: "QosController | None" = None
 
     # -- per-user helpers ---------------------------------------------------
 

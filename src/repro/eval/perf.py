@@ -15,6 +15,7 @@ from repro.stream.simulator import FeedSimulator, IntervalHook
 if TYPE_CHECKING:
     from repro.obs.registry import MetricsRegistry
     from repro.obs.tracer import StageStats, StageTracer
+    from repro.qos.controller import QosController
 
 
 @dataclass(frozen=True, slots=True)
@@ -31,6 +32,10 @@ class PerfResult:
     fallback_rate: float
     refresh_rate: float
     impressions: int
+    # QoS accounting (zero unless run_perf got a controller).
+    deliveries_shed: int = 0
+    deliveries_degraded: int = 0
+    revenue_shed_upper_bound: float = 0.0
     # Per-stage breakdown; populated only when run_perf got a recording
     # tracer, so untraced benchmark rows carry no observability weight.
     stages: "dict[str, StageStats]" = field(default_factory=dict)
@@ -64,6 +69,7 @@ def run_perf(
     metrics_registry: "MetricsRegistry | None" = None,
     interval_s: float | None = None,
     on_interval: IntervalHook | None = None,
+    qos: "QosController | None" = None,
 ) -> PerfResult:
     """Build a fresh engine for ``config``, replay the stream, measure.
 
@@ -75,9 +81,11 @@ def run_perf(
     the engine into live windowed telemetry; with ``interval_s`` and
     ``on_interval`` the simulator fires the sampling hook at every stream
     interval boundary (see :meth:`~repro.stream.simulator.FeedSimulator.run`).
+    ``qos`` attaches a QoS controller; the row then reports what admission
+    shed and how many deliveries were served degraded.
     """
     recommender = ContextAwareRecommender.from_workload(
-        workload, config, tracer=tracer, metrics=metrics_registry
+        workload, config, tracer=tracer, metrics=metrics_registry, qos=qos
     )
     posts = workload.posts if limit_posts is None else workload.posts[:limit_posts]
     simulator = FeedSimulator(recommender.engine)
@@ -100,5 +108,8 @@ def run_perf(
         fallback_rate=stats.fallback_rate(),
         refresh_rate=stats.refresh_rate(),
         impressions=metrics.impressions,
+        deliveries_shed=stats.deliveries_shed,
+        deliveries_degraded=stats.deliveries_degraded,
+        revenue_shed_upper_bound=stats.revenue_shed_upper_bound,
         stages=metrics.stages,
     )

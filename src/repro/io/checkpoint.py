@@ -111,7 +111,15 @@ def save_checkpoint(path: Path | str, engine: AdEngine) -> None:
             "deliveries": engine.stats.deliveries,
             "impressions": engine.stats.impressions,
             "revenue": engine.stats.revenue,
+            "deliveries_shed": engine.stats.deliveries_shed,
+            "deliveries_degraded": engine.stats.deliveries_degraded,
+            "revenue_shed_upper_bound": engine.stats.revenue_shed_upper_bound,
         },
+        # QoS control-plane state (ladder position, hysteresis streaks,
+        # admission bucket) so a restored engine resumes on the same rung.
+        "qos": (
+            services.qos.state_dict() if services.qos is not None else None
+        ),
     }
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(payload, handle)
@@ -196,3 +204,17 @@ def load_checkpoint(path: Path | str, engine: AdEngine) -> None:
     engine.stats.deliveries = saved["deliveries"]
     engine.stats.impressions = saved["impressions"]
     engine.stats.revenue = saved["revenue"]
+    engine.stats.deliveries_shed = saved.get("deliveries_shed", 0)
+    engine.stats.deliveries_degraded = saved.get("deliveries_degraded", 0)
+    engine.stats.revenue_shed_upper_bound = saved.get(
+        "revenue_shed_upper_bound", 0.0
+    )
+
+    qos_state = payload.get("qos")
+    if qos_state is not None:
+        if services.qos is None:
+            raise ConfigError(
+                "checkpoint carries QoS state but the restore target has "
+                "no QoS controller attached"
+            )
+        services.qos.load_state(qos_state)

@@ -27,6 +27,11 @@ class StreamMetrics:
     posts: int = 0
     deliveries: int = 0
     impressions: int = 0
+    # QoS accounting (all zero unless the handler ran with a controller):
+    # admitted + shed reconciles to the attempted fan-out.
+    deliveries_shed: int = 0
+    deliveries_degraded: int = 0
+    revenue_shed_upper_bound: float = 0.0
     wall_seconds: float = 0.0
     post_latency: LatencyRecorder = field(default_factory=LatencyRecorder)
     stages: dict[str, StageStats] = field(default_factory=dict)
@@ -49,6 +54,9 @@ class StreamMetrics:
             "posts": float(self.posts),
             "deliveries": float(self.deliveries),
             "impressions": float(self.impressions),
+            "deliveries_shed": float(self.deliveries_shed),
+            "deliveries_degraded": float(self.deliveries_degraded),
+            "revenue_shed_upper_bound": self.revenue_shed_upper_bound,
             "wall_seconds": self.wall_seconds,
             "deliveries_per_s": self.deliveries_per_second(),
             "posts_per_s": self.posts_per_second(),

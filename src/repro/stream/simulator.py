@@ -194,3 +194,10 @@ class FeedSimulator:
             )
         metrics.deliveries += deliveries
         metrics.impressions += impressions or 0
+        # QoS fields are optional on the result shape (baseline adapters
+        # and test doubles predate them) — absent means nothing was shed.
+        metrics.deliveries_shed += getattr(result, "num_shed", 0) or 0
+        metrics.deliveries_degraded += getattr(result, "num_degraded", 0) or 0
+        metrics.revenue_shed_upper_bound += (
+            getattr(result, "revenue_shed", 0.0) or 0.0
+        )

@@ -14,7 +14,10 @@ knobs, broken report plumbing). Each scenario is loaded here with:
   deliberately left to the full benchmark run, but the whole measured code
   path (engine build, replay, metric math) executes.
 
-The remaining benchmark modules (a*/b*/t*) are import-checked.
+The T-series scenarios (stage breakdown, live timeseries, overload
+control) are driven the same way, with their ``RESULTS_DIR`` pointed at a
+temp dir — they write JSONL timeseries directly, not just tables. The
+remaining benchmark modules (a*/b*) are import-checked.
 """
 
 from __future__ import annotations
@@ -33,6 +36,14 @@ from repro.datagen.workload import WorkloadConfig, generate_workload
 
 BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
 F_FILES = sorted(BENCH_DIR.glob("test_f*.py"))
+T_FILES = [
+    BENCH_DIR / f"{stem}.py"
+    for stem in (
+        "test_t3_stage_breakdown",
+        "test_t4_live_timeseries",
+        "test_t5_overload_control",
+    )
+]
 OTHER_FILES = sorted(
     path for path in BENCH_DIR.glob("test_*.py") if path not in F_FILES
 )
@@ -136,11 +147,8 @@ def scenario_functions(module):
     ]
 
 
-@pytest.mark.parametrize("path", F_FILES, ids=[p.stem for p in F_FILES])
-def test_f_scenario_runs_at_mini_scale(path):
-    saved: dict = {}
-    module = load_benchmark_module(path)
-    miniaturise(module, saved)
+def run_scenarios(path, module) -> None:
+    """Call every test function in ``module`` with smoke-scale fixtures."""
     functions = scenario_functions(module)
     assert functions, f"{path.name} defines no test functions"
     for fn in functions:
@@ -156,6 +164,26 @@ def test_f_scenario_runs_at_mini_scale(path):
                     f"{name!r} — teach the smoke driver about it"
                 )
         fn(**kwargs)
+
+
+@pytest.mark.parametrize("path", F_FILES, ids=[p.stem for p in F_FILES])
+def test_f_scenario_runs_at_mini_scale(path):
+    saved: dict = {}
+    module = load_benchmark_module(path)
+    miniaturise(module, saved)
+    run_scenarios(path, module)
+
+
+@pytest.mark.parametrize("path", T_FILES, ids=[p.stem for p in T_FILES])
+def test_t_scenario_runs_at_mini_scale(path, tmp_path):
+    saved: dict = {}
+    module = load_benchmark_module(path)
+    miniaturise(module, saved)
+    # The T-series write timeseries JSONL straight to RESULTS_DIR;
+    # re-point it so mini-scale runs never touch benchmarks/results/.
+    if hasattr(module, "RESULTS_DIR"):
+        module.RESULTS_DIR = tmp_path
+    run_scenarios(path, module)
 
 
 def test_f_files_cover_known_scenarios():

@@ -131,14 +131,15 @@ class TestLiveReplay:
         assert "error:" in capsys.readouterr().err
 
     def test_degraded_verdict_on_impossible_target(self, capsys):
-        # A 1-nanosecond p99 target cannot be met: the verdict must say so.
+        # A 1-nanosecond p99 target cannot be met: the verdict must say so,
+        # and a failing run-level verdict must fail the process.
         code = main(
             [
                 "replay", *FAST, "--limit", "20", "--slo",
                 "--slo-p99-ms", "delivery=0.000001", "--interval", "10000",
             ]
         )
-        assert code == 0
+        assert code == 1
         out = capsys.readouterr().out
         assert "SLO verdict:" in out
         verdict_line = [
@@ -146,6 +147,58 @@ class TestLiveReplay:
         ][0]
         assert verdict_line.split(": ")[1] in {"DEGRADED", "OVERLOADED"}
         assert "breach" in out
+
+
+class TestQosReplay:
+    def test_qos_implies_live_and_prints_control_rows(self, capsys):
+        # Tight admission (0.5/s) sheds most of the fan-out even though
+        # the generous default SLO never degrades the ladder.
+        code = main(
+            [
+                "replay", *FAST, "--limit", "20", "--qos",
+                "--qos-rate", "0.5", "--interval", "10000",
+            ]
+        )
+        assert code == 0  # generous default target: run-level verdict OK
+        out = capsys.readouterr().out
+        assert "qos=on" in out
+        assert "rung=" in out  # the live dashboard shows the rung
+        assert "qos rung" in out
+        assert "deliveries shed" in out
+        assert "revenue shed (bound)" in out
+        shed_line = [
+            line for line in out.splitlines() if "deliveries shed" in line
+        ][0]
+        assert int(shed_line.split("|")[-1]) > 0
+
+    def test_qos_under_impossible_slo_degrades_and_fails(self, capsys):
+        code = main(
+            [
+                "replay", *FAST, "--limit", "20", "--qos",
+                "--slo-p99-ms", "delivery=0.000001", "--interval", "10000",
+            ]
+        )
+        assert code == 1  # the SLO is unmeetable even degraded
+        out = capsys.readouterr().out
+        degrade_line = [
+            line for line in out.splitlines() if "qos degrade steps" in line
+        ][0]
+        assert int(degrade_line.split("|")[-1]) > 0
+
+    def test_qos_floor_caps_the_ladder(self, capsys):
+        code = main(
+            [
+                "replay", *FAST, "--limit", "20", "--qos",
+                "--qos-floor", "1",
+                "--slo-p99-ms", "delivery=0.000001", "--interval", "10000",
+            ]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        rung_line = [
+            line for line in out.splitlines() if "qos rung" in line
+        ][0]
+        assert "1:" in rung_line.split("|")[-1]
 
 
 class TestEffectiveness:

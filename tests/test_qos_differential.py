@@ -1,0 +1,239 @@
+"""Differential tests: the QoS control plane is disabled by default.
+
+An engine with no controller — or with a passive one (no admission, rung
+0) — must be byte-identical to the pre-QoS engine in every mode and
+under sharding. With an active controller attached, every shed delivery
+must reconcile exactly across the engine stats, the stream counters and
+the metrics registry, and the reported revenue-shed bound must actually
+bound the revenue lost to shedding.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster.sharded import ShardedEngine
+from repro.core.config import EngineConfig, EngineMode
+from repro.core.engine import AdEngine
+from repro.datagen.workload import WorkloadConfig, generate_workload
+from repro.obs.health import HealthState
+from repro.obs.registry import MetricsRegistry
+from repro.qos.admission import AdmissionController
+from repro.qos.controller import QosController
+from repro.stream.simulator import FeedSimulator
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(
+        WorkloadConfig(
+            num_users=35,
+            num_ads=120,
+            num_posts=60,
+            num_topics=8,
+            vocab_size=1200,
+            follows_per_user=5,
+            seed=19,
+        )
+    )
+
+
+def engine_for(workload, mode, *, qos=None, metrics=None, config=None):
+    config = config or EngineConfig(mode=mode)
+    engine = AdEngine(
+        corpus=workload.build_corpus(),
+        graph=workload.graph,
+        vectorizer=workload.vectorizer,
+        tokenizer=workload.tokenizer,
+        config=config,
+        metrics=metrics,
+        qos=qos,
+    )
+    for user in workload.users:
+        engine.register_user(user.user_id, user.home)
+    return engine
+
+
+def run_stream(engine, workload):
+    simulator = FeedSimulator(engine)
+    results: list = []
+    original_post = engine.post
+
+    def capturing_post(author_id, text, timestamp, *, msg_id=None):
+        result = original_post(author_id, text, timestamp, msg_id=msg_id)
+        results.append(result)
+        return result
+
+    engine.post = capturing_post
+    try:
+        metrics = simulator.run(workload.posts, checkins=workload.checkins)
+    finally:
+        del engine.post
+    return metrics, results
+
+
+def canonical(results) -> str:
+    return json.dumps(
+        [
+            {
+                "msg_id": r.msg_id,
+                "revenue": round(r.revenue, 12),
+                "deliveries": [
+                    {
+                        "user": d.user_id,
+                        "slate": [(s.ad_id, round(s.score, 12)) for s in d.slate],
+                        "certified": d.certified,
+                        "fell_back": d.fell_back,
+                        "exact": d.exact,
+                        "degraded": d.degraded,
+                    }
+                    for d in r.deliveries
+                ],
+            }
+            for r in results
+        ],
+        sort_keys=True,
+    )
+
+
+@pytest.mark.parametrize("mode", list(EngineMode))
+class TestDisabledByDefault:
+    """No controller and a passive controller are both exact no-ops."""
+
+    def test_passive_controller_is_byte_identical(self, workload, mode):
+        bare = engine_for(workload, mode)
+        # A controller with no admission that never observes a grade sits
+        # at rung 0 and must never touch the data path.
+        passive = engine_for(workload, mode, qos=QosController())
+
+        bare_metrics, bare_results = run_stream(bare, workload)
+        passive_metrics, passive_results = run_stream(passive, workload)
+
+        assert not passive.qos.active
+        assert canonical(bare_results) == canonical(passive_results)
+        assert bare_metrics.deliveries == passive_metrics.deliveries
+        assert bare.stats.revenue == pytest.approx(
+            passive.stats.revenue, abs=1e-12
+        )
+        for engine, metrics in ((bare, bare_metrics), (passive, passive_metrics)):
+            assert engine.stats.deliveries_shed == 0
+            assert engine.stats.deliveries_degraded == 0
+            assert engine.stats.revenue_shed_upper_bound == 0.0
+            assert engine.stats.attempted_deliveries == engine.stats.deliveries
+            assert metrics.deliveries_shed == 0
+            assert metrics.deliveries_degraded == 0
+            assert metrics.revenue_shed_upper_bound == 0.0
+
+
+class TestShardedDisabledByDefault:
+    def test_passive_controller_parity_under_sharding(self, workload):
+        config = EngineConfig(pacing_enabled=False)
+        bare = ShardedEngine(workload, 3, config=config)
+        passive = ShardedEngine(
+            workload, 3, config=config, qos=QosController()
+        )
+        for post in workload.posts[:40]:
+            bare_results = bare.post(post.author_id, post.text, post.timestamp)
+            passive_results = passive.post(
+                post.author_id, post.text, post.timestamp
+            )
+            assert canonical(bare_results) == canonical(passive_results)
+        for engine in passive._shards:
+            assert engine.stats.deliveries_shed == 0
+            assert engine.stats.deliveries_degraded == 0
+
+
+class TestActiveControllerReconciles:
+    #: Charging/pacing off so the only effect of shedding is the shed
+    #: deliveries themselves — the precondition for the revenue bound.
+    CONFIG = EngineConfig(charge_impressions=False, pacing_enabled=False)
+
+    def controller(self):
+        # ~1 token per 2 stream-seconds: far below the workload's fan-out,
+        # so the bucket sheds on most posts.
+        return QosController(
+            admission=AdmissionController(rate_per_s=0.5, burst_s=2.0)
+        )
+
+    def test_every_counter_reconciles(self, workload):
+        registry = MetricsRegistry(window_s=3600.0)
+        controller = self.controller()
+        engine = engine_for(
+            workload,
+            EngineMode.SHARED,
+            qos=controller,
+            metrics=registry,
+            config=self.CONFIG,
+        )
+        metrics, results = run_stream(engine, workload)
+        stats = engine.stats
+
+        assert stats.deliveries_shed > 0
+        assert stats.deliveries > 0
+        # The ledger: every attempted delivery is either served or shed.
+        assert stats.attempted_deliveries == stats.deliveries + stats.deliveries_shed
+        # Stream counters mirror the engine stats exactly.
+        assert metrics.deliveries == stats.deliveries
+        assert metrics.deliveries_shed == stats.deliveries_shed
+        assert metrics.revenue_shed_upper_bound == pytest.approx(
+            stats.revenue_shed_upper_bound, abs=1e-9
+        )
+        # So does the registry.
+        assert registry.counter("deliveries") == stats.deliveries
+        assert registry.counter("deliveries_shed") == stats.deliveries_shed
+        assert registry.counter("revenue_shed_upper_bound") == pytest.approx(
+            stats.revenue_shed_upper_bound, abs=1e-9
+        )
+        # And the admission controller's own books balance.
+        admission = controller.admission
+        assert admission.attempted == admission.admitted + admission.shed
+        assert admission.shed == stats.deliveries_shed
+        # Per-post results agree with the run totals.
+        assert sum(r.num_shed for r in results) == stats.deliveries_shed
+        assert sum(r.num_deliveries for r in results) == stats.deliveries
+
+    def test_revenue_shed_bound_actually_bounds_the_loss(self, workload):
+        # Charging ON so deliveries actually earn revenue; pacing off so
+        # the served deliveries score identically in both runs.
+        config = EngineConfig(pacing_enabled=False)
+        bare = engine_for(workload, EngineMode.SHARED, config=config)
+        shed = engine_for(
+            workload,
+            EngineMode.SHARED,
+            qos=self.controller(),
+            config=config,
+        )
+        run_stream(bare, workload)
+        run_stream(shed, workload)
+        lost = bare.stats.revenue - shed.stats.revenue
+        assert lost > 0.0  # the run really shed revenue-bearing deliveries
+        assert lost <= shed.stats.revenue_shed_upper_bound + 1e-9
+
+
+class TestDegradedRunCountsAndFlags:
+    def test_forced_degradation_is_counted_and_flagged(self, workload):
+        registry = MetricsRegistry(window_s=3600.0)
+        controller = QosController(degrade_after=1)
+        # Push the ladder to its candidates-only rung before the run.
+        for _ in range(4):
+            controller.observe(HealthState.OVERLOADED)
+        assert controller.candidates_only
+        engine = engine_for(
+            workload, EngineMode.SHARED, qos=controller, metrics=registry
+        )
+        metrics, results = run_stream(engine, workload)
+        stats = engine.stats
+
+        assert stats.deliveries > 0
+        # Every delivery of the run was served degraded.
+        assert stats.deliveries_degraded == stats.deliveries
+        assert metrics.deliveries_degraded == stats.deliveries_degraded
+        assert registry.counter("deliveries_degraded") == stats.deliveries_degraded
+        half_k = controller.slate_k(engine.config.k)
+        for result in results:
+            for delivery in result.deliveries:
+                assert delivery.degraded
+                assert len(delivery.slate) <= half_k
+        assert sum(r.num_degraded for r in results) == stats.deliveries_degraded
