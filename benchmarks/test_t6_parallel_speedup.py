@@ -1,0 +1,155 @@
+"""T6 — parallel execution: throughput vs worker-process count.
+
+The F15 projection estimated scale-out speedup analytically
+(shards / amplification-adjusted imbalance) because the in-process
+``ShardedEngine`` simulates its shards serially. This experiment measures
+the real thing: the same F15 workload replayed through
+``ProcessShardedEngine`` — every shard a true ``multiprocessing`` worker
+— at increasing worker counts, batched dispatch (``post_batch``)
+amortising the IPC framing.
+
+Recorded per worker count: steady-state replay wall time (pool
+construction excluded), posts/s, deliveries/s, and speedup vs the
+1-worker pool. Every count must produce the identical delivery total —
+the equivalence contract means adding workers may only change *when*
+work happens, never *what* is computed.
+
+Shape assertion (guarded): on a full-scale run with at least two usable
+cores, some multi-worker count must beat the 1-worker pool. On a single
+CPU the workers only add IPC overhead, so the assertion stands down
+(the measured overhead is still recorded — that *is* the data point).
+
+Results land in ``benchmarks/results/t6_parallel_speedup.{jsonl,txt}``.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+
+from conftest import RESULTS_DIR, save_table, workload_with
+from repro.cluster import ProcessShardedEngine
+from repro.core.config import EngineConfig
+from repro.eval.report import ascii_table
+
+WORKER_COUNTS = [1, 2, 4]
+LIMIT = 120
+BATCH = 32
+
+_series: dict[int, dict] = {}
+
+
+def _usable_cores() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # non-Linux
+        return os.cpu_count() or 1
+
+
+@pytest.mark.parametrize("workers", WORKER_COUNTS)
+def test_t6_parallel_speedup(benchmark, workers):
+    workload = workload_with(num_ads=1000)
+    posts = workload.posts[:LIMIT]
+    full_scale = len(posts) >= 100  # the smoke driver runs a relaxed pass
+    config = EngineConfig(charge_impressions=False, collect_deliveries=False)
+
+    def run():
+        with ProcessShardedEngine(workload, workers, config=config) as pool:
+            started = time.perf_counter()
+            for index in range(0, len(posts), BATCH):
+                pool.post_batch(posts[index : index + BATCH])
+            elapsed = time.perf_counter() - started
+            stats = pool.cluster_stats()
+            imbalance = pool.load_imbalance()
+        return elapsed, stats, imbalance
+
+    elapsed, stats, imbalance = benchmark.pedantic(run, rounds=1, iterations=1)
+    _series[workers] = {
+        "workers": workers,
+        "posts": stats.posts,
+        "deliveries": stats.deliveries,
+        "elapsed_s": elapsed,
+        "posts_per_s": stats.posts / elapsed,
+        "deliveries_per_s": stats.deliveries / elapsed,
+        "load_imbalance": imbalance,
+    }
+    benchmark.extra_info["posts_per_s"] = round(stats.posts / elapsed, 2)
+    benchmark.extra_info["deliveries"] = stats.deliveries
+
+    if len(_series) < len(WORKER_COUNTS):
+        return
+
+    # Equivalence first, speed second: every topology computed the same
+    # stream, so the delivery totals must agree exactly.
+    assert len({row["deliveries"] for row in _series.values()}) == 1
+    assert all(row["posts"] == len(posts) for row in _series.values())
+
+    baseline = _series[WORKER_COUNTS[0]]["elapsed_s"]
+    for row in _series.values():
+        row["speedup_vs_1w"] = baseline / row["elapsed_s"]
+
+    cores = _usable_cores()
+    RESULTS_DIR.mkdir(exist_ok=True)
+    jsonl = RESULTS_DIR / "t6_parallel_speedup.jsonl"
+    with jsonl.open("w") as handle:
+        for count in WORKER_COUNTS:
+            handle.write(json.dumps(_series[count], sort_keys=True) + "\n")
+        handle.write(
+            json.dumps(
+                {
+                    "summary": {
+                        "cores": cores,
+                        "posts": len(posts),
+                        "batch": BATCH,
+                        "best_workers": max(
+                            _series, key=lambda n: _series[n]["speedup_vs_1w"]
+                        ),
+                    }
+                },
+                sort_keys=True,
+            )
+            + "\n"
+        )
+
+    save_table(
+        "t6_parallel_speedup",
+        ascii_table(
+            [
+                "workers",
+                "posts/s",
+                "deliveries/s",
+                "speedup vs 1w",
+                "load imbalance",
+            ],
+            [
+                [
+                    count,
+                    round(_series[count]["posts_per_s"], 1),
+                    round(_series[count]["deliveries_per_s"], 1),
+                    round(_series[count]["speedup_vs_1w"], 2),
+                    round(_series[count]["load_imbalance"], 2),
+                ]
+                for count in WORKER_COUNTS
+            ],
+            title=(
+                f"T6: multiprocess scale-out — {len(posts)} posts, "
+                f"batch {BATCH}, {cores} usable core(s), "
+                f"{_series[WORKER_COUNTS[0]]['deliveries']} deliveries "
+                f"per run (identical at every count)"
+            ),
+        ),
+    )
+
+    if full_scale and cores >= 2:
+        best = max(
+            row["speedup_vs_1w"]
+            for count, row in _series.items()
+            if count > 1
+        )
+        assert best > 1.0, (
+            f"multi-worker never beat one worker on {cores} cores: "
+            f"{_series}"
+        )

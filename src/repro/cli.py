@@ -268,6 +268,57 @@ def _replay_live(
     return 0
 
 
+def _replay_workers(
+    args: argparse.Namespace, workload: Workload, config: EngineConfig
+) -> int:
+    """The ``replay --workers N`` path: drive the multiprocess backend.
+
+    Each shard runs as a real worker process behind the router; the
+    stream is dispatched in post batches so IPC is paid per batch, not
+    per delivery. The live/SLO/QoS dashboards ride on the single-engine
+    simulator and are not available here (yet) — combining them raises.
+    """
+    from time import perf_counter
+
+    from repro.cluster.procpool import ProcessShardedEngine
+
+    if args.live or args.slo or args.qos or args.metrics_out or args.prom_out:
+        raise ConfigError(
+            "--workers drives the multiprocess backend; the --live/--slo/"
+            "--qos dashboards run on the in-process engine — drop one"
+        )
+    posts = workload.posts if args.limit is None else workload.posts[: args.limit]
+    if not posts:
+        raise ConfigError("no posts to replay (empty workload or --limit 0)")
+    batch = max(args.batch, 1)
+    started = perf_counter()
+    with ProcessShardedEngine(workload, args.workers, config=config) as engine:
+        for offset in range(0, len(posts), batch):
+            engine.post_batch(posts[offset : offset + batch])
+        elapsed = perf_counter() - started
+        stats = engine.cluster_stats()
+        imbalance = engine.load_imbalance()
+        amplification = engine.amplification()
+    print(ascii_table(
+        ["metric", "value"],
+        [
+            ["mode", args.mode],
+            ["workers", args.workers],
+            ["batch size", batch],
+            ["posts", stats.posts],
+            ["deliveries", stats.deliveries],
+            ["posts/s", round(stats.posts / elapsed, 1)],
+            ["deliveries/s", round(stats.deliveries / elapsed, 1)],
+            ["impressions", stats.impressions],
+            ["revenue", round(stats.revenue, 2)],
+            ["amplification", round(amplification, 3)],
+            ["load imbalance", round(imbalance, 3)],
+        ],
+        title="Replay summary (multiprocess backend)",
+    ))
+    return 0
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     workload = _workload_from_args(args)
     config = EngineConfig(
@@ -277,6 +328,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         collect_deliveries=False,
         charge_impressions=not args.no_charging,
     )
+    if args.workers:
+        return _replay_workers(args, workload, config)
     if args.live or args.slo or args.qos or args.metrics_out or args.prom_out:
         return _replay_live(args, workload, config)
     result = run_perf(
@@ -377,6 +430,21 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the exact fallback (production mode)",
     )
     replay.add_argument("--no-charging", action="store_true")
+    replay.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="run N user shards as real worker processes behind the "
+        "router (0 = in-process single engine); incompatible with the "
+        "--live/--slo/--qos dashboards",
+    )
+    replay.add_argument(
+        "--batch",
+        type=int,
+        default=32,
+        help="posts per dispatch batch on the --workers path (IPC is "
+        "amortised per batch)",
+    )
     replay.add_argument(
         "--live",
         action="store_true",

@@ -1,5 +1,30 @@
-"""Scale-out simulation: user-sharded engines behind a router."""
+"""Scale-out backends: user-sharded engines behind a router.
 
-from repro.cluster.sharded import ShardedEngine, ShardStats, hash_shard
+Two interchangeable backends share one router API:
+:class:`ShardedEngine` simulates the shards in-process (load balance and
+amplification measurements, fault injection);
+:class:`ProcessShardedEngine` runs each shard as a real worker process
+(wall-clock parallelism, real crash semantics).
+"""
 
-__all__ = ["ShardedEngine", "ShardStats", "hash_shard"]
+from repro.cluster.procpool import ProcessShardedEngine
+from repro.cluster.sharded import (
+    ShardedEngine,
+    ShardStats,
+    build_shard_engine,
+    build_shard_graph,
+    build_shard_map,
+    hash_shard,
+    merge_cluster_stats,
+)
+
+__all__ = [
+    "ProcessShardedEngine",
+    "ShardedEngine",
+    "ShardStats",
+    "build_shard_engine",
+    "build_shard_graph",
+    "build_shard_map",
+    "hash_shard",
+    "merge_cluster_stats",
+]

@@ -1,0 +1,725 @@
+"""True multiprocess shard workers behind the sharded-router API.
+
+:class:`ShardedEngine` simulates the user-sharded deployment in one
+process — it measures load balance and fan-out amplification but can
+never show wall-clock speedup. :class:`ProcessShardedEngine` is the real
+execution backend: each shard runs as a ``multiprocessing`` worker
+process owning a full :class:`~repro.core.engine.AdEngine` replica, and
+the router talks to it over the framed-pickle RPC layer
+(:mod:`repro.cluster.rpc`).
+
+The contract is *equivalence*: for identical seeds and config the
+process backend produces byte-identical slates, revenue and reconciled
+counters to the in-process router (and hence to a single engine), which
+the differential suite asserts. The pieces that make that hold:
+
+* **shared construction** — workers bootstrap through the same
+  ``build_shard_graph``/``build_shard_engine`` helpers the in-process
+  router uses, from a serialized :class:`~repro.core.config.EngineConfig`
+  plus a stream-stripped workload slice;
+* **router-side vectorization** — one vectorize per post at the router
+  (the workers share the workload's fitted vectorizer, so the router
+  vector is exactly what each shard would compute), shipped inside the
+  shard-portable :class:`~repro.core.pipeline.PostEvent`;
+* **batched dispatch** — ``post_batch`` sends each touched worker its
+  whole ``(position, event)`` slice in one frame, amortising IPC per
+  batch rather than per delivery;
+* **ordered merging** — requests fan out to all touched workers first
+  (that is the parallelism), then replies are collected in sorted shard
+  order and stitched back by position, reproducing the in-process
+  router's deterministic output order;
+* **mergeable telemetry** — workers return their
+  :class:`~repro.obs.tracer.RecordingTracer` /
+  :class:`~repro.obs.registry.MetricsRegistry` children over RPC and the
+  router merges them into the same cluster views ``ShardedEngine``
+  exposes.
+
+Failure semantics differ deliberately from the in-process router: there
+is no :class:`~repro.qos.faults.FaultInjector` here (passing one raises
+— this backend crashes for real). A worker that dies mid-dispatch
+surfaces as :class:`~repro.errors.WorkerCrashError` — a
+:class:`~repro.errors.StreamError` subclass, so callers written against
+the router's failover contract see the same exception family instead of
+a hang — and :meth:`ProcessShardedEngine.close` always reaps children.
+
+QoS is the one semantic caveat: the in-process router shares a single
+controller across shards (cluster-wide admission), while each worker
+process gets its own pickled copy of the prototype (per-shard
+admission). The parity suite therefore runs with ``qos=None``; QoS runs
+compare ledgers through :meth:`qos_summary`, not byte-for-byte.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from dataclasses import dataclass, field, replace
+from time import perf_counter
+from typing import TYPE_CHECKING, Any, Iterable
+
+from repro.cluster.rpc import Channel, ChannelClosed, channel_pair
+from repro.cluster.sharded import (
+    ShardStats,
+    build_shard_engine,
+    build_shard_graph,
+    build_shard_map,
+    hash_shard,
+    merge_cluster_stats,
+)
+from repro.core.config import EngineConfig
+from repro.core.engine import AdEngine, PostResult
+from repro.core.pipeline import PostEvent, TextVectorizeStage
+from repro.core.services import EngineStats
+from repro.datagen.workload import Workload
+from repro.errors import ConfigError, StreamError, WorkerCrashError
+from repro.geo.point import GeoPoint
+from repro.obs.registry import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.tracer import NoopTracer, StageStats, StageTracer
+from repro.stream.clock import SimClock
+
+if TYPE_CHECKING:
+    from repro.qos.controller import QosController
+
+__all__ = ["ProcessShardedEngine", "ShardHost", "WorkerBootstrap"]
+
+
+@dataclass
+class WorkerBootstrap:
+    """Everything one worker needs to build its shard engine.
+
+    ``workload`` is the stream-stripped slice (catalog, users, graph,
+    fitted vectorizer — no posts); the stream arrives over RPC. The
+    tracer/metrics children are spawned router-side so geometry checks
+    (relative error, window shape) happen before any process forks.
+    """
+
+    shard: int
+    num_shards: int
+    config: EngineConfig
+    workload: Workload
+    tracer: StageTracer | None = None
+    metrics: "MetricsRegistry | None" = None
+    qos: "QosController | None" = None
+
+
+class ShardHost:
+    """The worker-side request handler: one engine, one op dispatch table.
+
+    Kept separate from the process loop so the protocol can be unit
+    tested in-process (and counted by coverage) without forking.
+    """
+
+    def __init__(self, bootstrap: WorkerBootstrap) -> None:
+        shard_map = build_shard_map(bootstrap.workload, bootstrap.num_shards)
+        self.shard = bootstrap.shard
+        self.engine: AdEngine = build_shard_engine(
+            bootstrap.workload,
+            build_shard_graph(bootstrap.workload, bootstrap.shard, shard_map),
+            config=bootstrap.config,
+            tracer=bootstrap.tracer,
+            metrics=bootstrap.metrics,
+            qos=bootstrap.qos,
+        )
+
+    def handle(self, op: str, payload: Any) -> Any:
+        """Execute one request; the return value is the RPC reply."""
+        engine = self.engine
+        if op == "post_batch":
+            return [
+                (position, engine.post_event(event))
+                for position, event in payload
+            ]
+        if op == "checkin":
+            user_id, point, timestamp = payload
+            engine.checkin(user_id, point, timestamp)
+            return None
+        if op == "launch_campaign":
+            ad, timestamp = payload
+            engine.launch_campaign(ad, timestamp)
+            return None
+        if op == "end_campaign":
+            ad_id, timestamp = payload
+            engine.end_campaign(ad_id, timestamp)
+            return None
+        if op == "record_click":
+            engine.record_click(payload)
+            return None
+        if op == "report":
+            tracer = engine.tracer
+            metrics = engine.metrics
+            qos = engine.qos
+            return {
+                "stats": engine.stats,
+                "probes": engine.candidate_gen.probes,
+                "tracer": tracer if tracer.enabled else None,
+                "metrics": metrics if metrics.enabled else None,
+                "qos": qos.summary() if qos is not None else None,
+            }
+        if op == "state":
+            from repro.io.checkpoint import engine_state_dict
+
+            return engine_state_dict(engine)
+        if op == "qos_state":
+            qos = engine.qos
+            return qos.state_dict() if qos is not None else None
+        if op == "restore":
+            from repro.io.checkpoint import apply_engine_state
+
+            apply_engine_state(engine, payload, include_stats=False)
+            return None
+        if op == "ping":
+            return "pong"
+        raise StreamError(f"unknown worker op: {op!r}")
+
+
+def serve(channel: Channel) -> None:
+    """The worker loop: bootstrap, then request/response until shutdown.
+
+    Every reply is an ``("ok", value)`` or ``("err", exception)``
+    envelope; a handler error is reported, not fatal (the engine is still
+    consistent for domain errors like an unknown user id). The loop ends
+    on an explicit ``shutdown`` op or when the router end disappears.
+    """
+    try:
+        bootstrap = channel.recv()
+    except ChannelClosed:
+        return
+    try:
+        host = ShardHost(bootstrap)
+    except BaseException as exc:  # report construction failure, then die
+        _send_reply(channel, ("err", exc))
+        return
+    _send_reply(channel, ("ok", {"shard": host.shard, "pid": os.getpid()}))
+    while True:
+        try:
+            op, payload = channel.recv()
+        except ChannelClosed:
+            return  # router went away: nothing left to serve
+        if op == "shutdown":
+            _send_reply(channel, ("ok", None))
+            return
+        try:
+            reply = ("ok", host.handle(op, payload))
+        except BaseException as exc:
+            reply = ("err", exc)
+        if not _send_reply(channel, reply):
+            return
+
+
+def _send_reply(channel: Channel, reply: tuple) -> bool:
+    try:
+        channel.send(reply)
+    except ChannelClosed:
+        return False
+    except Exception as exc:  # unpicklable result/exception
+        try:
+            channel.send(("err", StreamError(f"unpicklable reply: {exc!r}")))
+        except ChannelClosed:
+            return False
+    return True
+
+
+def _worker_main(worker_channel: Channel, router_channel: Channel) -> None:
+    """Process entry point: drop the inherited router end, then serve."""
+    router_channel.close()
+    try:
+        serve(worker_channel)
+    finally:
+        worker_channel.close()
+
+
+@dataclass
+class _Worker:
+    """Router-side handle on one shard process."""
+
+    shard: int
+    process: multiprocessing.process.BaseProcess
+    channel: Channel
+    alive: bool = True
+    pending: int = 0  # requests sent, replies not yet collected
+
+    crash_detail: str | None = field(default=None)
+
+
+class ProcessShardedEngine:
+    """A router over ``num_shards`` worker *processes* — the same API as
+    :class:`~repro.cluster.sharded.ShardedEngine`, executed in parallel."""
+
+    def __init__(
+        self,
+        workload: Workload,
+        num_shards: int,
+        *,
+        config: EngineConfig | None = None,
+        tracer: StageTracer | None = None,
+        metrics: "MetricsRegistry | None" = None,
+        qos: "QosController | None" = None,
+        faults=None,
+        start_method: str | None = None,
+        rpc_timeout_s: float | None = None,
+    ) -> None:
+        """``qos`` is a *prototype*: each worker gets its own pickled copy
+        (per-shard admission — see the module docstring). ``faults`` is
+        rejected: fault injection is the in-process simulation's tool;
+        this backend crashes for real. ``rpc_timeout_s`` bounds every
+        blocking RPC read/write (a breach surfaces as
+        :class:`WorkerCrashError`); ``None`` trusts the workers.
+        """
+        if num_shards < 1:
+            raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
+        if faults is not None:
+            raise ConfigError(
+                "ProcessShardedEngine does not take a FaultInjector: "
+                "fault injection is router-side simulation; kill a worker "
+                "process to rehearse real failures"
+            )
+        self.num_shards = num_shards
+        self._workload = workload
+        self._config = config or EngineConfig()
+        self._shard_of = build_shard_map(workload, num_shards)
+        self._tracer = tracer or NoopTracer()
+        self._metrics = metrics if metrics is not None else NULL_METRICS
+        # Router-local telemetry children: vectorization happens here, so
+        # its spans live on the router and are merged into shard 0's view
+        # (where the in-process router books them) for report parity.
+        self._router_tracer = self._tracer.spawn()
+        self._router_metrics = self._metrics.spawn()
+        self._vectorize_stage = TextVectorizeStage(
+            workload.vectorizer, workload.tokenizer
+        )
+        self._clock = SimClock()
+        self._qos = qos
+        self._posts_routed = 0
+        self._shard_touches = 0
+        self._next_msg_id = 0
+        self._baseline_stats: dict = {}
+        self._closed = False
+        self._workers: list[_Worker] = []
+
+        method = start_method or (
+            "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+        )
+        ctx = multiprocessing.get_context(method)
+        # The stream never crosses the bootstrap: workers get the catalog
+        # slice only, posts arrive as PostEvents over RPC.
+        workload_slice = replace(
+            workload, posts=[], post_topics={}, checkins=[]
+        )
+        try:
+            for shard in range(num_shards):
+                router_end, worker_end = channel_pair()
+                process = ctx.Process(
+                    target=_worker_main,
+                    args=(worker_end, router_end),
+                    name=f"repro-shard-{shard}",
+                    daemon=True,
+                )
+                process.start()
+                worker_end.close()  # the child owns its copy now
+                if rpc_timeout_s is not None:
+                    router_end.settimeout(rpc_timeout_s)
+                self._workers.append(_Worker(shard, process, router_end))
+            # Send every bootstrap before collecting any ack: the workers
+            # build their engines (the expensive part) concurrently.
+            for worker in self._workers:
+                worker.channel.send(
+                    WorkerBootstrap(
+                        shard=worker.shard,
+                        num_shards=num_shards,
+                        config=self._config,
+                        workload=workload_slice,
+                        tracer=(
+                            self._tracer.spawn()
+                            if self._tracer.enabled
+                            else None
+                        ),
+                        metrics=(
+                            self._metrics.spawn()
+                            if self._metrics.enabled
+                            else None
+                        ),
+                        qos=qos,
+                    )
+                )
+                worker.pending += 1
+            for worker in self._workers:
+                self._collect(worker)
+        except BaseException:
+            self.close()
+            raise
+
+    # -- RPC plumbing ------------------------------------------------------
+
+    def _require_alive(self, worker: _Worker) -> None:
+        if self._closed:
+            raise StreamError("engine is closed")
+        if not worker.alive:
+            raise WorkerCrashError(
+                worker.shard, worker.crash_detail or "previously crashed"
+            )
+
+    def _crash(self, worker: _Worker, exc: Exception) -> WorkerCrashError:
+        """Mark a worker dead and build the error that surfaces it."""
+        worker.process.join(timeout=1.0)
+        worker.alive = False
+        worker.pending = 0
+        worker.crash_detail = (
+            f"exitcode={worker.process.exitcode}, {exc}"
+        )
+        worker.channel.close()
+        return WorkerCrashError(worker.shard, worker.crash_detail)
+
+    def _dispatch(self, worker: _Worker, op: str, payload: Any) -> None:
+        """Send one request without waiting for its reply (the fan-out
+        half of every routed operation)."""
+        self._require_alive(worker)
+        try:
+            worker.channel.send((op, payload))
+        except ChannelClosed as exc:
+            raise self._crash(worker, exc) from exc
+        worker.pending += 1
+
+    def _collect(self, worker: _Worker) -> Any:
+        """Receive one reply envelope (the ordered-merge half)."""
+        self._require_alive(worker)
+        try:
+            envelope = worker.channel.recv()
+        except ChannelClosed as exc:
+            raise self._crash(worker, exc) from exc
+        worker.pending -= 1
+        status, value = envelope
+        if status == "err":
+            raise value
+        return value
+
+    def _call(self, worker: _Worker, op: str, payload: Any = None) -> Any:
+        self._dispatch(worker, op, payload)
+        return self._collect(worker)
+
+    def _broadcast(self, op: str, payload: Any = None) -> list:
+        """Fan a request to every live worker, collect in shard order."""
+        for worker in self._workers:
+            self._dispatch(worker, op, payload)
+        return [self._collect(worker) for worker in self._workers]
+
+    # -- routing (mirrors ShardedEngine exactly) ---------------------------
+
+    def shard_of(self, user_id: int) -> int:
+        shard = self._shard_of.get(user_id)
+        if shard is None:
+            shard = hash_shard(user_id, self.num_shards)
+            self._shard_of[user_id] = shard
+        return shard
+
+    def _route(self, author_id: int) -> list[int]:
+        followers = self._workload.graph.followers(author_id)
+        touched: set[int] = {self.shard_of(author_id)}
+        touched.update(self.shard_of(follower) for follower in followers)
+        return sorted(touched)
+
+    def _vectorize(self, text: str):
+        """Router-side vectorize with the same span bookkeeping the
+        pipeline's traced path emits (bucketed by the router watermark)."""
+        tracer = self._router_tracer
+        metrics = self._router_metrics
+        if not (tracer.enabled or metrics.enabled):
+            return self._vectorize_stage.vectorize(text)
+        started = perf_counter()
+        vec = self._vectorize_stage.vectorize(text)
+        elapsed = perf_counter() - started
+        if tracer.enabled:
+            tracer.record("vectorize", elapsed)
+        if metrics.enabled:
+            metrics.observe_stage("vectorize", elapsed, self._clock.now)
+        return vec
+
+    def _event_for(
+        self, author_id: int, text: str, timestamp: float
+    ) -> PostEvent:
+        msg_id = self._next_msg_id
+        self._next_msg_id += 1
+        event = PostEvent(
+            msg_id=msg_id,
+            author_id=author_id,
+            timestamp=timestamp,
+            message_vec=self._vectorize(text),
+            text=text,
+        )
+        self._clock.advance_to_at_least(timestamp)
+        return event
+
+    # -- the routed operations ---------------------------------------------
+
+    def post(
+        self, author_id: int, text: str, timestamp: float
+    ) -> list[PostResult]:
+        """Route one post to every shard owning a follower; replies are
+        merged in sorted shard order — the in-process router's order."""
+        event = self._event_for(author_id, text, timestamp)
+        touched = self._route(author_id)
+        self._posts_routed += 1
+        self._shard_touches += len(touched)
+        for shard in touched:
+            self._dispatch(self._workers[shard], "post_batch", [(0, event)])
+        results: list[PostResult] = []
+        for shard in touched:
+            replies = self._collect(self._workers[shard])
+            results.extend(result for _, result in replies)
+        return results
+
+    def post_batch(self, posts: Iterable) -> list[list[PostResult]]:
+        """Route a timestamp-ordered batch: one frame per touched worker
+        carrying its whole ``(position, event)`` slice, workers run their
+        slices concurrently, replies merge by position in shard order."""
+        routed: list[tuple[PostEvent, list[int]]] = []
+        by_shard: dict[int, list[tuple[int, PostEvent]]] = {}
+        for position, post in enumerate(posts):
+            event = self._event_for(post.author_id, post.text, post.timestamp)
+            touched = self._route(post.author_id)
+            self._posts_routed += 1
+            self._shard_touches += len(touched)
+            routed.append((event, touched))
+            for shard in touched:
+                by_shard.setdefault(shard, []).append((position, event))
+
+        results: list[list[PostResult]] = [[] for _ in routed]
+        for shard, slice_ in sorted(by_shard.items()):
+            self._dispatch(self._workers[shard], "post_batch", slice_)
+        for shard, _ in sorted(by_shard.items()):
+            for position, result in self._collect(self._workers[shard]):
+                results[position].append(result)
+        return results
+
+    def checkin(self, user_id: int, point: GeoPoint, timestamp: float) -> None:
+        self._clock.advance_to_at_least(timestamp)
+        self._broadcast("checkin", (user_id, point, timestamp))
+
+    def launch_campaign(self, ad, timestamp: float) -> None:
+        self._clock.advance_to_at_least(timestamp)
+        self._broadcast("launch_campaign", (ad, timestamp))
+
+    def end_campaign(self, ad_id: int, timestamp: float) -> None:
+        self._clock.advance_to_at_least(timestamp)
+        self._broadcast("end_campaign", (ad_id, timestamp))
+
+    def record_click(self, ad_id: int) -> None:
+        self._broadcast("record_click", ad_id)
+
+    # -- reporting ---------------------------------------------------------
+
+    def _reports(self) -> list[dict]:
+        return self._broadcast("report")
+
+    def _shard_tracers(self) -> list[StageTracer]:
+        """Worker tracers with the router's vectorize spans merged into
+        shard 0's — matching where the in-process router books them."""
+        reports = self._reports()
+        tracers: list[StageTracer] = []
+        for worker, report in zip(self._workers, reports):
+            tracer = report["tracer"]
+            if tracer is None:
+                tracer = self._tracer.spawn()
+            if worker.shard == 0 and self._router_tracer.enabled:
+                tracer.merge(self._router_tracer)
+            tracers.append(tracer)
+        return tracers
+
+    @property
+    def tracer(self) -> StageTracer:
+        """Cluster-wide tracer view: caller's tracer + router vectorize
+        spans + every worker's spans, merged."""
+        merged = self._tracer.spawn()
+        if merged.enabled:
+            merged.merge(self._router_tracer)
+            for report in self._reports():
+                if report["tracer"] is not None:
+                    merged.merge(report["tracer"])
+        return merged
+
+    @property
+    def metrics(self) -> "MetricsRegistry | NullMetrics":
+        merged = self._metrics.spawn()
+        if merged.enabled:
+            merged.merge(self._router_metrics)
+            for report in self._reports():
+                if report["metrics"] is not None:
+                    merged.merge(report["metrics"])
+        return merged
+
+    def metrics_by_shard(self) -> "list[MetricsRegistry | NullMetrics]":
+        registries: "list[MetricsRegistry | NullMetrics]" = []
+        for worker, report in zip(self._workers, self._reports()):
+            registry = report["metrics"]
+            if registry is None:
+                registry = self._metrics.spawn()
+            if worker.shard == 0 and self._router_metrics.enabled:
+                registry.merge(self._router_metrics)
+            registries.append(registry)
+        return registries
+
+    def stage_report(self) -> dict[str, StageStats]:
+        return self.tracer.snapshot()
+
+    def stage_report_by_shard(self) -> list[dict[str, StageStats]]:
+        return [tracer.snapshot() for tracer in self._shard_tracers()]
+
+    @property
+    def qos(self) -> "QosController | None":
+        """The QoS *prototype* the workers were cloned from (their live
+        per-shard state is reachable through :meth:`qos_summaries`)."""
+        return self._qos
+
+    def qos_summaries(self) -> list[dict | None]:
+        """Each worker's live controller summary (None when unattached)."""
+        return [report["qos"] for report in self._reports()]
+
+    def qos_summary(self) -> dict | None:
+        """Cluster ledger roll-up: counters summed across workers, the
+        rung reported at its worst (max index) — the shape the in-process
+        router's single shared controller produces for one cluster."""
+        summaries = [s for s in self.qos_summaries() if s is not None]
+        if not summaries:
+            return None
+        merged = dict(summaries[0])
+        for summary in summaries[1:]:
+            for key in ("intervals", "degrade_steps", "recover_steps",
+                        "attempted", "admitted", "shed",
+                        "revenue_shed_upper_bound"):
+                merged[key] += summary[key]
+            if summary["rung"] > merged["rung"]:
+                merged["rung"] = summary["rung"]
+                merged["rung_name"] = summary["rung_name"]
+        return merged
+
+    def amplification(self) -> float:
+        if self._posts_routed == 0:
+            return 0.0
+        return self._shard_touches / self._posts_routed
+
+    def stats_by_shard(self) -> list[ShardStats]:
+        owners: dict[int, int] = {}
+        for user_id, shard in self._shard_of.items():
+            owners[shard] = owners.get(shard, 0) + 1
+        tracers = self._shard_tracers()
+        reports = self._reports()
+        return [
+            ShardStats(
+                shard=worker.shard,
+                users=owners.get(worker.shard, 0),
+                deliveries=report["stats"].deliveries,
+                probes=report["probes"],
+                stages=tuple(tracers[worker.shard].snapshot().values()),
+            )
+            for worker, report in zip(self._workers, reports)
+        ]
+
+    def load_imbalance(self, *, stage: str | None = None) -> float:
+        if stage is None:
+            loads = [
+                float(report["stats"].deliveries) for report in self._reports()
+            ]
+        else:
+            loads = [
+                report[stage].total_seconds if stage in report else 0.0
+                for report in self.stage_report_by_shard()
+            ]
+        total = sum(loads)
+        if total == 0:
+            return 1.0
+        mean = total / len(loads)
+        return max(loads) / mean
+
+    def cluster_stats(self) -> EngineStats:
+        return merge_cluster_stats(
+            (report["stats"] for report in self._reports()),
+            posts_routed=self._posts_routed,
+            baseline=self._baseline_stats,
+        )
+
+    def workers_alive(self) -> list[bool]:
+        """Liveness per shard (the crash test's probe)."""
+        return [
+            worker.alive and worker.process.is_alive()
+            for worker in self._workers
+        ]
+
+    def worker_pid(self, shard: int) -> int | None:
+        return self._workers[shard].process.pid
+
+    # -- checkpointing -----------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The cluster folded into one logical single-engine payload —
+        restorable into *any* backend at *any* shard count."""
+        from repro.io.checkpoint import merge_shard_states
+
+        states = self._broadcast("state")
+        qos_state = None
+        if self._qos is not None:
+            qos_state = self._call(self._workers[0], "qos_state")
+        return merge_shard_states(
+            states,
+            self.shard_of,
+            posts_routed=self._posts_routed + self._baseline_stats.get("posts", 0),
+            qos_state=qos_state,
+        )
+
+    def load_state(self, payload: dict) -> None:
+        """Broadcast a logical checkpoint into this fresh cluster (the
+        shard count may differ from the one that wrote it)."""
+        if self._posts_routed != 0:
+            raise ConfigError("restore target must be a fresh cluster")
+        self._broadcast("restore", payload)
+        self._next_msg_id = payload["next_msg_id"]
+        self._baseline_stats = dict(payload["stats"])
+        self._clock.advance_to_at_least(payload["clock"])
+
+    def checkpoint(self, path) -> None:
+        from repro.io.checkpoint import save_state_dict
+
+        save_state_dict(path, self.state_dict())
+
+    def restore(self, path) -> None:
+        from repro.io.checkpoint import load_state_dict
+
+        self.load_state(load_state_dict(path))
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self, *, timeout_s: float = 5.0) -> None:
+        """Shut every worker down and reap it. Idempotent, and safe after
+        crashes: live workers get a graceful ``shutdown``, anything still
+        running after ``timeout_s`` is terminated, then killed."""
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self._workers:
+            if worker.alive and worker.pending == 0:
+                try:
+                    worker.channel.settimeout(timeout_s)
+                    worker.channel.send(("shutdown", None))
+                    worker.channel.recv()
+                except (ChannelClosed, OSError):
+                    pass
+            worker.channel.close()
+        for worker in self._workers:
+            worker.process.join(timeout=timeout_s)
+            if worker.process.is_alive():
+                worker.process.terminate()
+                worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join()
+            worker.alive = False
+
+    def __enter__(self) -> "ProcessShardedEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:
+        try:
+            self.close(timeout_s=1.0)
+        except Exception:
+            pass

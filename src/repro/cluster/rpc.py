@@ -1,0 +1,123 @@
+"""Length-prefixed pickle framing over a socket pair: the worker IPC layer.
+
+The multiprocess backend needs exactly one transport primitive: a
+bidirectional, ordered, message-oriented channel between the router and
+each worker process. :class:`Channel` provides it over one end of a
+``socket.socketpair()``:
+
+* a **frame** is a 4-byte big-endian length followed by that many bytes
+  of pickle (``HIGHEST_PROTOCOL``) — the standard framing for stream
+  transports, so a reader always knows where one message ends;
+* :meth:`send` writes a whole frame (``sendall``), :meth:`recv` blocks
+  until a whole frame arrived and unpickles it;
+* a peer that disappears (process killed, socket closed) surfaces as
+  :class:`ChannelClosed` at the *first* read or write that notices —
+  never as a hang on a half-read frame.
+
+Frames carry ``(op, payload)`` tuples; the protocol semantics live in
+:mod:`repro.cluster.procpool`. The layer is deliberately dumb: no
+request ids, no multiplexing — each channel is owned by one router thread
+talking to one worker in strict request/response order, and batching
+happens one level up (one ``post_batch`` frame carries a whole shard
+batch, amortising the per-frame cost across every post in it).
+
+Pickle over a private socketpair is safe here because both ends are the
+same trusted process tree — this is an in-machine execution backend, not
+a network protocol.
+"""
+
+from __future__ import annotations
+
+import pickle
+import socket
+import struct
+from typing import Any
+
+from repro.errors import StreamError
+
+_HEADER = struct.Struct(">I")
+
+#: Frames above this size are refused at send time — a corrupted header
+#: on the read side would otherwise be "read 3 GiB and die slowly".
+MAX_FRAME_BYTES = 1 << 30
+
+
+class ChannelClosed(StreamError):
+    """The peer went away (EOF, reset, or closed socket)."""
+
+
+class Channel:
+    """One endpoint of a framed pickle connection."""
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._closed = False
+
+    def fileno(self) -> int:
+        return self._sock.fileno()
+
+    def settimeout(self, timeout_s: float | None) -> None:
+        """Bound every subsequent blocking read/write; ``None`` blocks
+        forever (a timeout surfaces as :class:`ChannelClosed`)."""
+        self._sock.settimeout(timeout_s)
+
+    def send(self, obj: Any) -> None:
+        """Pickle ``obj`` and write it as one frame."""
+        payload = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+        if len(payload) > MAX_FRAME_BYTES:
+            raise StreamError(
+                f"refusing to send a {len(payload)}-byte frame "
+                f"(limit {MAX_FRAME_BYTES})"
+            )
+        try:
+            self._sock.sendall(_HEADER.pack(len(payload)) + payload)
+        except (OSError, ValueError) as exc:
+            raise ChannelClosed(f"send failed: {exc}") from exc
+
+    def recv(self) -> Any:
+        """Block for one whole frame and unpickle it."""
+        header = self._recv_exact(_HEADER.size)
+        (length,) = _HEADER.unpack(header)
+        if length > MAX_FRAME_BYTES:
+            raise ChannelClosed(f"corrupt frame header: {length} bytes")
+        return pickle.loads(self._recv_exact(length))
+
+    def _recv_exact(self, count: int) -> bytes:
+        chunks: list[bytes] = []
+        remaining = count
+        while remaining:
+            try:
+                chunk = self._sock.recv(min(remaining, 1 << 20))
+            except (OSError, ValueError) as exc:
+                raise ChannelClosed(f"recv failed: {exc}") from exc
+            if not chunk:
+                raise ChannelClosed(
+                    f"peer closed mid-frame ({count - remaining}/{count} bytes)"
+                )
+            chunks.append(chunk)
+            remaining -= len(chunk)
+        return b"".join(chunks)
+
+    def close(self) -> None:
+        """Drop this endpoint's file descriptor.
+
+        Deliberately no ``shutdown()``: after a fork both processes hold
+        duplicates of the same socket, and shutdown acts on the shared
+        *connection* (it would sever the live peer), while close only
+        releases this process's fd — the peer sees EOF once the last
+        duplicate is gone.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        self._sock.close()
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+
+def channel_pair() -> tuple[Channel, Channel]:
+    """A connected (router end, worker end) channel pair."""
+    left, right = socket.socketpair()
+    return Channel(left), Channel(right)

@@ -39,9 +39,11 @@ from collections.abc import Iterable
 from repro.core.config import EngineConfig
 from repro.core.engine import AdEngine, PostResult
 from repro.core.pipeline import PostEvent
+from repro.core.services import EngineStats
 from repro.datagen.workload import Workload
 from repro.errors import ConfigError, StreamError
 from repro.geo.point import GeoPoint
+from repro.graph.social import SocialGraph
 from repro.obs.registry import NULL_METRICS, MetricsRegistry, NullMetrics
 from repro.obs.tracer import NoopTracer, StageStats, StageTracer
 
@@ -54,6 +56,112 @@ def hash_shard(user_id: int, num_shards: int) -> int:
     """Deterministic user → shard assignment (multiplicative hashing, so
     consecutive ids spread instead of clustering)."""
     return (user_id * 2654435761) % (2**32) % num_shards
+
+
+# -- shared shard construction ------------------------------------------------
+#
+# Both cluster backends — the in-process router below and the
+# multiprocess ``ProcessShardedEngine`` — build their shard engines
+# through these helpers, so a worker process bootstrapping from a
+# serialized workload constructs *exactly* the engine the simulation
+# would have built in-process. That shared construction path is what the
+# differential parity suite leans on.
+
+
+def build_shard_map(workload: Workload, num_shards: int) -> dict[int, int]:
+    """user id → home shard for every workload user."""
+    return {
+        user.user_id: hash_shard(user.user_id, num_shards)
+        for user in workload.users
+    }
+
+
+def build_shard_graph(
+    workload: Workload, shard: int, shard_map: dict[int, int]
+) -> SocialGraph:
+    """One shard's *filtered* graph: every user exists everywhere (any
+    author may post through any shard), but a follow edge lives only on
+    the follower's home shard — so a shard fans out strictly to its own
+    residents."""
+    graph = SocialGraph()
+    for user in workload.users:
+        graph.add_user(user.user_id)
+    for user in workload.users:
+        if shard_map[user.user_id] != shard:
+            continue
+        for followee in workload.graph.followees(user.user_id):
+            graph.follow(user.user_id, followee)
+    return graph
+
+
+def build_shard_engine(
+    workload: Workload,
+    graph: SocialGraph,
+    *,
+    config: EngineConfig,
+    tracer: StageTracer | None = None,
+    metrics: "MetricsRegistry | None" = None,
+    qos: "QosController | None" = None,
+) -> AdEngine:
+    """One shard replica: full corpus, filtered graph, every user
+    registered with their home location (cheap broadcast state)."""
+    engine = AdEngine(
+        corpus=workload.build_corpus(),
+        graph=graph,
+        vectorizer=workload.vectorizer,
+        tokenizer=workload.tokenizer,
+        config=config,
+        tracer=tracer,
+        metrics=metrics,
+        qos=qos,
+    )
+    for user in workload.users:
+        engine.register_user(user.user_id, user.home)
+    return engine
+
+
+def merge_cluster_stats(
+    shard_stats: "Iterable[EngineStats]",
+    *,
+    posts_routed: int,
+    baseline: dict | None = None,
+) -> EngineStats:
+    """Fold per-shard :class:`EngineStats` into one cluster-level view.
+
+    Delivery-side counters are partitioned across shards and sum
+    losslessly; ``posts`` must come from the router (per-shard posts
+    double-count fan-out amplification); ``retired_ads`` is a broadcast
+    event every shard observes on its own corpus copy, so the max — not
+    the sum — is the logical count. ``baseline`` is a restored
+    checkpoint's ``stats`` payload: restored shards restart their own
+    counters from zero, and the baseline keeps cluster totals continuous.
+    """
+    merged = EngineStats(posts=posts_routed)
+    for stats in shard_stats:
+        merged.deliveries += stats.deliveries
+        merged.impressions += stats.impressions
+        merged.revenue += stats.revenue
+        merged.shared_probes += stats.shared_probes
+        merged.certified_deliveries += stats.certified_deliveries
+        merged.fallback_deliveries += stats.fallback_deliveries
+        merged.approximate_deliveries += stats.approximate_deliveries
+        merged.exact_deliveries += stats.exact_deliveries
+        merged.incremental_refreshes += stats.incremental_refreshes
+        merged.retired_ads = max(merged.retired_ads, stats.retired_ads)
+        merged.deliveries_shed += stats.deliveries_shed
+        merged.deliveries_degraded += stats.deliveries_degraded
+        merged.revenue_shed_upper_bound += stats.revenue_shed_upper_bound
+    if baseline:
+        merged.posts += baseline.get("posts", 0)
+        merged.deliveries += baseline.get("deliveries", 0)
+        merged.impressions += baseline.get("impressions", 0)
+        merged.revenue += baseline.get("revenue", 0.0)
+        merged.deliveries_shed += baseline.get("deliveries_shed", 0)
+        merged.deliveries_degraded += baseline.get("deliveries_degraded", 0)
+        merged.revenue_shed_upper_bound += baseline.get(
+            "revenue_shed_upper_bound", 0.0
+        )
+    return merged
 
 
 @dataclass(frozen=True, slots=True)
@@ -121,31 +229,12 @@ class ShardedEngine:
         self._metrics = metrics if metrics is not None else NULL_METRICS
         self._shard_metrics = [self._metrics.spawn() for _ in range(num_shards)]
 
-        for user in workload.users:
-            self._shard_of[user.user_id] = hash_shard(user.user_id, num_shards)
+        self._shard_of = build_shard_map(workload, num_shards)
 
-        # Each shard sees a *filtered* graph: every user exists everywhere
-        # (any author may post through any shard), but a follow edge lives
-        # only on the follower's home shard — so a shard fans out strictly
-        # to its own residents.
-        from repro.graph.social import SocialGraph
-
-        shard_graphs = [SocialGraph() for _ in range(num_shards)]
-        for graph in shard_graphs:
-            for user in workload.users:
-                graph.add_user(user.user_id)
-        for user in workload.users:
-            home_shard = self._shard_of[user.user_id]
-            for followee in workload.graph.followees(user.user_id):
-                shard_graphs[home_shard].follow(user.user_id, followee)
-
-        self._shards: list[AdEngine] = []
-        for shard in range(num_shards):
-            engine = AdEngine(
-                corpus=workload.build_corpus(),
-                graph=shard_graphs[shard],
-                vectorizer=workload.vectorizer,
-                tokenizer=workload.tokenizer,
+        self._shards: list[AdEngine] = [
+            build_shard_engine(
+                workload,
+                build_shard_graph(workload, shard, self._shard_of),
                 config=config,
                 tracer=self._shard_tracers[shard],
                 metrics=(
@@ -155,11 +244,8 @@ class ShardedEngine:
                 ),
                 qos=qos,
             )
-            # Every shard knows every user's location (cheap broadcast
-            # state); only the owning shard accumulates feed contexts.
-            for user in workload.users:
-                engine.register_user(user.user_id, user.home)
-            self._shards.append(engine)
+            for shard in range(num_shards)
+        ]
         self._posts_routed = 0
         self._shard_touches = 0
         self._next_msg_id = 0
@@ -176,6 +262,9 @@ class ShardedEngine:
         self._redirected_deliveries = 0
         self._duplicates_suppressed = 0
         self._reintegrated_events = 0
+        # Stats carried over from a restored checkpoint: shards restart
+        # their counters from zero, the baseline keeps roll-ups continuous.
+        self._baseline_stats: dict = {}
 
     def shard_of(self, user_id: int) -> int:
         shard = self._shard_of.get(user_id)
@@ -346,6 +435,80 @@ class ShardedEngine:
     def checkin(self, user_id: int, point: GeoPoint, timestamp: float) -> None:
         for engine in self._shards:  # broadcast: location is shared state
             engine.checkin(user_id, point, timestamp)
+
+    # -- campaign churn (broadcast: the catalog is replicated) -----------------
+
+    def launch_campaign(self, ad, timestamp: float) -> None:
+        """Add a new ad mid-stream on every shard (replicated catalog)."""
+        for engine in self._shards:
+            engine.launch_campaign(ad, timestamp)
+
+    def end_campaign(self, ad_id: int, timestamp: float) -> None:
+        """Deactivate a campaign on every shard (idempotent per shard)."""
+        for engine in self._shards:
+            engine.end_campaign(ad_id, timestamp)
+
+    def record_click(self, ad_id: int) -> None:
+        """Report a click cluster-wide: CTR evidence steers scoring on
+        every shard, so clicks are broadcast state (impressions stay
+        partitioned — each shard records only the slates it served)."""
+        for engine in self._shards:
+            engine.record_click(ad_id)
+
+    # -- checkpointing ---------------------------------------------------------
+
+    def state_dict(self) -> dict:
+        """The cluster's state folded into one *logical* single-engine
+        payload (see :func:`repro.io.checkpoint.merge_shard_states`) —
+        restorable into a single engine or a cluster of any shard count."""
+        from repro.io.checkpoint import engine_state_dict, merge_shard_states
+
+        return merge_shard_states(
+            [engine_state_dict(engine) for engine in self._shards],
+            self.shard_of,
+            posts_routed=self._posts_routed + self._baseline_stats.get("posts", 0),
+            qos_state=self._qos.state_dict() if self._qos is not None else None,
+        )
+
+    def load_state(self, payload: dict) -> None:
+        """Restore a logical checkpoint into this *freshly built* cluster.
+
+        The full payload is broadcast to every shard (non-resident
+        profile/context replicas are never read — personalisation happens
+        only on a user's home shard) with ``include_stats=False``; the
+        checkpoint totals become the router-side baseline instead, so
+        :meth:`cluster_stats` stays continuous across the restore.
+        """
+        if self._posts_routed != 0:
+            raise ConfigError("restore target must be a fresh cluster")
+        from repro.io.checkpoint import apply_engine_state
+
+        for engine in self._shards:
+            apply_engine_state(engine, payload, include_stats=False)
+        self._next_msg_id = payload["next_msg_id"]
+        self._baseline_stats = dict(payload["stats"])
+
+    def checkpoint(self, path) -> None:
+        """Write the logical cluster checkpoint as one JSON file."""
+        from repro.io.checkpoint import save_state_dict
+
+        save_state_dict(path, self.state_dict())
+
+    def restore(self, path) -> None:
+        """Load a checkpoint file written by any backend's ``checkpoint``."""
+        from repro.io.checkpoint import load_state_dict
+
+        self.load_state(load_state_dict(path))
+
+    def cluster_stats(self) -> EngineStats:
+        """Cluster-level :class:`EngineStats` roll-up (posts counted at
+        the router; delivery counters summed across shards; restored
+        baselines included)."""
+        return merge_cluster_stats(
+            (engine.stats for engine in self._shards),
+            posts_routed=self._posts_routed,
+            baseline=self._baseline_stats,
+        )
 
     # -- reporting --------------------------------------------------------------
 

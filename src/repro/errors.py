@@ -47,5 +47,19 @@ class StreamError(ReproError):
     """The stream simulator was driven with inconsistent events."""
 
 
+class WorkerCrashError(StreamError):
+    """A cluster worker process died mid-dispatch.
+
+    Subclasses :class:`StreamError` so callers written against the
+    router's existing failure contract (retry/failover/abort on
+    ``StreamError``) handle real process crashes the same way they handle
+    injected shard outages.
+    """
+
+    def __init__(self, shard: int, detail: str) -> None:
+        super().__init__(f"shard {shard} worker crashed: {detail}")
+        self.shard = shard
+
+
 class EvaluationError(ReproError):
     """The evaluation harness received inconsistent inputs."""

@@ -16,6 +16,19 @@ The *immutable* inputs (corpus of ads, graph, vectorizer, config) are the
 caller's to reconstruct — typically from a saved workload — mirroring how
 real deployments separate config/catalog stores from runtime state.
 
+The module is layered so the cluster routers can reuse it:
+
+* :func:`engine_state_dict` / :func:`apply_engine_state` are the pure
+  state layer (no file IO) — the multiprocess backend ships these dicts
+  over its RPC channel;
+* :func:`merge_shard_states` folds per-shard state dicts into one
+  *logical* single-engine checkpoint (clock = max, budgets/CTR sum,
+  profiles and contexts taken from each user's home shard), which is why
+  a cluster checkpoint can be restored into a cluster with a *different*
+  shard count — or into a single engine — and continue byte-identically;
+* :func:`save_checkpoint` / :func:`load_checkpoint` wrap the state layer
+  in one JSON file for the single-engine workflow.
+
 Restore is validated end-to-end by tests: a restored engine produces
 bit-identical slates to the original for the remainder of the stream.
 """
@@ -24,7 +37,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, Callable, Sequence
 
 from repro.core.engine import AdEngine
 from repro.errors import ConfigError
@@ -49,8 +62,8 @@ def _context_state(context: FeedContext) -> list[dict[str, Any]]:
     ]
 
 
-def save_checkpoint(path: Path | str, engine: AdEngine) -> None:
-    """Serialise the engine's mutable state to one JSON file.
+def engine_state_dict(engine: AdEngine) -> dict[str, Any]:
+    """The engine's mutable state as one JSON-safe dictionary.
 
     All mutable state hangs off the engine's
     :class:`~repro.core.services.EngineServices` (clock, user states,
@@ -92,7 +105,7 @@ def save_checkpoint(path: Path | str, engine: AdEngine) -> None:
 
     from repro.io.serialize import ad_to_dict
 
-    payload = {
+    return {
         "version": _FORMAT_VERSION,
         "clock": services.clock.now,
         "next_msg_id": engine._next_msg_id,
@@ -121,20 +134,22 @@ def save_checkpoint(path: Path | str, engine: AdEngine) -> None:
             services.qos.state_dict() if services.qos is not None else None
         ),
     }
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle)
 
 
-def load_checkpoint(path: Path | str, engine: AdEngine) -> None:
-    """Restore a checkpoint into a *freshly constructed* engine.
+def apply_engine_state(
+    engine: AdEngine, payload: dict[str, Any], *, include_stats: bool = True
+) -> None:
+    """Apply a state dictionary to a *freshly constructed* engine.
 
     The engine must have been built over the same corpus/graph/vectorizer
     the checkpointed one used, and must not have processed any events yet.
+    ``include_stats=False`` restores serving state without the cumulative
+    counters — the cluster routers use it and keep the checkpoint's totals
+    as a router-side baseline instead, so per-shard counters keep counting
+    from zero while cluster roll-ups stay continuous.
     """
     if engine.stats.posts != 0:
         raise ConfigError("restore target must be a fresh engine")
-    with open(path, encoding="utf-8") as handle:
-        payload = json.load(handle)
     if payload.get("version") != _FORMAT_VERSION:
         raise ConfigError(
             f"unsupported checkpoint version: {payload.get('version')!r}"
@@ -199,16 +214,17 @@ def load_checkpoint(path: Path | str, engine: AdEngine) -> None:
             engine.ctr._total_impressions += impressions
             engine.ctr._total_clicks += clicks
 
-    saved = payload["stats"]
-    engine.stats.posts = saved["posts"]
-    engine.stats.deliveries = saved["deliveries"]
-    engine.stats.impressions = saved["impressions"]
-    engine.stats.revenue = saved["revenue"]
-    engine.stats.deliveries_shed = saved.get("deliveries_shed", 0)
-    engine.stats.deliveries_degraded = saved.get("deliveries_degraded", 0)
-    engine.stats.revenue_shed_upper_bound = saved.get(
-        "revenue_shed_upper_bound", 0.0
-    )
+    if include_stats:
+        saved = payload["stats"]
+        engine.stats.posts = saved["posts"]
+        engine.stats.deliveries = saved["deliveries"]
+        engine.stats.impressions = saved["impressions"]
+        engine.stats.revenue = saved["revenue"]
+        engine.stats.deliveries_shed = saved.get("deliveries_shed", 0)
+        engine.stats.deliveries_degraded = saved.get("deliveries_degraded", 0)
+        engine.stats.revenue_shed_upper_bound = saved.get(
+            "revenue_shed_upper_bound", 0.0
+        )
 
     qos_state = payload.get("qos")
     if qos_state is not None:
@@ -218,3 +234,121 @@ def load_checkpoint(path: Path | str, engine: AdEngine) -> None:
                 "no QoS controller attached"
             )
         services.qos.load_state(qos_state)
+
+
+def merge_shard_states(
+    states: Sequence[dict[str, Any]],
+    shard_of: Callable[[int], int],
+    *,
+    posts_routed: int,
+    qos_state: dict[str, Any] | None = None,
+) -> dict[str, Any]:
+    """Fold per-shard state dicts into one *logical* single-engine payload.
+
+    The merge relies on the routing invariants of the user-sharded
+    deployment: every shard that a user's posts touch includes the user's
+    home shard, so the home shard's copy of a profile (and the only copy
+    of a feed context) is exactly the single-engine state; budgets and CTR
+    evidence are disjoint per delivering shard and sum losslessly; the
+    clock is the max watermark any shard reached. ``posts_routed`` is the
+    router's own post count — per-shard ``posts`` counters double-count
+    fan-out amplification and cannot be summed.
+
+    The result is shard-count-agnostic: it can be applied to a single
+    engine or redistributed across any number of shards.
+    """
+    if not states:
+        raise ConfigError("cannot merge an empty shard state list")
+    for state in states:
+        if state.get("version") != _FORMAT_VERSION:
+            raise ConfigError(
+                f"unsupported checkpoint version: {state.get('version')!r}"
+            )
+
+    budgets: dict[str, float] = {}
+    retired: set[int] = set()
+    launched: list[dict[str, Any]] = []
+    ctr: dict[str, list[float]] | None = None
+    users: dict[str, dict[str, Any]] = {}
+    profiles: dict[str, dict[str, Any]] = {}
+    stat_sums: dict[str, float] = {}
+
+    for shard, state in enumerate(states):
+        retired.update(state["retired"])
+        if len(state.get("launched_ads", ())) > len(launched):
+            # Launches are broadcast, so every shard carries the same
+            # replay list; the longest copy survives a partial broadcast.
+            launched = list(state["launched_ads"])
+        for ad_id, spent in state["budgets"].items():
+            budgets[ad_id] = budgets.get(ad_id, 0.0) + spent
+        if state["ctr"] is not None:
+            if ctr is None:
+                ctr = {}
+            for ad_id, (impressions, clicks) in state["ctr"].items():
+                entry = ctr.setdefault(ad_id, [0, 0])
+                # Impressions are partitioned state (each shard serves its
+                # own residents) and sum; clicks are broadcast to every
+                # shard, so the max — not the sum — is the logical count.
+                entry[0] += impressions
+                entry[1] = max(entry[1], clicks)
+        for name, value in state["stats"].items():
+            stat_sums[name] = stat_sums.get(name, 0) + value
+
+        for user_id_str, record in state["users"].items():
+            home = shard_of(int(user_id_str))
+            merged = users.setdefault(user_id_str, {})
+            if "location" in record and "location" not in merged:
+                merged["location"] = record["location"]
+            if home == shard and "context" in record:
+                merged["context"] = record["context"]
+                merged["context_last_t"] = record["context_last_t"]
+        for user_id_str, profile_state in state["profiles"].items():
+            home = shard_of(int(user_id_str))
+            current = profiles.get(user_id_str)
+            if home == shard or current is None:
+                # Home shard wins (it saw every one of the user's posts);
+                # otherwise keep the most-advanced replica as a fallback.
+                if (
+                    home == shard
+                    or current is None
+                    or profile_state["epoch"] > current["epoch"]
+                ):
+                    profiles[user_id_str] = profile_state
+
+    stats = {name: value for name, value in stat_sums.items()}
+    stats["posts"] = posts_routed
+    return {
+        "version": _FORMAT_VERSION,
+        "clock": max(state["clock"] for state in states),
+        "next_msg_id": max(state["next_msg_id"] for state in states),
+        "launched_ads": launched,
+        "retired": sorted(retired),
+        "budgets": budgets,
+        "users": users,
+        "profiles": profiles,
+        "ctr": ctr,
+        "stats": stats,
+        "qos": qos_state,
+    }
+
+
+def save_state_dict(path: Path | str, payload: dict[str, Any]) -> None:
+    """Write one state dictionary (engine- or cluster-level) as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle)
+
+
+def load_state_dict(path: Path | str) -> dict[str, Any]:
+    """Read a state dictionary saved by :func:`save_state_dict`."""
+    with open(path, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def save_checkpoint(path: Path | str, engine: AdEngine) -> None:
+    """Serialise the engine's mutable state to one JSON file."""
+    save_state_dict(path, engine_state_dict(engine))
+
+
+def load_checkpoint(path: Path | str, engine: AdEngine) -> None:
+    """Restore a checkpoint file into a *freshly constructed* engine."""
+    apply_engine_state(engine, load_state_dict(path))

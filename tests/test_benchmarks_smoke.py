@@ -42,6 +42,7 @@ T_FILES = [
         "test_t3_stage_breakdown",
         "test_t4_live_timeseries",
         "test_t5_overload_control",
+        "test_t6_parallel_speedup",
     )
 ]
 OTHER_FILES = sorted(
