@@ -51,6 +51,12 @@ def run_fullscan_baseline(workload: Workload, limit: int, k: int = 10):
 
 METHOD_CONFIGS = {
     "car-shared": dict(mode=EngineMode.SHARED, exact_fallback=True),
+    # Same engine and fallback contract as car-shared, but every index
+    # probe and the fan-out personalization run on the compact numpy
+    # kernels (differentially tested to produce identical slates).
+    "car-vector": dict(
+        mode=EngineMode.SHARED, exact_fallback=True, searcher="vector"
+    ),
     "car-approx": dict(mode=EngineMode.SHARED, exact_fallback=False),
     "car-incremental": dict(mode=EngineMode.INCREMENTAL, exact_fallback=True),
     "per-delivery-probe": dict(mode=EngineMode.EXACT),

@@ -8,7 +8,10 @@ table and as a JSON-line file for downstream tooling.
 
 Expected shape: personalize dominates everywhere; the shared modes pay
 one candidate probe per post while EXACT pays nothing there and much more
-per delivery; charge/feedback are noise-level.
+per delivery; charge/feedback are noise-level. ``car-vector`` runs the
+same shared pipeline on the compact numpy kernels — its probe stage also
+shows up under the kind-attributed span ``candidate[vector]``, so the
+table attributes probe time to the searcher that spent it.
 """
 
 from __future__ import annotations
@@ -20,7 +23,7 @@ from helpers import engine_config_for
 from repro.eval.perf import run_perf
 from repro.obs import RecordingTracer, stage_table, write_stage_jsonl
 
-METHODS = ["car-shared", "car-incremental", "per-delivery-probe"]
+METHODS = ["car-shared", "car-vector", "car-incremental", "per-delivery-probe"]
 LIMIT = 120
 
 _tables: dict[str, str] = {}
@@ -50,6 +53,10 @@ def test_t3_stage_breakdown(benchmark, method, default_workload):
     assert stages["candidate"].spans == result.posts
     for per_delivery in ("personalize", "charge", "feedback", "delivery"):
         assert stages[per_delivery].spans == result.deliveries
+    if method in ("car-shared", "car-vector"):
+        # the probe stage twins its spans under a searcher-attributed name
+        kind = "vector" if method == "car-vector" else "ta"
+        assert stages[f"candidate[{kind}]"].spans == result.posts
     benchmark.extra_info["personalize_p99_ms"] = stages["personalize"].p99_ms
 
     _tables[method] = stage_table(

@@ -1,0 +1,123 @@
+#!/usr/bin/env python
+"""Perf-trajectory regression gate for the committed BENCH_*.json files.
+
+Compares a freshly regenerated benchmark payload against the committed
+baseline and fails (exit 1) when the vector searcher's speedup over the
+default engine has regressed:
+
+* **relative gate** — the candidate's ``vector_speedup`` at the gate
+  point must retain at least ``1 - max_relative_loss`` (default 80%) of
+  the baseline's. Speedups are ratios of two runs on the *same* host, so
+  this comparison is machine-insulated — a slower CI runner scales both
+  sides equally.
+* **absolute floor** — the candidate must also clear the baseline's
+  ``gate.min_speedup`` (the tentpole's >= 5x claim at 8000 ads).
+
+Usage::
+
+    python scripts/check_bench_regression.py \
+        --baseline BENCH_f3_throughput.json.orig \
+        --candidate BENCH_f3_throughput.json
+
+CI copies the committed file aside before the benchmark run overwrites
+it, then points ``--baseline`` at the copy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+DEFAULT_BENCH = "BENCH_f3_throughput.json"
+
+
+def load_payload(path: Path) -> dict:
+    try:
+        payload = json.loads(path.read_text())
+    except FileNotFoundError:
+        sys.exit(f"error: benchmark file not found: {path}")
+    except json.JSONDecodeError as exc:
+        sys.exit(f"error: {path} is not valid JSON: {exc}")
+    for key in ("benchmark", "vector_speedup", "gate"):
+        if key not in payload:
+            sys.exit(f"error: {path} is missing the {key!r} section")
+    return payload
+
+
+def check_regression(
+    baseline: dict, candidate: dict
+) -> list[str]:
+    """All gate violations (empty = pass)."""
+    failures: list[str] = []
+    if baseline["benchmark"] != candidate["benchmark"]:
+        return [
+            f"benchmark mismatch: baseline {baseline['benchmark']!r} "
+            f"vs candidate {candidate['benchmark']!r}"
+        ]
+    gate = baseline["gate"]
+    at = str(gate["at"])
+    max_loss = float(gate.get("max_relative_loss", 0.2))
+    min_speedup = float(gate.get("min_speedup", 0.0))
+
+    base_speedup = baseline["vector_speedup"].get(at)
+    cand_speedup = candidate["vector_speedup"].get(at)
+    if base_speedup is None or cand_speedup is None:
+        return [f"no vector_speedup entry at the gate point ({at} ads)"]
+
+    floor = (1.0 - max_loss) * float(base_speedup)
+    if float(cand_speedup) < floor:
+        failures.append(
+            f"vector speedup at {at} ads fell to {cand_speedup:.2f}x — "
+            f"more than {max_loss:.0%} below the baseline "
+            f"{base_speedup:.2f}x (floor {floor:.2f}x)"
+        )
+    if float(cand_speedup) < min_speedup:
+        failures.append(
+            f"vector speedup at {at} ads is {cand_speedup:.2f}x — "
+            f"under the absolute floor {min_speedup:.2f}x"
+        )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="fail when the vector searcher's measured speedup "
+        "regressed against the committed baseline"
+    )
+    parser.add_argument(
+        "--baseline",
+        type=Path,
+        required=True,
+        help="committed BENCH json (copy it aside before regenerating)",
+    )
+    parser.add_argument(
+        "--candidate",
+        type=Path,
+        default=Path(DEFAULT_BENCH),
+        help=f"freshly regenerated BENCH json (default: {DEFAULT_BENCH})",
+    )
+    args = parser.parse_args(argv)
+
+    baseline = load_payload(args.baseline)
+    candidate = load_payload(args.candidate)
+    failures = check_regression(baseline, candidate)
+
+    at = baseline["gate"]["at"]
+    base = baseline["vector_speedup"].get(str(at))
+    cand = candidate["vector_speedup"].get(str(at))
+    print(
+        f"{baseline['benchmark']}: vector speedup at {at} ads — "
+        f"baseline {base}x, candidate {cand}x"
+    )
+    if failures:
+        for failure in failures:
+            print(f"FAIL: {failure}", file=sys.stderr)
+        return 1
+    print("OK: perf trajectory holds")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

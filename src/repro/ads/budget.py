@@ -11,6 +11,8 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.ads.corpus import AdCorpus
 from repro.errors import BudgetError, ConfigError
 
@@ -80,6 +82,10 @@ class BudgetManager:
         self._corpus = corpus
         self._pacing_enabled = pacing_enabled
         self._states: dict[int, BudgetState] = {}
+        # Ads with any spend: the only ads whose pacing multiplier can
+        # differ from 1.0 — lets the vectorized block path skip the
+        # per-ad schedule math entirely until charging starts.
+        self._spenders: set[int] = set()
         for ad in corpus.all_ads():
             if ad.budget is not None:
                 self._states[ad.ad_id] = BudgetState(
@@ -112,6 +118,23 @@ class BudgetManager:
             return 0.0 if state.exhausted else 1.0
         return state.pacing_multiplier(timestamp)
 
+    def pacing_block(self, ad_ids, timestamp: float):
+        """Per-ad pacing multipliers for a candidate block.
+
+        An ad's multiplier can only deviate from 1.0 once it has spent
+        (both the schedule throttle and the exhaustion zero require spend
+        > 0), so only ads in the spender set are evaluated individually.
+        ``ad_ids`` is any integer sequence; returns a float64 array.
+        """
+        multipliers = np.ones(len(ad_ids), dtype=np.float64)
+        spenders = self._spenders
+        if spenders:
+            for i, ad_id in enumerate(ad_ids):
+                ad_id = int(ad_id)
+                if ad_id in spenders:
+                    multipliers[i] = self.pacing_multiplier(ad_id, timestamp)
+        return multipliers
+
     def charge(self, ad_id: int, price: float) -> bool:
         """Debit one impression; returns True if the ad just exhausted.
 
@@ -128,10 +151,24 @@ class BudgetManager:
         if state.exhausted:
             raise BudgetError(f"ad {ad_id} is already exhausted")
         state.spent += min(price, state.remaining)
+        if state.spent > 0.0:
+            self._spenders.add(ad_id)
         if state.exhausted:
             self._corpus.retire(ad_id)
             return True
         return False
+
+    def restore_spend(self, ad_id: int, spent: float) -> None:
+        """Set an ad's spend directly (checkpoint restore), keeping the
+        spender fast-path set consistent."""
+        state = self._states.get(ad_id)
+        if state is None:
+            raise BudgetError(f"ad {ad_id} has no budget to restore into")
+        state.spent = spent
+        if spent > 0.0:
+            self._spenders.add(ad_id)
+        else:
+            self._spenders.discard(ad_id)
 
     def total_spend(self) -> float:
         return sum(state.spent for state in self._states.values())

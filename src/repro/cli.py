@@ -39,6 +39,7 @@ from repro.datagen.workload import Workload, WorkloadConfig, generate_workload
 from repro.errors import ConfigError, ReproError
 from repro.eval.perf import run_perf
 from repro.eval.report import ascii_table
+from repro.index.factory import SEARCHER_KINDS
 from repro.io.serialize import load_workload, save_workload
 
 
@@ -324,6 +325,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
     config = EngineConfig(
         mode=EngineMode(args.mode),
         k=args.k,
+        searcher=args.searcher,
         exact_fallback=not args.approximate,
         collect_deliveries=False,
         charge_impressions=not args.no_charging,
@@ -339,6 +341,7 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         ["metric", "value"],
         [
             ["mode", args.mode],
+            ["searcher", args.searcher],
             ["posts", result.posts],
             ["deliveries", result.deliveries],
             ["deliveries/s", round(result.deliveries_per_s, 1)],
@@ -421,6 +424,13 @@ def build_parser() -> argparse.ArgumentParser:
         "--mode",
         choices=[mode.value for mode in EngineMode],
         default="shared",
+    )
+    replay.add_argument(
+        "--searcher",
+        choices=list(SEARCHER_KINDS),
+        default="ta",
+        help="top-k searcher for every index probe; 'vector' runs the "
+        "compact numpy hot path, the rest are the pure-Python oracles",
     )
     replay.add_argument("--k", type=int, default=10)
     replay.add_argument("--limit", type=int, default=None)

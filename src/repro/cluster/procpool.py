@@ -151,6 +151,8 @@ class ShardHost:
             return {
                 "stats": engine.stats,
                 "probes": engine.candidate_gen.probes,
+                "searcher": engine.candidate_gen.kind,
+                "probe_depth_total": engine.candidate_gen.probe_depth_total,
                 "tracer": tracer if tracer.enabled else None,
                 "metrics": metrics if metrics.enabled else None,
                 "qos": qos.summary() if qos is not None else None,
@@ -609,6 +611,8 @@ class ProcessShardedEngine:
                 deliveries=report["stats"].deliveries,
                 probes=report["probes"],
                 stages=tuple(tracers[worker.shard].snapshot().values()),
+                searcher=report.get("searcher", "ta"),
+                probe_depth_total=report.get("probe_depth_total", 0),
             )
             for worker, report in zip(self._workers, reports)
         ]

@@ -142,6 +142,7 @@ def merge_cluster_stats(
         merged.impressions += stats.impressions
         merged.revenue += stats.revenue
         merged.shared_probes += stats.shared_probes
+        merged.probe_depth_total += stats.probe_depth_total
         merged.certified_deliveries += stats.certified_deliveries
         merged.fallback_deliveries += stats.fallback_deliveries
         merged.approximate_deliveries += stats.approximate_deliveries
@@ -175,6 +176,10 @@ class ShardStats:
     deliveries: int
     probes: int
     stages: tuple[StageStats, ...] = ()
+    # Which top-k searcher served the shard's probes, and the summed
+    # effective probe depth — the T3 attribution inputs.
+    searcher: str = "ta"
+    probe_depth_total: int = 0
 
 
 @dataclass(frozen=True, slots=True)
@@ -592,6 +597,8 @@ class ShardedEngine:
                 deliveries=engine.stats.deliveries,
                 probes=engine.candidate_gen.probes,
                 stages=tuple(self._shard_tracers[shard].snapshot().values()),
+                searcher=engine.candidate_gen.kind,
+                probe_depth_total=engine.candidate_gen.probe_depth_total,
             )
             for shard, engine in enumerate(self._shards)
         ]

@@ -50,8 +50,14 @@ class SharedCandidateGenerator:
         if overfetch < 1:
             raise ConfigError(f"overfetch must be >= 1, got {overfetch}")
         self._searcher = make_searcher(searcher, index)
+        self.kind = searcher
         self.overfetch = overfetch
         self.probes = 0
+        # Probe-depth accounting: the last effective depth and the running
+        # total, so stage traces/metrics can attribute probe cost per
+        # searcher kind instead of reading a bare counter.
+        self.last_probe_depth = 0
+        self.probe_depth_total = 0
 
     def generate(
         self, message_vec: SparseVector, *, depth: int | None = None
@@ -65,6 +71,8 @@ class SharedCandidateGenerator:
         elif depth < 1:
             raise ConfigError(f"depth must be >= 1, got {depth}")
         self.probes += 1
+        self.last_probe_depth = depth
+        self.probe_depth_total += depth
         results = self._searcher.search(message_vec, depth)
         complete = len(results) < depth
         cutoff = 0.0 if complete else results[-1].score

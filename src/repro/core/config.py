@@ -63,8 +63,10 @@ class EngineConfig:
     k: int = 10
     weights: ScoringWeights = field(default_factory=ScoringWeights)
     mode: EngineMode = EngineMode.SHARED
-    # Index pruning strategy for every probe ("ta" | "wand" | "maxscore").
-    # All three are exact; TA has the best pure-Python constants (B1).
+    # Index strategy for every probe ("ta" | "wand" | "maxscore" |
+    # "vector"). All four are exact; "vector" additionally routes the
+    # per-delivery union scoring through the compact numpy kernels. "ta"
+    # stays the default as the pure-Python reference oracle.
     searcher: str = "ta"
     # Shared mode: how many candidates the per-message probe over-fetches.
     # Depths are tuned by experiment F6: shallow lists certify almost
@@ -103,10 +105,10 @@ class EngineConfig:
     def __post_init__(self) -> None:
         if self.k < 1:
             raise ConfigError(f"k must be >= 1, got {self.k}")
-        if self.searcher not in ("ta", "wand", "maxscore"):
+        if self.searcher not in ("ta", "wand", "maxscore", "vector"):
             raise ConfigError(
-                f"searcher must be one of 'ta', 'wand', 'maxscore'; "
-                f"got {self.searcher!r}"
+                f"searcher must be one of 'ta', 'wand', 'maxscore', "
+                f"'vector'; got {self.searcher!r}"
             )
         if self.overfetch < self.k:
             raise ConfigError(

@@ -159,21 +159,34 @@ class SharedProbeStage:
     def __init__(self, services: EngineServices, generator: SharedCandidateGenerator) -> None:
         self._services = services
         self._generator = generator
+        # Searcher-kind attribution for stage traces: "candidate" stays
+        # the taxonomy span, and this extra name lets T3 split probe time
+        # per searcher without guessing from the engine config.
+        self.kind = generator.kind
+        self.span_name = f"candidate[{generator.kind}]"
 
     def candidates_for(self, event: PostEvent) -> CandidateSet:
         services = self._services
-        services.stats.shared_probes += 1
+        generator = self._generator
+        stats = services.stats
+        stats.shared_probes += 1
         qos = services.qos
         depth = None
         if qos is not None and qos.degrading:
-            depth = qos.probe_depth(
-                self._generator.overfetch, services.config.k
-            )
-        return self._generator.generate(event.message_vec, depth=depth)
+            depth = qos.probe_depth(generator.overfetch, services.config.k)
+        result = generator.generate(event.message_vec, depth=depth)
+        stats.probe_depth_total += generator.last_probe_depth
+        metrics = services.metrics
+        if metrics.enabled:
+            metrics.inc("probe_depth_total", generator.last_probe_depth)
+        return result
 
 
 class NoProbeStage:
     """EXACT mode: the per-delivery baseline never shares candidates."""
+
+    kind = None
+    span_name = None
 
     def candidates_for(self, event: PostEvent) -> None:
         return None
@@ -187,6 +200,37 @@ class SharedPersonalizeStage:
     def __init__(self, services: EngineServices, personalizer: Personalizer) -> None:
         self._services = services
         self._personalizer = personalizer
+
+    @property
+    def supports_batch(self) -> bool:
+        """Whether the personalizer can take a whole fan-out at once
+        (vector mode's shared candidate matrix)."""
+        return self._personalizer.batched
+
+    def personalize_batch(
+        self, event, candidates, resolved
+    ) -> list[PersonalizedDelivery]:
+        """Batch form of :meth:`personalize` over resolved followers
+        ``(user_id, state, profile, profile_vec)``. Only called on the
+        undegraded, non-mutating path (no QoS rung, no charging, no CTR
+        feedback), where it is delivery-for-delivery identical to the
+        scalar form."""
+        results = self._personalizer.slate_batch(
+            candidates,
+            event.message_vec,
+            [
+                (user_id, profile_vec, profile.epoch, state.location)
+                for user_id, state, profile, profile_vec in resolved
+            ],
+            event.timestamp,
+            self._services.config.k,
+        )
+        return [
+            PersonalizedDelivery(
+                result.slate, result.certified, result.fell_back, False
+            )
+            for result in results
+        ]
 
     def personalize(
         self, event, candidates, user_id, state, profile, profile_vec
@@ -393,6 +437,18 @@ class DeliveryPipeline:
         self.personalize_stage = personalize
         self.charge_stage = charge
         self.feedback_stage = feedback
+        # Kind-attributed twin of the "candidate" span (None = no probe).
+        self._probe_span = getattr(candidates, "span_name", None)
+        # Whole-fan-out batching is only sound when nothing downstream
+        # can mutate engine state between two followers of one event:
+        # charging can retire an exhausted ad and CTR feedback shifts
+        # quality multipliers, either of which would make follower i+1
+        # see different state than the per-delivery oracle.
+        self._batchable = (
+            isinstance(charge, NoChargeStage)
+            and isinstance(feedback, NoFeedbackStage)
+            and getattr(personalize, "supports_batch", False)
+        )
         # Per-batch QoS ledger for the facade's result assembly:
         # (deliveries shed, revenue upper bound given up). Reset on read.
         self._batch_shed = 0
@@ -520,7 +576,10 @@ class DeliveryPipeline:
             span_started = perf_counter()
         candidates = self.candidate_stage.candidates_for(event)
         if observing:
-            emit("candidate", perf_counter() - span_started)
+            probe_elapsed = perf_counter() - span_started
+            emit("candidate", probe_elapsed)
+            if self._probe_span is not None:
+                emit(self._probe_span, probe_elapsed)
 
         # QoS consultation, once per batch: admission (value-aware shed)
         # and the current degradation rung. `services.qos is None` is the
@@ -572,14 +631,42 @@ class DeliveryPipeline:
                 candidates, services.config.k
             )
 
+        # The batched fast path: one shared candidate matrix for the
+        # whole fan-out (vector mode, no QoS/charging/feedback). The
+        # per-follower personalize span gets the amortised share so span
+        # counts and stage totals stay comparable with the scalar path.
+        batch_results: list[PersonalizedDelivery] | None = None
+        batch_share = 0.0
+        if (
+            self._batchable
+            and degraded_slate is None
+            and qos is None
+            and candidates is not None
+            and followers
+        ):
+            resolved = []
+            for follower in followers:
+                state = users.state(follower)
+                profile, profile_vec = profile_of(follower, state)
+                resolved.append((follower, state, profile, profile_vec))
+            if observing:
+                span_started = perf_counter()
+            batch_results = self.personalize_stage.personalize_batch(
+                event, candidates, resolved
+            )
+            if observing:
+                batch_share = (perf_counter() - span_started) / len(resolved)
+
         outcomes: list[DeliveryOutcome] = []
-        for follower in followers:
+        for index, follower in enumerate(followers):
             if observing:
                 delivery_started = perf_counter()
             if degraded_slate is not None:
                 slate, certified, fell_back, exact = (
                     degraded_slate, False, False, False
                 )
+            elif batch_results is not None:
+                slate, certified, fell_back, exact = batch_results[index]
             else:
                 state = users.state(follower)
                 profile, profile_vec = profile_of(follower, state)
@@ -588,7 +675,7 @@ class DeliveryPipeline:
                 )
             if observing:
                 now = perf_counter()
-                emit("personalize", now - delivery_started)
+                emit("personalize", (now - delivery_started) + batch_share)
                 span_started = now
             stats.deliveries += 1
             if degrading:
@@ -610,7 +697,7 @@ class DeliveryPipeline:
             if observing:
                 now = perf_counter()
                 emit("feedback", now - span_started)
-                emit("delivery", now - delivery_started)
+                emit("delivery", (now - delivery_started) + batch_share)
             if metering:
                 metrics.inc("deliveries")
                 metrics.inc("impressions", len(slate))

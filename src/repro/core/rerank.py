@@ -26,12 +26,16 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+import numpy as np
+
 from repro.core.candidates import CandidateSet
-from repro.core.scoring import ScoredAd
+from repro.core.scoring import ScoredAd, StaticRowCache
 from repro.core.services import EngineServices
 from repro.core.static_list import GlobalStaticTopList
 from repro.geo.point import GeoPoint
+from repro.index.compact import CompactIndex
 from repro.index.factory import make_searcher
+from repro.index.vector import VectorSearcher
 from repro.util.sparse import SparseVector, dot
 
 
@@ -42,6 +46,21 @@ class PersonalizedSlate:
     slate: tuple[ScoredAd, ...]
     certified: bool
     fell_back: bool
+
+
+def _exact_topk(scores: np.ndarray, ad_ids: np.ndarray, k: int) -> np.ndarray:
+    """Top-``k`` local indices under the tie rule (score desc, id asc).
+
+    Large sets are pre-cut at the k-th score with a linear partition so
+    the lexsort only touches actual contenders.
+    """
+    n = scores.shape[0]
+    if n > 4 * k:
+        kth = np.partition(scores, n - k)[n - k]
+        contenders = np.flatnonzero(scores >= kth)
+        order = np.lexsort((ad_ids[contenders], -scores[contenders]))[:k]
+        return contenders[order]
+    return np.lexsort((ad_ids, -scores))[:k]
 
 
 @dataclass(frozen=True, slots=True)
@@ -70,6 +89,33 @@ class Personalizer:
         )
         self._profile_searcher = make_searcher(config.searcher, index)
         self._profile_cache: dict[int, _ProfileCandidates] = {}
+        # Vector mode: union scoring runs on the compact mirror via
+        # ScoringModel.evaluate_block instead of per-(user, ad) Python.
+        self._vector = config.searcher == "vector"
+        if self._vector:
+            self._compact = CompactIndex.shared(index)
+            self._static_cache = StaticRowCache(scoring.corpus, self._compact)
+            # Per-event cache: (candidate set, mirror generation) →
+            # candidate rows + the dense message vector, shared across
+            # the whole fan-out. The strong reference to the candidate
+            # set keeps its id stable for the identity check.
+            self._event_cache: tuple | None = None
+            # Static-list rows, keyed by (list version, generation).
+            self._static_rows_cache: tuple | None = None
+            # Per-event raw message gather (fallback probes), appended
+            # lazily to the event cache; per-user raw profile gathers,
+            # keyed by (profile epoch, corpus adds, generation).
+            self._message_gather_cache: tuple | None = None
+            self._profile_gather_cache: dict[int, tuple] = {}
+            # Compact rows of each user's profile-probe entries, keyed by
+            # the probe object's identity (stable while its cache entry
+            # is) and the mirror generation.
+            self._profile_rows_cache: dict[int, tuple] = {}
+
+    @property
+    def batched(self) -> bool:
+        """Whether :meth:`slate_batch` is available (vector mode only)."""
+        return self._vector
 
     # -- candidate sources --------------------------------------------------
 
@@ -100,12 +146,31 @@ class Personalizer:
         ):
             return cached
         depth = self._config.profile_candidates
-        results = self._profile_searcher.search(profile_vec, depth)
-        cutoff = 0.0 if len(results) < depth else results[-1].score
+        if self._vector:
+            # Derive the probe from the cached raw gather instead of a
+            # searcher call: same gather, same tie rule, bit-identical
+            # entries and cutoff — and the gather is reused for affinity
+            # rows and fallbacks. The gather cache key is strictly finer
+            # than this cache's, so a miss here is a fresh gather there.
+            compact = self._compact
+            compact.maybe_compact()
+            rows, dots = self._profile_gather(
+                user_id, profile_vec, profile_epoch, compact.generation
+            )
+            ad_ids = compact.ad_ids[rows]
+            order = np.lexsort((ad_ids, -dots))[:depth]
+            entries = tuple(
+                (int(ad_ids[i]), float(dots[i])) for i in order
+            )
+            cutoff = 0.0 if len(entries) < depth else entries[-1][1]
+        else:
+            results = self._profile_searcher.search(profile_vec, depth)
+            cutoff = 0.0 if len(results) < depth else results[-1].score
+            entries = tuple((entry.item, entry.score) for entry in results)
         candidates = _ProfileCandidates(
             profile_epoch=profile_epoch,
             corpus_add_epoch=corpus_epoch,
-            entries=tuple((entry.item, entry.score) for entry in results),
+            entries=entries,
             cutoff=cutoff,
         )
         self._profile_cache[user_id] = candidates
@@ -133,6 +198,18 @@ class Personalizer:
         with ``exact_fallback`` — the QoS ladder's serve-approximate
         rung — and the slate is served as-is, certified or not.
         """
+        if self._vector:
+            return self._slate_for_vector(
+                candidates,
+                message_vec,
+                user_id,
+                profile_vec,
+                profile_epoch,
+                location,
+                timestamp,
+                k,
+                allow_fallback=allow_fallback,
+            )
         scoring = self._scoring
         corpus = scoring.corpus
         profile_cands = self.profile_candidates(user_id, profile_vec, profile_epoch)
@@ -172,6 +249,448 @@ class Personalizer:
             fell_back=True,
         )
 
+    # -- the vector (compact-mirror) delivery path ---------------------------
+
+    def _candidate_block(
+        self, candidates: CandidateSet, message_vec: SparseVector, generation: int
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """(candidate rows, dense message vector), cached per event.
+
+        Keyed by candidate-set identity (held strongly, so the id cannot
+        be recycled mid-cache) and mirror generation — a compaction
+        between deliveries of one fan-out re-derives the rows from the
+        stable ad ids.
+        """
+        cached = self._event_cache
+        if (
+            cached is not None
+            and cached[0] is candidates
+            and cached[1] == generation
+        ):
+            return cached[2], cached[3]
+        compact = self._compact
+        rows = compact.rows_of_present(ad_id for ad_id, _ in candidates.entries)
+        dense_message = compact.dense_query(message_vec)
+        self._event_cache = (candidates, generation, rows, dense_message)
+        return rows, dense_message
+
+    def _static_list_rows(self, generation: int) -> np.ndarray:
+        """Compact rows of the global geo+bid prefix, version-cached."""
+        version = self._static_list.version
+        cached = self._static_rows_cache
+        if cached is not None and cached[0] == version and cached[1] == generation:
+            return cached[2]
+        rows = self._compact.rows_of_present(self._static_list.candidate_ids())
+        self._static_rows_cache = (version, generation, rows)
+        return rows
+
+    def _slate_for_vector(
+        self,
+        candidates: CandidateSet,
+        message_vec: SparseVector,
+        user_id: int,
+        profile_vec: SparseVector,
+        profile_epoch: int,
+        location: GeoPoint | None,
+        timestamp: float,
+        k: int,
+        *,
+        allow_fallback: bool,
+    ) -> PersonalizedSlate:
+        """The union-score/certify/fall-back path on the compact mirror.
+
+        Same candidate sources, same certificate, same tie rule as the
+        oracle path above — but the union is scored as one block:
+        content and profile affinity via CSR row dots, activity and
+        targeting as masks, statics as array arithmetic.
+        """
+        scoring = self._scoring
+        compact = self._compact
+        compact.maybe_compact()
+        profile_cands = self.profile_candidates(user_id, profile_vec, profile_epoch)
+        # Read after the profile probe: a probe may trigger compaction,
+        # and every row cached below must be in the post-rebuild space.
+        generation = compact.generation
+
+        candidate_rows, dense_message = self._candidate_block(
+            candidates, message_vec, generation
+        )
+        profile_rows = self._profile_member_rows(
+            user_id, profile_cands, generation
+        )
+        union = np.unique(
+            np.concatenate(
+                (candidate_rows, profile_rows, self._static_list_rows(generation))
+            )
+        )
+        # Mid-batch retirements clear alive bits without recycling rows,
+        # so one mask keeps cached rows honest (the oracle path's
+        # corpus.is_active check).
+        union = union[compact.alive[union]]
+
+        slate: tuple[ScoredAd, ...] = ()
+        if union.shape[0]:
+            content = compact.row_dots(union, dense_message)
+            if profile_vec:
+                affinity = compact.row_dots(
+                    union, compact.dense_query(profile_vec)
+                )
+            else:
+                affinity = np.zeros(union.shape[0], dtype=np.float64)
+            block = scoring.evaluate_block(
+                self._static_cache,
+                union,
+                compact.ad_ids[union],
+                content,
+                affinity,
+                location,
+                timestamp,
+            )
+            order = np.lexsort((block.ad_ids, -block.score))[:k]
+            slate = tuple(
+                scoring.scored_ad(
+                    int(block.ad_ids[i]),
+                    float(block.content[i]),
+                    float(block.static[i]),
+                )
+                for i in order
+            )
+
+        weights = scoring.weights
+        certificate = (
+            weights.alpha * candidates.cutoff
+            + weights.beta * profile_cands.cutoff
+            + self._static_list.cutoff()
+        )
+        certified = len(slate) == k and slate[-1].score >= certificate
+        if certified or not (self._exact_fallback and allow_fallback):
+            return PersonalizedSlate(slate=slate, certified=certified, fell_back=False)
+        return PersonalizedSlate(
+            slate=self._fallback_slate_vector(
+                candidates,
+                generation,
+                message_vec,
+                user_id,
+                profile_vec,
+                profile_epoch,
+                location,
+                timestamp,
+                k,
+            ),
+            certified=True,
+            fell_back=True,
+        )
+
+    # -- the batched (whole fan-out) vector delivery path ---------------------
+
+    def _message_gather(
+        self, candidates: CandidateSet, generation: int, message_vec: SparseVector
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Raw message gather ``(rows, dots)`` for fallback probes, cached
+        per (event, generation) like :meth:`_candidate_block`."""
+        cached = self._message_gather_cache
+        if (
+            cached is not None
+            and cached[0] is candidates
+            and cached[1] == generation
+        ):
+            return cached[2], cached[3]
+        rows, dots = self._compact.gather(message_vec)
+        self._message_gather_cache = (candidates, generation, rows, dots)
+        return rows, dots
+
+    def _profile_gather(
+        self,
+        user_id: int,
+        profile_vec: SparseVector,
+        profile_epoch: int,
+        generation: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Raw profile gather ``(rows, dots)`` over the full index.
+
+        Cached until the user posts again, ads are added, or the mirror
+        compacts; dead rows are re-masked by the caller at use time, so
+        retirements do not invalidate (affinities never change).
+        """
+        add_epoch = self._scoring.corpus.add_epoch
+        cached = self._profile_gather_cache.get(user_id)
+        if (
+            cached is not None
+            and cached[0] == profile_epoch
+            and cached[1] == add_epoch
+            and cached[2] == generation
+        ):
+            return cached[3], cached[4]
+        rows, dots = self._compact.gather(profile_vec)
+        self._profile_gather_cache[user_id] = (
+            profile_epoch, add_epoch, generation, rows, dots,
+        )
+        return rows, dots
+
+    def _profile_member_rows(
+        self, user_id: int, cands: _ProfileCandidates, generation: int
+    ) -> np.ndarray:
+        """Compact rows of a user's profile-probe entries, cached with
+        the probe itself (retired entries drop out via the row lookup)."""
+        cached = self._profile_rows_cache.get(user_id)
+        if (
+            cached is not None
+            and cached[0] is cands
+            and cached[1] == generation
+        ):
+            return cached[2]
+        rows = self._compact.rows_of_present(
+            ad_id for ad_id, _ in cands.entries
+        )
+        self._profile_rows_cache[user_id] = (cands, generation, rows)
+        return rows
+
+    def _fallback_slate_vector(
+        self,
+        candidates: CandidateSet,
+        generation: int,
+        message_vec: SparseVector,
+        user_id: int,
+        profile_vec: SparseVector,
+        profile_epoch: int,
+        location: GeoPoint | None,
+        timestamp: float,
+        k: int,
+    ) -> tuple[ScoredAd, ...]:
+        """One exact combined-query probe built from cached gathers.
+
+        The combined score ``alpha·content + beta·affinity`` is assembled
+        from the per-event message gather and the per-user profile gather
+        instead of re-walking the postings per delivery; statics and
+        targeting are the same vectorized block as the probe path.
+        """
+        scoring = self._scoring
+        compact = self._compact
+        weights = scoring.weights
+        message_rows, message_dots = self._message_gather(
+            candidates, generation, message_vec
+        )
+        # Mid-fanout retirements (budget exhaustion under charging) clear
+        # alive bits after the cached gather was taken.
+        live = compact.alive[message_rows]
+        if not live.all():
+            message_rows = message_rows[live]
+            message_dots = message_dots[live]
+        if weights.beta > 0.0 and profile_vec:
+            profile_rows, profile_dots = self._profile_gather(
+                user_id, profile_vec, profile_epoch, generation
+            )
+            live = compact.alive[profile_rows]
+            if not live.all():
+                profile_rows = profile_rows[live]
+                profile_dots = profile_dots[live]
+            rows = np.union1d(message_rows, profile_rows)
+        else:
+            profile_rows = profile_dots = None
+            rows = message_rows
+        if not rows.shape[0]:
+            return ()
+        combined = np.zeros(rows.shape[0], dtype=np.float64)
+        positions = np.searchsorted(rows, message_rows)
+        combined[positions] = weights.alpha * message_dots
+        if profile_rows is not None:
+            positions = np.searchsorted(rows, profile_rows)
+            combined[positions] += weights.beta * profile_dots
+        ad_ids = compact.ad_ids[rows]
+        static_block = scoring.probe_static_block(
+            self._static_cache, location, timestamp
+        )
+        keep, statics = static_block(rows, ad_ids)
+        scores = combined + statics
+        kept = np.flatnonzero(keep)
+        if not kept.shape[0]:
+            return ()
+        order = kept[np.lexsort((ad_ids[kept], -scores[kept]))[:k]]
+        index = self._index
+        slate: list[ScoredAd] = []
+        for i in order:
+            ad_id = int(ad_ids[i])
+            content = dot(message_vec, index.ad_terms(ad_id))
+            score = float(scores[i])
+            slate.append(
+                ScoredAd(
+                    ad_id=ad_id,
+                    score=score,
+                    content=content,
+                    static=score - weights.alpha * content,
+                )
+            )
+        return tuple(slate)
+
+    def slate_batch(
+        self,
+        candidates: CandidateSet,
+        message_vec: SparseVector,
+        followers: list[tuple[int, SparseVector, int, GeoPoint | None]],
+        timestamp: float,
+        k: int,
+    ) -> list[PersonalizedSlate]:
+        """The whole fan-out of one event as one candidate matrix.
+
+        ``followers`` is ``(user_id, profile_vec, profile_epoch,
+        location)`` per follower. One message gather plus one cached
+        profile gather per follower cover every row any slate can
+        contain — content, affinity, targeting and bid statics are
+        evaluated once over that union, and the approximate slate *and*
+        the exact fallback are both cut from the same arrays, so an
+        uncertified delivery costs one extra mask + top-k instead of a
+        fresh probe. Slates, certification decisions and fallbacks are
+        elementwise identical to calling :meth:`slate_for` per follower —
+        the caller guarantees no corpus mutation happens mid-batch (no
+        charging, no CTR feedback).
+        """
+        scoring = self._scoring
+        compact = self._compact
+        compact.maybe_compact()
+        generation = compact.generation
+        # Probes derive from the same cached gathers used below, so they
+        # cannot trigger a compaction after the generation snapshot.
+        profile_cands = [
+            self.profile_candidates(user_id, profile_vec, profile_epoch)
+            for user_id, profile_vec, profile_epoch, _ in followers
+        ]
+        candidate_rows, _ = self._candidate_block(
+            candidates, message_vec, generation
+        )
+        static_rows = self._static_list_rows(generation)
+        message_rows, message_dots = self._message_gather(
+            candidates, generation, message_vec
+        )
+
+        count = len(followers)
+        weights = scoring.weights
+        static_cutoff = self._static_list.cutoff()
+        fallback_ok = self._exact_fallback
+
+        # Alive-masked raw profile gathers: every row with affinity > 0,
+        # for the keep floor, the affinity term and the fallback row set.
+        profile_gathers: list[tuple[np.ndarray, np.ndarray] | None] = []
+        for user_id, profile_vec, profile_epoch, _ in followers:
+            if profile_vec:
+                rows, dots = self._profile_gather(
+                    user_id, profile_vec, profile_epoch, generation
+                )
+                live = compact.alive[rows]
+                if not live.all():
+                    rows = rows[live]
+                    dots = dots[live]
+                profile_gathers.append((rows, dots))
+            else:
+                profile_gathers.append(None)
+
+        # Everything below works in the full row space of the mirror —
+        # scatters and mask writes are direct row indexing, no unions or
+        # searchsorted. Per event the shared pieces (content, bid, time
+        # mask) are row vectors; per follower only 1-D boolean masks plus
+        # float math on the kept subset, so no (F × rows) matrices are
+        # ever materialised. Dead rows have zero content/affinity (the
+        # gathers above are alive-masked) and unmarked memberships, so
+        # they can never be selected.
+        ad_ids = compact.ad_ids
+        size = ad_ids.shape[0]
+        results: list[PersonalizedSlate] = []
+        cache = self._static_cache
+        if size:
+            content = np.zeros(size, dtype=np.float64)
+            content[message_rows] = message_dots
+            content_floor = content > 0.0
+            bid = scoring.fanout_bid_block(cache, ad_ids, timestamp)
+            time_keep = cache.time_keep_full(timestamp)
+            # Membership for the approximate slate: every follower sees
+            # the shared candidate and static rows; the profile-probe rows
+            # are theirs alone. The fallback row set is the raw message ∪
+            # profile matches instead.
+            shared = np.zeros(size, dtype=bool)
+            shared[candidate_rows] = True
+            shared[static_rows] = True
+            message_member = np.zeros(size, dtype=bool)
+            message_member[message_rows] = True
+
+        for i, (user_id, profile_vec, profile_epoch, location) in enumerate(
+            followers
+        ):
+            slate: tuple[ScoredAd, ...] = ()
+            if size:
+                gathered = profile_gathers[i]
+                affinity = np.zeros(size, dtype=np.float64)
+                if gathered is not None:
+                    affinity[gathered[0]] = gathered[1]
+                targeted = cache.targeting_full(location)[0] & time_keep
+                member = shared.copy()
+                member[
+                    self._profile_member_rows(
+                        user_id, profile_cands[i], generation
+                    )
+                ] = True
+                kept = np.flatnonzero(
+                    (content_floor | (affinity > 0.0)) & targeted & member
+                )
+                if kept.shape[0]:
+                    static_kept, score_kept = scoring.fanout_scores(
+                        cache, location, content, affinity, bid, kept
+                    )
+                    chosen = _exact_topk(score_kept, ad_ids[kept], k)
+                    slate = tuple(
+                        ScoredAd(
+                            ad_id=int(ad_ids[kept[j]]),
+                            score=float(score_kept[j]),
+                            content=float(content[kept[j]]),
+                            static=float(static_kept[j]),
+                        )
+                        for j in chosen
+                    )
+            certificate = (
+                weights.alpha * candidates.cutoff
+                + weights.beta * profile_cands[i].cutoff
+                + static_cutoff
+            )
+            certified = len(slate) == k and slate[-1].score >= certificate
+            if certified or not fallback_ok:
+                results.append(
+                    PersonalizedSlate(
+                        slate=slate, certified=certified, fell_back=False
+                    )
+                )
+                continue
+            # Exact fallback from the same arrays: the combined probe's
+            # row set is the raw message ∪ profile matches under the
+            # targeting mask alone (a probe has no content/affinity
+            # floor — any matching row can win on statics).
+            exact: tuple[ScoredAd, ...] = ()
+            if size:
+                member = message_member.copy()
+                if weights.beta > 0.0 and gathered is not None:
+                    member[gathered[0]] = True
+                kept = np.flatnonzero(targeted & member)
+                if kept.shape[0]:
+                    static_kept, score_kept = scoring.fanout_scores(
+                        cache, location, content, affinity, bid, kept
+                    )
+                    chosen = _exact_topk(score_kept, ad_ids[kept], k)
+                    entries = []
+                    for j in chosen:
+                        row = kept[j]
+                        content_j = float(content[row])
+                        score_j = float(score_kept[j])
+                        entries.append(
+                            ScoredAd(
+                                ad_id=int(ad_ids[row]),
+                                score=score_j,
+                                content=content_j,
+                                static=score_j - weights.alpha * content_j,
+                            )
+                        )
+                    exact = tuple(entries)
+            results.append(
+                PersonalizedSlate(slate=exact, certified=True, fell_back=True)
+            )
+        return results
+
     def exact_slate(
         self,
         message_vec: SparseVector,
@@ -184,13 +703,26 @@ class Personalizer:
         baseline: EngineMode.EXACT routes every delivery here)."""
         scoring = self._scoring
         query = scoring.combined_query(message_vec, profile_vec)
-        searcher = make_searcher(
-            self._config.searcher,
-            self._index,
-            static_score=scoring.probe_static_fn(location, timestamp),
-            max_static=scoring.max_probe_static,
-            filter_fn=scoring.targeting_filter(location, timestamp),
-        )
+        if self._vector:
+            # The block form evaluates targeting + statics for a whole
+            # chunk of the content-ordered walk at once; the shared
+            # mirror makes per-probe construction free.
+            searcher = VectorSearcher(
+                self._index,
+                static_block=scoring.probe_static_block(
+                    self._static_cache, location, timestamp
+                ),
+                max_static=scoring.max_probe_static,
+                compact=self._compact,
+            )
+        else:
+            searcher = make_searcher(
+                self._config.searcher,
+                self._index,
+                static_score=scoring.probe_static_fn(location, timestamp),
+                max_static=scoring.max_probe_static,
+                filter_fn=scoring.targeting_filter(location, timestamp),
+            )
         slate: list[ScoredAd] = []
         for entry in searcher.search(query, k):
             ad_terms = self._index.ad_terms(entry.item)

@@ -19,15 +19,22 @@ served, no matter their bid.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
-from typing import Callable
+from typing import TYPE_CHECKING, Callable
+
+import numpy as np
 
 from repro.ads.budget import BudgetManager
 from repro.ads.corpus import AdCorpus
 from repro.ads.ctr import QUALITY_CAP, CtrEstimator
+from repro.ads.targeting import SECONDS_PER_DAY
 from repro.core.config import ScoringWeights
-from repro.geo.point import GeoPoint
+from repro.geo.point import EARTH_RADIUS_KM, GeoPoint
 from repro.util.sparse import MutableSparseVector, SparseVector, dot
+
+if TYPE_CHECKING:
+    from repro.index.compact import CompactIndex
 
 
 @dataclass(frozen=True, slots=True)
@@ -38,6 +45,303 @@ class ScoredAd:
     score: float
     content: float
     static: float
+
+
+@dataclass(frozen=True, slots=True)
+class ScoredBlock:
+    """Vectorized evaluation of a candidate block (surviving rows only)."""
+
+    ad_ids: np.ndarray  # int64
+    content: np.ndarray  # float64
+    static: np.ndarray  # float64
+    score: np.ndarray  # float64
+
+    def __len__(self) -> int:
+        return int(self.ad_ids.shape[0])
+
+
+class StaticRowCache:
+    """Query-independent per-row features for the compact hot path.
+
+    Mirrors the static inputs of :meth:`ScoringModel.evaluate` into
+    row-indexed arrays: the raw bid (normalised against the live
+    ``max_bid`` at evaluation time, matching
+    :meth:`~repro.ads.corpus.AdCorpus.normalized_bid`), per-row targeting
+    masks, and the targeting geometry itself — every circle as a flat
+    ``(row, lat, lon, radius)`` record and every time window as a flat
+    ``(row, start, end)`` record, both kept sorted by row so a block's
+    circles are one ``searchsorted`` gather away. That lets
+    :meth:`targeting_block` evaluate the geo/time predicate and the
+    proximity score for a whole candidate block with one vectorized
+    haversine instead of per-ad Python calls. Synced lazily: a compaction
+    (generation bump) resets the arrays, appended rows extend them.
+    """
+
+    def __init__(self, corpus: AdCorpus, compact: "CompactIndex") -> None:
+        self._corpus = corpus
+        self._compact = compact
+        self._generation = -1
+        self._synced_rows = 0
+        self._bids = np.zeros(0, dtype=np.float64)
+        self._untargeted = np.zeros(0, dtype=bool)
+        self._geo_targeted = np.zeros(0, dtype=bool)
+        self._time_targeted = np.zeros(0, dtype=bool)
+        self._specs: list[object] = []
+        # Flat targeting geometry, staged in lists (append-friendly) and
+        # flattened to arrays on demand. Row tags are ascending because
+        # sync always visits rows in order.
+        self._geo_stage: list[tuple[int, float, float, float]] = []
+        self._time_stage: list[tuple[int, float, float]] = []
+        self._flat_dirty = True
+        self._geo_rows = np.zeros(0, dtype=np.int64)
+        self._geo_lat = np.zeros(0, dtype=np.float64)
+        self._geo_lon = np.zeros(0, dtype=np.float64)
+        self._geo_cos = np.zeros(0, dtype=np.float64)
+        self._geo_radius = np.zeros(0, dtype=np.float64)
+        self._time_rows = np.zeros(0, dtype=np.int64)
+        self._time_start = np.zeros(0, dtype=np.float64)
+        self._time_end = np.zeros(0, dtype=np.float64)
+        # Full-corpus targeting results, cached per location (keyed by
+        # coordinates) and for the event timestamp. ``_version`` bumps
+        # whenever the row space changes, invalidating both.
+        self._version = 0
+        self._full_geo: dict[
+            tuple[float, float] | None, tuple[int, np.ndarray, np.ndarray]
+        ] = {}
+        self._full_time: tuple[float, int, np.ndarray] | None = None
+
+    def sync(self) -> None:
+        compact = self._compact
+        if self._generation != compact.generation:
+            self._generation = compact.generation
+            self._synced_rows = 0
+            self._bids = np.zeros(compact.num_rows, dtype=np.float64)
+            self._untargeted = np.zeros(compact.num_rows, dtype=bool)
+            self._geo_targeted = np.zeros(compact.num_rows, dtype=bool)
+            self._time_targeted = np.zeros(compact.num_rows, dtype=bool)
+            self._specs = [None] * compact.num_rows
+            self._geo_stage = []
+            self._time_stage = []
+            self._flat_dirty = True
+            self._version += 1
+            self._full_geo.clear()
+            self._full_time = None
+        num_rows = compact.num_rows
+        if self._synced_rows >= num_rows:
+            return
+        self._version += 1
+        if self._bids.shape[0] < num_rows:
+            self._bids = _grown(self._bids, num_rows, np.float64)
+            self._untargeted = _grown(self._untargeted, num_rows, bool)
+            self._geo_targeted = _grown(self._geo_targeted, num_rows, bool)
+            self._time_targeted = _grown(self._time_targeted, num_rows, bool)
+            self._specs.extend([None] * (num_rows - len(self._specs)))
+        corpus = self._corpus
+        ad_ids = compact.ad_ids
+        for row in range(self._synced_rows, num_rows):
+            ad = corpus.get(int(ad_ids[row]))
+            self._bids[row] = ad.bid
+            spec = ad.targeting
+            self._untargeted[row] = spec.is_untargeted
+            self._specs[row] = spec
+            if spec.circles:
+                self._geo_targeted[row] = True
+                for center, radius in spec.circles:
+                    self._geo_stage.append(
+                        (
+                            row,
+                            math.radians(center.lat),
+                            math.radians(center.lon),
+                            radius,
+                        )
+                    )
+                self._flat_dirty = True
+            if spec.time_windows:
+                self._time_targeted[row] = True
+                for window in spec.time_windows:
+                    self._time_stage.append(
+                        (row, window.start_hour, window.end_hour)
+                    )
+                self._flat_dirty = True
+        self._synced_rows = num_rows
+
+    def _flatten(self) -> None:
+        if not self._flat_dirty:
+            return
+        geo = self._geo_stage
+        self._geo_rows = np.fromiter(
+            (rec[0] for rec in geo), dtype=np.int64, count=len(geo)
+        )
+        self._geo_lat = np.fromiter(
+            (rec[1] for rec in geo), dtype=np.float64, count=len(geo)
+        )
+        self._geo_lon = np.fromiter(
+            (rec[2] for rec in geo), dtype=np.float64, count=len(geo)
+        )
+        self._geo_radius = np.fromiter(
+            (rec[3] for rec in geo), dtype=np.float64, count=len(geo)
+        )
+        self._geo_cos = np.cos(self._geo_lat)
+        # Latitude half-band (radians) per circle for the coarse prefilter:
+        # haversine distance >= R·|Δlat| exactly, so a circle whose center
+        # latitude is further than radius/R (plus 1% slack, orders of
+        # magnitude above float error) can never contain the user.
+        self._geo_band = self._geo_radius / EARTH_RADIUS_KM * 1.01
+        windows = self._time_stage
+        self._time_rows = np.fromiter(
+            (rec[0] for rec in windows), dtype=np.int64, count=len(windows)
+        )
+        self._time_start = np.fromiter(
+            (rec[1] for rec in windows), dtype=np.float64, count=len(windows)
+        )
+        self._time_end = np.fromiter(
+            (rec[2] for rec in windows), dtype=np.float64, count=len(windows)
+        )
+        self._flat_dirty = False
+
+    def bids(self, rows: np.ndarray) -> np.ndarray:
+        return self._bids[rows]
+
+    def bids_full(self) -> np.ndarray:
+        """Raw bids for every synced row (a view — do not mutate)."""
+        return self._bids[: self._synced_rows]
+
+    def untargeted(self, rows: np.ndarray) -> np.ndarray:
+        return self._untargeted[rows]
+
+    def spec(self, row: int):
+        return self._specs[row]
+
+    def targeting_full(
+        self, location: GeoPoint | None
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Geo predicate + proximity for one location over *every* row.
+
+        Returns ``(geo_keep, proximity)`` of length ``num_rows``, cached
+        per location until the row space changes — followers recur across
+        events, so one haversine pass over all circles serves every later
+        delivery to the same user. The cache is cleared past 512 distinct
+        locations to bound memory.
+        """
+        key = (
+            None if location is None else (location.lat, location.lon)
+        )
+        cached = self._full_geo.get(key)
+        if cached is not None and cached[0] == self._version:
+            return cached[1], cached[2]
+        size = self._synced_rows
+        geo_mask = self._geo_targeted[:size]
+        keep = np.ones(size, dtype=bool)
+        proximity = np.ones(size, dtype=np.float64)
+        if location is None:
+            keep &= ~geo_mask
+            proximity[geo_mask] = 0.0
+        else:
+            self._flatten()
+            lat2 = math.radians(location.lat)
+            # Coarse prefilter: only circles whose latitude band contains
+            # the user can match. The surviving circles go through the
+            # exact haversine unchanged (subsetting does not perturb any
+            # float value), so results are identical to the full pass.
+            near = np.flatnonzero(
+                np.abs(lat2 - self._geo_lat) <= self._geo_band
+            )
+            rows = self._geo_rows[near]
+            proximity[geo_mask] = 0.0
+            keep = ~geo_mask
+            if rows.shape[0]:
+                # Same arithmetic, same operation order as
+                # repro.geo.point.haversine_km, elementwise.
+                lon2 = math.radians(location.lon)
+                dlat = lat2 - self._geo_lat[near]
+                dlon = lon2 - self._geo_lon[near]
+                sin_dlat = np.sin(dlat / 2.0)
+                sin_dlon = np.sin(dlon / 2.0)
+                h = (
+                    sin_dlat * sin_dlat
+                    + self._geo_cos[near] * math.cos(lat2) * sin_dlon * sin_dlon
+                )
+                h = np.minimum(1.0, np.maximum(0.0, h))
+                distance = 2.0 * EARTH_RADIUS_KM * np.arcsin(np.sqrt(h))
+                radius = self._geo_radius[near]
+                inside = distance <= radius
+                hit_rows = rows[inside]
+                falloff = 1.0 - distance[inside] / radius[inside]
+                if hit_rows.shape[0]:
+                    # Circles are stored sorted by row, so matches group
+                    # into runs: one reduceat takes each row's best circle
+                    # (ufunc.at would be an order of magnitude slower).
+                    boundary = np.empty(hit_rows.shape[0], dtype=bool)
+                    boundary[0] = True
+                    np.not_equal(
+                        hit_rows[1:], hit_rows[:-1], out=boundary[1:]
+                    )
+                    starts = np.flatnonzero(boundary)
+                    matched_rows = hit_rows[starts]
+                    proximity[matched_rows] = np.maximum.reduceat(
+                        falloff, starts
+                    )
+                    keep[matched_rows] = True
+        if len(self._full_geo) >= 512:
+            self._full_geo.clear()
+        self._full_geo[key] = (self._version, keep, proximity)
+        return keep, proximity
+
+    def time_keep_full(self, timestamp: float) -> np.ndarray:
+        """Time-window predicate over every row, cached for the event
+        timestamp (one fan-out shares it across followers and probes)."""
+        cached = self._full_time
+        if (
+            cached is not None
+            and cached[0] == timestamp
+            and cached[1] == self._version
+        ):
+            return cached[2]
+        size = self._synced_rows
+        time_mask = self._time_targeted[:size]
+        if not time_mask.any():
+            keep = np.ones(size, dtype=bool)
+        else:
+            self._flatten()
+            hour = (timestamp % SECONDS_PER_DAY) / 3600.0
+            start = self._time_start
+            end = self._time_end
+            inside = np.where(
+                start < end,
+                (start <= hour) & (hour < end),
+                (hour >= start) | (hour < end),
+            )
+            matched = (
+                np.bincount(self._time_rows[inside], minlength=size) > 0
+            )
+            keep = matched | ~time_mask
+        self._full_time = (timestamp, self._version, keep)
+        return keep
+
+    def targeting_block(
+        self,
+        rows: np.ndarray,
+        location: GeoPoint | None,
+        timestamp: float,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Vectorized ``TargetingSpec.matches`` + ``proximity`` for a block.
+
+        Returns ``(keep, proximity)`` matching the scalar predicates:
+        geo-targeted ads need the user inside at least one circle (unknown
+        location never matches), time-targeted ads need the hour inside at
+        least one window, and proximity is the best-circle linear falloff
+        (neutral 1.0 for untargeted ads). A gather from the per-location
+        full-corpus cache — a repeat user costs three fancy indexes.
+        """
+        geo_keep, proximity = self.targeting_full(location)
+        keep = geo_keep[rows] & self.time_keep_full(timestamp)[rows]
+        return keep, proximity[rows]
+
+
+def _grown(array: np.ndarray, size: int, dtype) -> np.ndarray:
+    out = np.zeros(size, dtype=dtype)
+    out[: array.shape[0]] = array
+    return out
 
 
 class ScoringModel:
@@ -166,6 +470,164 @@ class ScoringModel:
             + self.weights.delta * self.bid_score(ad_id, timestamp)
         )
         return self.scored_ad(ad_id, content, static)
+
+    # -- block (vectorized) evaluation ---------------------------------------
+
+    def _bid_block(
+        self,
+        cache: StaticRowCache,
+        rows: np.ndarray,
+        ad_ids: np.ndarray,
+        timestamp: float,
+    ) -> np.ndarray:
+        """Vectorized :meth:`bid_score` over a row block (same op order)."""
+        max_bid = self._corpus.max_bid
+        if max_bid <= 0.0:
+            return np.zeros(rows.shape[0], dtype=np.float64)
+        bid = cache.bids(rows) / max_bid
+        if self._budget_manager is not None:
+            bid = bid * self._budget_manager.pacing_block(ad_ids, timestamp)
+        if self._ctr_estimator is not None:
+            quality = self._ctr_estimator.quality_multiplier
+            bid = bid * np.fromiter(
+                (quality(int(ad_id)) / QUALITY_CAP for ad_id in ad_ids),
+                dtype=np.float64,
+                count=rows.shape[0],
+            )
+        return bid
+
+    def _bid_block_full(
+        self, cache: StaticRowCache, ad_ids: np.ndarray, timestamp: float
+    ) -> np.ndarray:
+        """:meth:`_bid_block` over every synced row (``ad_ids`` is the
+        compact mirror's full id array)."""
+        size = ad_ids.shape[0]
+        max_bid = self._corpus.max_bid
+        if max_bid <= 0.0:
+            return np.zeros(size, dtype=np.float64)
+        bid = cache.bids_full() / max_bid
+        if self._budget_manager is not None:
+            bid = bid * self._budget_manager.pacing_block(ad_ids, timestamp)
+        if self._ctr_estimator is not None:
+            quality = self._ctr_estimator.quality_multiplier
+            bid = bid * np.fromiter(
+                (quality(int(ad_id)) / QUALITY_CAP for ad_id in ad_ids),
+                dtype=np.float64,
+                count=size,
+            )
+        return bid
+
+    def evaluate_block(
+        self,
+        cache: StaticRowCache,
+        rows: np.ndarray,
+        ad_ids: np.ndarray,
+        content: np.ndarray,
+        affinity: np.ndarray,
+        location: GeoPoint | None,
+        timestamp: float,
+    ) -> ScoredBlock:
+        """Vectorized :meth:`evaluate` over a block of *alive* rows.
+
+        ``content``/``affinity`` are the message and profile dot products
+        per row (the caller computes both through the compact forward
+        CSR). Applies the relevance floor and the targeting predicate,
+        then scores the survivors with the same arithmetic — and the same
+        operation order — as the scalar path, so scores agree to float32
+        storage precision.
+        """
+        cache.sync()
+        keep = (content > 0.0) | (affinity > 0.0)
+        targeted_ok, proximity = cache.targeting_block(rows, location, timestamp)
+        keep &= targeted_ok
+        if not keep.any():
+            empty = np.zeros(0, dtype=np.float64)
+            return ScoredBlock(
+                ad_ids=np.zeros(0, dtype=np.int64),
+                content=empty,
+                static=empty,
+                score=empty,
+            )
+        rows = rows[keep]
+        ad_ids = ad_ids[keep]
+        content = content[keep]
+        affinity = affinity[keep]
+        proximity = proximity[keep]
+        weights = self.weights
+        static = (
+            weights.beta * affinity
+            + weights.gamma * proximity
+            + weights.delta * self._bid_block(cache, rows, ad_ids, timestamp)
+        )
+        return ScoredBlock(
+            ad_ids=ad_ids,
+            content=content,
+            static=static,
+            score=weights.alpha * content + static,
+        )
+
+    def fanout_bid_block(
+        self, cache: StaticRowCache, ad_ids: np.ndarray, timestamp: float
+    ) -> np.ndarray:
+        """Delta-weighted full-row bid term, shared across a fan-out.
+
+        The bid is the only user-independent static, so one row vector
+        serves every follower of an event.
+        """
+        cache.sync()
+        return self.weights.delta * self._bid_block_full(
+            cache, ad_ids, timestamp
+        )
+
+    def fanout_scores(
+        self,
+        cache: StaticRowCache,
+        location: GeoPoint | None,
+        content: np.ndarray,
+        affinity: np.ndarray,
+        bid: np.ndarray,
+        kept: np.ndarray,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Static + total score for one follower's kept rows.
+
+        ``content``/``affinity``/``bid`` span the full row space (``bid``
+        from :meth:`fanout_bid_block`); only ``kept`` rows are evaluated,
+        with the same arithmetic and operation order as
+        :meth:`evaluate_block`, so values are elementwise identical to
+        the per-delivery path. Returns ``(static, score)`` on the subset.
+        """
+        weights = self.weights
+        proximity = cache.targeting_full(location)[1]
+        static = (
+            weights.beta * affinity[kept]
+            + weights.gamma * proximity[kept]
+            + bid[kept]
+        )
+        return static, weights.alpha * content[kept] + static
+
+    def probe_static_block(
+        self,
+        cache: StaticRowCache,
+        location: GeoPoint | None,
+        timestamp: float,
+    ) -> Callable[[np.ndarray, np.ndarray], tuple[np.ndarray, np.ndarray]]:
+        """Vectorized :meth:`probe_static_fn` + :meth:`targeting_filter`
+        for one user and time: returns ``block(rows, ad_ids) -> (keep
+        mask, gamma·geo + delta·bid)`` for the vector searcher's
+        static-boosted probe. ``rows`` must be sorted ascending."""
+        weights = self.weights
+
+        def block(
+            rows: np.ndarray, ad_ids: np.ndarray
+        ) -> tuple[np.ndarray, np.ndarray]:
+            cache.sync()
+            keep, proximity = cache.targeting_block(rows, location, timestamp)
+            static = weights.gamma * proximity + weights.delta * self._bid_block(
+                cache, rows, ad_ids, timestamp
+            )
+            return keep, static
+
+        return block
 
     # -- query construction --------------------------------------------------
 

@@ -49,6 +49,10 @@ class EngineStats:
     impressions: int = 0
     revenue: float = 0.0
     shared_probes: int = 0
+    # Sum of effective probe depths (K′ after any QoS shrink) across all
+    # shared probes — divide by shared_probes for the mean depth the T3
+    # probe-vs-personalize attribution reports.
+    probe_depth_total: int = 0
     certified_deliveries: int = 0
     fallback_deliveries: int = 0
     approximate_deliveries: int = 0
@@ -64,6 +68,11 @@ class EngineStats:
     def attempted_deliveries(self) -> int:
         """Fan-out size before admission control: admitted + shed."""
         return self.deliveries + self.deliveries_shed
+
+    def mean_probe_depth(self) -> float:
+        if self.shared_probes == 0:
+            return 0.0
+        return self.probe_depth_total / self.shared_probes
 
     def fallback_rate(self) -> float:
         if self.deliveries == 0:

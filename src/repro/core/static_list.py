@@ -30,6 +30,10 @@ class GlobalStaticTopList:
         self._corpus = corpus
         self._weights = weights
         self.size = size
+        # Monotone change counter: bumps whenever membership or order can
+        # have changed, so derived caches (the compact row view in
+        # rerank) can key on it.
+        self.version = 0
         # Descending by normalized bid; key list kept in ascending-negated
         # order for bisect. Entries: (-bid_norm, ad_id).
         self._entries: list[tuple[float, int]] = []
@@ -37,6 +41,7 @@ class GlobalStaticTopList:
         corpus.subscribe(on_add=self._on_add, on_retire=self._on_retire)
 
     def _rebuild(self) -> None:
+        self.version += 1
         self._entries = sorted(
             (-self._corpus.normalized_bid(ad.ad_id), ad.ad_id)
             for ad in self._corpus.active_ads()
@@ -49,6 +54,7 @@ class GlobalStaticTopList:
         self._rebuild()
 
     def _on_retire(self, ad) -> None:
+        self.version += 1
         key = (-self._corpus.normalized_bid(ad.ad_id), ad.ad_id)
         index = bisect.bisect_left(self._entries, key)
         if index < len(self._entries) and self._entries[index] == key:

@@ -1,0 +1,509 @@
+"""Compact numpy mirror of the inverted index: the vectorized hot path.
+
+:class:`AdInvertedIndex` stores postings as Python dicts and per-entry
+method calls — ideal for incremental maintenance, hopeless for throughput
+(F3 shows a single shard collapsing to a few hundred deliveries/s at 8000
+ads). :class:`CompactIndex` mirrors the same logical content into flat
+arrays that one numpy gather can traverse:
+
+* **Interned ids** — terms get stable ``int32`` ids from an
+  :class:`IdInterner` (never reassigned, so term-space dense vectors stay
+  valid across rebuilds); ads get dense *row* numbers.
+* **Posting arrays** — per term, parallel ``(int32 row, float32 weight)``
+  arrays sorted by row (ascending ad insertion order). New ads always
+  receive the current maximal row, so incremental appends keep the sort
+  order for free. Impact-ordered views (weight-descending) are derived
+  lazily per term for bound-style traversals.
+* **Forward CSR** — ``indptr/term_id/weight`` arrays mapping a row to its
+  term vector, which turns per-(user, ad) dot products into one
+  ``bincount`` over a candidate block (:meth:`CompactIndex.row_dots`).
+
+Synchronisation uses the same subscription idiom the index itself uses
+against the corpus: the mirror registers add/remove listeners and applies
+adds eagerly (cheap — posting lists are short). Removals are O(1): the
+row's ``alive`` bit is cleared and the posting entries are left in place,
+masked out at gather time. When the dead fraction crosses
+``rebuild_dead_fraction`` the whole mirror is compacted from the source
+index — rows are reassigned, ``generation`` is bumped so row-keyed caches
+invalidate, and term ids are preserved. Results are exact at every point
+in between; the threshold only bounds wasted memory and gather width
+under sliding-window churn.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections.abc import Iterable, Mapping
+
+import numpy as np
+
+from repro.errors import ConfigError, IndexError_
+from repro.index.inverted import AdInvertedIndex
+
+
+class IdInterner:
+    """Stable string → dense ``int`` interning.
+
+    Ids are assigned in first-seen order and never reassigned or recycled
+    — a term keeps its id across compactions, which is what lets dense
+    term-space vectors and posting arrays survive a rebuild untouched.
+    """
+
+    __slots__ = ("_ids", "_names")
+
+    def __init__(self) -> None:
+        self._ids: dict[str, int] = {}
+        self._names: list[str] = []
+
+    def intern(self, name: str) -> int:
+        """The name's id, assigning the next dense id on first sight."""
+        idx = self._ids.get(name)
+        if idx is None:
+            idx = len(self._names)
+            self._ids[name] = idx
+            self._names.append(name)
+        return idx
+
+    def lookup(self, name: str) -> int | None:
+        """The name's id, or None if it was never interned."""
+        return self._ids.get(name)
+
+    def name_of(self, idx: int) -> str:
+        """Reverse lookup; raises :class:`IndexError_` for unknown ids."""
+        if not 0 <= idx < len(self._names):
+            raise IndexError_(f"unknown interned id {idx}")
+        return self._names[idx]
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ids
+
+
+def _grow(array: np.ndarray, needed: int) -> np.ndarray:
+    """Return ``array`` with capacity >= needed (doubling, zero-filled)."""
+    if array.shape[0] >= needed:
+        return array
+    capacity = max(needed, 2 * array.shape[0], 16)
+    grown = np.zeros(capacity, dtype=array.dtype)
+    grown[: array.shape[0]] = array
+    return grown
+
+
+# Per-index shared mirrors: every VectorSearcher over the same index must
+# reuse one mirror (exact_slate constructs a searcher per probe).
+_SHARED: "weakref.WeakKeyDictionary[AdInvertedIndex, CompactIndex]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+class CompactIndex:
+    """Array-backed mirror of one :class:`AdInvertedIndex`."""
+
+    def __init__(
+        self,
+        index: AdInvertedIndex,
+        *,
+        rebuild_dead_fraction: float = 0.25,
+        min_rebuild_dead: int = 64,
+    ) -> None:
+        if not 0.0 < rebuild_dead_fraction <= 1.0:
+            raise ConfigError(
+                f"rebuild_dead_fraction must be in (0, 1], "
+                f"got {rebuild_dead_fraction}"
+            )
+        if min_rebuild_dead < 1:
+            raise ConfigError(
+                f"min_rebuild_dead must be >= 1, got {min_rebuild_dead}"
+            )
+        self._index = index
+        self._rebuild_dead_fraction = rebuild_dead_fraction
+        self._min_rebuild_dead = min_rebuild_dead
+        self.terms = IdInterner()
+        # Monotone counters: generation invalidates row-keyed caches.
+        self.generation = 0
+        self.rebuilds = 0
+        self._num_rows = 0
+        self._dead = 0
+        self._row_of: dict[int, int] = {}
+        self._ad_ids = np.zeros(0, dtype=np.int64)
+        self._alive = np.zeros(0, dtype=bool)
+        # Per-term posting arrays (indexed by term id), plus a lazily
+        # derived impact-order permutation per term.
+        self._term_rows: list[np.ndarray] = []
+        self._term_weights: list[np.ndarray] = []
+        self._term_max_weight: list[float] = []
+        self._impact_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
+        # Forward CSR over rows.
+        self._fwd_indptr = np.zeros(1, dtype=np.int64)
+        self._fwd_tids = np.zeros(0, dtype=np.int32)
+        self._fwd_weights = np.zeros(0, dtype=np.float32)
+        self._fwd_len = 0
+        # Score accumulator scratch, zeroed after every gather.
+        self._scores = np.zeros(0, dtype=np.float64)
+        self._rebuild()
+        index.subscribe(on_add=self._on_add, on_remove=self._on_remove)
+
+    @classmethod
+    def shared(cls, index: AdInvertedIndex) -> "CompactIndex":
+        """The per-index shared mirror (created on first request)."""
+        mirror = _SHARED.get(index)
+        if mirror is None:
+            mirror = cls(index)
+            _SHARED[index] = mirror
+        return mirror
+
+    # -- read side -----------------------------------------------------------
+
+    @property
+    def num_rows(self) -> int:
+        """Allocated rows, dead ones included."""
+        return self._num_rows
+
+    @property
+    def num_alive(self) -> int:
+        return self._num_rows - self._dead
+
+    @property
+    def dead_fraction(self) -> float:
+        return self._dead / self._num_rows if self._num_rows else 0.0
+
+    @property
+    def ad_ids(self) -> np.ndarray:
+        """row → ad id (read-only view)."""
+        return self._ad_ids[: self._num_rows]
+
+    @property
+    def alive(self) -> np.ndarray:
+        """row → liveness (read-only view)."""
+        return self._alive[: self._num_rows]
+
+    def row_of(self, ad_id: int) -> int:
+        """The ad's current row; raises :class:`IndexError_` if unknown."""
+        row = self._row_of.get(ad_id)
+        if row is None:
+            raise IndexError_(f"ad {ad_id} not indexed")
+        return row
+
+    def rows_of_present(self, ad_ids: Iterable[int]) -> np.ndarray:
+        """Rows for the given ads, silently dropping unindexed ones."""
+        row_of = self._row_of
+        rows = [row_of[ad_id] for ad_id in ad_ids if ad_id in row_of]
+        return np.asarray(rows, dtype=np.int64)
+
+    def term_postings(self, term: str) -> tuple[np.ndarray, np.ndarray]:
+        """Row-sorted ``(rows, weights)`` posting arrays for one term.
+
+        Empty arrays for unknown terms; dead rows may be present and must
+        be masked through :attr:`alive` by the caller.
+        """
+        tid = self.terms.lookup(term)
+        if tid is None:
+            return (
+                np.zeros(0, dtype=np.int32),
+                np.zeros(0, dtype=np.float32),
+            )
+        return self._term_rows[tid], self._term_weights[tid]
+
+    def term_impact(self, term: str) -> tuple[np.ndarray, np.ndarray]:
+        """Impact-ordered view: ``(rows, weights)`` by weight descending,
+        row ascending on ties — the traversal order bound-based pruning
+        walks. Derived lazily per term and cached until the term mutates.
+        """
+        tid = self.terms.lookup(term)
+        if tid is None:
+            return (
+                np.zeros(0, dtype=np.int32),
+                np.zeros(0, dtype=np.float32),
+            )
+        cached = self._impact_cache.get(tid)
+        if cached is None:
+            rows = self._term_rows[tid]
+            weights = self._term_weights[tid]
+            order = np.lexsort((rows, -weights))
+            cached = (rows[order], weights[order])
+            self._impact_cache[tid] = cached
+        return cached
+
+    def max_weight(self, term: str) -> float:
+        """Admissible per-term weight bound (may be stale-high between a
+        removal and the next compaction; never stale-low)."""
+        tid = self.terms.lookup(term)
+        return self._term_max_weight[tid] if tid is not None else 0.0
+
+    # -- kernels ------------------------------------------------------------
+
+    def gather(self, query: Mapping[str, float]) -> tuple[np.ndarray, np.ndarray]:
+        """Accumulate ``dot(query, ad)`` over every matching live ad.
+
+        Returns ``(rows, scores)`` — rows ascending, scores float64 — for
+        all alive rows sharing at least one positive-weight query term.
+        Mirrors the searcher contract: negative weights raise
+        :class:`ConfigError`, zero weights are skipped.
+        """
+        scores = self._scores
+        touched: list[np.ndarray] = []
+        lookup = self.terms.lookup
+        for term, qweight in query.items():
+            if qweight < 0.0:
+                raise ConfigError(f"negative query weight for {term!r}")
+            if qweight == 0.0:
+                continue
+            tid = lookup(term)
+            if tid is None:
+                continue
+            rows = self._term_rows[tid]
+            if not rows.shape[0]:
+                continue
+            # Rows are unique within one term's postings, so a fancy-index
+            # add is safe (and much faster than np.add.at). float64
+            # accumulation over float32 storage keeps summation error at
+            # storage precision (~1e-7).
+            scores[rows] += self._term_weights[tid].astype(np.float64) * qweight
+            touched.append(rows)
+        if not touched:
+            return np.zeros(0, dtype=np.int64), np.zeros(0, dtype=np.float64)
+        candidates = np.unique(np.concatenate(touched)).astype(np.int64)
+        gathered = scores[candidates].copy()
+        scores[candidates] = 0.0  # restore the scratch invariant
+        keep = self._alive[candidates]
+        return candidates[keep], gathered[keep]
+
+    def row_dots(self, rows: np.ndarray, dense_query: np.ndarray) -> np.ndarray:
+        """``dot(query, ad)`` for each row via the forward CSR.
+
+        ``dense_query`` is a term-id-indexed float64 vector (see
+        :meth:`dense_query`); it may be shorter than the interner — ids
+        beyond its length are treated as weight zero.
+        """
+        if not rows.shape[0]:
+            return np.zeros(0, dtype=np.float64)
+        indptr = self._fwd_indptr
+        starts = indptr[rows]
+        counts = indptr[rows + 1] - starts
+        total = int(counts.sum())
+        out_size = rows.shape[0]
+        if total == 0:
+            return np.zeros(out_size, dtype=np.float64)
+        num_terms = max(len(self.terms), 1)
+        if dense_query.shape[0] < num_terms:
+            dense_query = np.concatenate(
+                (dense_query, np.zeros(num_terms - dense_query.shape[0]))
+            )
+        # Flat CSR offsets for the whole block, then one segmented sum.
+        segments = np.repeat(np.arange(out_size), counts)
+        ends = np.cumsum(counts)
+        flat = np.arange(total) + np.repeat(starts - (ends - counts), counts)
+        values = self._fwd_weights[flat].astype(np.float64) * dense_query[
+            self._fwd_tids[flat]
+        ]
+        return np.bincount(segments, weights=values, minlength=out_size)
+
+    def dense_query(self, query: Mapping[str, float]) -> np.ndarray:
+        """Scatter a sparse term → weight mapping into term-id space.
+
+        Unknown terms are dropped — they match no indexed ad, so they
+        cannot contribute to any row dot product.
+        """
+        dense = np.zeros(max(len(self.terms), 1), dtype=np.float64)
+        lookup = self.terms.lookup
+        for term, weight in query.items():
+            tid = lookup(term)
+            if tid is not None:
+                dense[tid] = weight
+        return dense
+
+    # -- synchronisation ------------------------------------------------------
+
+    def maybe_compact(self) -> bool:
+        """Compact when the dead fraction crosses the rebuild threshold.
+
+        Returns True when a rebuild happened (rows reassigned,
+        ``generation`` bumped). Callers on the delivery path invoke this
+        once per delivery *before* caching any row numbers.
+        """
+        if self._dead < self._min_rebuild_dead:
+            return False
+        if self.dead_fraction < self._rebuild_dead_fraction:
+            return False
+        self._rebuild()
+        return True
+
+    def _on_add(self, ad_id: int, terms: Mapping[str, float]) -> None:
+        if ad_id in self._row_of:
+            # The source index rejects duplicate adds before notifying, so
+            # a mapped id here means remove+re-add: the old row is dead.
+            assert not self._alive[self._row_of[ad_id]]
+        row = self._num_rows
+        self._num_rows += 1
+        self._ad_ids = _grow(self._ad_ids, self._num_rows)
+        self._alive = _grow(self._alive, self._num_rows)
+        self._scores = _grow(self._scores, self._num_rows)
+        self._ad_ids[row] = ad_id
+        self._alive[row] = True
+        self._row_of[ad_id] = row
+        interned = sorted(
+            (self.terms.intern(term), weight) for term, weight in terms.items()
+        )
+        while len(self._term_rows) < len(self.terms):
+            self._term_rows.append(np.zeros(0, dtype=np.int32))
+            self._term_weights.append(np.zeros(0, dtype=np.float32))
+            self._term_max_weight.append(0.0)
+        for tid, weight in interned:
+            # The new row is maximal, so appending preserves row order.
+            self._term_rows[tid] = np.append(
+                self._term_rows[tid], np.int32(row)
+            )
+            self._term_weights[tid] = np.append(
+                self._term_weights[tid], np.float32(weight)
+            )
+            if weight > self._term_max_weight[tid]:
+                self._term_max_weight[tid] = weight
+            self._impact_cache.pop(tid, None)
+        count = len(interned)
+        self._fwd_indptr = _grow(self._fwd_indptr, self._num_rows + 1)
+        self._fwd_tids = _grow(self._fwd_tids, self._fwd_len + count)
+        self._fwd_weights = _grow(self._fwd_weights, self._fwd_len + count)
+        for offset, (tid, weight) in enumerate(interned):
+            self._fwd_tids[self._fwd_len + offset] = tid
+            self._fwd_weights[self._fwd_len + offset] = weight
+        self._fwd_len += count
+        self._fwd_indptr[self._num_rows] = self._fwd_len
+
+    def _on_remove(self, ad_id: int, terms: Mapping[str, float]) -> None:
+        row = self._row_of.pop(ad_id, None)
+        if row is None or not self._alive[row]:
+            raise IndexError_(f"ad {ad_id} not mirrored")
+        self._alive[row] = False
+        self._dead += 1
+        # Posting entries stay in place (masked at gather time) and the
+        # per-term max weight goes stale-high — both restored by the next
+        # compaction.
+
+    def _rebuild(self) -> None:
+        """Rebuild every array from the source index, compacting rows.
+
+        Term ids are preserved (the interner is append-only); row numbers
+        are reassigned in ascending ad-id order, and ``generation`` is
+        bumped so anything keyed by old rows re-derives itself.
+        """
+        entries = sorted(self._index.items())
+        self.generation += 1
+        self.rebuilds += 1
+        self._num_rows = len(entries)
+        self._dead = 0
+        self._row_of = {ad_id: row for row, (ad_id, _) in enumerate(entries)}
+        self._ad_ids = np.fromiter(
+            (ad_id for ad_id, _ in entries), dtype=np.int64, count=len(entries)
+        )
+        self._alive = np.ones(self._num_rows, dtype=bool)
+        self._scores = np.zeros(self._num_rows, dtype=np.float64)
+        self._impact_cache.clear()
+
+        # One pass per *term* (not per posting): each posting list hands
+        # over its ids/weights as arrays, rows come from one searchsorted
+        # against the ascending ad-id axis, and the rest is pure array
+        # work — both the forward CSR and the per-term postings are
+        # re-sorted views over the same flat triplets.
+        intern = self.terms.intern
+        tid_list: list[int] = []
+        counts: list[int] = []
+        chunk_ids: list[np.ndarray] = []
+        chunk_weights: list[np.ndarray] = []
+        for term, postings in self._index.term_items():
+            tid_list.append(intern(term))
+            ids, term_weights = postings.doc_arrays()
+            counts.append(ids.shape[0])
+            chunk_ids.append(ids)
+            chunk_weights.append(term_weights)
+        if chunk_ids:
+            rows = np.searchsorted(self._ad_ids, np.concatenate(chunk_ids))
+            tids = np.repeat(
+                np.asarray(tid_list, dtype=np.int64),
+                np.asarray(counts, dtype=np.int64),
+            )
+            weights = np.concatenate(chunk_weights)
+        else:
+            rows = np.zeros(0, dtype=np.int64)
+            tids = np.zeros(0, dtype=np.int64)
+            weights = np.zeros(0, dtype=np.float64)
+        total = rows.shape[0]
+        num_terms = len(self.terms)
+
+        # Forward CSR: postings sorted by (row, term id).
+        order = np.lexsort((tids, rows))
+        self._fwd_tids = tids[order].astype(np.int32)
+        self._fwd_weights = weights[order].astype(np.float32)
+        indptr = np.zeros(self._num_rows + 1, dtype=np.int64)
+        np.cumsum(
+            np.bincount(rows, minlength=self._num_rows), out=indptr[1:]
+        )
+        self._fwd_indptr = indptr
+        self._fwd_len = total
+
+        # Per-term postings: the same triplets sorted by (term id, row),
+        # split at term boundaries (views into the flat arrays).
+        order = np.lexsort((rows, tids))
+        term_rows_flat = rows[order].astype(np.int32)
+        term_weights_flat = weights[order].astype(np.float32)
+        term_counts = np.bincount(tids, minlength=num_terms)
+        bounds = np.zeros(num_terms + 1, dtype=np.int64)
+        np.cumsum(term_counts, out=bounds[1:])
+        if num_terms:
+            self._term_rows = np.split(term_rows_flat, bounds[1:-1])
+            self._term_weights = np.split(term_weights_flat, bounds[1:-1])
+        else:
+            self._term_rows = []
+            self._term_weights = []
+        max_weights = np.zeros(num_terms, dtype=np.float64)
+        present = np.flatnonzero(term_counts)
+        if present.shape[0]:
+            max_weights[present] = np.maximum.reduceat(
+                weights[order], bounds[present]
+            )
+        self._term_max_weight = max_weights.tolist()
+
+    # -- invariants (test support) -------------------------------------------
+
+    def check_consistent(self) -> None:
+        """Assert the mirror matches the source index exactly.
+
+        Used by the churn property tests after every mutation and rebuild
+        trigger; raises AssertionError on any divergence.
+        """
+        index = self._index
+        alive_ids = {
+            int(self._ad_ids[row])
+            for row in range(self._num_rows)
+            if self._alive[row]
+        }
+        assert alive_ids == {ad_id for ad_id, _ in index.items()}, (
+            "alive rows diverge from indexed ads"
+        )
+        assert self._dead == self._num_rows - len(alive_ids)
+        for ad_id in alive_ids:
+            row = self._row_of[ad_id]
+            assert self._alive[row] and int(self._ad_ids[row]) == ad_id
+            start = int(self._fwd_indptr[row])
+            end = int(self._fwd_indptr[row + 1])
+            forward = {
+                self.terms.name_of(int(tid)): float(weight)
+                for tid, weight in zip(
+                    self._fwd_tids[start:end], self._fwd_weights[start:end]
+                )
+            }
+            expected = index.ad_terms(ad_id)
+            assert forward.keys() == expected.keys()
+            for term, weight in expected.items():
+                assert abs(forward[term] - weight) < 1e-6
+            for term, weight in expected.items():
+                rows, weights = self.term_postings(term)
+                positions = np.flatnonzero(rows == row)
+                assert len(positions) == 1, (
+                    f"term {term!r} row {row} multiplicity"
+                )
+                assert abs(float(weights[positions[0]]) - weight) < 1e-6
+        for tid in range(len(self.terms)):
+            rows = self._term_rows[tid]
+            assert np.all(np.diff(rows) > 0), "posting rows must be sorted"

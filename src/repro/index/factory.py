@@ -1,11 +1,16 @@
 """Searcher factory: one switch selects the pruning strategy engine-wide.
 
-All three searchers are exact and interchangeable (property-tested to
-return identical score multisets); they differ only in constant factors.
-The B1 micro-benchmark shows term-at-a-time TA has the best constants in
-pure Python (document-at-a-time WAND/MaxScore pay per-step cursor
-bookkeeping that compiled engines amortise), so TA is the engine default,
-while ``EngineConfig(searcher=...)`` keeps the others one flag away.
+All four searchers are exact and interchangeable (property-tested to
+return identical rankings); they differ only in constant factors. The B1
+micro-benchmark now puts the numpy-backed ``vector`` searcher far ahead —
+it evaluates every match with fused array arithmetic instead of pruning
+with per-posting Python, so "evaluations" stop being the cost model. Of
+the pure-Python pruners, term-at-a-time TA keeps the best constants
+(document-at-a-time WAND/MaxScore pay per-step cursor bookkeeping that
+compiled engines amortise). ``ta`` remains the engine default as the
+reference oracle; ``EngineConfig(searcher="vector")`` opts the whole
+engine onto the compact hot path, and the equivalence suite holds every
+kind to the same rankings.
 """
 
 from __future__ import annotations
@@ -14,11 +19,14 @@ from repro.errors import ConfigError
 from repro.index.inverted import AdInvertedIndex
 from repro.index.maxscore import MaxScoreSearcher
 from repro.index.threshold import ThresholdSearcher
+from repro.index.vector import VectorSearcher
 from repro.index.wand import FilterFn, StaticScoreFn, WandSearcher
 
-SEARCHER_KINDS = ("ta", "wand", "maxscore")
+SEARCHER_KINDS = ("ta", "wand", "maxscore", "vector")
 
-TopKSearcher = WandSearcher | ThresholdSearcher | MaxScoreSearcher
+TopKSearcher = (
+    WandSearcher | ThresholdSearcher | MaxScoreSearcher | VectorSearcher
+)
 
 
 def make_searcher(
@@ -36,6 +44,8 @@ def make_searcher(
         cls = ThresholdSearcher
     elif kind == "maxscore":
         cls = MaxScoreSearcher
+    elif kind == "vector":
+        cls = VectorSearcher
     else:
         raise ConfigError(
             f"unknown searcher kind {kind!r}; expected one of {SEARCHER_KINDS}"

@@ -9,7 +9,7 @@ additions and budget-driven retirements are reflected immediately (the
 
 from __future__ import annotations
 
-from collections.abc import Mapping
+from collections.abc import Callable, Mapping
 
 from repro.ads.ad import Ad
 from repro.ads.corpus import AdCorpus
@@ -23,18 +23,50 @@ class AdInvertedIndex:
     def __init__(self) -> None:
         self._postings: dict[str, PostingList] = {}
         self._ad_terms: dict[int, dict[str, float]] = {}
+        # Mutation listeners: (on_add, on_remove) pairs called with
+        # (ad_id, terms) after the index itself has applied the change.
+        # The compact numpy mirror (repro.index.compact) syncs through
+        # these, the same way the index itself syncs through corpus
+        # subscriptions.
+        self._listeners: list[tuple[
+            "Callable[[int, Mapping[str, float]], None] | None",
+            "Callable[[int, Mapping[str, float]], None] | None",
+        ]] = []
 
     @classmethod
     def from_corpus(cls, corpus: AdCorpus, *, subscribe: bool = True) -> "AdInvertedIndex":
-        """Build over all active ads and optionally track future mutations."""
+        """Build over all active ads and optionally track future mutations.
+
+        Bulk build rides the corpus's ascending-id iteration order: every
+        posting appends at its list's tail (no bisect), which roughly
+        halves build time over repeated :meth:`add_ad`.
+        """
         index = cls()
+        postings_by_term = index._postings
+        ad_terms = index._ad_terms
         for ad in corpus.active_ads():
-            index.add_ad(ad)
+            terms = dict(ad.terms)
+            ad_terms[ad.ad_id] = terms
+            for term, weight in terms.items():
+                postings = postings_by_term.get(term)
+                if postings is None:
+                    postings = PostingList()
+                    postings_by_term[term] = postings
+                postings.append_maximal(ad.ad_id, weight)
         if subscribe:
             corpus.subscribe(on_add=index.add_ad, on_retire=index.remove_ad)
         return index
 
     # -- mutation --------------------------------------------------------
+
+    def subscribe(
+        self,
+        *,
+        on_add: Callable[[int, Mapping[str, float]], None] | None = None,
+        on_remove: Callable[[int, Mapping[str, float]], None] | None = None,
+    ) -> None:
+        """Register mutation callbacks fired after each add/remove."""
+        self._listeners.append((on_add, on_remove))
 
     def add_ad(self, ad: Ad) -> None:
         if ad.ad_id in self._ad_terms:
@@ -45,7 +77,11 @@ class AdInvertedIndex:
                 postings = PostingList()
                 self._postings[term] = postings
             postings.add(ad.ad_id, weight)
-        self._ad_terms[ad.ad_id] = dict(ad.terms)
+        terms = dict(ad.terms)
+        self._ad_terms[ad.ad_id] = terms
+        for on_add, _ in self._listeners:
+            if on_add is not None:
+                on_add(ad.ad_id, terms)
 
     def remove_ad(self, ad: Ad) -> None:
         self.remove_ad_id(ad.ad_id)
@@ -59,6 +95,9 @@ class AdInvertedIndex:
             postings.remove(ad_id)
             if not len(postings):
                 del self._postings[term]
+        for _, on_remove in self._listeners:
+            if on_remove is not None:
+                on_remove(ad_id, terms)
 
     # -- read side -----------------------------------------------------------
 
@@ -92,6 +131,14 @@ class AdInvertedIndex:
         if terms is None:
             raise IndexError_(f"ad {ad_id} not indexed")
         return dict(terms)
+
+    def items(self):
+        """Iterate (ad_id, term vector) pairs; vectors must not be mutated."""
+        return self._ad_terms.items()
+
+    def term_items(self):
+        """Iterate (term, PostingList) pairs; lists must not be mutated."""
+        return self._postings.items()
 
     def content_upper_bound(self, query: Mapping[str, float]) -> float:
         """Upper bound on dot(query, ad) over all indexed ads.

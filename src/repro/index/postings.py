@@ -15,6 +15,8 @@ from __future__ import annotations
 
 import bisect
 
+import numpy as np
+
 from repro.errors import IndexError_
 
 
@@ -54,6 +56,25 @@ class PostingList:
         self._max_weight = max(self._max_weight, weight)
         self._impact_dirty = True
 
+    def append_maximal(self, ad_id: int, weight: float) -> None:
+        """Append a posting whose ad id exceeds every stored one.
+
+        The bulk-build fast path: corpus iteration is ascending by ad id,
+        so each posting lands at the tail without a bisect. Falls back to
+        :meth:`add` (with its duplicate check) if the id is not maximal.
+        """
+        if weight <= 0.0:
+            raise IndexError_(f"posting weight must be positive, got {weight}")
+        ids = self._ids
+        if ids and ids[-1] >= ad_id:
+            self.add(ad_id, weight)
+            return
+        ids.append(ad_id)
+        self._weights.append(weight)
+        if weight > self._max_weight:
+            self._max_weight = weight
+        self._impact_dirty = True
+
     def remove(self, ad_id: int) -> None:
         """Delete a posting; missing ad ids are errors."""
         index = bisect.bisect_left(self._ids, ad_id)
@@ -90,6 +111,14 @@ class PostingList:
     def doc_ordered(self) -> list[tuple[int, float]]:
         """All postings as (ad_id, weight), ascending ad id (a copy)."""
         return list(zip(self._ids, self._weights))
+
+    def doc_arrays(self) -> tuple[np.ndarray, np.ndarray]:
+        """All postings as ``(ids, weights)`` arrays, ascending ad id
+        (copies) — the bulk form compact-mirror rebuilds consume."""
+        return (
+            np.asarray(self._ids, dtype=np.int64),
+            np.asarray(self._weights, dtype=np.float64),
+        )
 
     # -- impact-order access (threshold algorithm) ---------------------------
 

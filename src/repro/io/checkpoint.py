@@ -172,12 +172,12 @@ def apply_engine_state(
             engine.corpus.retire(ad_id)
 
     for ad_id_str, spent in payload["budgets"].items():
-        state = engine.budget.state(int(ad_id_str))
-        if state is None:
+        ad_id = int(ad_id_str)
+        if engine.budget.state(ad_id) is None:
             raise ConfigError(
                 f"checkpoint charges ad {ad_id_str} but it has no budget"
             )
-        state.spent = spent
+        engine.budget.restore_spend(ad_id, spent)
 
     for user_id_str, record in payload["users"].items():
         user_id = int(user_id_str)

@@ -25,7 +25,9 @@ from __future__ import annotations
 import functools
 import importlib.util
 import inspect
+import json
 import sys
+import tempfile
 import time
 from pathlib import Path
 from types import SimpleNamespace
@@ -84,12 +86,14 @@ class BenchmarkShim:
 
     def __init__(self) -> None:
         self.extra_info: dict = {}
-        self.stats = SimpleNamespace(stats=SimpleNamespace(mean=1e-9))
+        self.stats = SimpleNamespace(stats=SimpleNamespace(mean=1e-9, min=1e-9))
 
     def _run(self, target, args, kwargs):
         started = time.perf_counter()
         result = target(*args, **(kwargs or {}))
-        self.stats.stats.mean = max(time.perf_counter() - started, 1e-9)
+        elapsed = max(time.perf_counter() - started, 1e-9)
+        self.stats.stats.mean = elapsed
+        self.stats.stats.min = elapsed
         return result
 
     def pedantic(self, target, args=(), kwargs=None, rounds=1, iterations=1):
@@ -122,6 +126,11 @@ def miniaturise(module, saved: dict) -> None:
         module.workload_with = mini_workload
     if hasattr(module, "LIMIT"):
         module.LIMIT = min(module.LIMIT, _MINI_LIMIT)
+    if hasattr(module, "BENCH_FILE"):
+        # Perf-trajectory files (BENCH_*.json at the repo root) are
+        # baselines for the CI regression gate; mini-scale numbers must
+        # never overwrite them.
+        module.BENCH_FILE = Path(tempfile.mkdtemp()) / module.BENCH_FILE.name
 
 
 def first_parametrization(fn) -> dict:
@@ -199,3 +208,73 @@ def test_f_files_cover_known_scenarios():
 def test_other_benchmarks_import_cleanly(path):
     module = load_benchmark_module(path)
     assert scenario_functions(module) or path.stem in ("conftest", "helpers")
+
+
+# -- perf-trajectory gate (F3 JSON + scripts/check_bench_regression.py) ------
+
+REPO_ROOT = BENCH_DIR.parent
+
+
+def load_gate_script():
+    path = REPO_ROOT / "scripts" / "check_bench_regression.py"
+    spec = importlib.util.spec_from_file_location("_bench_gate", path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+def synthetic_series(f3, vector_dps: float, shared_dps: float) -> dict:
+    series = {}
+    for num_ads in f3.AD_COUNTS:
+        for method in f3.METHODS:
+            series[(method, num_ads)] = 100.0
+        series[("car-vector", num_ads)] = vector_dps
+        series[("car-shared", num_ads)] = shared_dps
+    return series
+
+
+class TestBenchRegressionGate:
+    """The F3 JSON writer and the CI gate that consumes it."""
+
+    def test_committed_baseline_exists_and_clears_its_own_gate(self):
+        payload = json.loads((REPO_ROOT / "BENCH_f3_throughput.json").read_text())
+        gate = payload["gate"]
+        at = str(gate["at"])
+        assert payload["benchmark"] == "f3_throughput_vs_ads"
+        assert payload["vector_speedup"][at] >= gate["min_speedup"]
+
+    def test_f3_json_round_trips_through_the_gate(self, tmp_path):
+        f3 = load_benchmark_module(BENCH_DIR / "test_f3_throughput_vs_ads.py")
+        gate = load_gate_script()
+        baseline = tmp_path / "baseline.json"
+        f3.write_bench_json(synthetic_series(f3, 600.0, 100.0), baseline)
+        # Same payload on both sides: no regression by construction.
+        assert gate.main(
+            ["--baseline", str(baseline), "--candidate", str(baseline)]
+        ) == 0
+
+    def test_gate_fails_on_relative_loss(self, tmp_path):
+        f3 = load_benchmark_module(BENCH_DIR / "test_f3_throughput_vs_ads.py")
+        gate = load_gate_script()
+        baseline = tmp_path / "baseline.json"
+        candidate = tmp_path / "candidate.json"
+        f3.write_bench_json(synthetic_series(f3, 900.0, 100.0), baseline)
+        # 9x -> 6x is a 33% loss: over the 20% budget even though the
+        # absolute 5x floor still holds.
+        f3.write_bench_json(synthetic_series(f3, 600.0, 100.0), candidate)
+        assert gate.main(
+            ["--baseline", str(baseline), "--candidate", str(candidate)]
+        ) == 1
+
+    def test_gate_fails_under_absolute_floor(self, tmp_path):
+        f3 = load_benchmark_module(BENCH_DIR / "test_f3_throughput_vs_ads.py")
+        gate = load_gate_script()
+        baseline = tmp_path / "baseline.json"
+        candidate = tmp_path / "candidate.json"
+        f3.write_bench_json(synthetic_series(f3, 550.0, 100.0), baseline)
+        # 5.5x -> 4.5x: within the 20% relative budget but under the
+        # tentpole's 5x floor.
+        f3.write_bench_json(synthetic_series(f3, 450.0, 100.0), candidate)
+        assert gate.main(
+            ["--baseline", str(baseline), "--candidate", str(candidate)]
+        ) == 1

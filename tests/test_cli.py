@@ -22,6 +22,10 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["replay", "--mode", "warp"])
 
+    def test_replay_searcher_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--searcher", "hnsw"])
+
 
 class TestGenerateAndStats:
     def test_generate_writes_directory(self, tmp_path, capsys):
@@ -67,6 +71,20 @@ class TestReplay:
         code = main(["replay", "--workload", str(out), "--limit", "10"])
         assert code == 0
         assert "Replay summary" in capsys.readouterr().out
+
+    @pytest.mark.parametrize("searcher", ["ta", "wand", "maxscore", "vector"])
+    def test_replay_searcher_flag(self, searcher, capsys):
+        code = main(
+            [
+                "replay", *FAST, "--searcher", searcher,
+                "--limit", "15", "--no-charging",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "deliveries/s" in out
+        assert "searcher" in out
+        assert searcher in out
 
     def test_approximate_flag(self, capsys):
         code = main(

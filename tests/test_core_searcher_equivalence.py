@@ -1,10 +1,19 @@
 """End-to-end searcher interchangeability: the engine must produce
-score-identical slates whichever exact pruning strategy is configured."""
+score-identical slates whichever exact pruning strategy is configured.
+
+The pure-Python pruners (ta/wand/maxscore) agree to 9 decimals. The
+``vector`` searcher runs the compact float32-backed mirror, so its
+contract is the differential-oracle one: identical slates (same users,
+same ad ids, same certification flags) with scores within 1e-6 of the TA
+oracle — held across every engine mode and topology (single, sharded,
+procpool), including under mid-stream campaign churn."""
 
 from __future__ import annotations
 
 import pytest
 
+from repro.ads.ad import Ad
+from repro.cluster import ProcessShardedEngine, ShardedEngine
 from repro.core.config import EngineConfig, EngineMode
 from repro.core.recommender import ContextAwareRecommender
 from repro.errors import ConfigError
@@ -61,3 +70,130 @@ class TestEndToEndEquivalence:
         reference = _slate_scores(tiny_workload, "ta", EngineMode.INCREMENTAL)
         other = _slate_scores(tiny_workload, "wand", EngineMode.INCREMENTAL)
         assert other == reference
+
+
+def _delivery_outcomes(deliveries, collected):
+    for delivery in deliveries:
+        collected.append(
+            (
+                delivery.user_id,
+                tuple(scored.ad_id for scored in delivery.slate),
+                [scored.score for scored in delivery.slate],
+                delivery.certified,
+                delivery.fell_back,
+            )
+        )
+
+
+def _single_engine_outcomes(workload, searcher, mode, *, churn=False, limit=15):
+    recommender = ContextAwareRecommender.from_workload(
+        workload,
+        EngineConfig(searcher=searcher, mode=mode, charge_impressions=False),
+    )
+    collected: list = []
+    churn_ads = _churn_ads(workload) if churn else []
+    retire_ids = [ad.ad_id for ad in workload.build_corpus().active_ads()][:4]
+    for position, post in enumerate(workload.posts[:limit]):
+        if churn and position % 3 == 0 and churn_ads:
+            # Sliding-window-style corpus churn: launch one fresh campaign
+            # and retire one old one between posts.
+            recommender.engine.launch_campaign(churn_ads.pop(0), post.timestamp)
+            if retire_ids:
+                recommender.engine.end_campaign(retire_ids.pop(0), post.timestamp)
+        result = recommender.post(post.author_id, post.text, post.timestamp)
+        _delivery_outcomes(result.deliveries, collected)
+    return collected
+
+
+def _churn_ads(workload):
+    donors = list(workload.build_corpus().active_ads())[:8]
+    return [
+        Ad(
+            ad_id=50_000 + position,
+            advertiser=f"churn{position}",
+            text=donor.text,
+            terms=dict(donor.terms),
+            bid=donor.bid,
+        )
+        for position, donor in enumerate(donors)
+    ]
+
+
+def _cluster_outcomes(workload, searcher, *, backend, shards=3, limit=12):
+    config = EngineConfig(
+        searcher=searcher, charge_impressions=False, pacing_enabled=False
+    )
+    engine = backend(workload, shards, config=config)
+    collected: list = []
+    try:
+        for post in workload.posts[:limit]:
+            results = engine.post(post.author_id, post.text, post.timestamp)
+            per_post: list = []
+            for result in results:
+                _delivery_outcomes(result.deliveries, per_post)
+            # Shard order is topology-dependent; the fan-out set is not.
+            per_post.sort(key=lambda outcome: outcome[0])
+            collected.extend(per_post)
+    finally:
+        close = getattr(engine, "close", None)
+        if close is not None:
+            close()
+    return collected
+
+
+def assert_vector_parity(got, reference, tol=1e-6):
+    """Same deliveries, same slates, scores within ``tol``."""
+    assert len(got) == len(reference)
+    for mine, ref in zip(got, reference):
+        user, ad_ids, scores, certified, fell_back = mine
+        ref_user, ref_ad_ids, ref_scores, ref_certified, ref_fell_back = ref
+        assert user == ref_user
+        assert ad_ids == ref_ad_ids
+        assert certified == ref_certified
+        assert fell_back == ref_fell_back
+        for score, ref_score in zip(scores, ref_scores):
+            assert score == pytest.approx(ref_score, abs=tol)
+
+
+class TestVectorDifferentialOracle:
+    """vector vs the TA oracle across modes, topologies and churn."""
+
+    @pytest.mark.parametrize(
+        "mode", [EngineMode.SHARED, EngineMode.EXACT, EngineMode.INCREMENTAL]
+    )
+    def test_single_engine_all_modes(self, tiny_workload, mode):
+        reference = _single_engine_outcomes(tiny_workload, "ta", mode)
+        got = _single_engine_outcomes(tiny_workload, "vector", mode)
+        assert_vector_parity(got, reference)
+
+    @pytest.mark.parametrize(
+        "mode", [EngineMode.SHARED, EngineMode.EXACT, EngineMode.INCREMENTAL]
+    )
+    def test_single_engine_under_churn(self, tiny_workload, mode):
+        reference = _single_engine_outcomes(
+            tiny_workload, "ta", mode, churn=True
+        )
+        got = _single_engine_outcomes(
+            tiny_workload, "vector", mode, churn=True
+        )
+        assert_vector_parity(got, reference)
+
+    def test_sharded_topology(self, tiny_workload):
+        reference = _cluster_outcomes(
+            tiny_workload, "ta", backend=ShardedEngine
+        )
+        got = _cluster_outcomes(
+            tiny_workload, "vector", backend=ShardedEngine
+        )
+        assert_vector_parity(got, reference)
+
+    def test_procpool_topology(self, tiny_workload):
+        reference = _cluster_outcomes(
+            tiny_workload, "ta", backend=ProcessShardedEngine,
+            shards=2, limit=10,
+        )
+        got = _cluster_outcomes(
+            tiny_workload, "vector", backend=ProcessShardedEngine,
+            shards=2, limit=10,
+        )
+        assert_vector_parity(got, reference)

@@ -26,6 +26,9 @@ from repro.datagen.workload import WorkloadConfig, generate_workload
 MODES = st.sampled_from(list(EngineMode))
 SEEDS = st.integers(min_value=0, max_value=7)
 KS = st.sampled_from([1, 3, 10])
+# The reference oracle and the compact numpy hot path: every invariant
+# must hold identically on both.
+SEARCHERS = st.sampled_from(["ta", "vector"])
 
 PROPERTY_SETTINGS = settings(
     max_examples=15,
@@ -50,10 +53,13 @@ def tiny_workload(seed: int):
     )
 
 
-def build_engine(workload, mode: EngineMode, k: int) -> AdEngine:
+def build_engine(
+    workload, mode: EngineMode, k: int, searcher: str = "ta"
+) -> AdEngine:
     config = EngineConfig(
         mode=mode,
         k=k,
+        searcher=searcher,
         overfetch=max(40, 2 * k),
         charge_impressions=True,
     )
@@ -77,10 +83,10 @@ def replay(engine, posts):
 
 
 @PROPERTY_SETTINGS
-@given(mode=MODES, seed=SEEDS, k=KS)
-def test_slate_invariants(mode, seed, k):
+@given(mode=MODES, seed=SEEDS, k=KS, searcher=SEARCHERS)
+def test_slate_invariants(mode, seed, k, searcher):
     workload = tiny_workload(seed)
-    engine = build_engine(workload, mode, k)
+    engine = build_engine(workload, mode, k, searcher)
     for result in replay(engine, workload.posts):
         for delivery in result.deliveries:
             # slate size bounded by k
@@ -96,10 +102,10 @@ def test_slate_invariants(mode, seed, k):
 
 
 @PROPERTY_SETTINGS
-@given(mode=MODES, seed=SEEDS)
-def test_revenue_invariants(mode, seed):
+@given(mode=MODES, seed=SEEDS, searcher=SEARCHERS)
+def test_revenue_invariants(mode, seed, searcher):
     workload = tiny_workload(seed)
-    engine = build_engine(workload, mode, k=5)
+    engine = build_engine(workload, mode, k=5, searcher=searcher)
     results = replay(engine, workload.posts)
     # every post's revenue is non-negative and stats totals agree with the
     # per-post sums (revenue is exactly the sum of GSP auction outcomes)
@@ -112,10 +118,10 @@ def test_revenue_invariants(mode, seed):
 
 
 @PROPERTY_SETTINGS
-@given(mode=MODES, seed=SEEDS)
-def test_flag_counters_reconcile(mode, seed):
+@given(mode=MODES, seed=SEEDS, searcher=SEARCHERS)
+def test_flag_counters_reconcile(mode, seed, searcher):
     workload = tiny_workload(seed)
-    engine = build_engine(workload, mode, k=5)
+    engine = build_engine(workload, mode, k=5, searcher=searcher)
     results = replay(engine, workload.posts)
     deliveries = [d for r in results for d in r.deliveries]
     stats = engine.stats
@@ -141,12 +147,17 @@ def test_flag_counters_reconcile(mode, seed):
 
 
 @PROPERTY_SETTINGS
-@given(mode=MODES, seed=SEEDS, batch_size=st.sampled_from([2, 5, 25]))
-def test_post_batch_matches_sequential(mode, seed, batch_size):
+@given(
+    mode=MODES,
+    seed=SEEDS,
+    batch_size=st.sampled_from([2, 5, 25]),
+    searcher=SEARCHERS,
+)
+def test_post_batch_matches_sequential(mode, seed, batch_size, searcher):
     workload = tiny_workload(seed)
     posts = workload.posts
-    sequential = replay(build_engine(workload, mode, k=5), posts)
-    batched_engine = build_engine(workload, mode, k=5)
+    sequential = replay(build_engine(workload, mode, k=5, searcher=searcher), posts)
+    batched_engine = build_engine(workload, mode, k=5, searcher=searcher)
     batched: list = []
     for start in range(0, len(posts), batch_size):
         batched.extend(batched_engine.post_batch(posts[start : start + batch_size]))
