@@ -54,9 +54,11 @@ def _run(workload, feedback: bool):
             )
             halves[half][0] += len(slate_ids)
             halves[half][1] += sum(clicks)
-            for ad_id, clicked in zip(slate_ids, clicks):
+            for slot, (ad_id, clicked) in enumerate(zip(slate_ids, clicks)):
                 if clicked:
-                    engine.record_click(ad_id)
+                    engine.record_click(
+                        ad_id, user_id=delivery.user_id, slot_index=slot
+                    )
     first = halves[0][1] / max(1, halves[0][0])
     second = halves[1][1] / max(1, halves[1][0])
     overall = (halves[0][1] + halves[1][1]) / max(1, halves[0][0] + halves[1][0])

@@ -79,17 +79,17 @@ def main() -> None:
             served.extend(ids)
             slates_by_user[delivery.user_id] = list(delivery.slate)
             organic_by_user.setdefault(delivery.user_id, []).append(post.msg_id)
-            for ad_id, clicked in zip(
-                ids,
-                clicks.clicks_for_slate(
-                    ids,
-                    lambda ad: truth.grade(ad, post.msg_id, delivery.user_id, post.timestamp)
-                    if ad in workload.ad_topics
-                    else 0.2,
-                ),
+            for click in clicks.click_events(
+                delivery,
+                lambda ad: truth.grade(ad, post.msg_id, delivery.user_id, post.timestamp)
+                if ad in workload.ad_topics
+                else 0.2,
             ):
-                if clicked:
-                    engine.record_click(ad_id)
+                engine.record_click(
+                    click.ad_id,
+                    user_id=click.user_id,
+                    slot_index=click.slot_index,
+                )
 
         if position == half:
             save_checkpoint(checkpoint_path, engine)

@@ -1,17 +1,27 @@
 #!/usr/bin/env python
-"""Perf-trajectory regression gate for the committed BENCH_*.json files.
+"""Perf/effectiveness-trajectory regression gate for the committed
+BENCH_*.json files.
 
 Compares a freshly regenerated benchmark payload against the committed
-baseline and fails (exit 1) when the vector searcher's speedup over the
-default engine has regressed:
+baseline and fails (exit 1) when the payload's gated metric has
+regressed. The metric is named by the baseline's ``gate.metric`` section,
+so one script gates every trajectory file:
 
-* **relative gate** — the candidate's ``vector_speedup`` at the gate
-  point must retain at least ``1 - max_relative_loss`` (default 80%) of
-  the baseline's. Speedups are ratios of two runs on the *same* host, so
-  this comparison is machine-insulated — a slower CI runner scales both
-  sides equally.
+* ``vector_speedup`` (``BENCH_f3_throughput.json``) — the vector
+  searcher's speedup over the default engine at the gate corpus size.
+  Speedups are ratios of two runs on the *same* host, so the comparison
+  is machine-insulated — a slower CI runner scales both sides equally.
+* ``ctr_lift`` (``BENCH_t8_ctr_lift.json``) — the LinUCB policy's replay
+  CTR over the static baseline's at the gate seed. Fully seeded, so the
+  candidate number is deterministic, not just host-insulated.
+
+Two checks per file:
+
+* **relative gate** — the candidate's metric at the gate point must
+  retain at least ``1 - max_relative_loss`` of the baseline's.
 * **absolute floor** — the candidate must also clear the baseline's
-  ``gate.min_speedup`` (the tentpole's >= 5x claim at 8000 ads).
+  ``gate.min_speedup`` / ``gate.min_lift`` (e.g. the F3 tentpole's >= 5x
+  claim at 8000 ads, or T8's learned-beats-static >= 1.0x).
 
 Usage::
 
@@ -19,7 +29,7 @@ Usage::
         --baseline BENCH_f3_throughput.json.orig \
         --candidate BENCH_f3_throughput.json
 
-CI copies the committed file aside before the benchmark run overwrites
+CI copies each committed file aside before the benchmark run overwrites
 it, then points ``--baseline`` at the copy.
 """
 
@@ -32,6 +42,9 @@ from pathlib import Path
 
 DEFAULT_BENCH = "BENCH_f3_throughput.json"
 
+#: ``gate`` keys that may carry the absolute floor, in precedence order.
+_FLOOR_KEYS = ("min_speedup", "min_lift", "min_value")
+
 
 def load_payload(path: Path) -> dict:
     try:
@@ -40,15 +53,27 @@ def load_payload(path: Path) -> dict:
         sys.exit(f"error: benchmark file not found: {path}")
     except json.JSONDecodeError as exc:
         sys.exit(f"error: {path} is not valid JSON: {exc}")
-    for key in ("benchmark", "vector_speedup", "gate"):
+    for key in ("benchmark", "gate"):
         if key not in payload:
             sys.exit(f"error: {path} is missing the {key!r} section")
+    metric = gate_metric(payload)
+    if metric not in payload:
+        sys.exit(f"error: {path} is missing the gated {metric!r} series")
     return payload
 
 
-def check_regression(
-    baseline: dict, candidate: dict
-) -> list[str]:
+def gate_metric(payload: dict) -> str:
+    return str(payload["gate"].get("metric", "vector_speedup"))
+
+
+def gate_floor(gate: dict) -> float:
+    for key in _FLOOR_KEYS:
+        if key in gate:
+            return float(gate[key])
+    return 0.0
+
+
+def check_regression(baseline: dict, candidate: dict) -> list[str]:
     """All gate violations (empty = pass)."""
     failures: list[str] = []
     if baseline["benchmark"] != candidate["benchmark"]:
@@ -57,34 +82,35 @@ def check_regression(
             f"vs candidate {candidate['benchmark']!r}"
         ]
     gate = baseline["gate"]
+    metric = gate_metric(baseline)
     at = str(gate["at"])
     max_loss = float(gate.get("max_relative_loss", 0.2))
-    min_speedup = float(gate.get("min_speedup", 0.0))
+    min_value = gate_floor(gate)
 
-    base_speedup = baseline["vector_speedup"].get(at)
-    cand_speedup = candidate["vector_speedup"].get(at)
-    if base_speedup is None or cand_speedup is None:
-        return [f"no vector_speedup entry at the gate point ({at} ads)"]
+    base_value = baseline[metric].get(at)
+    cand_value = candidate.get(metric, {}).get(at)
+    if base_value is None or cand_value is None:
+        return [f"no {metric} entry at the gate point ({at})"]
 
-    floor = (1.0 - max_loss) * float(base_speedup)
-    if float(cand_speedup) < floor:
+    floor = (1.0 - max_loss) * float(base_value)
+    if float(cand_value) < floor:
         failures.append(
-            f"vector speedup at {at} ads fell to {cand_speedup:.2f}x — "
+            f"{metric} at {at} fell to {cand_value:.3f}x — "
             f"more than {max_loss:.0%} below the baseline "
-            f"{base_speedup:.2f}x (floor {floor:.2f}x)"
+            f"{base_value:.3f}x (floor {floor:.3f}x)"
         )
-    if float(cand_speedup) < min_speedup:
+    if float(cand_value) < min_value:
         failures.append(
-            f"vector speedup at {at} ads is {cand_speedup:.2f}x — "
-            f"under the absolute floor {min_speedup:.2f}x"
+            f"{metric} at {at} is {cand_value:.3f}x — "
+            f"under the absolute floor {min_value:.3f}x"
         )
     return failures
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(
-        description="fail when the vector searcher's measured speedup "
-        "regressed against the committed baseline"
+        description="fail when a committed BENCH_*.json trajectory metric "
+        "regressed against its baseline"
     )
     parser.add_argument(
         "--baseline",
@@ -104,18 +130,19 @@ def main(argv: list[str] | None = None) -> int:
     candidate = load_payload(args.candidate)
     failures = check_regression(baseline, candidate)
 
+    metric = gate_metric(baseline)
     at = baseline["gate"]["at"]
-    base = baseline["vector_speedup"].get(str(at))
-    cand = candidate["vector_speedup"].get(str(at))
+    base = baseline[metric].get(str(at))
+    cand = candidate.get(metric, {}).get(str(at))
     print(
-        f"{baseline['benchmark']}: vector speedup at {at} ads — "
+        f"{baseline['benchmark']}: {metric} at {at} — "
         f"baseline {base}x, candidate {cand}x"
     )
     if failures:
         for failure in failures:
             print(f"FAIL: {failure}", file=sys.stderr)
         return 1
-    print("OK: perf trajectory holds")
+    print(f"OK: {metric} trajectory holds")
     return 0
 
 

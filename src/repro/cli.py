@@ -329,6 +329,9 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         exact_fallback=not args.approximate,
         collect_deliveries=False,
         charge_impressions=not args.no_charging,
+        personalize=args.personalize,
+        alpha_ucb=args.alpha_ucb,
+        linucb_sync_interval_s=args.linucb_sync,
     )
     if args.workers:
         return _replay_workers(args, workload, config)
@@ -440,6 +443,28 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the exact fallback (production mode)",
     )
     replay.add_argument("--no-charging", action="store_true")
+    replay.add_argument(
+        "--personalize",
+        choices=["static", "linucb"],
+        default="static",
+        help="slate rerank strategy: 'linucb' layers a per-ad contextual "
+        "bandit over the mode's personalisation, learning online from "
+        "click feedback (default: the static paper scoring)",
+    )
+    replay.add_argument(
+        "--alpha-ucb",
+        type=float,
+        default=0.5,
+        help="LinUCB exploration width; 0 disables the bonus entirely "
+        "(the slate is then byte-identical to --personalize static)",
+    )
+    replay.add_argument(
+        "--linucb-sync",
+        type=float,
+        default=300.0,
+        help="bandit sync-epoch length in stream seconds: updates fold "
+        "into the serving snapshot at each epoch boundary",
+    )
     replay.add_argument(
         "--workers",
         type=int,

@@ -142,7 +142,22 @@ class ShardHost:
             engine.end_campaign(ad_id, timestamp)
             return None
         if op == "record_click":
-            engine.record_click(payload)
+            if isinstance(payload, tuple):
+                ad_id, user_id, slot_index = payload
+                engine.record_click(
+                    ad_id, user_id=user_id, slot_index=slot_index
+                )
+            else:  # bare ad-id frames from older routers
+                engine.record_click(payload)
+            return None
+        if op == "learn_drain":
+            learner = engine.services.learner
+            return learner.drain_pending() if learner is not None else []
+        if op == "learn_sync":
+            learner = engine.services.learner
+            if learner is not None:
+                epoch, records = payload
+                learner.apply_sync(epoch, records)
             return None
         if op == "report":
             tracer = engine.tracer
@@ -294,6 +309,12 @@ class ProcessShardedEngine:
         self._posts_routed = 0
         self._shard_touches = 0
         self._next_msg_id = 0
+        # Online-learning sync coordination (inert unless linucb is on).
+        # The router holds no learner of its own: epochs are computed from
+        # the config interval, folds happen worker-side via learn_* ops.
+        self._learn = self._config.personalize == "linucb"
+        self._learn_interval = self._config.linucb_sync_interval_s
+        self._learn_epoch = 0
         self._baseline_stats: dict = {}
         self._closed = False
         self._workers: list[_Worker] = []
@@ -452,11 +473,45 @@ class ProcessShardedEngine:
 
     # -- the routed operations ---------------------------------------------
 
+    def _sync_learners(self, timestamp: float) -> None:
+        """One cluster-wide bandit fold at each epoch boundary.
+
+        Mirrors :meth:`ShardedEngine._sync_learners`: the router drains
+        every worker's pending update records, sorts the union canonically
+        and broadcasts the identical list back, so worker snapshots stay
+        bit-identical across shards and match the single-engine reference.
+        """
+        if not self._learn:
+            return
+        from repro.learn.linucb import sort_records
+
+        epoch = int(float(timestamp) // self._learn_interval)
+        if epoch <= self._learn_epoch:
+            return
+        pending: list = []
+        for batch in self._broadcast("learn_drain"):
+            pending.extend(batch)
+        records = sort_records(pending)
+        self._broadcast("learn_sync", (epoch, records))
+        self._learn_epoch = epoch
+
+    def _epoch_runs(self, posts: list) -> list[list]:
+        """Consecutive sub-batches with one sync epoch each."""
+        runs: list[list] = []
+        for post in posts:
+            epoch = int(float(post.timestamp) // self._learn_interval)
+            if runs and runs[-1][0] == epoch:
+                runs[-1][1].append(post)
+            else:
+                runs.append([epoch, [post]])
+        return [run for _epoch, run in runs]
+
     def post(
         self, author_id: int, text: str, timestamp: float
     ) -> list[PostResult]:
         """Route one post to every shard owning a follower; replies are
         merged in sorted shard order — the in-process router's order."""
+        self._sync_learners(timestamp)
         event = self._event_for(author_id, text, timestamp)
         touched = self._route(author_id)
         self._posts_routed += 1
@@ -472,7 +527,20 @@ class ProcessShardedEngine:
     def post_batch(self, posts: Iterable) -> list[list[PostResult]]:
         """Route a timestamp-ordered batch: one frame per touched worker
         carrying its whole ``(position, event)`` slice, workers run their
-        slices concurrently, replies merge by position in shard order."""
+        slices concurrently, replies merge by position in shard order.
+        With the bandit on, the batch is split at sync epoch boundaries so
+        a mid-batch fold happens at the same stream point as the single
+        engine's (which processes posts one by one)."""
+        if self._learn:
+            posts = list(posts)
+            results: list[list[PostResult]] = []
+            for run in self._epoch_runs(posts):
+                self._sync_learners(run[0].timestamp)
+                results.extend(self._post_batch_run(run))
+            return results
+        return self._post_batch_run(posts)
+
+    def _post_batch_run(self, posts: Iterable) -> list[list[PostResult]]:
         routed: list[tuple[PostEvent, list[int]]] = []
         by_shard: dict[int, list[tuple[int, PostEvent]]] = {}
         for position, post in enumerate(posts):
@@ -504,8 +572,14 @@ class ProcessShardedEngine:
         self._clock.advance_to_at_least(timestamp)
         self._broadcast("end_campaign", (ad_id, timestamp))
 
-    def record_click(self, ad_id: int) -> None:
-        self._broadcast("record_click", ad_id)
+    def record_click(
+        self, ad_id: int, *, user_id: int | None = None,
+        slot_index: int | None = None,
+    ) -> None:
+        """Broadcast a click cluster-wide; only the clicking user's home
+        shard holds the serving context, so the bandit reward is recorded
+        exactly once no matter how many workers see the frame."""
+        self._broadcast("record_click", (ad_id, user_id, slot_index))
 
     # -- reporting ---------------------------------------------------------
 
@@ -673,7 +747,24 @@ class ProcessShardedEngine:
         shard count may differ from the one that wrote it)."""
         if self._posts_routed != 0:
             raise ConfigError("restore target must be a fresh cluster")
-        self._broadcast("restore", payload)
+        learn = payload.get("learn")
+        if learn is None:
+            self._broadcast("restore", payload)
+        else:
+            # The snapshot replicates to every worker; the open epoch's
+            # pending records and click contexts go to each follower's
+            # home shard — where an uninterrupted run produced them.
+            from repro.learn.linucb import partition_learn_state
+
+            for worker in self._workers:
+                shard_payload = dict(payload)
+                shard_payload["learn"] = partition_learn_state(
+                    learn, worker.shard, self.shard_of
+                )
+                self._dispatch(worker, "restore", shard_payload)
+            for worker in self._workers:
+                self._collect(worker)
+            self._learn_epoch = int(learn["epoch"])
         self._next_msg_id = payload["next_msg_id"]
         self._baseline_stats = dict(payload["stats"])
         self._clock.advance_to_at_least(payload["clock"])

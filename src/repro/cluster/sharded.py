@@ -117,6 +117,11 @@ def build_shard_engine(
     )
     for user in workload.users:
         engine.register_user(user.user_id, user.home)
+    if engine.services.learner is not None:
+        # Shard replicas never self-fold their bandit models: the router
+        # coordinates one cluster-wide fold per epoch boundary so every
+        # shard folds the identical record list (see _sync_learners).
+        engine.services.learner.auto_sync = False
     return engine
 
 
@@ -270,6 +275,9 @@ class ShardedEngine:
         # Stats carried over from a restored checkpoint: shards restart
         # their counters from zero, the baseline keeps roll-ups continuous.
         self._baseline_stats: dict = {}
+        # Online-learning sync coordination (inert unless linucb is on).
+        self._learn = self._shards[0].services.learner is not None
+        self._learn_epoch = 0
 
     def shard_of(self, user_id: int) -> int:
         shard = self._shard_of.get(user_id)
@@ -378,8 +386,34 @@ class ShardedEngine:
         self._dispatch_seconds[target] += elapsed
         return result
 
+    def _sync_learners(self, timestamp: float) -> None:
+        """One cluster-wide bandit fold at each epoch boundary.
+
+        The router concatenates every shard's pending update records and
+        has each shard fold the identical canonically-sorted list, so the
+        serving snapshots stay bit-identical across shards — and identical
+        to the single-engine reference, which folds the same record
+        multiset in the same canonical order at the same stream point.
+        """
+        if not self._learn:
+            return
+        from repro.learn.linucb import sort_records
+
+        lead = self._shards[0].services.learner
+        epoch = lead.epoch_of(timestamp)
+        if epoch <= self._learn_epoch:
+            return
+        pending: list = []
+        for engine in self._shards:
+            pending.extend(engine.services.learner.drain_pending())
+        records = sort_records(pending)
+        for engine in self._shards:
+            engine.services.learner.apply_sync(epoch, records)
+        self._learn_epoch = epoch
+
     def post(self, author_id: int, text: str, timestamp: float) -> list[PostResult]:
         """Route one post to every shard owning a follower."""
+        self._sync_learners(timestamp)
         event = self._event_for(author_id, text, timestamp)
         touched = self._route(author_id)
         self._posts_routed += 1
@@ -406,8 +440,32 @@ class ShardedEngine:
         Each post is vectorized once and routed; each touched shard then
         consumes its events in arrival order through its own pipeline —
         the per-shard batch entry point, one router pass per batch instead
-        of one per post.
+        of one per post. With the bandit on, the batch is split at sync
+        epoch boundaries so a mid-batch fold happens at the same stream
+        point as the single engine's (which processes posts one by one).
         """
+        posts = list(posts)
+        if self._learn:
+            results: list[list[PostResult]] = []
+            for run in self._epoch_runs(posts):
+                self._sync_learners(run[0].timestamp)
+                results.extend(self._post_batch_run(run))
+            return results
+        return self._post_batch_run(posts)
+
+    def _epoch_runs(self, posts: list) -> list[list]:
+        """Consecutive sub-batches with one sync epoch each."""
+        lead = self._shards[0].services.learner
+        runs: list[list] = []
+        for post in posts:
+            epoch = lead.epoch_of(post.timestamp)
+            if runs and runs[-1][0] == epoch:
+                runs[-1][1].append(post)
+            else:
+                runs.append([epoch, [post]])
+        return [run for _epoch, run in runs]
+
+    def _post_batch_run(self, posts: Iterable) -> list[list[PostResult]]:
         routed: list[tuple[PostEvent, list[int]]] = []
         by_shard: dict[int, list[int]] = {}
         for position, post in enumerate(posts):
@@ -453,12 +511,20 @@ class ShardedEngine:
         for engine in self._shards:
             engine.end_campaign(ad_id, timestamp)
 
-    def record_click(self, ad_id: int) -> None:
+    def record_click(
+        self,
+        ad_id: int,
+        *,
+        user_id: int | None = None,
+        slot_index: int | None = None,
+    ) -> None:
         """Report a click cluster-wide: CTR evidence steers scoring on
         every shard, so clicks are broadcast state (impressions stay
-        partitioned — each shard records only the slates it served)."""
+        partitioned — each shard records only the slates it served). The
+        LinUCB reward lands exactly once: only the follower's home shard
+        holds the exposure's serving context."""
         for engine in self._shards:
-            engine.record_click(ad_id)
+            engine.record_click(ad_id, user_id=user_id, slot_index=slot_index)
 
     # -- checkpointing ---------------------------------------------------------
 
@@ -487,9 +553,22 @@ class ShardedEngine:
         if self._posts_routed != 0:
             raise ConfigError("restore target must be a fresh cluster")
         from repro.io.checkpoint import apply_engine_state
+        from repro.learn.linucb import partition_learn_state
 
-        for engine in self._shards:
-            apply_engine_state(engine, payload, include_stats=False)
+        learn = payload.get("learn")
+        for shard, engine in enumerate(self._shards):
+            shard_payload = payload
+            if learn is not None:
+                # The snapshot replicates to every shard; the open epoch's
+                # pending records and click contexts go to each follower's
+                # home shard — where an uninterrupted run produced them.
+                shard_payload = dict(payload)
+                shard_payload["learn"] = partition_learn_state(
+                    learn, shard, self.shard_of
+                )
+            apply_engine_state(engine, shard_payload, include_stats=False)
+        if learn is not None:
+            self._learn_epoch = int(learn["epoch"])
         self._next_msg_id = payload["next_msg_id"]
         self._baseline_stats = dict(payload["stats"])
 

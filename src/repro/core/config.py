@@ -98,6 +98,22 @@ class EngineConfig:
     ctr_feedback: bool = False
     ctr_prior: float = 0.05
     ctr_prior_strength: float = 20.0
+    # Online-learning rerank ("static" | "linucb"). "linucb" wraps the
+    # mode's personalize stage with per-ad LinUCB models updated from
+    # record_click() and negative impressions (see repro.learn.linucb for
+    # the sync-epoch consistency model).
+    personalize: str = "static"
+    # LinUCB exploration width (alpha = 0 disables the confidence bonus).
+    alpha_ucb: float = 0.5
+    # Ridge regularisation of each arm's design matrix (A init = λI).
+    linucb_lambda: float = 1.0
+    # Stream-time epoch length between model folds (and, in clusters, the
+    # merged cross-shard syncs).
+    linucb_sync_interval_s: float = 300.0
+    # Freeze the models: serve UCB scores but record no updates. With
+    # alpha_ucb = 0 this is the differential oracle's byte-identical
+    # equivalent of the static stage.
+    linucb_frozen: bool = False
     # Whether post() materialises per-delivery slates in its result
     # (perf harnesses switch this off to measure engine cost alone).
     collect_deliveries: bool = True
@@ -142,6 +158,24 @@ class EngineConfig:
             raise ConfigError(
                 f"ctr_prior_strength must be positive, got {self.ctr_prior_strength}"
             )
+        if self.personalize not in ("static", "linucb"):
+            raise ConfigError(
+                f"personalize must be one of 'static', 'linucb'; "
+                f"got {self.personalize!r}"
+            )
+        if self.alpha_ucb < 0.0:
+            raise ConfigError(
+                f"alpha_ucb must be >= 0, got {self.alpha_ucb}"
+            )
+        if self.linucb_lambda <= 0.0:
+            raise ConfigError(
+                f"linucb_lambda must be positive, got {self.linucb_lambda}"
+            )
+        if self.linucb_sync_interval_s <= 0.0:
+            raise ConfigError(
+                f"linucb_sync_interval_s must be positive, "
+                f"got {self.linucb_sync_interval_s}"
+            )
 
     def describe(self) -> dict[str, object]:
         """Flat parameter table for reports (Table T2)."""
@@ -163,4 +197,6 @@ class EngineConfig:
             "exact_fallback": self.exact_fallback,
             "reserve_price": self.reserve_price,
             "pacing_enabled": self.pacing_enabled,
+            "personalize": self.personalize,
+            "alpha_ucb": self.alpha_ucb,
         }

@@ -146,6 +146,17 @@ class AdEngine:
             budget_manager=budget,
             ctr_estimator=ctr,
         )
+        learner = None
+        if config.personalize == "linucb":
+            from repro.learn.linucb import LinUcbLearner
+
+            learner = LinUcbLearner(
+                alpha=config.alpha_ucb,
+                ridge_lambda=config.linucb_lambda,
+                sync_interval_s=config.linucb_sync_interval_s,
+                frozen=config.linucb_frozen,
+                metrics=metrics if metrics is not None else NULL_METRICS,
+            )
         self.services = EngineServices(
             config=config,
             corpus=corpus,
@@ -160,6 +171,7 @@ class AdEngine:
             tracer=tracer or NoopTracer(),
             metrics=metrics if metrics is not None else NULL_METRICS,
             qos=qos,
+            learner=learner,
         )
         probe_depth = (
             config.overfetch
@@ -365,6 +377,12 @@ class AdEngine:
         """Stream bookkeeping for one event: clock, id watermark, author
         profile update."""
         self.services.clock.advance_to_at_least(event.timestamp)
+        learner = self.services.learner
+        if learner is not None and learner.auto_sync:
+            # Epoch boundary: fold pending bandit updates into the serving
+            # snapshot before this event's deliveries. Shard engines skip
+            # this (auto_sync off) — their router coordinates the fold.
+            learner.maybe_sync(event.timestamp)
         self._next_msg_id = max(self._next_msg_id, event.msg_id + 1)
         author_state = self._state(event.author_id)
         self.profiles.get_or_create(event.author_id).update(
@@ -437,14 +455,27 @@ class AdEngine:
         if self.corpus.is_active(ad_id):
             self.corpus.retire(ad_id)
 
-    def record_click(self, ad_id: int) -> None:
+    def record_click(
+        self,
+        ad_id: int,
+        *,
+        user_id: int | None = None,
+        slot_index: int | None = None,
+    ) -> None:
         """Report a click on a previously-served impression.
 
-        A no-op unless ``ctr_feedback`` is enabled — callers (the click
-        simulator, a real frontend) do not need to know the configuration.
+        ``user_id``/``slot_index`` identify the delivering slate position;
+        with them the LinUCB learner (when configured) attributes the
+        reward to the exposure's stored serving context. Legacy positional
+        calls still feed the CTR estimator. A no-op unless click feedback
+        of some form is enabled — callers (the click simulator, a real
+        frontend) do not need to know the configuration.
         """
         if self.ctr is not None:
             self.ctr.record_click(ad_id)
+        learner = self.services.learner
+        if learner is not None:
+            learner.record_click(ad_id, user_id=user_id, slot_index=slot_index)
 
     def slate_for_message(
         self, user_id: int, text: str, timestamp: float

@@ -387,7 +387,13 @@ def make_personalize_stage(
     stage_cls = _PERSONALIZE_STAGES.get(services.config.mode)
     if stage_cls is None:
         raise ConfigError(f"unknown engine mode: {services.config.mode!r}")
-    return stage_cls(services, personalizer)
+    stage = stage_cls(services, personalizer)
+    if services.learner is not None:
+        # Deferred import: repro.learn sits above the core pipeline.
+        from repro.learn.linucb import LinUcbRerankStage
+
+        stage = LinUcbRerankStage(services, stage)
+    return stage
 
 
 def make_candidate_stage(
@@ -439,6 +445,8 @@ class DeliveryPipeline:
         self.feedback_stage = feedback
         # Kind-attributed twin of the "candidate" span (None = no probe).
         self._probe_span = getattr(candidates, "span_name", None)
+        # Learner-attributed twin of the "personalize" span (None = static).
+        self._personalize_span = getattr(personalize, "span_name", None)
         # Whole-fan-out batching is only sound when nothing downstream
         # can mutate engine state between two followers of one event:
         # charging can retire an exhausted ad and CTR feedback shifts
@@ -676,6 +684,11 @@ class DeliveryPipeline:
             if observing:
                 now = perf_counter()
                 emit("personalize", (now - delivery_started) + batch_share)
+                if self._personalize_span is not None:
+                    emit(
+                        self._personalize_span,
+                        (now - delivery_started) + batch_share,
+                    )
                 span_started = now
             stats.deliveries += 1
             if degrading:

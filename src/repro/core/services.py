@@ -35,6 +35,7 @@ if TYPE_CHECKING:  # heavyweight imports only needed for annotations
     from repro.core.scoring import ScoringModel
     from repro.graph.social import SocialGraph
     from repro.index.inverted import AdInvertedIndex
+    from repro.learn.linucb import LinUcbLearner
     from repro.profiles.profile import ProfileStore, UserProfile
     from repro.qos.controller import QosController
     from repro.stream.clock import SimClock
@@ -152,6 +153,10 @@ class EngineServices:
     # delivery path is byte-identical to a pre-QoS engine (one None check
     # per batch); a QosController gates admission and degradation rungs.
     qos: "QosController | None" = None
+    # Online-learning rerank. None unless config.personalize == "linucb";
+    # when set, make_personalize_stage wraps the mode's stage with the
+    # LinUCB rerank and record_click() routes rewards here.
+    learner: "LinUcbLearner | None" = None
 
     # -- per-user helpers ---------------------------------------------------
 

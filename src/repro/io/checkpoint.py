@@ -133,6 +133,13 @@ def engine_state_dict(engine: AdEngine) -> dict[str, Any]:
         "qos": (
             services.qos.state_dict() if services.qos is not None else None
         ),
+        # LinUCB learner state: the epoch snapshot (replicated cluster-wide)
+        # plus the open epoch's pending updates and click contexts.
+        "learn": (
+            services.learner.state_dict()
+            if services.learner is not None
+            else None
+        ),
     }
 
 
@@ -235,6 +242,15 @@ def apply_engine_state(
             )
         services.qos.load_state(qos_state)
 
+    learn_state = payload.get("learn")
+    if learn_state is not None:
+        if services.learner is None:
+            raise ConfigError(
+                "checkpoint carries LinUCB learner state but the restore "
+                "target has personalize != 'linucb'"
+            )
+        services.learner.load_state(learn_state)
+
 
 def merge_shard_states(
     states: Sequence[dict[str, Any]],
@@ -315,6 +331,8 @@ def merge_shard_states(
                 ):
                     profiles[user_id_str] = profile_state
 
+    from repro.learn.linucb import merge_learn_states
+
     stats = {name: value for name, value in stat_sums.items()}
     stats["posts"] = posts_routed
     return {
@@ -329,6 +347,11 @@ def merge_shard_states(
         "ctr": ctr,
         "stats": stats,
         "qos": qos_state,
+        # Snapshots are replicated (every shard folds the same sorted
+        # record list each epoch), so the first shard's models stand for
+        # all; the open epoch's pending/contexts concatenate (they live
+        # only on each follower's home shard) into canonical order.
+        "learn": merge_learn_states([state.get("learn") for state in states]),
     }
 
 

@@ -14,10 +14,25 @@ from __future__ import annotations
 
 import random
 from collections.abc import Callable
+from typing import NamedTuple
 
 from repro.errors import ConfigError
 
 GradeFn = Callable[[int], float]  # ad_id -> latent relevance grade in [0, 1]
+
+
+class ClickEvent(NamedTuple):
+    """One simulated click, attributed to its delivering slate position.
+
+    ``user_id`` and ``slot_index`` exist so feedback consumers that
+    condition on position (the LinUCB rerank, the T8 replay estimator)
+    receive the full delivery coordinates — ``record_click(ad_id)`` alone
+    discards where in whose slate the click landed.
+    """
+
+    ad_id: int
+    user_id: int
+    slot_index: int
 
 
 class ClickSimulator:
@@ -57,3 +72,21 @@ class ClickSimulator:
             clicks.append(clicked)
             examine_probability *= self.examine_decay
         return clicks
+
+    def click_events(self, delivery, grade_of: GradeFn) -> list[ClickEvent]:
+        """Position-attributed clicks for one delivery outcome.
+
+        ``delivery`` is anything shaped like
+        :class:`~repro.core.pipeline.DeliveryOutcome` — a ``user_id`` plus
+        an ordered ``slate`` of scored ads. Consumes the same RNG stream
+        as :meth:`clicks_for_slate` on the slate's ad ids, so swapping one
+        call form for the other is draw-for-draw deterministic.
+        """
+        slate_ids = [scored.ad_id for scored in delivery.slate]
+        return [
+            ClickEvent(ad_id, delivery.user_id, slot)
+            for slot, (ad_id, clicked) in enumerate(
+                zip(slate_ids, self.clicks_for_slate(slate_ids, grade_of))
+            )
+            if clicked
+        ]

@@ -45,6 +45,7 @@ T_FILES = [
         "test_t4_live_timeseries",
         "test_t5_overload_control",
         "test_t6_parallel_speedup",
+        "test_t8_linucb_lift",
     )
 ]
 OTHER_FILES = sorted(
@@ -61,6 +62,7 @@ _MINI_CAPS = {
     "follows_per_user": 4,
 }
 _MINI_LIMIT = 12
+_MINI_EVENTS = 400
 
 
 @functools.lru_cache(maxsize=32)
@@ -126,6 +128,9 @@ def miniaturise(module, saved: dict) -> None:
         module.workload_with = mini_workload
     if hasattr(module, "LIMIT"):
         module.LIMIT = min(module.LIMIT, _MINI_LIMIT)
+    if hasattr(module, "EVENTS"):
+        # Replay-stream scenarios (T8): a smoke-length logged stream.
+        module.EVENTS = min(module.EVENTS, _MINI_EVENTS)
     if hasattr(module, "BENCH_FILE"):
         # Perf-trajectory files (BENCH_*.json at the repo root) are
         # baselines for the CI regression gate; mini-scale numbers must
@@ -233,6 +238,21 @@ def synthetic_series(f3, vector_dps: float, shared_dps: float) -> dict:
     return series
 
 
+def synthetic_t8_series(t8, linucb_ctr: float, static_ctr: float) -> dict:
+    """A full T8 series with exact replay CTRs on every seed."""
+    from repro.learn.replay import ReplayResult
+
+    series = {}
+    for seed in t8.SEEDS:
+        series[("static-ctr", seed)] = ReplayResult(
+            "static-ctr", 4000, 1000, int(round(1000 * static_ctr))
+        )
+        series[("linucb", seed)] = ReplayResult(
+            "linucb", 4000, 1000, int(round(1000 * linucb_ctr))
+        )
+    return series
+
+
 class TestBenchRegressionGate:
     """The F3 JSON writer and the CI gate that consumes it."""
 
@@ -277,4 +297,64 @@ class TestBenchRegressionGate:
         f3.write_bench_json(synthetic_series(f3, 450.0, 100.0), candidate)
         assert gate.main(
             ["--baseline", str(baseline), "--candidate", str(candidate)]
+        ) == 1
+
+
+class TestT8BenchRegressionGate:
+    """The T8 CTR-lift JSON writer and the (shared) CI gate consuming it."""
+
+    def test_committed_baseline_exists_and_clears_its_own_gate(self):
+        payload = json.loads((REPO_ROOT / "BENCH_t8_ctr_lift.json").read_text())
+        gate = payload["gate"]
+        at = str(gate["at"])
+        assert payload["benchmark"] == "t8_ctr_lift"
+        assert gate["metric"] == "ctr_lift"
+        assert payload["ctr_lift"][at] >= gate["min_lift"]
+
+    def test_t8_json_round_trips_through_the_gate(self, tmp_path):
+        t8 = load_benchmark_module(BENCH_DIR / "test_t8_linucb_lift.py")
+        gate = load_gate_script()
+        baseline = tmp_path / "baseline.json"
+        t8.write_bench_json(synthetic_t8_series(t8, 0.210, 0.200), baseline)
+        # Same payload on both sides: no regression by construction.
+        assert gate.main(
+            ["--baseline", str(baseline), "--candidate", str(baseline)]
+        ) == 0
+
+    def test_gate_fails_on_relative_loss(self, tmp_path):
+        t8 = load_benchmark_module(BENCH_DIR / "test_t8_linucb_lift.py")
+        gate = load_gate_script()
+        baseline = tmp_path / "baseline.json"
+        candidate = tmp_path / "candidate.json"
+        t8.write_bench_json(synthetic_t8_series(t8, 0.220, 0.200), baseline)
+        # 1.10x -> 1.01x is an 8% loss: over the 5% budget even though
+        # the absolute 1.0x floor still holds.
+        t8.write_bench_json(synthetic_t8_series(t8, 0.202, 0.200), candidate)
+        assert gate.main(
+            ["--baseline", str(baseline), "--candidate", str(candidate)]
+        ) == 1
+
+    def test_gate_fails_under_lift_floor(self, tmp_path):
+        t8 = load_benchmark_module(BENCH_DIR / "test_t8_linucb_lift.py")
+        gate = load_gate_script()
+        baseline = tmp_path / "baseline.json"
+        candidate = tmp_path / "candidate.json"
+        t8.write_bench_json(synthetic_t8_series(t8, 0.204, 0.200), baseline)
+        # 1.02x -> 0.99x: within the 5% relative budget but the learned
+        # policy now loses to the static baseline — the 1.0x floor trips.
+        t8.write_bench_json(synthetic_t8_series(t8, 0.198, 0.200), candidate)
+        assert gate.main(
+            ["--baseline", str(baseline), "--candidate", str(candidate)]
+        ) == 1
+
+    def test_gate_rejects_mismatched_benchmarks(self, tmp_path):
+        f3 = load_benchmark_module(BENCH_DIR / "test_f3_throughput_vs_ads.py")
+        t8 = load_benchmark_module(BENCH_DIR / "test_t8_linucb_lift.py")
+        gate = load_gate_script()
+        f3_json = tmp_path / "f3.json"
+        t8_json = tmp_path / "t8.json"
+        f3.write_bench_json(synthetic_series(f3, 600.0, 100.0), f3_json)
+        t8.write_bench_json(synthetic_t8_series(t8, 0.210, 0.200), t8_json)
+        assert gate.main(
+            ["--baseline", str(f3_json), "--candidate", str(t8_json)]
         ) == 1

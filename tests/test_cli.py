@@ -94,6 +94,22 @@ class TestReplay:
         out = capsys.readouterr().out
         assert "fallback rate | 0" in out
 
+    def test_replay_personalize_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["replay", "--personalize", "thompson"])
+
+    def test_replay_linucb_flag(self, capsys):
+        code = main(
+            [
+                "replay", *FAST, "--limit", "15",
+                "--personalize", "linucb",
+                "--alpha-ucb", "0.3",
+                "--linucb-sync", "600",
+            ]
+        )
+        assert code == 0
+        assert "deliveries/s" in capsys.readouterr().out
+
 
 class TestLiveReplay:
     def test_live_dashboard_lines(self, capsys):

@@ -340,6 +340,93 @@ class TestCheckpointRoundTrip:
             assert pool.state_dict() == sharded.state_dict()
 
 
+class TestLearnerCheckpoint:
+    """LinUCB state survives the pool checkpoint, at any worker count."""
+
+    @staticmethod
+    def linucb_config() -> EngineConfig:
+        return EngineConfig(
+            pacing_enabled=False,
+            ctr_feedback=False,
+            collect_deliveries=True,
+            personalize="linucb",
+            alpha_ucb=0.4,
+            linucb_sync_interval_s=3600.0,
+        )
+
+    @staticmethod
+    def drive(engine, posts, *, is_cluster: bool):
+        """Posts + deterministic (order-independent) clicks; scored slates."""
+        import hashlib
+
+        slates = []
+        for post in posts:
+            results = engine.post(post.author_id, post.text, post.timestamp)
+            if not is_cluster:
+                results = [results]
+            for result in results:
+                for delivery in result.deliveries:
+                    slates.append(
+                        (
+                            delivery.user_id,
+                            tuple(
+                                (s.ad_id, s.score) for s in delivery.slate
+                            ),
+                        )
+                    )
+                    for slot, scored in enumerate(delivery.slate):
+                        key = (
+                            f"{result.msg_id}:{delivery.user_id}:"
+                            f"{scored.ad_id}:{slot}"
+                        ).encode()
+                        if hashlib.sha256(key).digest()[0] < 64:
+                            engine.record_click(
+                                scored.ad_id,
+                                user_id=delivery.user_id,
+                                slot_index=slot,
+                            )
+        return sorted(slates)
+
+    def test_learner_restores_into_fewer_workers_and_single(
+        self, tiny_workload, tmp_path
+    ):
+        """Save under 3 workers mid-run; a 2-worker pool and a single
+        engine restored from the file continue with identical slates."""
+        config = self.linucb_config()
+        posts = tiny_workload.posts
+        cut = len(posts) // 2
+        path = tmp_path / "learner.ckpt"
+
+        with ProcessShardedEngine(tiny_workload, 3, config=config) as writer:
+            self.drive(writer, posts[:cut], is_cluster=True)
+            state = writer.state_dict()
+            writer.checkpoint(path)
+            tail = self.drive(writer, posts[cut:], is_cluster=True)
+
+        # The payload carries the snapshot plus open-epoch residue.
+        assert state["learn"] is not None
+        assert state["learn"]["models"]
+
+        with ProcessShardedEngine(tiny_workload, 2, config=config) as reader:
+            reader.restore(path)
+            assert self.drive(reader, posts[cut:], is_cluster=True) == tail
+
+        single = plain_engine(tiny_workload, config)
+        from repro.io.checkpoint import load_checkpoint
+
+        load_checkpoint(path, single)
+        assert self.drive(single, posts[cut:], is_cluster=False) == tail
+
+    def test_state_dict_learn_matches_in_process(self, tiny_workload):
+        config = self.linucb_config()
+        posts = tiny_workload.posts[:LIMIT]
+        sharded = ShardedEngine(tiny_workload, 3, config=config)
+        self.drive(sharded, posts, is_cluster=True)
+        with ProcessShardedEngine(tiny_workload, 3, config=config) as pool:
+            self.drive(pool, posts, is_cluster=True)
+            assert pool.state_dict()["learn"] == sharded.state_dict()["learn"]
+
+
 class TestWorkerProtocolInProcess:
     """The worker-side code, run without forking (coverage + debuggability)."""
 
@@ -374,6 +461,43 @@ class TestWorkerProtocolInProcess:
         assert host.handle("qos_state", None) is None
         with pytest.raises(StreamError):
             host.handle("frobnicate", None)
+
+    def test_shard_host_handles_learn_ops(self, tiny_workload):
+        from dataclasses import replace as dc_replace
+
+        bootstrap = WorkerBootstrap(
+            shard=0,
+            num_shards=1,
+            config=TestLearnerCheckpoint.linucb_config(),
+            workload=dc_replace(
+                tiny_workload, posts=[], post_topics={}, checkins=[]
+            ),
+        )
+        host = ShardHost(bootstrap)
+        learner = host.engine.services.learner
+        assert learner is not None and not learner.auto_sync
+        post = tiny_workload.posts[0]
+        event = host.engine.make_event(
+            post.author_id, post.text, post.timestamp, msg_id=0
+        )
+        ((_, result),) = host.handle("post_batch", [(0, event)])
+        delivery = result.deliveries[0]
+        # Tuple click frames resolve against the serving context…
+        scored = delivery.slate[0]
+        host.handle("record_click", (scored.ad_id, delivery.user_id, 0))
+        pending = host.handle("learn_drain", None)
+        assert any(rec[3] == 1 for rec in pending)  # the click made it in
+        # …and bare-int frames (legacy routers) stay accepted.
+        host.handle("record_click", scored.ad_id)
+        # A broadcast fold advances the epoch and builds arms.
+        host.handle("learn_sync", (7, sorted(pending, key=lambda r: r[:5])))
+        assert learner.epoch == 7 and learner.num_arms > 0
+
+    def test_shard_host_learn_ops_without_learner(self, tiny_workload):
+        host = ShardHost(self.bootstrap(tiny_workload))
+        assert host.engine.services.learner is None
+        assert host.handle("learn_drain", None) == []
+        assert host.handle("learn_sync", (1, [])) is None
 
     def test_serve_loop_over_a_channel_pair(self, tiny_workload):
         router, worker = channel_pair()

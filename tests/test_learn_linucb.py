@@ -1,0 +1,345 @@
+"""Property and unit coverage for the LinUCB learner core.
+
+The center of gravity is the correctness pass ISSUE 7 asks for:
+
+* Sherman–Morrison maintained ``A⁻¹`` vs ``np.linalg.inv`` (1e-8),
+* UCB scores monotone (non-decreasing) in the exploration width ``alpha``,
+* posterior invariance to update arrival order within one sync epoch,
+* exact (bit-identical) state round-trips through the JSON layer,
+* partition/merge of learner payloads is lossless for any shard count.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.scoring import ScoredAd
+from repro.errors import ConfigError
+from repro.learn.linucb import (
+    FEATURE_DIM,
+    KIND_CLICK,
+    KIND_IMPRESSION,
+    POSITION_DECAY,
+    ArmModel,
+    LinUcbLearner,
+    features_for,
+    merge_learn_states,
+    partition_learn_state,
+    sort_records,
+)
+from repro.obs.registry import MetricsRegistry
+
+# -- strategies --------------------------------------------------------------
+
+finite = st.floats(
+    min_value=-3.0, max_value=3.0, allow_nan=False, allow_infinity=False
+)
+feature_vec = st.tuples(finite, finite, finite, finite)
+update_stream = st.lists(
+    st.tuples(feature_vec, st.booleans()), min_size=1, max_size=40
+)
+
+
+def slate_entry(ad_id: int, score: float, content: float, static: float):
+    return ScoredAd(ad_id=ad_id, score=score, content=content, static=static)
+
+
+# -- Sherman–Morrison vs the dense oracle ------------------------------------
+
+
+class TestArmModel:
+    @given(update_stream)
+    @settings(max_examples=60, deadline=None)
+    def test_sherman_morrison_matches_linalg_inv(self, stream):
+        arm = ArmModel(FEATURE_DIM, ridge_lambda=1.0)
+        for x, is_click in stream:
+            xv = np.asarray(x)
+            if is_click:
+                arm.add_click(xv)
+            else:
+                arm.add_impression(xv)
+        oracle = np.linalg.inv(arm.A)
+        assert np.max(np.abs(arm.A_inv - oracle)) < 1e-8
+
+    @given(update_stream, feature_vec)
+    @settings(max_examples=60, deadline=None)
+    def test_ucb_monotone_in_alpha(self, stream, query):
+        arm = ArmModel(FEATURE_DIM, ridge_lambda=1.0)
+        for x, is_click in stream:
+            xv = np.asarray(x)
+            arm.add_impression(xv)
+            if is_click:
+                arm.add_click(xv)
+        xq = np.asarray(query)
+        alphas = [0.0, 0.1, 0.5, 1.0, 2.0]
+        scores = [arm.ucb(xq, alpha) for alpha in alphas]
+        assert scores == sorted(scores)
+
+    def test_alpha_zero_is_pure_exploitation(self):
+        arm = ArmModel()
+        x = np.asarray(features_for(0.5, 0.25))
+        arm.add_impression(x)
+        arm.add_click(x)
+        assert arm.ucb(x, 0.0) == pytest.approx(float(arm.theta() @ x))
+
+    def test_state_round_trip_is_bitwise(self):
+        arm = ArmModel(FEATURE_DIM, ridge_lambda=2.0)
+        rng = random.Random(5)
+        for _ in range(17):
+            x = np.asarray([1.0] + [rng.uniform(-1, 1) for _ in range(3)])
+            arm.add_impression(x)
+            if rng.random() < 0.3:
+                arm.add_click(x)
+        # Through JSON: the float round-trip must be exact, A_inv included
+        # (it is Sherman–Morrison state, not recomputable from A bitwise).
+        restored = ArmModel.from_state(json.loads(json.dumps(arm.to_state())))
+        assert np.array_equal(restored.A, arm.A)
+        assert np.array_equal(restored.b, arm.b)
+        assert np.array_equal(restored.A_inv, arm.A_inv)
+
+
+# -- feature layout ----------------------------------------------------------
+
+
+class TestFeatures:
+    def test_position_decay_matches_examination_model(self):
+        assert features_for(0.2, 0.3, slot=0)[3] == 1.0
+        assert features_for(0.2, 0.3, slot=2)[3] == POSITION_DECAY**2
+
+    def test_serving_features_use_top_slot(self):
+        assert features_for(0.2, 0.3) == (1.0, 0.2, 0.3, 1.0)
+
+
+# -- learner epoch semantics -------------------------------------------------
+
+
+def drive_learner(learner: LinUcbLearner, records) -> None:
+    """Feed raw pending records (bypassing slates) in the given order."""
+    learner._pending.extend(records)
+
+
+def example_records(n: int, seed: int = 3):
+    rng = random.Random(seed)
+    records = []
+    for i in range(n):
+        x = features_for(rng.uniform(0, 1), rng.uniform(0, 1), slot=i % 4)
+        kind = KIND_CLICK if rng.random() < 0.3 else KIND_IMPRESSION
+        records.append((i // 3, rng.randrange(8), i % 4, kind, rng.randrange(5), x))
+    return records
+
+
+class TestLearnerSync:
+    @given(st.randoms(use_true_random=False))
+    @settings(max_examples=30, deadline=None)
+    def test_update_order_invariance_within_epoch(self, rng):
+        records = example_records(30)
+        reference = LinUcbLearner(sync_interval_s=10.0)
+        drive_learner(reference, records)
+        assert reference.maybe_sync(10.0)
+
+        shuffled = list(records)
+        rng.shuffle(shuffled)
+        other = LinUcbLearner(sync_interval_s=10.0)
+        drive_learner(other, shuffled)
+        assert other.maybe_sync(10.0)
+        assert other.state_dict() == reference.state_dict()
+
+    def test_maybe_sync_only_fires_on_boundary(self):
+        learner = LinUcbLearner(sync_interval_s=100.0)
+        drive_learner(learner, example_records(4))
+        assert not learner.maybe_sync(99.0)  # still epoch 0
+        assert learner.num_pending == 4
+        assert learner.maybe_sync(100.0)
+        assert learner.num_pending == 0
+        assert learner.epoch == 1
+        assert not learner.maybe_sync(100.0)  # idempotent within epoch
+
+    def test_serving_reads_snapshot_not_pending(self):
+        learner = LinUcbLearner(alpha=0.0, sync_interval_s=100.0)
+        x = features_for(0.5, 0.5)
+        drive_learner(learner, [(0, 1, 0, KIND_CLICK, 7, x)] * 3)
+        assert learner.bonus(7, x) == 0.0  # pending not folded yet
+        learner.maybe_sync(100.0)
+        assert learner.bonus(7, x) != 0.0
+
+    def test_sync_metrics_emitted(self):
+        metrics = MetricsRegistry()
+        learner = LinUcbLearner(sync_interval_s=10.0, metrics=metrics)
+        drive_learner(learner, example_records(6))
+        learner.maybe_sync(10.0)
+        assert metrics.counter("linucb_updates") == 6.0
+        assert metrics.counter("linucb_syncs") == 1.0
+        assert metrics.gauge("linucb_arms") >= 1.0
+        assert metrics.gauge("linucb_model_norm") == pytest.approx(
+            learner.model_norm()
+        )
+
+
+# -- click attribution -------------------------------------------------------
+
+
+def observe(learner, msg_id, user_id, *entries):
+    learner.observe_slate(
+        msg_id,
+        user_id,
+        tuple(
+            slate_entry(ad_id, 1.0 - 0.1 * i, 0.4, 0.2)
+            for i, ad_id in enumerate(entries)
+        ),
+    )
+
+
+class TestClickAttribution:
+    def test_click_resolves_against_serving_context(self):
+        learner = LinUcbLearner(sync_interval_s=1e9)
+        observe(learner, 5, 9, 11, 12, 13)
+        assert learner.record_click(12, user_id=9, slot_index=1)
+        click = [rec for rec in learner._pending if rec[3] == KIND_CLICK]
+        assert len(click) == 1
+        msg_id, user_id, slot, kind, ad_id, x = click[0]
+        assert (msg_id, user_id, slot, ad_id) == (5, 9, 1, 12)
+        assert x == features_for(0.4, 0.2, slot=1)
+
+    def test_context_is_authoritative_over_caller_slot(self):
+        learner = LinUcbLearner(sync_interval_s=1e9)
+        observe(learner, 5, 9, 11, 12)
+        assert learner.record_click(12, user_id=9, slot_index=40)
+        click = [rec for rec in learner._pending if rec[3] == KIND_CLICK][0]
+        assert click[2] == 1  # stored slot, not the caller's claim
+
+    def test_click_consumes_the_context(self):
+        learner = LinUcbLearner(sync_interval_s=1e9)
+        observe(learner, 5, 9, 11)
+        assert learner.record_click(11, user_id=9, slot_index=0)
+        assert not learner.record_click(11, user_id=9, slot_index=0)
+
+    def test_latest_exposure_wins(self):
+        learner = LinUcbLearner(sync_interval_s=1e9)
+        observe(learner, 5, 9, 11, 12)
+        observe(learner, 6, 9, 12, 11)  # ad 11 now at slot 1
+        assert learner.record_click(11, user_id=9, slot_index=1)
+        click = [rec for rec in learner._pending if rec[3] == KIND_CLICK][0]
+        assert click[0] == 6 and click[2] == 1
+
+    def test_legacy_click_without_user_is_ignored(self):
+        learner = LinUcbLearner(sync_interval_s=1e9)
+        observe(learner, 5, 9, 11)
+        assert not learner.record_click(11)
+        assert not any(rec[3] == KIND_CLICK for rec in learner._pending)
+
+    def test_frozen_learner_records_nothing(self):
+        learner = LinUcbLearner(frozen=True)
+        observe(learner, 5, 9, 11)
+        assert learner.num_pending == 0
+        assert not learner.record_click(11, user_id=9, slot_index=0)
+
+
+# -- rerank ------------------------------------------------------------------
+
+
+class TestRerank:
+    def test_alpha_zero_empty_models_returns_same_object(self):
+        learner = LinUcbLearner(alpha=0.0)
+        slate = (slate_entry(3, 1.0, 0.5, 0.2), slate_entry(4, 0.9, 0.4, 0.1))
+        result, changed = learner.rerank(slate)
+        assert result is slate and not changed
+
+    def test_rerank_applies_engine_tie_rule(self):
+        learner = LinUcbLearner(alpha=1.0, ridge_lambda=1.0)
+        slate = (slate_entry(7, 1.0, 0.0, 0.0), slate_entry(2, 1.0, 0.0, 0.0))
+        result, changed = learner.rerank(slate)
+        assert changed
+        # Identical features → identical bonuses → tie broken by ad id.
+        assert [entry.ad_id for entry in result] == [2, 7]
+        scores = [entry.score for entry in result]
+        assert scores == sorted(scores, reverse=True)
+
+    def test_unexplored_bonus_formula(self):
+        learner = LinUcbLearner(alpha=0.5, ridge_lambda=4.0)
+        x = features_for(0.0, 0.0)
+        expected = 0.5 * (sum(v * v for v in x) / 4.0) ** 0.5
+        assert learner.bonus(99, x) == pytest.approx(expected)
+
+
+# -- state: round-trip, partition, merge -------------------------------------
+
+
+def populated_learner(seed: int = 12) -> LinUcbLearner:
+    rng = random.Random(seed)
+    learner = LinUcbLearner(sync_interval_s=50.0)
+    for msg in range(12):
+        user = rng.randrange(10)
+        observe(learner, msg, user, *rng.sample(range(30), 3))
+        if rng.random() < 0.5:
+            ctx_keys = list(learner._contexts)
+            user_id, ad_id = rng.choice(ctx_keys)
+            learner.record_click(ad_id, user_id=user_id, slot_index=None)
+        learner.maybe_sync(msg * 13.0)
+    return learner
+
+
+class TestLearnerState:
+    def test_state_round_trip_through_json(self):
+        learner = populated_learner()
+        payload = json.loads(json.dumps(learner.state_dict()))
+        restored = LinUcbLearner(sync_interval_s=50.0)
+        restored.load_state(payload)
+        assert restored.state_dict() == learner.state_dict()
+        assert restored.epoch == learner.epoch
+        # Bitwise model equality, A_inv included.
+        for ad_id, arm in learner._arms.items():
+            other = restored._arms[ad_id]
+            assert np.array_equal(arm.A_inv, other.A_inv)
+
+    @pytest.mark.parametrize("num_shards", [1, 2, 3, 5])
+    def test_partition_merge_is_lossless(self, num_shards):
+        payload = populated_learner().state_dict()
+
+        def shard_of(user_id: int) -> int:
+            return user_id % num_shards
+
+        parts = [
+            partition_learn_state(payload, shard, shard_of)
+            for shard in range(num_shards)
+        ]
+        for shard, part in enumerate(parts):
+            assert part["models"] == payload["models"]
+            for record in part["pending"]:
+                assert shard_of(int(record[1])) == shard
+        assert merge_learn_states(parts) == payload
+
+    def test_merge_of_absent_states_is_none(self):
+        assert merge_learn_states([None, None]) is None
+
+    def test_sort_records_is_canonical(self):
+        records = example_records(20)
+        assert sort_records(reversed(sort_records(records))) == sort_records(
+            records
+        )
+        assert [rec[:5] for rec in sort_records(records)] == sorted(
+            rec[:5] for rec in records
+        )
+
+
+# -- config validation -------------------------------------------------------
+
+
+class TestValidation:
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            {"alpha": -0.1},
+            {"ridge_lambda": 0.0},
+            {"ridge_lambda": -1.0},
+            {"sync_interval_s": 0.0},
+        ],
+    )
+    def test_bad_knobs_raise(self, kwargs):
+        with pytest.raises(ConfigError):
+            LinUcbLearner(**kwargs)

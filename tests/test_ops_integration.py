@@ -56,12 +56,12 @@ class TestOperationsPipeline:
             manager.process_until(post.timestamp)
             result = engine.post(post.author_id, post.text, post.timestamp)
             for delivery in result.deliveries:
-                ids = [scored.ad_id for scored in delivery.slate]
-                for ad_id, clicked in zip(
-                    ids, clicks.clicks_for_slate(ids, lambda ad: 0.5)
-                ):
-                    if clicked:
-                        engine.record_click(ad_id)
+                for click in clicks.click_events(delivery, lambda ad: 0.5):
+                    engine.record_click(
+                        click.ad_id,
+                        user_id=click.user_id,
+                        slot_index=click.slot_index,
+                    )
             if position == half:
                 save_checkpoint(checkpoint, engine)
 

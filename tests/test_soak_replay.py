@@ -47,11 +47,12 @@ GRADES = [
 ]
 
 
-def build_engine(workload, *, qos=None, ctr_feedback=True) -> AdEngine:
+def build_engine(workload, *, qos=None, ctr_feedback=True, **overrides) -> AdEngine:
     config = EngineConfig(
         pacing_enabled=False,
         ctr_feedback=ctr_feedback,
         collect_deliveries=True,
+        **overrides,
     )
     engine = AdEngine(
         corpus=workload.build_corpus(),
@@ -117,15 +118,15 @@ class SoakDriver:
         for delivery in result.deliveries:
             if not delivery.slate or self.rng.random() > 0.3:
                 continue
-            slate_ids = [scored.ad_id for scored in delivery.slate]
             grade = self.grade_of(
                 result.msg_id, delivery.user_id, result.timestamp
             )
-            for ad_id, clicked in zip(
-                slate_ids, self.clicks.clicks_for_slate(slate_ids, grade)
-            ):
-                if clicked:
-                    engine.record_click(ad_id)
+            for event in self.clicks.click_events(delivery, grade):
+                engine.record_click(
+                    event.ad_id,
+                    user_id=event.user_id,
+                    slot_index=event.slot_index,
+                )
 
     def health(self, controller) -> None:
         controller.observe(self.rng.choice(GRADES))
@@ -156,13 +157,13 @@ def audit_books(engine, qos, revenue_ledger: float) -> None:
         )
 
 
-def run_soak(workload, *, interval: int = 10, seed: int = 7) -> AdEngine:
+def run_soak(workload, *, interval: int = 10, seed: int = 7, **overrides) -> AdEngine:
     qos = QosController(
         admission=AdmissionController(rate_per_s=1.0, burst_s=2.0),
         degrade_after=1,
         recover_after=2,
     )
-    engine = build_engine(workload, qos=qos)
+    engine = build_engine(workload, qos=qos, **overrides)
     driver = SoakDriver(workload, seed=seed)
     revenue_ledger = 0.0
     intervals_audited = 0
@@ -194,6 +195,37 @@ class TestSoakMini:
         first = run_soak(tiny_workload, interval=8, seed=23)
         second = run_soak(tiny_workload, interval=8, seed=23)
         assert first.stats == second.stats
+
+    def test_linucb_leg_ledgers_hold_under_churn(self, tiny_workload):
+        """The full soak gauntlet — churn, geo, QoS shedding/degradation,
+        budget audits — with the bandit live and learning from clicks."""
+        engine = run_soak(
+            tiny_workload,
+            interval=8,
+            personalize="linucb",
+            alpha_ucb=0.4,
+            linucb_sync_interval_s=3600.0,
+        )
+        learner = engine.services.learner
+        assert learner is not None
+        assert learner.epoch > 0, "stream never crossed a sync boundary"
+        assert learner.num_arms > 0, "no update ever folded"
+
+    def test_linucb_soak_is_deterministic(self, tiny_workload):
+        knobs = dict(
+            interval=8,
+            seed=23,
+            personalize="linucb",
+            alpha_ucb=0.4,
+            linucb_sync_interval_s=3600.0,
+        )
+        first = run_soak(tiny_workload, **knobs)
+        second = run_soak(tiny_workload, **knobs)
+        assert first.stats == second.stats
+        assert (
+            first.services.learner.state_dict()
+            == second.services.learner.state_dict()
+        )
 
 
 @pytest.mark.slow
