@@ -26,6 +26,14 @@ from the interval grades (shrink the over-fetch, shrink the slate, skip
 the certificate fallback, serve candidates-only, shed) and, with
 ``--qos-rate``, puts a value-aware admission controller in front of the
 fan-out. The dashboard line then shows the live rung.
+
+``replay --trace`` attaches distributed request tracing (see
+:mod:`repro.obs.trace`): head-sample ``--trace-sample`` of requests,
+tail-capture the interesting rest (errors, tail latency, shed/degraded,
+retries, failovers, breach intervals), export retained segments with
+``--trace-out`` and arm the flight recorder with ``--flight-out``.
+``repro trace --dump PATH`` reads either file back and renders the
+slowest-trace table, the critical path and per-stage attribution.
 """
 
 from __future__ import annotations
@@ -150,8 +158,54 @@ def _build_qos_controller(args: argparse.Namespace):
     )
 
 
+def _build_request_tracer(args: argparse.Namespace):
+    """Wire the ``--trace`` flags into a RequestTracer (None without
+    --trace; the dependent flags then raise instead of silently no-op)."""
+    if not args.trace:
+        for value, flag in (
+            (args.trace_out, "--trace-out"),
+            (args.flight_out, "--flight-out"),
+            (args.trace_sample, "--trace-sample"),
+        ):
+            if value is not None:
+                raise ConfigError(
+                    f"{flag} requires --trace (tracing is off by default)"
+                )
+        return None
+    from repro.obs.trace import RequestTracer
+
+    sample = args.trace_sample if args.trace_sample is not None else 0.01
+    return RequestTracer(sample_rate=sample, seed=args.seed, process="main")
+
+
+def _write_trace_export(path: str, segments) -> int:
+    """Write retained trace segments as JSONL (the --trace-out sink;
+    same line schema as flight dumps, so `repro trace` reads both)."""
+    import json
+    from pathlib import Path
+
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    with out.open("w", encoding="utf-8") as handle:
+        for segment in segments:
+            handle.write(json.dumps(segment.to_dict()) + "\n")
+    return len(segments)
+
+
+def _print_trace_summary(request_tracer) -> None:
+    summary = request_tracer.summary()
+    print(
+        f"tracing: started={summary['started']} "
+        f"finished={summary['finished']} retained={summary['retained']} "
+        f"ring={summary['ring']} dropped={summary['dropped']}"
+    )
+
+
 def _replay_live(
-    args: argparse.Namespace, workload: Workload, config: EngineConfig
+    args: argparse.Namespace,
+    workload: Workload,
+    config: EngineConfig,
+    request_tracer=None,
 ) -> int:
     """The ``replay --live`` path: windowed registry, interval dashboard,
     optional SLO grading and timeseries/Prometheus sinks."""
@@ -170,6 +224,26 @@ def _replay_live(
     controller = _build_qos_controller(args)
 
     monitor = None
+    recorder = None
+    if request_tracer is not None and args.flight_out:
+        from repro.obs.recorder import FlightRecorder
+
+        # Providers are evaluated at dump time; `monitor` is assigned
+        # just below, before any interval can fire.
+        recorder = FlightRecorder(
+            request_tracer,
+            args.flight_out,
+            health=lambda: monitor.summary() if monitor is not None else None,
+            qos=lambda: controller.summary() if controller is not None else None,
+            registry=lambda: registry.snapshot().to_dict(),
+        )
+
+    def on_breach(report) -> None:
+        # Raw-grade breach: snapshot the black box at the *first* bad
+        # interval (rate-limited to one dump per reason).
+        if recorder is not None:
+            recorder.dump("slo_breach")
+
     if args.slo or controller is not None:  # --qos needs grades to react to
         targets = _parse_slo_targets(args.slo_p99_ms)
         if not targets and args.slo_min_dps <= 0.0:
@@ -182,6 +256,7 @@ def _replay_live(
                 stage_p99_ms=targets,
                 min_deliveries_per_s=max(args.slo_min_dps, 0.0),
             ),
+            on_breach=on_breach if request_tracer is not None else None,
         )
     writer = TimeseriesWriter(args.metrics_out) if args.metrics_out else None
 
@@ -200,6 +275,9 @@ def _replay_live(
             # Closed loop: the raw interval grade steps the ladder (the
             # controller applies its own hysteresis on top).
             controller.observe(report.grade)
+        if request_tracer is not None and report is not None:
+            # Segments finishing inside a breach window are force-kept.
+            request_tracer.set_breach(report.grade is not HealthState.OK)
         print(_dashboard_line(snapshot, report, controller))
         if writer is not None:
             writer.append(snapshot, health=report)
@@ -213,6 +291,7 @@ def _replay_live(
         interval_s=interval,
         on_interval=on_interval,
         qos=controller,
+        request_tracer=request_tracer,
     )
 
     rows: list[list[object]] = [
@@ -256,6 +335,7 @@ def _replay_live(
         print(f"wrote Prometheus exposition to {args.prom_out}")
     if writer is not None:
         print(f"wrote {writer.rows} timeseries rows to {args.metrics_out}")
+    exit_code = 0
     if monitor is not None:
         verdict = monitor.verdict()
         print(f"SLO verdict: {verdict.value.upper()}")
@@ -265,12 +345,31 @@ def _replay_live(
         # A failing run-level verdict fails the process: CI and scripts
         # gate on the exit code, not on scraping the verdict line.
         if verdict is not HealthState.OK:
-            return 1
-    return 0
+            if recorder is not None:
+                # The black box for the failing run, dumped before exit.
+                recorder.dump(f"verdict_{verdict.value}", force=True)
+            exit_code = 1
+    if request_tracer is not None:
+        if args.trace_out:
+            count = _write_trace_export(
+                args.trace_out, list(request_tracer.retained)
+            )
+            print(f"wrote {count} trace segments to {args.trace_out}")
+        if recorder is not None:
+            if recorder.dumps == 0:  # healthy run: still honour --flight-out
+                recorder.dump("signal")
+            print(
+                f"flight recorder: {recorder.dumps} dump(s) at {args.flight_out}"
+            )
+        _print_trace_summary(request_tracer)
+    return exit_code
 
 
 def _replay_workers(
-    args: argparse.Namespace, workload: Workload, config: EngineConfig
+    args: argparse.Namespace,
+    workload: Workload,
+    config: EngineConfig,
+    request_tracer=None,
 ) -> int:
     """The ``replay --workers N`` path: drive the multiprocess backend.
 
@@ -278,6 +377,9 @@ def _replay_workers(
     stream is dispatched in post batches so IPC is paid per batch, not
     per delivery. The live/SLO/QoS dashboards ride on the single-engine
     simulator and are not available here (yet) — combining them raises.
+    ``--trace`` *is* supported: contexts ride inside the RPC frames, the
+    router drains worker segments at the end, and a worker crash
+    auto-dumps the flight recorder before the error surfaces.
     """
     from time import perf_counter
 
@@ -293,13 +395,23 @@ def _replay_workers(
         raise ConfigError("no posts to replay (empty workload or --limit 0)")
     batch = max(args.batch, 1)
     started = perf_counter()
-    with ProcessShardedEngine(workload, args.workers, config=config) as engine:
+    with ProcessShardedEngine(
+        workload,
+        args.workers,
+        config=config,
+        request_tracer=request_tracer,
+        flight_path=args.flight_out if request_tracer is not None else None,
+    ) as engine:
         for offset in range(0, len(posts), batch):
             engine.post_batch(posts[offset : offset + batch])
         elapsed = perf_counter() - started
         stats = engine.cluster_stats()
         imbalance = engine.load_imbalance()
         amplification = engine.amplification()
+        if request_tracer is not None:
+            engine.drain_worker_traces()  # pull segments while workers live
+            if args.flight_out:
+                engine.dump_flight(args.flight_out, reason="signal")
     print(ascii_table(
         ["metric", "value"],
         [
@@ -317,6 +429,15 @@ def _replay_workers(
         ],
         title="Replay summary (multiprocess backend)",
     ))
+    if request_tracer is not None:
+        if args.trace_out:
+            count = _write_trace_export(
+                args.trace_out, list(request_tracer.retained)
+            )
+            print(f"wrote {count} trace segments to {args.trace_out}")
+        if args.flight_out:
+            print(f"wrote flight dump to {args.flight_out}")
+        _print_trace_summary(request_tracer)
     return 0
 
 
@@ -333,12 +454,17 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         alpha_ucb=args.alpha_ucb,
         linucb_sync_interval_s=args.linucb_sync,
     )
+    request_tracer = _build_request_tracer(args)
     if args.workers:
-        return _replay_workers(args, workload, config)
+        return _replay_workers(args, workload, config, request_tracer)
     if args.live or args.slo or args.qos or args.metrics_out or args.prom_out:
-        return _replay_live(args, workload, config)
+        return _replay_live(args, workload, config, request_tracer)
     result = run_perf(
-        workload, config, label=args.mode, limit_posts=args.limit
+        workload,
+        config,
+        label=args.mode,
+        limit_posts=args.limit,
+        request_tracer=request_tracer,
     )
     print(ascii_table(
         ["metric", "value"],
@@ -355,6 +481,142 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         ],
         title="Replay summary",
     ))
+    if request_tracer is not None:
+        if args.trace_out:
+            count = _write_trace_export(
+                args.trace_out, list(request_tracer.retained)
+            )
+            print(f"wrote {count} trace segments to {args.trace_out}")
+        if args.flight_out:
+            from repro.obs.recorder import write_flight_dump
+
+            write_flight_dump(
+                args.flight_out,
+                request_tracer.flight_traces(),
+                reason="signal",
+                extra={"tracer": request_tracer.summary()},
+            )
+            print(f"wrote flight dump to {args.flight_out}")
+        _print_trace_summary(request_tracer)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    """Render a flight dump / trace export: slowest-trace table, the
+    slowest trace's critical path, and its per-stage attribution."""
+    from repro.obs.recorder import read_flight_dump
+    from repro.obs.trace import group_traces
+
+    header, segments = read_flight_dump(args.dump)
+    if header is not None:
+        tracer_info = header.get("tracer") or {}
+        print(
+            f"flight dump: reason={header.get('reason')} "
+            f"traces={header.get('num_traces')} "
+            f"process={tracer_info.get('process', '?')} "
+            f"dropped={tracer_info.get('dropped', 0)}"
+        )
+    if not segments:
+        print("no trace segments in dump")
+        return 0
+
+    grouped = group_traces(segments)
+    summaries = []
+    for trace_id, parts in grouped.items():
+        start = min(part.start for part in parts)
+        end = max(part.start + part.duration_s for part in parts)
+        summaries.append({
+            "trace_id": trace_id,
+            "parts": parts,
+            "start": start,
+            "duration_ms": (end - start) * 1e3,
+            "spans": sum(len(part.spans) for part in parts),
+            "processes": sorted({part.process for part in parts}),
+            "status": (
+                "error"
+                if any(part.status == "error" for part in parts)
+                else "ok"
+            ),
+            "retained": next(
+                (part.retained for part in parts if part.retained), None
+            ),
+        })
+    summaries.sort(key=lambda row: row["duration_ms"], reverse=True)
+
+    top = summaries[: max(args.top, 1)]
+    print(ascii_table(
+        ["trace", "ms", "segments", "spans", "processes", "status", "retained"],
+        [
+            [
+                f"{row['trace_id']:016x}",
+                round(row["duration_ms"], 3),
+                len(row["parts"]),
+                row["spans"],
+                ",".join(row["processes"]),
+                row["status"],
+                row["retained"] or "-",
+            ]
+            for row in top
+        ],
+        title=f"slowest traces ({len(grouped)} total)",
+    ))
+
+    slowest = summaries[0]
+    print(
+        f"critical path — trace {slowest['trace_id']:016x} "
+        f"({slowest['duration_ms']:.3f} ms, status={slowest['status']}, "
+        f"retained={slowest['retained'] or '-'})"
+    )
+    path_rows: list[list[object]] = []
+    for part in slowest["parts"]:
+        offset_ms = (part.start - slowest["start"]) * 1e3
+        path_rows.append([
+            f"{offset_ms:+.3f}",
+            part.process,
+            f"{part.name}",
+            round(part.duration_s * 1e3, 3),
+            part.status,
+            "",
+        ])
+        for span in sorted(part.spans, key=lambda span: span.offset_s):
+            path_rows.append([
+                f"{(offset_ms + span.offset_s * 1e3):+.3f}",
+                "",
+                f"  {span.name} [{span.kind}]",
+                round(span.seconds * 1e3, 3),
+                "",
+                f"x{span.count}",
+            ])
+    print(ascii_table(
+        ["offset ms", "process", "segment / span", "ms", "status", "count"],
+        path_rows,
+    ))
+
+    stage_totals: dict[str, tuple[float, int]] = {}
+    for part in slowest["parts"]:
+        for span in part.spans:
+            if span.kind == "stage":
+                total, count = stage_totals.get(span.name, (0.0, 0))
+                stage_totals[span.name] = (
+                    total + span.seconds, count + span.count
+                )
+    if stage_totals:
+        total_all = sum(total for total, _count in stage_totals.values())
+        print(ascii_table(
+            ["stage", "ms", "count", "% of stage time"],
+            [
+                [
+                    name,
+                    round(total * 1e3, 3),
+                    count,
+                    round(100.0 * total / total_all, 1) if total_all else 0.0,
+                ]
+                for name, (total, count) in sorted(
+                    stage_totals.items(), key=lambda item: -item[1][0]
+                )
+            ],
+            title="per-stage attribution (slowest trace)",
+        ))
     return 0
 
 
@@ -569,7 +831,49 @@ def build_parser() -> argparse.ArgumentParser:
         help="write the final snapshot in Prometheus text exposition "
         "format (implies --live)",
     )
+    replay.add_argument(
+        "--trace",
+        action="store_true",
+        help="attach distributed request tracing: head-sample a fraction "
+        "of requests, tail-capture errors/slow/shed/degraded ones, and "
+        "keep a flight-recorder ring per process (works with --workers)",
+    )
+    replay.add_argument(
+        "--trace-sample",
+        type=float,
+        default=None,
+        metavar="RATE",
+        help="head-sampling rate in [0, 1] (default 0.01; requires --trace)",
+    )
+    replay.add_argument(
+        "--trace-out",
+        default=None,
+        help="write retained trace segments as JSONL (requires --trace; "
+        "inspect with `repro trace --dump PATH`)",
+    )
+    replay.add_argument(
+        "--flight-out",
+        default=None,
+        help="flight-recorder dump path, written on SLO breach, worker "
+        "crash, or end of run (requires --trace)",
+    )
     replay.set_defaults(handler=_cmd_replay)
+
+    trace = commands.add_parser(
+        "trace", help="inspect a flight-recorder dump or trace export"
+    )
+    trace.add_argument(
+        "--dump",
+        required=True,
+        help="path to a --flight-out dump or --trace-out export",
+    )
+    trace.add_argument(
+        "--top",
+        type=int,
+        default=10,
+        help="how many slowest traces to list",
+    )
+    trace.set_defaults(handler=_cmd_trace)
 
     effectiveness = commands.add_parser(
         "effectiveness", help="score the system and baselines vs ground truth"

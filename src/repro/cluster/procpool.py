@@ -74,6 +74,14 @@ from repro.datagen.workload import Workload
 from repro.errors import ConfigError, StreamError, WorkerCrashError
 from repro.geo.point import GeoPoint
 from repro.obs.registry import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.trace import (
+    NOOP_REQUEST_TRACER,
+    NoopRequestTracer,
+    RequestTracer,
+    Span,
+    TraceContext,
+    TraceSegment,
+)
 from repro.obs.tracer import NoopTracer, StageStats, StageTracer
 from repro.stream.clock import SimClock
 
@@ -100,6 +108,7 @@ class WorkerBootstrap:
     tracer: StageTracer | None = None
     metrics: "MetricsRegistry | None" = None
     qos: "QosController | None" = None
+    request_tracer: "RequestTracer | None" = None
 
 
 class ShardHost:
@@ -112,6 +121,13 @@ class ShardHost:
     def __init__(self, bootstrap: WorkerBootstrap) -> None:
         shard_map = build_shard_map(bootstrap.workload, bootstrap.num_shards)
         self.shard = bootstrap.shard
+        if bootstrap.request_tracer is not None:
+            # The tracer crossed a process boundary: re-anchor its wall
+            # clock and span-id salt to *this* process before any segment
+            # is recorded (perf_counter origins and pids are per-process).
+            bootstrap.request_tracer.rebind(
+                process=f"worker{bootstrap.shard}"
+            )
         self.engine: AdEngine = build_shard_engine(
             bootstrap.workload,
             build_shard_graph(bootstrap.workload, bootstrap.shard, shard_map),
@@ -119,6 +135,7 @@ class ShardHost:
             tracer=bootstrap.tracer,
             metrics=bootstrap.metrics,
             qos=bootstrap.qos,
+            request_tracer=bootstrap.request_tracer,
         )
 
     def handle(self, op: str, payload: Any) -> Any:
@@ -172,6 +189,10 @@ class ShardHost:
                 "metrics": metrics if metrics.enabled else None,
                 "qos": qos.summary() if qos is not None else None,
             }
+        if op == "trace_drain":
+            # Checkpoint-style trace merge: ship everything recorded since
+            # the last drain and reset, so each drain is an increment.
+            return engine.services.request_tracer.drain()
         if op == "state":
             from repro.io.checkpoint import engine_state_dict
 
@@ -256,6 +277,9 @@ class _Worker:
     pending: int = 0  # requests sent, replies not yet collected
 
     crash_detail: str | None = field(default=None)
+    # Traced events whose replies are still outstanding: what the flight
+    # recorder stamps as in-flight if this worker dies mid-request.
+    inflight: "list[tuple[TraceContext, int]]" = field(default_factory=list)
 
 
 class ProcessShardedEngine:
@@ -271,6 +295,8 @@ class ProcessShardedEngine:
         tracer: StageTracer | None = None,
         metrics: "MetricsRegistry | None" = None,
         qos: "QosController | None" = None,
+        request_tracer: "RequestTracer | None" = None,
+        flight_path=None,
         faults=None,
         start_method: str | None = None,
         rpc_timeout_s: float | None = None,
@@ -281,6 +307,12 @@ class ProcessShardedEngine:
         this backend crashes for real. ``rpc_timeout_s`` bounds every
         blocking RPC read/write (a breach surfaces as
         :class:`WorkerCrashError`); ``None`` trusts the workers.
+        ``request_tracer`` attaches distributed request tracing: contexts
+        mint at the router, ride the RPC frames into the workers, and
+        worker segments merge back via the ``trace_drain`` op.
+        ``flight_path`` arms the flight recorder: a worker crash
+        auto-dumps the router-side black box (including the in-flight
+        traced requests) there.
         """
         if num_shards < 1:
             raise ConfigError(f"num_shards must be >= 1, got {num_shards}")
@@ -301,6 +333,20 @@ class ProcessShardedEngine:
         # (where the in-process router books them) for report parity.
         self._router_tracer = self._tracer.spawn()
         self._router_metrics = self._metrics.spawn()
+        # The router's request tracer: route/crash segments live here, and
+        # worker drains are absorbed into it (checkpoint-style merge).
+        self._request_tracer = (
+            request_tracer if request_tracer is not None
+            else NOOP_REQUEST_TRACER
+        )
+        if self._request_tracer.enabled:
+            self._request_tracer.rebind(process="router")
+        self._flight_path = flight_path
+        self._flight_dumped: set[str] = set()
+        # Cumulative router-side wait for each worker's replies — the
+        # process-backend analog of the in-process router's per-shard
+        # dispatch busy time, and the skew gauge's input.
+        self._dispatch_seconds = [0.0] * num_shards
         self._vectorize_stage = TextVectorizeStage(
             workload.vectorizer, workload.tokenizer
         )
@@ -362,6 +408,11 @@ class ProcessShardedEngine:
                             else None
                         ),
                         qos=qos,
+                        request_tracer=(
+                            self._request_tracer.spawn()
+                            if self._request_tracer.enabled
+                            else None
+                        ),
                     )
                 )
                 worker.pending += 1
@@ -382,7 +433,14 @@ class ProcessShardedEngine:
             )
 
     def _crash(self, worker: _Worker, exc: Exception) -> WorkerCrashError:
-        """Mark a worker dead and build the error that surfaces it."""
+        """Mark a worker dead and build the error that surfaces it.
+
+        With tracing attached, every traced request that was in flight on
+        the dead worker gets an error segment (the request's last known
+        position), and an armed flight recorder dumps the router-side
+        black box — deliberately without touching the other workers,
+        which may themselves be mid-request.
+        """
         worker.process.join(timeout=1.0)
         worker.alive = False
         worker.pending = 0
@@ -390,12 +448,57 @@ class ProcessShardedEngine:
             f"exitcode={worker.process.exitcode}, {exc}"
         )
         worker.channel.close()
+        request_tracer = self._request_tracer
+        if request_tracer.enabled and worker.inflight:
+            for context, msg_id in worker.inflight:
+                request_tracer.record_segment(
+                    context,
+                    "worker_crash",
+                    spans=[
+                        Span(
+                            0,
+                            "worker_crash",
+                            "error",
+                            attrs={
+                                "shard": worker.shard,
+                                "detail": worker.crash_detail,
+                            },
+                        )
+                    ],
+                    status="error",
+                    force_reason="crash",
+                    attrs={"msg_id": msg_id, "shard": worker.shard},
+                )
+            worker.inflight = []
+        if self._flight_path is not None and request_tracer.enabled:
+            self._auto_dump("worker_crash")
         return WorkerCrashError(worker.shard, worker.crash_detail)
+
+    def _auto_dump(self, reason: str) -> None:
+        """One rate-limited flight dump per distinct reason, built from
+        router-side state only (safe to call mid-crash)."""
+        if reason in self._flight_dumped:
+            return
+        self._flight_dumped.add(reason)
+        from repro.obs.recorder import write_flight_dump
+
+        write_flight_dump(
+            self._flight_path,
+            self._request_tracer.flight_traces(),
+            reason=reason,
+            extra={"tracer": self._request_tracer.summary()},
+        )
 
     def _dispatch(self, worker: _Worker, op: str, payload: Any) -> None:
         """Send one request without waiting for its reply (the fan-out
         half of every routed operation)."""
         self._require_alive(worker)
+        if op == "post_batch" and self._request_tracer.enabled:
+            worker.inflight = [
+                (event.trace, event.msg_id)
+                for _position, event in payload
+                if event.trace is not None
+            ]
         try:
             worker.channel.send((op, payload))
         except ChannelClosed as exc:
@@ -405,11 +508,14 @@ class ProcessShardedEngine:
     def _collect(self, worker: _Worker) -> Any:
         """Receive one reply envelope (the ordered-merge half)."""
         self._require_alive(worker)
+        started = perf_counter()
         try:
             envelope = worker.channel.recv()
         except ChannelClosed as exc:
             raise self._crash(worker, exc) from exc
+        self._dispatch_seconds[worker.shard] += perf_counter() - started
         worker.pending -= 1
+        worker.inflight = []
         status, value = envelope
         if status == "err":
             raise value
@@ -467,9 +573,57 @@ class ProcessShardedEngine:
             timestamp=timestamp,
             message_vec=self._vectorize(text),
             text=text,
+            # The router is the edge: contexts are minted here and ride
+            # inside the RPC frame into every worker the fan-out touches.
+            trace=(
+                self._request_tracer.mint(msg_id)
+                if self._request_tracer.enabled
+                else None
+            ),
         )
         self._clock.advance_to_at_least(timestamp)
         return event
+
+    def _record_routes(
+        self,
+        routed: "list[tuple[PostEvent, list[int]]]",
+        frame_bytes: dict[int, int],
+        batch_sizes: dict[int, int],
+        started_perf: float,
+    ) -> None:
+        """One router ``route`` segment per *sampled* traced event: which
+        shards the fan-out touched, with one ``rpc`` span per hop carrying
+        the frame size and batch amortisation. Recorded after the collect
+        barrier, so the duration covers dispatch + worker service + merge.
+        """
+        request_tracer = self._request_tracer
+        duration = perf_counter() - started_perf
+        start_wall = started_perf + request_tracer.wall_anchor
+        for event, touched in routed:
+            context = event.trace
+            if context is None or not context.sampled:
+                continue
+            spans = [
+                Span(
+                    0,
+                    f"rpc_shard{shard}",
+                    "rpc",
+                    attrs={
+                        "shard": shard,
+                        "frame_bytes": frame_bytes.get(shard, 0),
+                        "batched": batch_sizes.get(shard, 1),
+                    },
+                )
+                for shard in touched
+            ]
+            request_tracer.record_segment(
+                context,
+                "route",
+                spans=spans,
+                start=start_wall,
+                duration_s=duration,
+                attrs={"msg_id": event.msg_id, "shards": len(touched)},
+            )
 
     # -- the routed operations ---------------------------------------------
 
@@ -516,12 +670,24 @@ class ProcessShardedEngine:
         touched = self._route(author_id)
         self._posts_routed += 1
         self._shard_touches += len(touched)
+        tracing = self._request_tracer.enabled and event.trace is not None
+        if tracing:
+            route_started = perf_counter()
+        frame_bytes: dict[int, int] = {}
         for shard in touched:
             self._dispatch(self._workers[shard], "post_batch", [(0, event)])
+            if tracing:
+                frame_bytes[shard] = (
+                    self._workers[shard].channel.last_frame_bytes
+                )
         results: list[PostResult] = []
         for shard in touched:
             replies = self._collect(self._workers[shard])
             results.extend(result for _, result in replies)
+        if tracing:
+            self._record_routes(
+                [(event, touched)], frame_bytes, {}, route_started
+            )
         return results
 
     def post_batch(self, posts: Iterable) -> list[list[PostResult]]:
@@ -553,11 +719,25 @@ class ProcessShardedEngine:
                 by_shard.setdefault(shard, []).append((position, event))
 
         results: list[list[PostResult]] = [[] for _ in routed]
+        tracing = self._request_tracer.enabled
+        if tracing:
+            route_started = perf_counter()
+        frame_bytes: dict[int, int] = {}
+        batch_sizes: dict[int, int] = {}
         for shard, slice_ in sorted(by_shard.items()):
             self._dispatch(self._workers[shard], "post_batch", slice_)
+            if tracing:
+                frame_bytes[shard] = (
+                    self._workers[shard].channel.last_frame_bytes
+                )
+                batch_sizes[shard] = len(slice_)
         for shard, _ in sorted(by_shard.items()):
             for position, result in self._collect(self._workers[shard]):
                 results[position].append(result)
+        if tracing:
+            self._record_routes(
+                routed, frame_bytes, batch_sizes, route_started
+            )
         return results
 
     def checkin(self, user_id: int, point: GeoPoint, timestamp: float) -> None:
@@ -620,7 +800,80 @@ class ProcessShardedEngine:
             for report in self._reports():
                 if report["metrics"] is not None:
                     merged.merge(report["metrics"])
+            from repro.obs.prometheus import export_cluster_gauges
+
+            # Router-side skew signals stamped post-merge (gauges add on
+            # merge, so only the ephemeral merged view carries them).
+            export_cluster_gauges(
+                merged,
+                dispatch_seconds=self.dispatch_seconds_by_shard(),
+                imbalance=self.load_imbalance(),
+            )
         return merged
+
+    # -- distributed tracing -----------------------------------------------
+
+    def drain_worker_traces(self) -> int:
+        """Pull every live worker's recorded trace segments into the
+        router's tracer (checkpoint-style incremental merge); returns how
+        many segments arrived."""
+        request_tracer = self._request_tracer
+        if not request_tracer.enabled or self._closed:
+            return 0
+        drained = 0
+        for worker in self._workers:
+            if not worker.alive:
+                continue
+            payload = self._call(worker, "trace_drain")
+            drained += len(payload["retained"]) + len(payload["ring"])
+            request_tracer.absorb(payload)
+        return drained
+
+    @property
+    def request_tracer(self) -> "RequestTracer | NoopRequestTracer":
+        """The cluster-wide request-trace view: router route/crash
+        segments plus everything drained from the workers."""
+        if self._request_tracer.enabled:
+            try:
+                self.drain_worker_traces()
+            except StreamError:
+                # A dead worker must not make the surviving telemetry
+                # unreadable — the crash already recorded its segments.
+                pass
+        return self._request_tracer
+
+    def request_traces(self) -> "list[TraceSegment]":
+        """Every retained trace segment, cluster-wide."""
+        return list(self.request_tracer.retained)
+
+    def flight_traces(self) -> "list[TraceSegment]":
+        """The black-box view: retained plus last-N ring, cluster-wide."""
+        return self.request_tracer.flight_traces()
+
+    def dump_flight(self, path, *, reason: str = "signal"):
+        """Write the flight-recorder snapshot to ``path``. Unlike the
+        crash auto-dump this drains live workers first, so it is the
+        end-of-run / operator-signal entry point."""
+        from repro.obs.recorder import write_flight_dump
+
+        try:
+            qos = self.qos_summary()
+        except StreamError:
+            qos = None  # a dead worker must not block the dump
+        return write_flight_dump(
+            path,
+            self.flight_traces(),
+            reason=reason,
+            qos=qos,
+            extra={"tracer": self._request_tracer.summary()},
+        )
+
+    def dispatch_seconds_by_shard(self) -> list[float]:
+        """Cumulative router wait for each worker's replies — the process
+        backend's per-shard busy-time proxy (fan-out-then-collect means
+        shard 0's wait approximates its service time; later shards absorb
+        only their excess over the slowest earlier one)."""
+        return list(self._dispatch_seconds)
 
     def metrics_by_shard(self) -> "list[MetricsRegistry | NullMetrics]":
         registries: "list[MetricsRegistry | NullMetrics]" = []

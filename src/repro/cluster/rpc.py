@@ -52,6 +52,14 @@ class Channel:
     def __init__(self, sock: socket.socket) -> None:
         self._sock = sock
         self._closed = False
+        # Cheap per-endpoint transport accounting (integers bumped once
+        # per frame): the router stamps these onto trace RPC spans so a
+        # trace shows how many bytes each hop moved.
+        self.frames_sent = 0
+        self.frames_received = 0
+        self.bytes_sent = 0
+        self.bytes_received = 0
+        self.last_frame_bytes = 0
 
     def fileno(self) -> int:
         return self._sock.fileno()
@@ -73,6 +81,9 @@ class Channel:
             self._sock.sendall(_HEADER.pack(len(payload)) + payload)
         except (OSError, ValueError) as exc:
             raise ChannelClosed(f"send failed: {exc}") from exc
+        self.frames_sent += 1
+        self.bytes_sent += len(payload) + _HEADER.size
+        self.last_frame_bytes = len(payload)
 
     def recv(self) -> Any:
         """Block for one whole frame and unpickle it."""
@@ -80,7 +91,11 @@ class Channel:
         (length,) = _HEADER.unpack(header)
         if length > MAX_FRAME_BYTES:
             raise ChannelClosed(f"corrupt frame header: {length} bytes")
-        return pickle.loads(self._recv_exact(length))
+        payload = self._recv_exact(length)
+        self.frames_received += 1
+        self.bytes_received += length + _HEADER.size
+        self.last_frame_bytes = length
+        return pickle.loads(payload)
 
     def _recv_exact(self, count: int) -> bytes:
         chunks: list[bytes] = []

@@ -45,6 +45,13 @@ from repro.errors import ConfigError, StreamError
 from repro.geo.point import GeoPoint
 from repro.graph.social import SocialGraph
 from repro.obs.registry import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.trace import (
+    NOOP_REQUEST_TRACER,
+    NoopRequestTracer,
+    RequestTracer,
+    Span,
+    TraceSegment,
+)
 from repro.obs.tracer import NoopTracer, StageStats, StageTracer
 
 if TYPE_CHECKING:
@@ -102,6 +109,7 @@ def build_shard_engine(
     tracer: StageTracer | None = None,
     metrics: "MetricsRegistry | None" = None,
     qos: "QosController | None" = None,
+    request_tracer: "RequestTracer | None" = None,
 ) -> AdEngine:
     """One shard replica: full corpus, filtered graph, every user
     registered with their home location (cheap broadcast state)."""
@@ -114,6 +122,7 @@ def build_shard_engine(
         tracer=tracer,
         metrics=metrics,
         qos=qos,
+        request_tracer=request_tracer,
     )
     for user in workload.users:
         engine.register_user(user.user_id, user.home)
@@ -213,6 +222,7 @@ class ShardedEngine:
         metrics: "MetricsRegistry | None" = None,
         faults: "FaultInjector | None" = None,
         qos: "QosController | None" = None,
+        request_tracer: "RequestTracer | None" = None,
         max_retries: int = 3,
         backoff_s: float = 0.05,
     ) -> None:
@@ -238,6 +248,22 @@ class ShardedEngine:
         self._shard_tracers = [self._tracer.spawn() for _ in range(num_shards)]
         self._metrics = metrics if metrics is not None else NULL_METRICS
         self._shard_metrics = [self._metrics.spawn() for _ in range(num_shards)]
+        # One request-tracer child per shard, same pattern: the router
+        # keeps its own (dispatch/retry/failover segments), each shard
+        # records its post segments on its child.
+        self._request_tracer = (
+            request_tracer if request_tracer is not None
+            else NOOP_REQUEST_TRACER
+        )
+        self._shard_request_tracers = []
+        for shard in range(num_shards):
+            child = self._request_tracer.spawn()
+            if child.enabled:
+                # Label the shard's segments even in-process, so a
+                # reassembled trace reads router → shardN regardless of
+                # which cluster backend produced it.
+                child.process = f"shard{shard}"
+            self._shard_request_tracers.append(child)
 
         self._shard_of = build_shard_map(workload, num_shards)
 
@@ -253,6 +279,11 @@ class ShardedEngine:
                     else None
                 ),
                 qos=qos,
+                request_tracer=(
+                    self._shard_request_tracers[shard]
+                    if self._request_tracer.enabled
+                    else None
+                ),
             )
             for shard in range(num_shards)
         ]
@@ -356,13 +387,54 @@ class ShardedEngine:
         faults = self._faults
         if faults is None:
             return self._shards[home].post_event(event)
+        request_tracer = self._request_tracer
+        tracing = request_tracer.enabled and event.trace is not None
         key = (event.msg_id, home)
         if key in self._seen:
             self._duplicates_suppressed += 1
+            if tracing:
+                # At-least-once redelivery caught by the seen set — one of
+                # the invisible paths tracing exists to make visible.
+                request_tracer.record_segment(
+                    event.trace,
+                    "dispatch",
+                    spans=[
+                        Span(
+                            0, "duplicate_suppressed", "duplicate",
+                            attrs={"home": home},
+                        )
+                    ],
+                    force_reason="duplicate",
+                    attrs={"home": home, "msg_id": event.msg_id},
+                )
             return None
         self._seen.add(key)
+        segment = (
+            request_tracer.start(event.trace, "dispatch") if tracing else None
+        )
+        retries_before = self._retries
         self._reintegrate(event.timestamp)
         target, redirected = self._resolve(home, event.timestamp)
+        if segment is not None:
+            tries = self._retries - retries_before
+            if tries:
+                segment.add_span(
+                    "retry",
+                    "retry",
+                    count=tries,
+                    attrs={"home": home, "backoff_s": self._backoff_s},
+                )
+                segment.flag("retry")
+            if redirected:
+                segment.add_span(
+                    "failover_redirect",
+                    "failover",
+                    attrs={"home": home, "target": target},
+                )
+                segment.flag("failover")
+            segment.set_attrs(
+                msg_id=event.msg_id, home=home, target=target
+            )
         started = perf_counter()
         if redirected:
             self._down_buffers.setdefault(home, []).append(event)
@@ -384,6 +456,8 @@ class ShardedEngine:
                 pass
             elapsed = perf_counter() - started
         self._dispatch_seconds[target] += elapsed
+        if segment is not None:
+            request_tracer.finish(segment)
         return result
 
     def _sync_learners(self, timestamp: float) -> None:
@@ -609,11 +683,59 @@ class ShardedEngine:
     @property
     def metrics(self) -> "MetricsRegistry | NullMetrics":
         """The cluster-wide registry view: every shard's counters, gauges
-        and windowed histograms merged (lossless — same geometry)."""
+        and windowed histograms merged (lossless — same geometry), with
+        the router-side skew signals (per-shard dispatch busy time, load
+        imbalance) stamped on as gauges so they reach the Prometheus
+        exposition."""
         merged = self._metrics.spawn()
         for shard_metrics in self._shard_metrics:
             merged.merge(shard_metrics)
+        if merged.enabled:
+            from repro.obs.prometheus import export_cluster_gauges
+
+            # Set on the freshly merged ephemeral view (gauges *add* on
+            # merge, so stamping post-merge avoids double counting).
+            export_cluster_gauges(
+                merged,
+                dispatch_seconds=self.dispatch_seconds_by_shard(),
+                imbalance=self.load_imbalance(),
+            )
         return merged
+
+    @property
+    def request_tracer(self) -> "RequestTracer | NoopRequestTracer":
+        """The cluster-wide request-trace view: the router's dispatch
+        segments plus every shard's post segments, merged."""
+        merged = self._request_tracer.spawn()
+        merged.merge(self._request_tracer)
+        for child in self._shard_request_tracers:
+            merged.merge(child)
+        return merged
+
+    def request_traces(self) -> "list[TraceSegment]":
+        """Every retained trace segment, cluster-wide."""
+        return list(self.request_tracer.retained)
+
+    def flight_traces(self) -> "list[TraceSegment]":
+        """The black-box view: retained plus last-N ring, cluster-wide."""
+        return self.request_tracer.flight_traces()
+
+    def dump_flight(self, path, *, reason: str = "signal"):
+        """Write the flight-recorder snapshot (traces + registry snapshot
+        + QoS rung) to ``path``; returns the path written."""
+        from repro.obs.recorder import write_flight_dump
+
+        metrics = self.metrics
+        return write_flight_dump(
+            path,
+            self.flight_traces(),
+            reason=reason,
+            qos=self._qos.summary() if self._qos is not None else None,
+            registry_snapshot=(
+                metrics.snapshot().to_dict() if metrics.enabled else None
+            ),
+            extra={"tracer": self.request_tracer.summary()},
+        )
 
     def metrics_by_shard(self) -> "list[MetricsRegistry | NullMetrics]":
         return list(self._shard_metrics)

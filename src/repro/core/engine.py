@@ -40,6 +40,7 @@ from repro.geo.point import GeoPoint
 from repro.graph.social import SocialGraph
 from repro.index.inverted import AdInvertedIndex
 from repro.obs.registry import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.trace import NOOP_REQUEST_TRACER, NoopRequestTracer, RequestTracer
 from repro.obs.tracer import NoopTracer, StageTracer
 from repro.profiles.profile import ProfileStore
 from repro.qos.controller import QosController
@@ -106,6 +107,7 @@ class AdEngine:
         tracer: StageTracer | None = None,
         metrics: "MetricsRegistry | None" = None,
         qos: "QosController | None" = None,
+        request_tracer: "RequestTracer | None" = None,
     ) -> None:
         """``text_vectorizer`` (optional ``str -> sparse vector``) replaces
         the default tokenize→TF-IDF pipeline — how the concept-enriched
@@ -121,6 +123,12 @@ class AdEngine:
         attaches the QoS control plane — admission control and the
         degradation ladder; with the ``None`` default the delivery path is
         byte-identical to an engine without one.
+        ``request_tracer`` (optional
+        :class:`~repro.obs.trace.RequestTracer`) attaches distributed
+        request tracing: a :class:`~repro.obs.trace.TraceContext` is
+        minted per event in :meth:`make_event` and each delivery records
+        a per-process trace segment; the shared noop default observes
+        nothing and leaves events byte-identical.
         """
         config = config or EngineConfig()
         self.vectorizer = vectorizer
@@ -170,6 +178,10 @@ class AdEngine:
             users=UserStateStore(graph),
             tracer=tracer or NoopTracer(),
             metrics=metrics if metrics is not None else NULL_METRICS,
+            request_tracer=(
+                request_tracer if request_tracer is not None
+                else NOOP_REQUEST_TRACER
+            ),
             qos=qos,
             learner=learner,
         )
@@ -249,6 +261,10 @@ class AdEngine:
     def qos(self) -> "QosController | None":
         return self.services.qos
 
+    @property
+    def request_tracer(self) -> "RequestTracer | NoopRequestTracer":
+        return self.services.request_tracer
+
     # -- user management ---------------------------------------------------
 
     def register_user(self, user_id: int, location: GeoPoint | None = None) -> None:
@@ -286,15 +302,27 @@ class AdEngine:
         *,
         msg_id: int | None = None,
     ) -> PostEvent:
-        """Vectorize one post into a shard-portable :class:`PostEvent`."""
+        """Vectorize one post into a shard-portable :class:`PostEvent`.
+
+        This is the trace edge: when request tracing is enabled the event
+        leaves here carrying a freshly minted
+        :class:`~repro.obs.trace.TraceContext` (deterministic in
+        ``(msg_id, seed)``), which every downstream process honours.
+        """
         if msg_id is None:
             msg_id = self._next_msg_id
+        request_tracer = self.services.request_tracer
         return PostEvent(
             msg_id=msg_id,
             author_id=author_id,
             timestamp=timestamp,
             message_vec=self.pipeline.vectorize(text),
             text=text,
+            trace=(
+                request_tracer.mint(msg_id)
+                if request_tracer.enabled
+                else None
+            ),
         )
 
     def post(
@@ -314,10 +342,31 @@ class AdEngine:
     def post_event(self, event: PostEvent) -> PostResult:
         """Publish a pre-vectorized event — the per-shard batch entry point
         the router uses so a post is vectorized once, not once per shard."""
-        self._ingest(event)
-        followers = sorted(self.graph.followers(event.author_id))
-        outcomes = self.pipeline.deliver_batch(event, followers)
-        return self._assemble_result(event, outcomes)
+        request_tracer = self.services.request_tracer
+        if not (request_tracer.enabled and event.trace is not None):
+            self._ingest(event)
+            followers = sorted(self.graph.followers(event.author_id))
+            outcomes = self.pipeline.deliver_batch(event, followers)
+            return self._assemble_result(event, outcomes)
+        segment = request_tracer.start(event.trace, "post")
+        try:
+            self._ingest(event)
+            followers = sorted(self.graph.followers(event.author_id))
+            outcomes = self.pipeline.deliver_batch(event, followers)
+            result = self._assemble_result(event, outcomes)
+        except Exception as exc:
+            segment.mark_error(repr(exc))
+            request_tracer.finish(segment)
+            raise
+        segment.set_attrs(
+            msg_id=event.msg_id,
+            author_id=event.author_id,
+            deliveries=result.num_deliveries,
+            shed=result.num_shed,
+            degraded=result.num_degraded,
+        )
+        request_tracer.finish(segment)
+        return result
 
     def ingest_event(self, event: PostEvent) -> None:
         """Apply an event's stream bookkeeping (clock, watermark, author
@@ -343,14 +392,34 @@ class AdEngine:
         ``candidates_only=True`` serves the shared profile-less slate —
         the fallback shard holds no profile state for foreign followers.
         """
-        if ingest:
-            self._ingest(event)
-        else:
-            self.services.clock.advance_to_at_least(event.timestamp)
-        outcomes = self.pipeline.deliver_batch(
-            event, sorted(followers), candidates_only=candidates_only
-        )
-        return self._assemble_result(event, outcomes)
+        request_tracer = self.services.request_tracer
+        segment = None
+        if request_tracer.enabled and event.trace is not None:
+            segment = request_tracer.start(
+                event.trace,
+                "deliver_redirect" if not ingest else "deliver",
+            )
+            segment.set_attrs(candidates_only=candidates_only)
+        try:
+            if ingest:
+                self._ingest(event)
+            else:
+                self.services.clock.advance_to_at_least(event.timestamp)
+            outcomes = self.pipeline.deliver_batch(
+                event, sorted(followers), candidates_only=candidates_only
+            )
+            result = self._assemble_result(event, outcomes)
+        except Exception as exc:
+            if segment is not None:
+                segment.mark_error(repr(exc))
+                request_tracer.finish(segment)
+            raise
+        if segment is not None:
+            segment.set_attrs(
+                msg_id=event.msg_id, deliveries=result.num_deliveries
+            )
+            request_tracer.finish(segment)
+        return result
 
     def post_batch(
         self, posts: Iterable, *, results: bool = True

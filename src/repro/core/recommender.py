@@ -20,6 +20,7 @@ from repro.stream.simulator import FeedSimulator
 if TYPE_CHECKING:  # avoid an import cycle: datagen imports core types
     from repro.datagen.workload import Workload
     from repro.obs.registry import MetricsRegistry, NullMetrics
+    from repro.obs.trace import RequestTracer
     from repro.obs.tracer import StageTracer
     from repro.qos.controller import QosController
 
@@ -39,12 +40,14 @@ class ContextAwareRecommender:
         tracer: "StageTracer | None" = None,
         metrics: "MetricsRegistry | None" = None,
         qos: "QosController | None" = None,
+        request_tracer: "RequestTracer | None" = None,
     ) -> "ContextAwareRecommender":
         """Wire an engine over a generated workload's corpus, graph, users
         and fitted vectorizer. ``tracer`` opts the engine into per-stage
         observability; ``metrics`` into live windowed telemetry (see
         :mod:`repro.obs`); ``qos`` attaches the QoS control plane (see
-        :mod:`repro.qos`)."""
+        :mod:`repro.qos`); ``request_tracer`` into distributed request
+        tracing (see :mod:`repro.obs.trace`)."""
         engine = AdEngine(
             corpus=workload.corpus,
             graph=workload.graph,
@@ -54,6 +57,7 @@ class ContextAwareRecommender:
             tracer=tracer,
             metrics=metrics,
             qos=qos,
+            request_tracer=request_tracer,
         )
         for user in workload.users:
             engine.register_user(user.user_id, user.home)

@@ -23,6 +23,7 @@ from repro.core.config import EngineConfig
 from repro.errors import UnknownUserError
 from repro.geo.point import GeoPoint
 from repro.obs.registry import NULL_METRICS, MetricsRegistry, NullMetrics
+from repro.obs.trace import NOOP_REQUEST_TRACER, NoopRequestTracer, RequestTracer
 from repro.obs.tracer import NoopTracer, StageTracer
 from repro.profiles.context import FeedContext
 from repro.util.sparse import MutableSparseVector
@@ -149,6 +150,10 @@ class EngineServices:
     # Live telemetry. The shared NULL_METRICS singleton by default — same
     # contract as the tracer: enabled-gated, one attribute check when off.
     metrics: "MetricsRegistry | NullMetrics" = NULL_METRICS
+    # Distributed request tracing. The shared NOOP_REQUEST_TRACER by
+    # default — enabled-gated like the stage tracer, so the un-traced
+    # path pays one attribute check per event, not per span.
+    request_tracer: "RequestTracer | NoopRequestTracer" = NOOP_REQUEST_TRACER
     # QoS control plane. None by default: with no controller attached the
     # delivery path is byte-identical to a pre-QoS engine (one None check
     # per batch); a QosController gates admission and degradation rungs.

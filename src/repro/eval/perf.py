@@ -14,6 +14,7 @@ from repro.stream.simulator import FeedSimulator, IntervalHook
 
 if TYPE_CHECKING:
     from repro.obs.registry import MetricsRegistry
+    from repro.obs.trace import RequestTracer
     from repro.obs.tracer import StageStats, StageTracer
     from repro.qos.controller import QosController
 
@@ -70,6 +71,7 @@ def run_perf(
     interval_s: float | None = None,
     on_interval: IntervalHook | None = None,
     qos: "QosController | None" = None,
+    request_tracer: "RequestTracer | None" = None,
 ) -> PerfResult:
     """Build a fresh engine for ``config``, replay the stream, measure.
 
@@ -82,10 +84,17 @@ def run_perf(
     ``on_interval`` the simulator fires the sampling hook at every stream
     interval boundary (see :meth:`~repro.stream.simulator.FeedSimulator.run`).
     ``qos`` attaches a QoS controller; the row then reports what admission
-    shed and how many deliveries were served degraded.
+    shed and how many deliveries were served degraded. ``request_tracer``
+    attaches distributed request tracing (the retained traces stay on the
+    tracer the caller passed in).
     """
     recommender = ContextAwareRecommender.from_workload(
-        workload, config, tracer=tracer, metrics=metrics_registry, qos=qos
+        workload,
+        config,
+        tracer=tracer,
+        metrics=metrics_registry,
+        qos=qos,
+        request_tracer=request_tracer,
     )
     posts = workload.posts if limit_posts is None else workload.posts[:limit_posts]
     simulator = FeedSimulator(recommender.engine)

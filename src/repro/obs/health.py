@@ -141,6 +141,11 @@ class HealthMonitor:
     ``imbalance`` is an optional zero-argument callable returning the
     current shard skew (pass ``sharded.load_imbalance``); it is only
     consulted when the spec bounds it.
+
+    ``on_breach`` is called with the freshly built :class:`HealthReport`
+    whenever an interval's *raw* grade is not OK — raw, not damped,
+    because the flight recorder wants the first bad interval, not the
+    hysteresis-confirmed third. The callback must not raise.
     """
 
     def __init__(
@@ -150,6 +155,7 @@ class HealthMonitor:
         *,
         hysteresis: int = 2,
         imbalance: Callable[[], float] | None = None,
+        on_breach: "Callable[[HealthReport], None] | None" = None,
     ) -> None:
         if hysteresis < 1:
             raise ConfigError(f"hysteresis must be >= 1, got {hysteresis}")
@@ -157,6 +163,7 @@ class HealthMonitor:
         self._slo = slo
         self._hysteresis = hysteresis
         self._imbalance = imbalance
+        self._on_breach = on_breach
         self._state = HealthState.OK
         self._pending_grade = HealthState.OK
         self._pending_streak = 0
@@ -334,6 +341,8 @@ class HealthMonitor:
             violating_intervals=self._violations,
         )
         self._reports.append(report)
+        if self._on_breach is not None and grade is not HealthState.OK:
+            self._on_breach(report)
         return report
 
     def summary(self) -> dict:

@@ -23,10 +23,11 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:
     from repro.obs.health import HealthReport
-    from repro.obs.registry import RegistrySnapshot
+    from repro.obs.registry import MetricsRegistry, RegistrySnapshot
 
 __all__ = [
     "TimeseriesWriter",
+    "export_cluster_gauges",
     "metric_name",
     "read_timeseries_jsonl",
     "render_prometheus",
@@ -47,6 +48,27 @@ def metric_name(name: str, *, namespace: str = "repro") -> str:
 def _format_value(value: float) -> str:
     # repr keeps full precision; Prometheus accepts Go-style floats.
     return repr(float(value))
+
+
+def export_cluster_gauges(
+    registry: "MetricsRegistry",
+    *,
+    dispatch_seconds: list[float],
+    imbalance: float,
+) -> None:
+    """Stamp the router-side skew signals onto a registry as gauges.
+
+    The per-shard dispatch busy time and the max/mean load imbalance have
+    existed since the failover/procpool PRs but never reached the scrape
+    endpoint; both cluster routers call this on their freshly merged
+    metrics view so ``render_prometheus`` picks them up as
+    ``repro_load_imbalance`` and ``repro_dispatch_seconds_shard_<i>``.
+    Gauges *add* on merge, which is why the stamp happens post-merge on
+    the ephemeral view, never on a child that merges again later.
+    """
+    registry.set_gauge("load_imbalance", float(imbalance))
+    for shard, seconds in enumerate(dispatch_seconds):
+        registry.set_gauge(f"dispatch_seconds_shard_{shard}", float(seconds))
 
 
 def render_prometheus(

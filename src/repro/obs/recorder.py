@@ -1,0 +1,153 @@
+"""Flight recorder: black-box JSONL dumps of the tracing state.
+
+The :class:`~repro.obs.trace.RequestTracer` ring holds the last N
+completed trace segments per process regardless of sampling; when
+something goes wrong — an SLO breach, a :class:`~repro.cluster.procpool.
+WorkerCrashError`, an explicit operator signal — that ring plus the
+retained set *is* the black box. This module serialises it, together
+with the health report, QoS rung and metrics-registry snapshot that
+describe the system state at dump time, into a line-oriented JSONL file
+`repro trace` can read back.
+
+Dump format: one ``flight_header`` line (reason, wall time, health/qos/
+registry context), then one ``trace`` line per segment (schema shared
+with ``--trace-out`` exports so one reader serves both).
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Callable
+
+from repro.errors import ConfigError
+from repro.obs.trace import TraceSegment
+
+__all__ = ["FlightRecorder", "read_flight_dump", "write_flight_dump"]
+
+
+def _dedupe(segments: list[TraceSegment]) -> list[TraceSegment]:
+    seen: set[tuple[int, int]] = set()
+    out: list[TraceSegment] = []
+    for segment in segments:
+        key = (segment.trace_id, segment.span_id)
+        if key in seen:
+            continue
+        seen.add(key)
+        out.append(segment)
+    return out
+
+
+def write_flight_dump(
+    path: str | Path,
+    segments: list[TraceSegment],
+    *,
+    reason: str,
+    health: dict | None = None,
+    qos: dict | None = None,
+    registry_snapshot: dict | None = None,
+    extra: dict | None = None,
+) -> Path:
+    """Write one black-box snapshot; returns the path written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    header = {
+        "kind": "flight_header",
+        "reason": reason,
+        "dumped_at": time.time(),
+        "num_traces": 0,  # patched below once deduped
+        "health": health,
+        "qos": qos,
+        "registry": registry_snapshot,
+    }
+    if extra:
+        header.update(extra)
+    deduped = _dedupe(segments)
+    header["num_traces"] = len(deduped)
+    with path.open("w", encoding="utf-8") as handle:
+        handle.write(json.dumps(header) + "\n")
+        for segment in deduped:
+            handle.write(json.dumps(segment.to_dict()) + "\n")
+    return path
+
+
+def read_flight_dump(
+    path: str | Path,
+) -> tuple[dict | None, list[TraceSegment]]:
+    """Read a dump (or a bare ``--trace-out`` export, which has no
+    header) back into ``(header, segments)``."""
+    path = Path(path)
+    if not path.exists():
+        raise ConfigError(f"no such trace dump: {path}")
+    header: dict | None = None
+    segments: list[TraceSegment] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line in handle:
+            line = line.strip()
+            if not line:
+                continue
+            row = json.loads(line)
+            kind = row.get("kind")
+            if kind == "flight_header":
+                header = row
+            elif kind == "trace":
+                segments.append(TraceSegment.from_dict(row))
+            else:
+                raise ConfigError(
+                    f"unknown record kind {kind!r} in {path}"
+                )
+    return header, segments
+
+
+class FlightRecorder:
+    """Binds a tracer to a dump path plus state providers.
+
+    The providers are zero-arg callables evaluated at dump time, so the
+    health report / QoS rung / registry snapshot in the header describe
+    the moment of the dump, not construction time. Dumps are rate
+    limited to one per distinct reason (a breach that persists across
+    many intervals produces one file, not hundreds); ``force=True``
+    overrides for explicit operator signals.
+    """
+
+    def __init__(
+        self,
+        tracer,
+        path: str | Path,
+        *,
+        health: Callable[[], dict | None] | None = None,
+        qos: Callable[[], dict | None] | None = None,
+        registry: Callable[[], dict | None] | None = None,
+        collect: Callable[[], list[TraceSegment]] | None = None,
+    ) -> None:
+        self.tracer = tracer
+        self.path = Path(path)
+        self._health = health
+        self._qos = qos
+        self._registry = registry
+        self._collect = collect
+        self.dumped_reasons: set[str] = set()
+        self.dumps = 0
+
+    def dump(self, reason: str, *, force: bool = False) -> Path | None:
+        """Snapshot now; returns the path, or ``None`` when rate-limited."""
+        if not force and reason in self.dumped_reasons:
+            return None
+        self.dumped_reasons.add(reason)
+        segments = (
+            self._collect() if self._collect is not None
+            else self.tracer.flight_traces()
+        )
+        self.dumps += 1
+        return write_flight_dump(
+            self.path,
+            segments,
+            reason=reason,
+            health=self._health() if self._health is not None else None,
+            qos=self._qos() if self._qos is not None else None,
+            registry_snapshot=(
+                self._registry() if self._registry is not None else None
+            ),
+            extra={"tracer": self.tracer.summary()},
+        )

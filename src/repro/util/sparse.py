@@ -48,7 +48,14 @@ def l2_normalize(a: SparseVector) -> MutableSparseVector:
     n = norm(a)
     if n == 0.0:
         return {}
-    return {term: weight / n for term, weight in a.items()}
+    unit = {term: weight / n for term, weight in a.items()}
+    # Weights tiny enough that their squares go subnormal lose most of
+    # their precision inside `norm`, leaving `unit` visibly off unit
+    # length. One more pass over the already-rescaled copy fixes that;
+    # normal-range vectors take the first return untouched.
+    if math.isclose(norm(unit), 1.0, rel_tol=1e-9):
+        return unit
+    return l2_normalize(unit)
 
 
 def scale(a: SparseVector, factor: float) -> MutableSparseVector:

@@ -46,6 +46,7 @@ T_FILES = [
         "test_t5_overload_control",
         "test_t6_parallel_speedup",
         "test_t8_linucb_lift",
+        "test_t9_trace_overhead",
     )
 ]
 OTHER_FILES = sorted(
@@ -343,6 +344,56 @@ class TestT8BenchRegressionGate:
         # 1.02x -> 0.99x: within the 5% relative budget but the learned
         # policy now loses to the static baseline — the 1.0x floor trips.
         t8.write_bench_json(synthetic_t8_series(t8, 0.198, 0.200), candidate)
+        assert gate.main(
+            ["--baseline", str(baseline), "--candidate", str(candidate)]
+        ) == 1
+
+
+class TestT9BenchRegressionGate:
+    """The T9 tracing-overhead JSON writer and the shared CI gate."""
+
+    def test_committed_baseline_exists_and_clears_its_own_gate(self):
+        payload = json.loads(
+            (REPO_ROOT / "BENCH_t9_trace_overhead.json").read_text()
+        )
+        gate = payload["gate"]
+        at = str(gate["at"])
+        assert payload["benchmark"] == "t9_trace_overhead"
+        assert gate["metric"] == "throughput_retention"
+        assert payload["throughput_retention"][at] >= gate["min_value"]
+
+    def test_t9_json_round_trips_through_the_gate(self, tmp_path):
+        t9 = load_benchmark_module(BENCH_DIR / "test_t9_trace_overhead.py")
+        gate = load_gate_script()
+        baseline = tmp_path / "baseline.json"
+        t9.write_bench_json(1000.0, 985.0, 0.985, baseline)
+        # Same payload on both sides: no regression by construction.
+        assert gate.main(
+            ["--baseline", str(baseline), "--candidate", str(baseline)]
+        ) == 0
+
+    def test_gate_fails_on_relative_loss(self, tmp_path):
+        t9 = load_benchmark_module(BENCH_DIR / "test_t9_trace_overhead.py")
+        gate = load_gate_script()
+        baseline = tmp_path / "baseline.json"
+        candidate = tmp_path / "candidate.json"
+        t9.write_bench_json(1000.0, 1000.0, 1.0, baseline)
+        # 1.00 -> 0.95 retention is a 5% loss: over the 4% relative
+        # budget even though it sits exactly on the absolute floor.
+        t9.write_bench_json(1000.0, 950.0, 0.95, candidate)
+        assert gate.main(
+            ["--baseline", str(baseline), "--candidate", str(candidate)]
+        ) == 1
+
+    def test_gate_fails_under_retention_floor(self, tmp_path):
+        t9 = load_benchmark_module(BENCH_DIR / "test_t9_trace_overhead.py")
+        gate = load_gate_script()
+        baseline = tmp_path / "baseline.json"
+        candidate = tmp_path / "candidate.json"
+        t9.write_bench_json(1000.0, 960.0, 0.96, baseline)
+        # 0.96 -> 0.94: inside the 4% relative budget but tracing now
+        # costs more than the tentpole's 5% overhead claim.
+        t9.write_bench_json(1000.0, 940.0, 0.94, candidate)
         assert gate.main(
             ["--baseline", str(baseline), "--candidate", str(candidate)]
         ) == 1

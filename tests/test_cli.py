@@ -242,3 +242,111 @@ class TestEffectiveness:
         out = capsys.readouterr().out
         for name in ("system", "content-only", "popularity", "random"):
             assert name in out
+
+
+class TestTracing:
+    def test_trace_flags_require_trace(self, capsys):
+        for extra in (
+            ["--trace-out", "traces.jsonl"],
+            ["--flight-out", "flight.jsonl"],
+            ["--trace-sample", "0.5"],
+        ):
+            code = main(["replay", *FAST, "--limit", "5", *extra])
+            assert code == 2
+            assert "requires --trace" in capsys.readouterr().err
+
+    def test_invalid_sample_rate_is_a_usage_error(self, capsys):
+        code = main(
+            ["replay", *FAST, "--limit", "5", "--trace", "--trace-sample", "2.0"]
+        )
+        assert code == 2
+        assert "sample_rate" in capsys.readouterr().err
+
+    def test_traced_replay_writes_export_and_flight_dump(self, tmp_path, capsys):
+        from repro.obs.recorder import read_flight_dump
+
+        traces = tmp_path / "traces.jsonl"
+        flight = tmp_path / "flight.jsonl"
+        code = main(
+            [
+                "replay", *FAST, "--limit", "10", "--trace",
+                "--trace-sample", "1.0",
+                "--trace-out", str(traces), "--flight-out", str(flight),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tracing: started=" in out
+        header, exported = read_flight_dump(traces)
+        assert header is None, "--trace-out is a bare export"
+        assert len(exported) == 10
+        header, dumped = read_flight_dump(flight)
+        assert header["reason"] == "signal"
+        assert header["num_traces"] == len(dumped) > 0
+
+        # The trace subcommand renders either file.
+        code = main(["trace", "--dump", str(traces), "--top", "3"])
+        assert code == 0
+        rendered = capsys.readouterr().out
+        assert "slowest traces" in rendered
+        assert "critical path" in rendered
+        assert "per-stage attribution" in rendered
+
+    def test_traced_workers_replay_dumps_flight(self, tmp_path, capsys):
+        flight = tmp_path / "flight.jsonl"
+        code = main(
+            [
+                "replay", *FAST, "--limit", "10", "--workers", "2",
+                "--trace", "--trace-sample", "1.0",
+                "--flight-out", str(flight),
+            ]
+        )
+        assert code == 0
+        assert "tracing: started=" in capsys.readouterr().out
+        from repro.obs.recorder import read_flight_dump
+
+        header, segments = read_flight_dump(flight)
+        assert header["reason"] == "signal"
+        processes = {segment.process for segment in segments}
+        assert "router" in processes
+        assert any(p.startswith("worker") for p in processes)
+
+    def test_traced_live_breach_dumps_flight(self, tmp_path, capsys):
+        from repro.obs.recorder import read_flight_dump
+
+        flight = tmp_path / "flight.jsonl"
+        code = main(
+            [
+                "replay", *FAST, "--limit", "20", "--slo",
+                "--slo-p99-ms", "delivery=0.000001", "--interval", "10",
+                "--trace", "--trace-sample", "0.0",
+                "--flight-out", str(flight),
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 1, "impossible SLO must fail the run"
+        assert "SLO verdict" in out
+        header, segments = read_flight_dump(flight)
+        # The breach fired a dump mid-run; the failing verdict re-dumps
+        # (force) to the same path at exit, so that reason wins.
+        assert header["reason"].startswith("verdict_")
+        assert header["health"] is not None
+        # Tail capture: 0% head sampling, yet breach-window segments
+        # are force-retained into the black box.
+        assert any(seg.retained == "breach" for seg in segments)
+
+    def test_trace_subcommand_requires_dump(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
+    def test_trace_subcommand_missing_file(self, capsys):
+        code = main(["trace", "--dump", "/nonexistent/flight.jsonl"])
+        assert code == 2
+        assert "error:" in capsys.readouterr().err
+
+    def test_trace_subcommand_empty_dump(self, tmp_path, capsys):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        code = main(["trace", "--dump", str(empty)])
+        assert code == 0
+        assert "no trace segments" in capsys.readouterr().out

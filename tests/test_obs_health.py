@@ -171,3 +171,31 @@ class TestHysteresisAndBudget:
         assert payload["state"] == "ok"
         assert payload["intervals"] == 1
         assert isinstance(payload["stage_p99_ms"], dict)
+
+
+class TestBreachHook:
+    def test_on_breach_fires_on_raw_grade_not_damped_state(self):
+        """The flight recorder wants the *first* bad interval: the hook
+        must fire even while hysteresis still reports OK."""
+        fired: list = []
+        monitor = HealthMonitor(
+            registry_with_stage(0.050, at=1.0),
+            SloSpec(stage_p99_ms={"delivery": 1.0}, overload_factor=1000.0),
+            hysteresis=3,
+            on_breach=fired.append,
+        )
+        report = monitor.evaluate(1.0, wall_seconds=1.0)
+        assert monitor.state is HealthState.OK, "hysteresis still damping"
+        assert fired == [report]
+        assert fired[0].grade is not HealthState.OK
+
+    def test_on_breach_silent_while_healthy(self):
+        fired: list = []
+        monitor = HealthMonitor(
+            registry_with_stage(0.0001, at=1.0),
+            SloSpec(stage_p99_ms={"delivery": 5.0}),
+            on_breach=fired.append,
+        )
+        for i in range(3):
+            monitor.evaluate(float(i), wall_seconds=1.0)
+        assert fired == []

@@ -9,6 +9,7 @@ import pytest
 from repro.obs.health import HealthMonitor, SloSpec
 from repro.obs.prometheus import (
     TimeseriesWriter,
+    export_cluster_gauges,
     metric_name,
     read_timeseries_jsonl,
     render_prometheus,
@@ -111,3 +112,33 @@ class TestTimeseriesWriter:
         stats = row["windows"]["stage_delivery"]
         assert stats["p99"] == pytest.approx(snapshot.windows["stage_delivery"].p99)
         assert stats["count"] == 3
+
+
+class TestClusterGauges:
+    def test_export_stamps_imbalance_and_per_shard_dispatch(self):
+        registry = populated_registry()
+        export_cluster_gauges(
+            registry, dispatch_seconds=[0.5, 1.25], imbalance=1.4
+        )
+        text = render_prometheus(registry.snapshot(30.0))
+        assert "repro_load_imbalance 1.4" in text
+        assert "repro_dispatch_seconds_shard_0 0.5" in text
+        assert "repro_dispatch_seconds_shard_1 1.25" in text
+
+    def test_sharded_router_exposes_the_gauges(self, tiny_workload):
+        """The cluster metrics view must carry the router-side skew
+        signals all the way to the scrape text."""
+        from repro.cluster.sharded import ShardedEngine
+
+        engine = ShardedEngine(
+            tiny_workload, 2, metrics=MetricsRegistry(window_s=60.0)
+        )
+        for post in tiny_workload.posts[:6]:
+            engine.post(post.author_id, post.text, post.timestamp)
+        text = render_prometheus(engine.metrics.snapshot(60.0))
+        assert "repro_load_imbalance" in text
+        assert "repro_dispatch_seconds_shard_0" in text
+        assert "repro_dispatch_seconds_shard_1" in text
+        # The gauge mirrors the router's own accounting.
+        by_shard = engine.dispatch_seconds_by_shard()
+        assert f"repro_dispatch_seconds_shard_0 {float(by_shard[0])!r}" in text

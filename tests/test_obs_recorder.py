@@ -1,0 +1,139 @@
+"""Flight-recorder tests (`repro.obs.recorder`).
+
+The black box must round-trip through JSONL exactly, dedupe segments
+that live in both the retained set and the ring, evaluate its state
+providers at dump time (not construction time), and rate-limit to one
+dump per distinct reason unless forced.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.obs.recorder import (
+    FlightRecorder,
+    read_flight_dump,
+    write_flight_dump,
+)
+from repro.obs.trace import RequestTracer
+
+
+def traced(num_posts: int = 3) -> RequestTracer:
+    tracer = RequestTracer(sample_rate=1.0, process="router")
+    for msg_id in range(num_posts):
+        segment = tracer.start(tracer.mint(msg_id), "post")
+        segment.add_stage("personalize", 0.001)
+        tracer.finish(segment)
+    return tracer
+
+
+class TestDumpFormat:
+    def test_write_read_round_trip(self, tmp_path):
+        tracer = traced()
+        path = tmp_path / "flight" / "dump.jsonl"  # parent auto-created
+        written = write_flight_dump(
+            path,
+            tracer.flight_traces(),
+            reason="slo_breach",
+            health={"grade": "breach"},
+            qos={"rung": 2},
+            registry_snapshot={"counters": {"posts": 3}},
+        )
+        assert written == path
+        header, segments = read_flight_dump(path)
+        assert header["reason"] == "slo_breach"
+        assert header["num_traces"] == 3
+        assert header["health"] == {"grade": "breach"}
+        assert header["qos"] == {"rung": 2}
+        assert header["registry"] == {"counters": {"posts": 3}}
+        assert segments == tracer.flight_traces()
+
+    def test_segments_deduped_across_retained_and_ring(self, tmp_path):
+        tracer = traced(2)
+        path = tmp_path / "dump.jsonl"
+        # Pass the raw concatenation: every record appears twice.
+        write_flight_dump(
+            path, list(tracer.retained) + list(tracer.ring), reason="signal"
+        )
+        header, segments = read_flight_dump(path)
+        assert header["num_traces"] == len(segments) == 2
+
+    def test_reads_headerless_trace_export(self, tmp_path):
+        """``--trace-out`` files are bare trace lines; the same reader
+        must serve them (header comes back None)."""
+        tracer = traced(2)
+        path = tmp_path / "traces.jsonl"
+        path.write_text(
+            "".join(
+                json.dumps(segment.to_dict()) + "\n"
+                for segment in tracer.retained
+            )
+        )
+        header, segments = read_flight_dump(path)
+        assert header is None
+        assert len(segments) == 2
+
+    def test_blank_lines_tolerated_unknown_kind_rejected(self, tmp_path):
+        path = tmp_path / "dump.jsonl"
+        path.write_text('\n{"kind": "mystery"}\n')
+        with pytest.raises(ConfigError):
+            read_flight_dump(path)
+
+    def test_extra_merges_into_header(self, tmp_path):
+        path = tmp_path / "dump.jsonl"
+        write_flight_dump(path, [], reason="signal", extra={"tracer": {"ring": 0}})
+        header, segments = read_flight_dump(path)
+        assert header["tracer"] == {"ring": 0}
+        assert segments == []
+
+
+class TestFlightRecorder:
+    def test_dump_rate_limited_per_reason(self, tmp_path):
+        tracer = traced()
+        recorder = FlightRecorder(tracer, tmp_path / "dump.jsonl")
+        assert recorder.dump("slo_breach") is not None
+        assert recorder.dump("slo_breach") is None, "same reason: one dump"
+        assert recorder.dump("worker_crash") is not None
+        assert recorder.dumps == 2
+
+    def test_force_overrides_rate_limit(self, tmp_path):
+        recorder = FlightRecorder(traced(), tmp_path / "dump.jsonl")
+        recorder.dump("signal")
+        assert recorder.dump("signal", force=True) is not None
+        assert recorder.dumps == 2
+
+    def test_providers_evaluated_at_dump_time(self, tmp_path):
+        state = {"grade": "ok"}
+        recorder = FlightRecorder(
+            traced(),
+            tmp_path / "dump.jsonl",
+            health=lambda: dict(state),
+        )
+        state["grade"] = "breach"  # mutate after construction
+        recorder.dump("slo_breach")
+        header, _ = read_flight_dump(tmp_path / "dump.jsonl")
+        assert header["health"] == {"grade": "breach"}
+
+    def test_collect_override_replaces_tracer_view(self, tmp_path):
+        router = traced(1)
+        worker = traced(2)
+        recorder = FlightRecorder(
+            router,
+            tmp_path / "dump.jsonl",
+            collect=lambda: router.flight_traces() + worker.flight_traces(),
+        )
+        recorder.dump("worker_crash")
+        header, segments = read_flight_dump(tmp_path / "dump.jsonl")
+        assert header["num_traces"] == 3
+        assert header["tracer"]["retained"] == 1  # header still names the binder
+
+    def test_header_carries_tracer_summary(self, tmp_path):
+        tracer = traced(3)
+        recorder = FlightRecorder(tracer, tmp_path / "dump.jsonl")
+        recorder.dump("signal")
+        header, _ = read_flight_dump(tmp_path / "dump.jsonl")
+        assert header["tracer"]["finished"] == 3
+        assert header["tracer"]["process"] == "router"

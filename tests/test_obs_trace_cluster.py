@@ -1,0 +1,252 @@
+"""Distributed-tracing integration tests across the three topologies.
+
+Three claims: (1) attaching a ``RequestTracer`` never perturbs delivery
+output — traced and untraced runs are equal, single/sharded/procpool
+alike; (2) the invisible control paths (dispatch retries, failover
+redirects, duplicate suppression, worker crashes) produce their promised
+spans; (3) the flight recorder's black box survives a SIGKILL and
+``repro trace`` renders the in-flight request's critical path from it.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+
+import pytest
+
+from repro.cli import main
+from repro.cluster import ProcessShardedEngine, ShardedEngine
+from repro.core.config import EngineConfig, EngineMode
+from repro.core.engine import AdEngine
+from repro.errors import WorkerCrashError
+from repro.obs.recorder import read_flight_dump
+from repro.obs.trace import RequestTracer, group_traces
+from repro.qos.faults import FaultInjector, ShardOutage
+
+LIMIT = 14
+
+
+def config_for(mode: EngineMode = EngineMode.SHARED) -> EngineConfig:
+    return EngineConfig(mode=mode, pacing_enabled=False)
+
+
+def tracer_for(process: str = "main") -> RequestTracer:
+    return RequestTracer(sample_rate=1.0, seed=7, process=process)
+
+
+def plain_engine(workload, config, *, request_tracer=None) -> AdEngine:
+    engine = AdEngine(
+        corpus=workload.build_corpus(),
+        graph=workload.graph,
+        vectorizer=workload.vectorizer,
+        tokenizer=workload.tokenizer,
+        config=config,
+        request_tracer=request_tracer,
+    )
+    for user in workload.users:
+        engine.register_user(user.user_id, user.home)
+    return engine
+
+
+class TestTracingNeverPerturbs:
+    """Traced vs untraced runs must be *equal*, not merely close: the
+    tracer only observes, so results that crossed the same code path
+    carry identical floats."""
+
+    def test_single_engine_outputs_identical(self, tiny_workload):
+        config = config_for()
+        traced = plain_engine(tiny_workload, config, request_tracer=tracer_for())
+        untraced = plain_engine(tiny_workload, config)
+        for post in tiny_workload.posts[:LIMIT]:
+            a = traced.post(post.author_id, post.text, post.timestamp)
+            b = untraced.post(post.author_id, post.text, post.timestamp)
+            assert a == b
+        assert traced.stats == untraced.stats
+        assert traced.request_tracer.finished >= LIMIT
+
+    def test_sharded_outputs_identical(self, tiny_workload):
+        config = config_for()
+        traced = ShardedEngine(
+            tiny_workload, 3, config=config, request_tracer=tracer_for("router")
+        )
+        untraced = ShardedEngine(tiny_workload, 3, config=config)
+        for post in tiny_workload.posts[:LIMIT]:
+            assert traced.post(
+                post.author_id, post.text, post.timestamp
+            ) == untraced.post(post.author_id, post.text, post.timestamp)
+        assert traced.cluster_stats() == untraced.cluster_stats()
+        assert traced.request_traces(), "full sampling must retain segments"
+
+    def test_procpool_outputs_identical(self, tiny_workload):
+        config = config_for()
+        untraced = ShardedEngine(tiny_workload, 2, config=config)
+        with ProcessShardedEngine(
+            tiny_workload, 2, config=config, request_tracer=tracer_for("router")
+        ) as pool:
+            for post in tiny_workload.posts[:LIMIT]:
+                # The untraced in-process router is the bit-parity
+                # reference the seed's own tests hold procpool to.
+                assert pool.post(
+                    post.author_id, post.text, post.timestamp
+                ) == untraced.post(post.author_id, post.text, post.timestamp)
+            assert pool.cluster_stats() == untraced.cluster_stats()
+
+
+class TestShardedFaultSpans:
+    @pytest.fixture()
+    def faulted(self, tiny_workload):
+        """A 2-shard cluster with shard 1 down for the whole replay and
+        every third event's ack 'lost' (duplicated dispatch)."""
+        engine = ShardedEngine(
+            tiny_workload,
+            2,
+            config=config_for(),
+            faults=FaultInjector(
+                outages=(ShardOutage(1, 0.0, 1e9),),
+                duplicate_every=3,
+            ),
+            request_tracer=tracer_for("router"),
+        )
+        for post in tiny_workload.posts[:LIMIT]:
+            engine.post(post.author_id, post.text, post.timestamp)
+        return engine
+
+    def test_retry_and_failover_spans_recorded(self, faulted):
+        segments = faulted.request_traces()
+        dispatches = [s for s in segments if s.name == "dispatch"]
+        assert dispatches, "router must record dispatch segments"
+        retry_spans = [
+            span for seg in dispatches for span in seg.spans
+            if span.kind == "retry"
+        ]
+        failover_spans = [
+            span for seg in dispatches for span in seg.spans
+            if span.kind == "failover"
+        ]
+        assert retry_spans, "a down home shard must book retry spans"
+        assert failover_spans, "exhausted retries must book a failover span"
+        # Retries exhaust the full budget before failing over.
+        assert all(span.count == 3 for span in retry_spans)
+        redirected = [s for s in dispatches if any(
+            span.kind == "failover" for span in s.spans
+        )]
+        assert all(s.attrs["target"] != s.attrs["home"] for s in redirected)
+
+    def test_duplicate_suppression_is_visible(self, faulted):
+        duplicates = [
+            seg for seg in faulted.request_traces()
+            if seg.retained == "duplicate"
+        ]
+        assert duplicates, "lost-ack redeliveries must surface as segments"
+        assert all(
+            seg.spans[0].kind == "duplicate" for seg in duplicates
+        )
+
+    def test_flight_dump_renders_through_the_cli(self, faulted, tmp_path, capsys):
+        dump = tmp_path / "flight.jsonl"
+        faulted.dump_flight(dump, reason="signal")
+        header, segments = read_flight_dump(dump)
+        assert header["reason"] == "signal"
+        assert header["num_traces"] == len(segments) > 0
+
+        code = main(["trace", "--dump", str(dump), "--top", "5"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flight dump: reason=signal" in out
+        assert "slowest traces" in out
+        assert "critical path" in out
+        assert "failover_redirect [failover]" in out or "retry [retry]" in out
+
+
+class TestProcpoolTracing:
+    def test_worker_segments_merge_into_full_traces(self, tiny_workload):
+        posts = tiny_workload.posts[:LIMIT]
+        with ProcessShardedEngine(
+            tiny_workload, 2, config=config_for(),
+            request_tracer=tracer_for("router"),
+        ) as pool:
+            for post in posts:
+                pool.post(post.author_id, post.text, post.timestamp)
+            drained = pool.drain_worker_traces()
+            segments = pool.request_traces()
+        assert drained > 0, "workers must ship segments over trace_drain"
+        grouped = group_traces(segments)
+        multi_process = [
+            parts for parts in grouped.values()
+            if {p.process for p in parts} >= {"router"}
+            and any(p.process.startswith("worker") for p in parts)
+        ]
+        assert multi_process, "traces must span router and worker processes"
+        for parts in multi_process:
+            # Wall-anchor alignment: the router's route segment opened
+            # before any worker segment of the same trace did.
+            assert parts[0].process == "router"
+            route = parts[0]
+            assert any(span.kind == "rpc" for span in route.spans)
+            worker_parts = [
+                p for p in parts if p.process.startswith("worker")
+            ]
+            assert all(p.name == "post" for p in worker_parts)
+
+    def test_sampling_decision_matches_across_processes(self, tiny_workload):
+        """A 50% tracer: the worker's segments must carry exactly the
+        head decision the router minted — never re-rolled."""
+        tracer = RequestTracer(sample_rate=0.5, seed=3, process="router")
+        with ProcessShardedEngine(
+            tiny_workload, 2, config=config_for(), request_tracer=tracer
+        ) as pool:
+            for post in tiny_workload.posts[:LIMIT]:
+                pool.post(post.author_id, post.text, post.timestamp)
+            pool.drain_worker_traces()
+            segments = pool.request_traces()
+        reference = RequestTracer(sample_rate=0.5, seed=3)
+        assert segments
+        for segment in segments:
+            assert segment.sampled == reference.head_sampled(segment.trace_id)
+
+
+class TestProcpoolCrashFlight:
+    def test_sigkill_dumps_black_box_with_inflight_request(
+        self, tiny_workload, tmp_path, capsys
+    ):
+        """The acceptance scenario: SIGKILL a worker mid-stream, and the
+        flight dump must hold the in-flight request's crash segment —
+        renderable by ``repro trace``."""
+        dump = tmp_path / "flight.jsonl"
+        posts = tiny_workload.posts[:LIMIT]
+        pool = ProcessShardedEngine(
+            tiny_workload, 3, config=config_for(),
+            request_tracer=tracer_for("router"),
+            flight_path=dump,
+        )
+        try:
+            pool.post(posts[0].author_id, posts[0].text, posts[0].timestamp)
+            os.kill(pool.worker_pid(1), signal.SIGKILL)
+            deadline = time.monotonic() + 10.0
+            with pytest.raises(WorkerCrashError):
+                while time.monotonic() < deadline:
+                    for post in posts:
+                        pool.post(post.author_id, post.text, post.timestamp)
+        finally:
+            pool.close()
+
+        assert dump.exists(), "the crash must trigger an automatic dump"
+        header, segments = read_flight_dump(dump)
+        assert header["reason"] == "worker_crash"
+        crash_segments = [s for s in segments if s.name == "worker_crash"]
+        assert crash_segments, "the in-flight request must be in the dump"
+        crashed = crash_segments[0]
+        assert crashed.status == "error"
+        assert crashed.retained == "crash"
+        assert crashed.attrs["shard"] == 1
+        (span,) = crashed.spans
+        assert span.kind == "error"
+        assert "exitcode" in span.attrs["detail"]
+
+        code = main(["trace", "--dump", str(dump)])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "flight dump: reason=worker_crash" in out
+        assert "critical path" in out
