@@ -8,6 +8,9 @@ from conftest import save_table, workload_with
 from repro.eval.report import ascii_table
 from repro.index.inverted import AdInvertedIndex
 
+#: Import-checked by the tier-1 smoke driver; too heavy to mini-run.
+SMOKE_MINI = False
+
 AD_COUNTS = [1000, 4000, 16000]
 
 _series: dict[int, tuple[float, int, int]] = {}

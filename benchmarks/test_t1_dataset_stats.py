@@ -10,6 +10,9 @@ from conftest import save_table
 from repro.datagen.workload import WorkloadConfig, generate_workload
 from repro.eval.report import ascii_table
 
+#: Import-checked by the tier-1 smoke driver; too heavy to mini-run.
+SMOKE_MINI = False
+
 
 def test_t1_dataset_stats(benchmark, default_workload):
     def generate():

@@ -7,6 +7,9 @@ from helpers import build_recommender
 from repro.core.config import EngineConfig
 from repro.eval.report import ascii_table
 
+#: Import-checked by the tier-1 smoke driver; too heavy to mini-run.
+SMOKE_MINI = False
+
 
 def test_t2_parameters(benchmark, default_workload):
     config = EngineConfig()

@@ -23,6 +23,9 @@ from helpers import engine_config_for
 from repro.eval.perf import run_perf
 from repro.obs import RecordingTracer, stage_table, write_stage_jsonl
 
+#: Runs in the tier-1 smoke driver at miniature scale.
+SMOKE_MINI = True
+
 METHODS = ["car-shared", "car-vector", "car-incremental", "per-delivery-probe"]
 LIMIT = 120
 

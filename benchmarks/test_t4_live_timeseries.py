@@ -33,6 +33,9 @@ from repro.obs import (
 )
 from repro.stream.simulator import FeedSimulator
 
+#: Runs in the tier-1 smoke driver at miniature scale.
+SMOKE_MINI = True
+
 LIMIT = 180
 NUM_BURSTS = 6
 BURST_LEN_S = 120.0  # each burst is 2 minutes of dense posting...

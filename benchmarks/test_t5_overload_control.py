@@ -48,6 +48,9 @@ from repro.qos import (
 )
 from repro.stream.simulator import FeedSimulator
 
+#: Runs in the tier-1 smoke driver at miniature scale.
+SMOKE_MINI = True
+
 LIMIT = 180
 NUM_BURSTS = 6
 BURST_LEN_S = 120.0

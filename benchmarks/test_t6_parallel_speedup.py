@@ -35,6 +35,9 @@ from repro.cluster import ProcessShardedEngine
 from repro.core.config import EngineConfig
 from repro.eval.report import ascii_table
 
+#: Runs in the tier-1 smoke driver at miniature scale.
+SMOKE_MINI = True
+
 WORKER_COUNTS = [1, 2, 4]
 LIMIT = 120
 BATCH = 32

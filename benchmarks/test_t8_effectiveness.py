@@ -22,6 +22,9 @@ from repro.baselines.random_rec import RandomRecommender
 from repro.eval.harness import EffectivenessHarness
 from repro.eval.report import ascii_table
 
+#: Import-checked by the tier-1 smoke driver; too heavy to mini-run.
+SMOKE_MINI = False
+
 
 def _state(workload) -> BaselineState:
     return BaselineState(

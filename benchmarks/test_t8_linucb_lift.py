@@ -40,6 +40,9 @@ from repro.learn.replay import (
     replay_estimate,
 )
 
+#: Runs in the tier-1 smoke driver at miniature scale.
+SMOKE_MINI = True
+
 #: Replay length per seed. Long enough that the matched subsample
 #: (~events/pool_size) gives each policy a converged post-warm-up grade.
 EVENTS = 12_000

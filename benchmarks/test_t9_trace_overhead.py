@@ -27,6 +27,9 @@ from repro.core.recommender import ContextAwareRecommender
 from repro.eval.report import ascii_table
 from repro.obs.trace import RequestTracer
 
+#: Runs in the tier-1 smoke driver at miniature scale.
+SMOKE_MINI = True
+
 NUM_ADS = 8000
 LIMIT = 80
 SAMPLE_RATE = 0.01

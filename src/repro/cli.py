@@ -441,6 +441,180 @@ def _replay_workers(
     return 0
 
 
+def _replay_scenario(
+    args: argparse.Namespace, workload: Workload, config: EngineConfig
+) -> int:
+    """The ``replay --scenario`` / ``--replay-trace`` path: drive a
+    composed adversarial stream (or a recorded trace of one) through the
+    chosen backend and print the replay-contract totals.
+
+    The canonical ``scenario totals:`` line at the end is the replay
+    contract: a recorded trace replayed on the same backend reproduces
+    it byte-identically (CI diffs the two lines).
+    """
+    from contextlib import ExitStack
+    from dataclasses import replace
+
+    from repro.scenarios import (
+        ScenarioDriver,
+        build_backend,
+        build_scenario_stream,
+        read_trace,
+        workload_fingerprint,
+        write_trace,
+    )
+
+    if args.live or args.slo or args.qos or args.trace or args.metrics_out:
+        raise ConfigError(
+            "--scenario/--replay-trace drive the scripted-event path; the "
+            "--live/--slo/--qos/--trace dashboards run on the post-stream "
+            "simulator — drop one side"
+        )
+    if args.replay_trace:
+        if args.scenario:
+            raise ConfigError(
+                "--replay-trace replays a recorded stream; --scenario "
+                "generates a fresh one — pick one"
+            )
+        stream = read_trace(args.replay_trace)
+        expected = workload_fingerprint(workload)
+        if stream.workload_fingerprint != expected:
+            raise ConfigError(
+                f"trace was recorded over a different workload "
+                f"(trace {stream.workload_fingerprint}, this run {expected})"
+            )
+    else:
+        stream = build_scenario_stream(
+            workload,
+            args.scenario,
+            seed=args.scenario_seed,
+            limit_posts=args.limit,
+        )
+    if args.record:
+        count = write_trace(args.record, stream)
+        print(f"recorded {count} events to {args.record}")
+    if args.workers and args.shards:
+        raise ConfigError("--workers and --shards pick different backends — drop one")
+    backend = "single"
+    num_shards = 0
+    if args.workers:
+        backend, num_shards = "procpool", args.workers
+    elif args.shards:
+        backend, num_shards = "sharded", args.shards
+    # Click-intent resolution reads the served slates off every result.
+    config = replace(config, collect_deliveries=True)
+    with ExitStack() as stack:
+        engine = build_backend(
+            workload, config, backend=backend, num_shards=num_shards, stack=stack
+        )
+        totals = ScenarioDriver(engine, workload).run(stream.events)
+    rows = [
+        ["backend", backend if num_shards == 0 else f"{backend}x{num_shards}"],
+        ["scenarios", ",".join(stream.scenarios) or "(trace)"],
+        ["scenario seed", stream.seed],
+        ["events", len(stream.events)],
+    ]
+    rows.extend(totals.rows())
+    rows.append(["wall seconds", round(totals.wall_seconds, 3)])
+    print(ascii_table(["metric", "value"], rows, title="Scenario replay"))
+    print(f"scenario totals: {totals.canonical()}")
+    return 0
+
+
+def _coerce_override(name: str, raw: str, current) -> object:
+    """Parse an ``--arm name=value`` string against the control config's
+    field type, so the treatment config stays validated."""
+    if isinstance(current, bool):
+        lowered = raw.lower()
+        if lowered in ("true", "1", "yes", "on"):
+            return True
+        if lowered in ("false", "0", "no", "off"):
+            return False
+        raise ConfigError(f"--arm {name} expects a boolean, got {raw!r}")
+    if isinstance(current, EngineMode):
+        return EngineMode(raw)
+    if isinstance(current, int) and not isinstance(current, bool):
+        return int(raw)
+    if isinstance(current, float):
+        return float(raw)
+    return raw
+
+
+def _cmd_canary(args: argparse.Namespace) -> int:
+    """Drive a canary A/B rollout over an adversarial stream and gate on
+    the cohort's paired revenue/latency diff."""
+    from dataclasses import fields, replace
+
+    from repro.scenarios import build_scenario_stream, run_canary
+
+    workload = _workload_from_args(args)
+    control = EngineConfig(
+        mode=EngineMode(args.mode),
+        k=args.k,
+        searcher=args.searcher,
+        collect_deliveries=True,
+    )
+    known = {spec.name for spec in fields(EngineConfig)}
+    overrides: dict[str, object] = {}
+    for item in args.arm or []:
+        name, separator, raw = item.partition("=")
+        if not separator:
+            raise ConfigError(f"--arm expects NAME=VALUE, got {item!r}")
+        name = name.strip()
+        if name not in known:
+            raise ConfigError(
+                f"--arm {name!r} is not an EngineConfig field; "
+                f"known: {sorted(known)}"
+            )
+        overrides[name] = _coerce_override(
+            name, raw.strip(), getattr(control, name)
+        )
+    treatment = replace(control, **overrides) if overrides else control
+    stream = build_scenario_stream(
+        workload,
+        args.scenario or [],
+        seed=args.scenario_seed,
+        limit_posts=args.limit,
+    )
+    report = run_canary(
+        workload,
+        stream.events,
+        control_config=control,
+        treatment_config=treatment,
+        fraction=args.fraction,
+        seed=args.canary_seed,
+        backend="sharded" if args.shards else "single",
+        num_shards=args.shards or 0,
+        max_revenue_drop=args.max_revenue_drop,
+        max_p99_ratio=args.max_p99_ratio,
+    )
+    if args.report_out:
+        from pathlib import Path
+
+        out = Path(args.report_out)
+        out.parent.mkdir(parents=True, exist_ok=True)
+        out.write_text(report.to_json() + "\n", encoding="utf-8")
+        print(f"wrote canary report to {args.report_out}")
+    rows = [
+        ["scenarios", ",".join(stream.scenarios) or "(base stream)"],
+        ["cohort", f"{report.cohort_size}/{report.total_users} users"],
+        ["arm overrides", ", ".join(f"{k}={v}" for k, v in overrides.items()) or "(none)"],
+        ["control revenue", round(report.control.revenue, 4)],
+        ["treatment revenue", round(report.treatment.revenue, 4)],
+        ["revenue diff", report.revenue_diff],
+        ["revenue drop", f"{report.revenue_drop_fraction:.2%}"],
+        ["control clicks", report.control.clicks],
+        ["treatment clicks", report.treatment.clicks],
+        ["control p99 (ms)", round(report.control.p99_ms, 3)],
+        ["treatment p99 (ms)", round(report.treatment.p99_ms, 3)],
+    ]
+    print(ascii_table(["metric", "value"], rows, title="Canary rollout"))
+    print(f"canary verdict: {report.verdict.upper()}")
+    for reason in report.reasons:
+        print(f"  {reason}")
+    return 0 if report.verdict == "pass" else 1
+
+
 def _cmd_replay(args: argparse.Namespace) -> int:
     workload = _workload_from_args(args)
     config = EngineConfig(
@@ -454,6 +628,8 @@ def _cmd_replay(args: argparse.Namespace) -> int:
         alpha_ucb=args.alpha_ucb,
         linucb_sync_interval_s=args.linucb_sync,
     )
+    if args.scenario or args.replay_trace:
+        return _replay_scenario(args, workload, config)
     request_tracer = _build_request_tracer(args)
     if args.workers:
         return _replay_workers(args, workload, config, request_tracer)
@@ -857,7 +1033,120 @@ def build_parser() -> argparse.ArgumentParser:
         help="flight-recorder dump path, written on SLO breach, worker "
         "crash, or end of run (requires --trace)",
     )
+    replay.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="compose a named adversarial scenario over the base stream "
+        "(repeatable; flash-crowd, celebrity-spike, budget-burst, "
+        "geo-wave, click-flood); switches replay onto the scripted path",
+    )
+    replay.add_argument(
+        "--scenario-seed",
+        type=int,
+        default=0,
+        help="seed for the scenario generators (the workload keeps its "
+        "own --seed)",
+    )
+    replay.add_argument(
+        "--record",
+        default=None,
+        metavar="PATH",
+        help="record the scripted stream to a versioned JSONL trace "
+        "before driving it",
+    )
+    replay.add_argument(
+        "--replay-trace",
+        default=None,
+        metavar="PATH",
+        help="replay a trace recorded with --record instead of "
+        "generating; the workload must match the trace's fingerprint",
+    )
+    replay.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="drive the in-process sharded router with N shards on the "
+        "scenario path (0 = single engine; --workers picks the "
+        "multiprocess pool instead)",
+    )
     replay.set_defaults(handler=_cmd_replay)
+
+    canary = commands.add_parser(
+        "canary",
+        help="A/B canary rollout: drive control and treatment configs "
+        "with one adversarial stream, gate on the cohort's paired diff",
+    )
+    _add_generation_flags(canary)
+    canary.add_argument("--workload", help="saved workload directory")
+    canary.add_argument(
+        "--mode",
+        choices=[mode.value for mode in EngineMode],
+        default="shared",
+    )
+    canary.add_argument(
+        "--searcher", choices=list(SEARCHER_KINDS), default="ta"
+    )
+    canary.add_argument("--k", type=int, default=10)
+    canary.add_argument("--limit", type=int, default=None)
+    canary.add_argument(
+        "--scenario",
+        action="append",
+        default=None,
+        metavar="NAME",
+        help="adversarial scenario(s) to stress both arms with "
+        "(repeatable; default: the base stream alone)",
+    )
+    canary.add_argument("--scenario-seed", type=int, default=0)
+    canary.add_argument(
+        "--fraction",
+        type=float,
+        default=0.1,
+        help="fraction of users hashed into the canary cohort",
+    )
+    canary.add_argument(
+        "--canary-seed",
+        type=int,
+        default=0,
+        help="salt for the user->arm hash (rotates the cohort)",
+    )
+    canary.add_argument(
+        "--arm",
+        action="append",
+        default=None,
+        metavar="NAME=VALUE",
+        help="EngineConfig override for the treatment arm (repeatable, "
+        "e.g. --arm personalize=linucb --arm k=5); no overrides runs "
+        "an A/A check",
+    )
+    canary.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        help="drive both arms on the in-process sharded router with N "
+        "shards (0 = single engine)",
+    )
+    canary.add_argument(
+        "--max-revenue-drop",
+        type=float,
+        default=0.02,
+        help="fail the rollout when cohort revenue on treatment falls "
+        "more than this fraction below control",
+    )
+    canary.add_argument(
+        "--max-p99-ratio",
+        type=float,
+        default=None,
+        help="fail when treatment post p99 exceeds control by this "
+        "factor (off by default: wall-clock is noisy in CI)",
+    )
+    canary.add_argument(
+        "--report-out",
+        default=None,
+        help="write the structured canary report as JSON",
+    )
+    canary.set_defaults(handler=_cmd_canary)
 
     trace = commands.add_parser(
         "trace", help="inspect a flight-recorder dump or trace export"

@@ -67,6 +67,7 @@ class DeliveryResult:
     fell_back: bool
     exact: bool = False
     degraded: bool = False
+    revenue: float = 0.0
 
 
 @dataclass(frozen=True, slots=True)
@@ -487,6 +488,7 @@ class AdEngine:
                         fell_back=outcome.fell_back,
                         exact=outcome.exact,
                         degraded=outcome.degraded,
+                        revenue=outcome.revenue,
                     )
                 )
         num_shed, revenue_shed = self.pipeline.pop_batch_shed()

@@ -63,3 +63,7 @@ class WorkerCrashError(StreamError):
 
 class EvaluationError(ReproError):
     """The evaluation harness received inconsistent inputs."""
+
+
+class TraceError(ReproError):
+    """A scenario record/replay trace was malformed or incompatible."""

@@ -1,0 +1,236 @@
+"""The adversarial scenario generators.
+
+Each generator emits the traffic shape that breaks a different part of
+the serving stack:
+
+* ``flash-crowd`` — a retweet storm: one message's text re-posted by many
+  users inside a tight window, front-loaded like a real viral spike.
+  Stresses the shared-candidate cache and the admission bucket.
+* ``celebrity-spike`` — the highest-fanout authors fire rapid bursts, so
+  a handful of posts each fan out to huge follower sets. Stresses
+  fan-out amplification and shard load balance.
+* ``budget-burst`` — coordinated launches of aggressive, tiny-budget
+  campaign clones followed by a post burst that drains them. Stresses
+  budget accounting (spend must never pass the cap) and index churn.
+* ``geo-wave`` — a cohort of users check-ins migrating towards one
+  destination, shifting geo-targeting eligibility mid-stream.
+* ``click-flood`` — a bot cohort clicks the top slots of nearly every
+  slate it is served inside a window, poisoning the CTR estimator and
+  the LinUCB reward stream with correlated positives.
+
+Every generator draws only from its context's RNG and returns its events
+time-sorted, so a composed stream regenerates bit-identically from the
+suite seed (see :func:`repro.scenarios.base.build_scenario_stream`).
+"""
+
+from __future__ import annotations
+
+from repro.scenarios.base import (
+    ScenarioContext,
+    ScenarioEvent,
+    ScriptedCheckin,
+    ScriptedClick,
+    ScriptedEnd,
+    ScriptedLaunch,
+    ScriptedPost,
+)
+
+
+def _by_time(events: list[ScenarioEvent]) -> list[ScenarioEvent]:
+    events.sort(key=lambda event: event.timestamp)
+    return events
+
+
+def _renumber_posts(events: list[ScenarioEvent], msg_base: int) -> list[ScenarioEvent]:
+    """Assign block msg ids to already-time-sorted scripted posts."""
+    out: list[ScenarioEvent] = []
+    offset = 0
+    for event in events:
+        if isinstance(event, ScriptedPost):
+            out.append(
+                ScriptedPost(
+                    event.timestamp, msg_base + offset, event.author_id, event.text
+                )
+            )
+            offset += 1
+        else:
+            out.append(event)
+    return out
+
+
+def flash_crowd(
+    context: ScenarioContext,
+    *,
+    posts: int = 45,
+    window_fraction: float = 0.06,
+) -> list[ScenarioEvent]:
+    rng = context.rng
+    viral = rng.choice(context.base_posts)
+    w_start, w_len = context.pick_window(window_fraction)
+    users = context.workload.users
+    events: list[ScenarioEvent] = [
+        ScriptedPost(
+            # Beta(1.5, 4) front-loads arrivals: the storm peaks early
+            # and decays, like a real viral spike.
+            w_start + w_len * rng.betavariate(1.5, 4.0),
+            0,  # renumbered below, in time order
+            rng.choice(users).user_id,
+            viral.text,
+        )
+        for _ in range(posts)
+    ]
+    return _renumber_posts(_by_time(events), context.msg_base)
+
+
+def celebrity_spike(
+    context: ScenarioContext,
+    *,
+    celebrities: int = 3,
+    posts_per_celebrity: int = 8,
+    window_fraction: float = 0.05,
+) -> list[ScenarioEvent]:
+    graph = context.workload.graph
+    ranked = sorted(
+        context.workload.users,
+        key=lambda user: (-graph.fanout(user.user_id), user.user_id),
+    )
+    celebs = ranked[: max(1, celebrities)]
+    rng = context.rng
+    w_start, w_len = context.pick_window(window_fraction)
+    events: list[ScenarioEvent] = []
+    for celeb in celebs:
+        for _ in range(posts_per_celebrity):
+            events.append(
+                ScriptedPost(
+                    w_start + w_len * rng.random(),
+                    0,
+                    celeb.user_id,
+                    rng.choice(context.base_posts).text,
+                )
+            )
+    return _renumber_posts(_by_time(events), context.msg_base)
+
+
+def budget_burst(
+    context: ScenarioContext,
+    *,
+    campaigns: int = 6,
+    budget: float = 1.5,
+    bid_boost: float = 3.0,
+    posts: int = 30,
+    window_fraction: float = 0.12,
+) -> list[ScenarioEvent]:
+    rng = context.rng
+    w_start, w_len = context.pick_window(window_fraction)
+    # Aggressive clones of the highest-bid ads: boosted bids win auctions
+    # and the tiny budgets exhaust mid-burst.
+    pool = sorted(context.workload.ads, key=lambda ad: (-ad.bid, ad.ad_id))
+    pool = pool[: max(campaigns * 3, campaigns)]
+    chosen = rng.sample(pool, min(campaigns, len(pool)))
+    events: list[ScenarioEvent] = []
+    for index, template in enumerate(chosen):
+        events.append(
+            ScriptedLaunch(
+                w_start + (w_len * 0.05) * rng.random(),
+                context.ad_base + index,
+                template.ad_id,
+                template.bid * bid_boost,
+                budget,
+            )
+        )
+    graph = context.workload.graph
+    authors = sorted(
+        context.workload.users,
+        key=lambda user: (-graph.fanout(user.user_id), user.user_id),
+    )[: max(5, len(context.workload.users) // 10)]
+    for _ in range(posts):
+        events.append(
+            ScriptedPost(
+                w_start + w_len * (0.1 + 0.9 * rng.random()),
+                0,
+                rng.choice(authors).user_id,
+                rng.choice(context.base_posts).text,
+            )
+        )
+    # A third of the campaigns are pulled early: end-of-campaign churn
+    # under burst traffic, not just budget exhaustion.
+    for index in range(len(chosen) // 3):
+        events.append(
+            ScriptedEnd(w_start + w_len * 0.95, context.ad_base + index)
+        )
+    return _renumber_posts(_by_time(events), context.msg_base)
+
+
+def geo_wave(
+    context: ScenarioContext,
+    *,
+    traveller_fraction: float = 0.3,
+    hops: int = 4,
+    window_fraction: float = 0.5,
+) -> list[ScenarioEvent]:
+    rng = context.rng
+    users = context.workload.users
+    cohort = rng.sample(users, max(1, int(len(users) * traveller_fraction)))
+    dest_lat = rng.uniform(-60.0, 60.0)
+    dest_lon = rng.uniform(-150.0, 150.0)
+    w_start, w_len = context.pick_window(window_fraction)
+    events: list[ScenarioEvent] = []
+    for user in cohort:
+        for hop in range(hops):
+            progress = (hop + 1) / hops
+            events.append(
+                ScriptedCheckin(
+                    w_start + w_len * (hop + rng.random()) / hops,
+                    user.user_id,
+                    user.home.lat + (dest_lat - user.home.lat) * progress
+                    + rng.gauss(0.0, 0.05),
+                    user.home.lon + (dest_lon - user.home.lon) * progress
+                    + rng.gauss(0.0, 0.05),
+                )
+            )
+    return _by_time(events)
+
+
+def click_flood(
+    context: ScenarioContext,
+    *,
+    bot_fraction: float = 0.25,
+    click_probability: float = 0.9,
+    max_slots: int = 3,
+    window_fraction: float = 0.5,
+) -> list[ScenarioEvent]:
+    rng = context.rng
+    users = context.workload.users
+    bots = sorted(
+        user.user_id
+        for user in rng.sample(users, max(1, int(len(users) * bot_fraction)))
+    )
+    w_start, w_len = context.pick_window(window_fraction)
+    graph = context.workload.graph
+    events: list[ScenarioEvent] = []
+    for post in context.base_posts:
+        if not w_start <= post.timestamp < w_start + w_len:
+            continue
+        followers = graph.followers(post.author_id)
+        for bot in bots:  # sorted: the RNG stream is order-stable
+            if bot in followers and rng.random() < click_probability:
+                events.append(
+                    ScriptedClick(
+                        post.timestamp + rng.uniform(0.5, 8.0),
+                        bot,
+                        post.msg_id,
+                        rng.randint(1, max_slots),
+                    )
+                )
+    return _by_time(events)
+
+
+SCENARIOS = {
+    "flash-crowd": flash_crowd,
+    "celebrity-spike": celebrity_spike,
+    "budget-burst": budget_burst,
+    "geo-wave": geo_wave,
+    "click-flood": click_flood,
+}
+
+SCENARIO_NAMES = tuple(sorted(SCENARIOS))

@@ -1,0 +1,188 @@
+"""Versioned JSONL record/replay traces for scenario streams.
+
+One header line carries the schema version, the suite seed, the scenario
+names and the generating workload's fingerprint; every following line is
+one scripted event. The encoding is canonical (sorted keys, compact
+separators, shortest-round-trip floats), so recording the same stream
+twice produces byte-identical files and ``read → write`` reproduces the
+original bytes — the property the replay suite pins down.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.errors import TraceError
+from repro.scenarios.base import (
+    TRACE_VERSION,
+    ScenarioEvent,
+    ScenarioStream,
+    ScriptedCheckin,
+    ScriptedClick,
+    ScriptedEnd,
+    ScriptedLaunch,
+    ScriptedPost,
+    check_stream,
+)
+
+
+def _encode(event: ScenarioEvent) -> dict:
+    if isinstance(event, ScriptedPost):
+        return {
+            "kind": "post",
+            "t": event.timestamp,
+            "msg": event.msg_id,
+            "author": event.author_id,
+            "text": event.text,
+        }
+    if isinstance(event, ScriptedCheckin):
+        return {
+            "kind": "checkin",
+            "t": event.timestamp,
+            "user": event.user_id,
+            "lat": event.lat,
+            "lon": event.lon,
+        }
+    if isinstance(event, ScriptedClick):
+        return {
+            "kind": "click",
+            "t": event.timestamp,
+            "user": event.user_id,
+            "msg": event.msg_id,
+            "slots": event.max_slots,
+        }
+    if isinstance(event, ScriptedLaunch):
+        return {
+            "kind": "launch",
+            "t": event.timestamp,
+            "ad": event.ad_id,
+            "template": event.template_ad_id,
+            "bid": event.bid,
+            "budget": event.budget,
+        }
+    if isinstance(event, ScriptedEnd):
+        return {"kind": "end", "t": event.timestamp, "ad": event.ad_id}
+    raise TraceError(f"cannot encode event of type {type(event).__name__}")
+
+
+def _decode(record: dict) -> ScenarioEvent:
+    kind = record.get("kind")
+    try:
+        if kind == "post":
+            return ScriptedPost(
+                record["t"], record["msg"], record["author"], record["text"]
+            )
+        if kind == "checkin":
+            return ScriptedCheckin(
+                record["t"], record["user"], record["lat"], record["lon"]
+            )
+        if kind == "click":
+            return ScriptedClick(
+                record["t"], record["user"], record["msg"], record["slots"]
+            )
+        if kind == "launch":
+            return ScriptedLaunch(
+                record["t"],
+                record["ad"],
+                record["template"],
+                record["bid"],
+                record["budget"],
+            )
+        if kind == "end":
+            return ScriptedEnd(record["t"], record["ad"])
+    except KeyError as error:
+        raise TraceError(
+            f"trace event of kind {kind!r} is missing field {error}"
+        ) from error
+    raise TraceError(f"unknown trace event kind {kind!r}")
+
+
+def _dumps(payload: dict) -> str:
+    return json.dumps(payload, sort_keys=True, separators=(",", ":"))
+
+
+def render_trace(stream: ScenarioStream) -> str:
+    """The canonical trace text for a stream (what :func:`write_trace`
+    puts on disk)."""
+    lines = [
+        _dumps(
+            {
+                "record": "header",
+                "version": stream.version,
+                "seed": stream.seed,
+                "scenarios": list(stream.scenarios),
+                "workload": stream.workload_fingerprint,
+                "events": len(stream.events),
+            }
+        )
+    ]
+    lines.extend(
+        _dumps({"record": "event", **_encode(event)}) for event in stream.events
+    )
+    return "\n".join(lines) + "\n"
+
+
+def write_trace(path: Path | str, stream: ScenarioStream) -> int:
+    """Record a scenario stream; returns the number of events written."""
+    out = Path(path)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(render_trace(stream), encoding="utf-8")
+    return len(stream.events)
+
+
+def read_trace(path: Path | str) -> ScenarioStream:
+    """Load a recorded stream, validating version, shape and count."""
+    source = Path(path)
+    if not source.exists():
+        raise TraceError(f"no trace file at {source}")
+    events: list[ScenarioEvent] = []
+    header: dict | None = None
+    with source.open("r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise TraceError(
+                    f"{source}:{line_no}: not valid JSON ({error})"
+                ) from error
+            if not isinstance(record, dict):
+                raise TraceError(f"{source}:{line_no}: expected an object")
+            if header is None:
+                if record.get("record") != "header":
+                    raise TraceError(
+                        f"{source}: first line must be the trace header"
+                    )
+                if record.get("version") != TRACE_VERSION:
+                    raise TraceError(
+                        f"{source}: unsupported trace version "
+                        f"{record.get('version')!r} (this build reads "
+                        f"{TRACE_VERSION})"
+                    )
+                header = record
+                continue
+            if record.get("record") != "event":
+                raise TraceError(
+                    f"{source}:{line_no}: unexpected record "
+                    f"{record.get('record')!r}"
+                )
+            events.append(_decode(record))
+    if header is None:
+        raise TraceError(f"{source}: empty trace (no header line)")
+    if len(events) != header.get("events"):
+        raise TraceError(
+            f"{source}: header promises {header.get('events')} events, "
+            f"found {len(events)} (truncated trace?)"
+        )
+    stream = ScenarioStream(
+        seed=header["seed"],
+        scenarios=tuple(header["scenarios"]),
+        workload_fingerprint=dict(header["workload"]),
+        events=tuple(events),
+        version=header["version"],
+    )
+    check_stream(stream.events)
+    return stream

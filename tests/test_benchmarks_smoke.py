@@ -38,19 +38,14 @@ from repro.datagen.workload import WorkloadConfig, generate_workload
 
 BENCH_DIR = Path(__file__).parent.parent / "benchmarks"
 F_FILES = sorted(BENCH_DIR.glob("test_f*.py"))
-T_FILES = [
-    BENCH_DIR / f"{stem}.py"
-    for stem in (
-        "test_t3_stage_breakdown",
-        "test_t4_live_timeseries",
-        "test_t5_overload_control",
-        "test_t6_parallel_speedup",
-        "test_t8_linucb_lift",
-        "test_t9_trace_overhead",
-    )
-]
+# T-series modules are auto-discovered: each must declare ``SMOKE_MINI``
+# (True = miniaturise and run here, False = import-check only), so a new
+# benchmark can't land without deciding its smoke coverage.
+T_FILES = sorted(BENCH_DIR.glob("test_t*.py"))
 OTHER_FILES = sorted(
-    path for path in BENCH_DIR.glob("test_*.py") if path not in F_FILES
+    path
+    for path in BENCH_DIR.glob("test_*.py")
+    if path not in F_FILES and path not in T_FILES
 )
 
 # Size knobs forced down to smoke scale; everything else passes through.
@@ -194,6 +189,19 @@ def test_f_scenario_runs_at_mini_scale(path):
 def test_t_scenario_runs_at_mini_scale(path, tmp_path):
     saved: dict = {}
     module = load_benchmark_module(path)
+    smoke = getattr(module, "SMOKE_MINI", None)
+    if smoke is None:
+        pytest.fail(
+            f"{path.name} declares no SMOKE_MINI flag — set SMOKE_MINI = "
+            f"True to run it here at mini scale, or SMOKE_MINI = False "
+            f"for an import-only check"
+        )
+    if smoke is False:
+        assert scenario_functions(module), (
+            f"{path.name} opted out of the mini run but defines no test "
+            f"functions either"
+        )
+        return
     miniaturise(module, saved)
     # The T-series write timeseries JSONL straight to RESULTS_DIR;
     # re-point it so mini-scale runs never touch benchmarks/results/.
@@ -208,6 +216,16 @@ def test_f_files_cover_known_scenarios():
     names = {path.stem for path in F_FILES}
     assert {"test_f3_throughput_vs_ads", "test_f15_sharding"} <= names
     assert len(names) >= 10
+
+
+def test_t_files_cover_known_scenarios():
+    """Auto-discovery still sees the load-bearing T-series modules."""
+    names = {path.stem for path in T_FILES}
+    assert {
+        "test_t5_overload_control",
+        "test_t10_adversarial_scenarios",
+    } <= names
+    assert len(names) >= 8
 
 
 @pytest.mark.parametrize("path", OTHER_FILES, ids=[p.stem for p in OTHER_FILES])

@@ -350,3 +350,130 @@ class TestTracing:
         code = main(["trace", "--dump", str(empty)])
         assert code == 0
         assert "no trace segments" in capsys.readouterr().out
+
+
+class TestScenarioReplay:
+    SCENARIO = [
+        "replay", *FAST, "--limit", "20",
+        "--scenario", "flash-crowd", "--scenario-seed", "4",
+    ]
+
+    def test_scenario_replay_prints_totals(self, capsys):
+        code = main(self.SCENARIO)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "Scenario replay" in out
+        assert "scenario totals: posts=" in out
+
+    def test_record_then_replay_is_byte_identical(self, tmp_path, capsys):
+        trace = tmp_path / "storm.jsonl"
+        wl = tmp_path / "wl"
+        main(["generate", *FAST, "--out", str(wl)])
+        capsys.readouterr()
+        code = main([
+            "replay", "--workload", str(wl), "--limit", "20",
+            "--scenario", "flash-crowd", "--scenario-seed", "4",
+            "--record", str(trace),
+        ])
+        assert code == 0
+        generating = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("scenario totals:")
+        ]
+        code = main([
+            "replay", "--workload", str(wl), "--replay-trace", str(trace),
+        ])
+        assert code == 0
+        replayed = [
+            line for line in capsys.readouterr().out.splitlines()
+            if line.startswith("scenario totals:")
+        ]
+        assert replayed == generating
+
+    def test_unknown_scenario_is_a_usage_error(self, capsys):
+        code = main(["replay", *FAST, "--scenario", "meteor-strike"])
+        assert code == 2
+        assert "unknown scenario" in capsys.readouterr().err
+
+    def test_trace_from_wrong_workload_is_rejected(self, tmp_path, capsys):
+        trace = tmp_path / "storm.jsonl"
+        code = main(self.SCENARIO + ["--record", str(trace)])
+        assert code == 0
+        capsys.readouterr()
+        code = main([
+            "replay", *FAST, "--seed", "99", "--replay-trace", str(trace),
+        ])
+        assert code == 2
+        assert "different workload" in capsys.readouterr().err
+
+    def test_scenario_rejects_dashboards(self, capsys):
+        code = main(self.SCENARIO + ["--live"])
+        assert code == 2
+        assert "drop one side" in capsys.readouterr().err
+
+    def test_scenario_and_trace_are_exclusive(self, tmp_path, capsys):
+        code = main(self.SCENARIO + ["--replay-trace", str(tmp_path / "x")])
+        assert code == 2
+        assert "pick one" in capsys.readouterr().err
+
+    def test_shards_and_workers_are_exclusive(self, capsys):
+        code = main(self.SCENARIO + ["--shards", "2", "--workers", "2"])
+        assert code == 2
+        assert "drop one" in capsys.readouterr().err
+
+    def test_scenario_replay_on_sharded_backend(self, capsys):
+        code = main(self.SCENARIO + ["--shards", "2"])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "shardedx2" in out
+        assert "scenario totals: posts=" in out
+
+
+class TestCanary:
+    BASE = [
+        "canary", *FAST, "--limit", "20",
+        "--scenario", "flash-crowd", "--fraction", "0.3",
+    ]
+
+    def test_identical_arms_pass_with_zero_diff(self, capsys):
+        code = main(self.BASE)
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "canary verdict: PASS" in out
+        assert "revenue diff" in out
+
+    def test_regressive_arm_fails_nonzero(self, tmp_path, capsys):
+        report = tmp_path / "canary.json"
+        code = main(
+            self.BASE
+            + ["--arm", "charge_impressions=false", "--report-out", str(report)]
+        )
+        assert code == 1
+        out = capsys.readouterr().out
+        assert "canary verdict: FAIL" in out
+        assert "revenue dropped" in out
+        import json as _json
+
+        payload = _json.loads(report.read_text())
+        assert payload["verdict"] == "fail"
+        assert payload["treatment"]["revenue"] < payload["control"]["revenue"]
+
+    def test_arm_override_must_name_a_config_field(self, capsys):
+        code = main(self.BASE + ["--arm", "warp_factor=9"])
+        assert code == 2
+        assert "not an EngineConfig field" in capsys.readouterr().err
+
+    def test_arm_override_must_be_key_value(self, capsys):
+        code = main(self.BASE + ["--arm", "charge_impressions"])
+        assert code == 2
+        assert "NAME=VALUE" in capsys.readouterr().err
+
+    def test_arm_bool_coercion_is_strict(self, capsys):
+        code = main(self.BASE + ["--arm", "charge_impressions=maybe"])
+        assert code == 2
+        assert "expects a boolean" in capsys.readouterr().err
+
+    def test_canary_on_sharded_backend(self, capsys):
+        code = main(self.BASE + ["--shards", "2"])
+        assert code == 0
+        assert "canary verdict: PASS" in capsys.readouterr().out
